@@ -1,0 +1,63 @@
+// Ablation B' — inter-tree write-write conflict policies (Alg. 1's
+// ownedbyAnotherTree): the paper's abort-to-root-and-restart-in-fallback
+// versus switching the live tree to the private store without aborting.
+//
+// Measured on a write-heavy hot-spot workload where sub-transactions of
+// different trees contend for the same tentative-head locks.
+//
+// Flags: --total N --ms N --len N --array N --hot N
+#include <cstdio>
+
+#include "workloads/common/driver.hpp"
+#include "workloads/synthetic/synthetic.hpp"
+
+using txf::core::Config;
+using txf::core::InterTreePolicy;
+using txf::core::Runtime;
+using txf::util::Xoshiro256;
+using namespace txf::workloads;
+namespace synth = txf::workloads::synthetic;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto total = static_cast<std::size_t>(args.get_int("total", 8));
+  const int ms = static_cast<int>(args.get_int("ms", 400));
+  const auto array_size =
+      static_cast<std::size_t>(args.get_int("array", 100000));
+  synth::UpdateParams p;
+  p.prefix_len = static_cast<std::size_t>(args.get_int("len", 200));
+  p.iter = 100;
+  p.jobs = 2;
+  p.hot_items = static_cast<std::size_t>(args.get_int("hot", 20));
+
+  std::printf(
+      "# Ablation B': inter-tree conflict policy — abort-to-root (paper)\n"
+      "# vs switch-to-private; hot-spot updates, %zu x 2-way trees, %dms\n",
+      total / 2, ms);
+
+  print_header({"policy", "tx/s", "abort_rate", "fallback_restarts"});
+  for (const InterTreePolicy policy :
+       {InterTreePolicy::kAbortToRoot, InterTreePolicy::kSwitchToPrivate}) {
+    Config cfg;
+    cfg.pool_threads = total / 2;
+    cfg.inter_tree = policy;
+    Runtime rt(cfg);
+    // Fresh array per runtime (VBox<->StmEnv lifetime contract).
+    synth::SyntheticArray array(array_size);
+    const RunResult r = run_for(
+        rt, total / 2, ms,
+        [&](std::size_t w, const std::function<bool()>& keep,
+            WorkerMetrics& m) {
+          Xoshiro256 rng(9000 + w);
+          while (keep()) {
+            synth::run_update_tx(rt, array, rng, p);
+            ++m.transactions;
+          }
+        });
+    print_row({policy == InterTreePolicy::kAbortToRoot ? "abort-to-root"
+                                                       : "switch-private",
+               fmt(r.throughput(), 1), fmt(r.abort_rate(), 3),
+               std::to_string(r.stats_delta.fallback_restarts)});
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation C — the §IV-E read-only-future optimization: skipping
+// validation of read-only sub-transactions when no read-write
+// sub-transaction committed before them. Measured on a read-mostly
+// synthetic workload whose transactions fan out many read-only futures.
+//
+// Flags: --trees N --jobs N --ms N --txlen N --array N
+#include <cstdio>
+
+#include "workloads/common/driver.hpp"
+#include "workloads/synthetic/synthetic.hpp"
+
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::util::Xoshiro256;
+using namespace txf::workloads;
+namespace synth = txf::workloads::synthetic;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto trees = static_cast<std::size_t>(args.get_int("trees", 2));
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 4));
+  const int ms = static_cast<int>(args.get_int("ms", 400));
+  const auto array_size =
+      static_cast<std::size_t>(args.get_int("array", 100000));
+  synth::ReadOnlyParams p;
+  p.txlen = static_cast<std::size_t>(args.get_int("txlen", 2000));
+  p.iter = 50;
+  p.jobs = jobs;
+
+  std::printf(
+      "# Ablation C: read-only future validation skip (paper §IV-E)\n"
+      "# (%zu trees x %zu-way read-only transactions, txlen=%zu, %dms)\n",
+      trees, jobs, p.txlen, ms);
+  synth::SyntheticArray array(array_size);
+  {
+    // Warm-up pass: fault in the whole array so the first measured
+    // configuration is not penalized.
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < array.size(); ++i)
+      sink += array.box(i).peek_committed();
+    if (sink == 0xdeadbeef) std::printf("#\n");
+  }
+
+  print_header({"ro_opt", "tx/s", "ro_skips", "reexecs"});
+  for (const bool opt : {true, false}) {
+    Config cfg;
+    cfg.pool_threads = trees * (jobs - 1);
+    cfg.read_only_future_opt = opt;
+    Runtime rt(cfg);
+    const auto body = [&](std::size_t w, const std::function<bool()>& keep,
+                          WorkerMetrics& m) {
+      Xoshiro256 rng(8000 + w);
+      while (keep()) {
+        (void)synth::run_readonly_tx(rt, array, rng, p);
+        ++m.transactions;
+      }
+    };
+    // Two passes per configuration; report the warm second pass (CPU
+    // frequency and allocator ramp-up dominate the first).
+    (void)run_for(rt, trees, ms / 2, body);
+    const RunResult r = run_for(rt, trees, ms, body);
+    print_row({opt ? "on" : "off", fmt(r.throughput(), 1),
+               std::to_string(r.stats_delta.ro_validation_skips),
+               std::to_string(r.stats_delta.future_reexecutions)});
+  }
+  return 0;
+}

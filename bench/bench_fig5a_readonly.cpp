@@ -1,0 +1,117 @@
+// Figure 5a — read-only synthetic workload: normalized throughput of
+// future-parallelized transactions vs transaction length and CPU work.
+//
+// Paper setup: 1M-element array; transaction length (reads) in
+// {10, 100, 1k, 10k, 100k}; iter (CPU loop between accesses) in
+// {0, 100, 1k, 10k}; two concurrent top-level transactions, each
+// parallelized 16x; baseline = the same two transactions with no futures.
+// Since synchronization is unnecessary in a read-only workload, comparing
+// JTF against plain (non-transactional) futures isolates the overhead JTF
+// adds on top of inherent future costs.
+//
+// Output: one row per (txlen, iter) with normalized throughput of JTF
+// futures and plain futures against the no-future baseline (baseline=1.0).
+//
+// Flags: --array N --trees N --jobs N --ms N --txlens a,b,c --iters a,b,c
+// Defaults are scaled for small machines; use --jobs 16 --array 1000000
+// --txlens 10,100,1000,10000,100000 --iters 0,100,1000,10000 to reproduce
+// the paper's full grid.
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/timing.hpp"
+#include "workloads/common/driver.hpp"
+#include "workloads/synthetic/synthetic.hpp"
+
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::util::Xoshiro256;
+using namespace txf::workloads;
+namespace synth = txf::workloads::synthetic;
+
+namespace {
+
+double measure_tx(std::size_t trees, std::size_t jobs, int ms,
+                  synth::SyntheticArray& array, std::size_t txlen,
+                  std::uint64_t iter) {
+  Config cfg;
+  cfg.pool_threads = trees * (jobs > 1 ? jobs - 1 : 1);
+  Runtime rt(cfg);
+  const synth::ReadOnlyParams p{.txlen = txlen, .iter = iter, .jobs = jobs};
+  const RunResult r = run_for(
+      rt, trees, ms,
+      [&](std::size_t w, const std::function<bool()>& keep,
+          WorkerMetrics& m) {
+        Xoshiro256 rng(1000 + w);
+        while (keep()) {
+          (void)synth::run_readonly_tx(rt, array, rng, p);
+          ++m.transactions;
+        }
+      });
+  return r.throughput();
+}
+
+double measure_plain(std::size_t trees, std::size_t jobs, int ms,
+                     synth::SyntheticArray& array, std::size_t txlen,
+                     std::uint64_t iter) {
+  Config cfg;
+  cfg.pool_threads = trees * (jobs > 1 ? jobs - 1 : 1);
+  Runtime rt(cfg);
+  const synth::ReadOnlyParams p{.txlen = txlen, .iter = iter, .jobs = jobs};
+  const RunResult r = run_for(
+      rt, trees, ms,
+      [&](std::size_t w, const std::function<bool()>& keep,
+          WorkerMetrics& m) {
+        Xoshiro256 rng(2000 + w);
+        while (keep()) {
+          (void)synth::run_readonly_plain(rt.pool(), array, rng, p);
+          ++m.transactions;
+        }
+      });
+  return r.throughput();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto array_size =
+      static_cast<std::size_t>(args.get_int("array", 100000));
+  const auto trees = static_cast<std::size_t>(args.get_int("trees", 2));
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 4));
+  const int ms = static_cast<int>(args.get_int("ms", 300));
+  const auto txlens = parse_u64_list("txlens", args.get_str("txlens", "10,100,1000,10000"));
+  const auto iters = parse_u64_list("iters", args.get_str("iters", "0,100,1000"));
+
+  std::printf(
+      "# Fig 5a: read-only synthetic — normalized throughput vs baseline\n"
+      "# %zu top-level transactions, %zux intra-transaction parallelism, "
+      "array=%zu, window=%dms\n",
+      trees, jobs, array_size, ms);
+  // Read-only workload: the array is never written, so no versions beyond
+  // the initial ones exist and sharing it across runtimes is safe (see the
+  // VBox<->StmEnv lifetime contract in stm/vbox.hpp).
+  synth::SyntheticArray array(array_size);
+
+  print_header({"txlen", "iter", "base_tx/s", "jtf_norm", "plain_norm",
+                "jtf_vs_plain"});
+  for (const auto txlen : txlens) {
+    for (const auto iter : iters) {
+      const double base =
+          measure_tx(trees, 1, ms, array, txlen, iter);  // no futures
+      const double jtf = measure_tx(trees, jobs, ms, array, txlen, iter);
+      const double plain = measure_plain(trees, jobs, ms, array, txlen, iter);
+      print_row({std::to_string(txlen), std::to_string(iter),
+                 fmt(base, 1), fmt(base > 0 ? jtf / base : 0, 3),
+                 fmt(base > 0 ? plain / base : 0, 3),
+                 fmt(plain > 0 ? jtf / plain : 0, 3)});
+    }
+  }
+  std::printf(
+      "# Expected shape (paper): futures pay off only for long, CPU-bound\n"
+      "# transactions; iter=0 (memory-bound) parallelization hurts;\n"
+      "# jtf_vs_plain stays close to 1 (JTF adds little over plain futures).\n");
+  return 0;
+}

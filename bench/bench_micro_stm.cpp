@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark): the raw costs underneath the paper's
+// overheads discussion — VBox reads/writes, flat transaction commit, the
+// helped commit queue, future submit/evaluate round-trips, and container
+// operations.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+
+#include "containers/tx_map.hpp"
+#include "core/api.hpp"
+#include "stm/transaction.hpp"
+
+namespace {
+
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+using txf::stm::StmEnv;
+using txf::stm::Transaction;
+using txf::stm::VBox;
+
+void BM_FlatRead(benchmark::State& state) {
+  StmEnv env;
+  VBox<long> box(1);
+  for (auto _ : state) {
+    Transaction tx(env);
+    benchmark::DoNotOptimize(box.get(tx));
+    tx.try_commit();
+  }
+}
+BENCHMARK(BM_FlatRead);
+
+void BM_FlatReadOnlyMode(benchmark::State& state) {
+  StmEnv env;
+  VBox<long> box(1);
+  for (auto _ : state) {
+    Transaction tx(env, Transaction::Mode::kReadOnly);
+    benchmark::DoNotOptimize(box.get(tx));
+    tx.try_commit();
+  }
+}
+BENCHMARK(BM_FlatReadOnlyMode);
+
+void BM_FlatWriteCommit(benchmark::State& state) {
+  StmEnv env;
+  VBox<long> box(1);
+  long v = 0;
+  for (auto _ : state) {
+    Transaction tx(env);
+    box.put(tx, ++v);
+    benchmark::DoNotOptimize(tx.try_commit());
+  }
+}
+BENCHMARK(BM_FlatWriteCommit);
+
+void BM_FlatReadN(benchmark::State& state) {
+  StmEnv env;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::deque<VBox<long>> boxes;
+  for (std::size_t i = 0; i < n; ++i) boxes.emplace_back(1);
+  for (auto _ : state) {
+    Transaction tx(env);
+    long sum = 0;
+    for (auto& b : boxes) sum += b.get(tx);
+    benchmark::DoNotOptimize(sum);
+    tx.try_commit();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlatReadN)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TreeFlatTransaction(benchmark::State& state) {
+  // The core API without futures: measures tree bookkeeping overhead over
+  // the flat STM path.
+  Runtime rt(Config{.pool_threads = 1});
+  VBox<long> box(1);
+  for (auto _ : state) {
+    const long v = txf::core::atomically(
+        rt, [&](TxCtx& ctx) { return box.get(ctx); });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TreeFlatTransaction);
+
+void BM_SubmitEvaluateRoundTrip(benchmark::State& state) {
+  Runtime rt(Config{.pool_threads = 2});
+  VBox<long> box(1);
+  for (auto _ : state) {
+    const long v = txf::core::atomically(rt, [&](TxCtx& ctx) {
+      auto f = ctx.submit([&](TxCtx& c) { return box.get(c); });
+      return f.get(ctx);
+    });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SubmitEvaluateRoundTrip);
+
+void BM_SubmitNFutures(benchmark::State& state) {
+  Runtime rt(Config{.pool_threads = 2});
+  VBox<long> box(1);
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const long v = txf::core::atomically(rt, [&](TxCtx& ctx) {
+      std::vector<txf::core::TxFuture<long>> fs;
+      fs.reserve(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        fs.push_back(ctx.submit([&](TxCtx& c) { return box.get(c); }));
+      long sum = 0;
+      for (auto& f : fs) sum += f.get(ctx);
+      return sum;
+    });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_SubmitNFutures)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_TxMapGet(benchmark::State& state) {
+  Runtime rt(Config{.pool_threads = 1});
+  txf::containers::TxMap map(1024);
+  txf::core::atomically(rt, [&](TxCtx& ctx) {
+    for (std::uint64_t k = 0; k < 512; ++k) map.put(ctx, k, k);
+  });
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    const auto v = txf::core::atomically(rt, [&](TxCtx& ctx) {
+      return map.get(ctx, (k++) % 512).value_or(0);
+    });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_TxMapGet);
+
+void BM_CommitQueueThroughput(benchmark::State& state) {
+  // Shared across benchmark threads (multi-threaded registration below).
+  static StmEnv env;
+  static VBox<long> box(0);
+  long v = 0;
+  for (auto _ : state) {
+    Transaction tx(env);
+    box.put(tx, ++v);
+    tx.try_commit();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CommitQueueThroughput)->Threads(1)->Threads(2)->Threads(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// TxList: a sorted transactional linked list (the classic STM "IntSet"
+// structure used since DSTM/TL2 to benchmark transactional data access).
+//
+// Nodes are arena-owned; links are VBoxes, so traversal reads and splice
+// writes are plain transactional operations and conflict detection falls
+// out of read-set validation (a racing insert/remove at the splice point
+// invalidates the traversal read). Removed nodes stay in the arena — their
+// versions may still be readable by older snapshots — mirroring the table
+// containers' no-physical-reclaim policy (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+
+#include "stm/vbox.hpp"
+
+namespace txf::containers {
+
+class TxList {
+ public:
+  using Key = std::int64_t;
+
+  TxList() {
+    // Sentinels simplify the splice logic: head < everything < tail.
+    head_ = alloc_node(std::numeric_limits<Key>::min());
+    Node* tail = alloc_node(std::numeric_limits<Key>::max());
+    head_->next.unsafe_init(tail);
+  }
+
+  TxList(const TxList&) = delete;
+  TxList& operator=(const TxList&) = delete;
+
+  /// Insert `key`; returns false if already present.
+  template <typename Ctx>
+  bool insert(Ctx& ctx, Key key) {
+    auto [prev, curr] = locate(ctx, key);
+    if (curr->key == key) return false;
+    Node* node = alloc_node(key);
+    node->next.put(ctx, curr);
+    prev->next.put(ctx, node);
+    size_.put(ctx, size_.get(ctx) + 1);
+    return true;
+  }
+
+  /// Remove `key`; returns false if absent.
+  template <typename Ctx>
+  bool erase(Ctx& ctx, Key key) {
+    auto [prev, curr] = locate(ctx, key);
+    if (curr->key != key) return false;
+    prev->next.put(ctx, curr->next.get(ctx));
+    size_.put(ctx, size_.get(ctx) - 1);
+    return true;
+  }
+
+  template <typename Ctx>
+  bool contains(Ctx& ctx, Key key) const {
+    auto [prev, curr] = locate(ctx, key);
+    (void)prev;
+    return curr->key == key;
+  }
+
+  template <typename Ctx>
+  long size(Ctx& ctx) const {
+    return size_.get(ctx);
+  }
+
+  /// Sum of all keys (a long read transaction over the whole list).
+  template <typename Ctx>
+  long sum(Ctx& ctx) const {
+    long total = 0;
+    Node* curr = head_->next.get(ctx);
+    while (curr->key != std::numeric_limits<Key>::max()) {
+      total += curr->key;
+      curr = curr->next.get(ctx);
+    }
+    return total;
+  }
+
+  /// Sorted-order check (test invariant; transactional full scan).
+  template <typename Ctx>
+  bool is_sorted(Ctx& ctx) const {
+    Key last = std::numeric_limits<Key>::min();
+    Node* curr = head_->next.get(ctx);
+    while (curr->key != std::numeric_limits<Key>::max()) {
+      if (curr->key <= last) return false;
+      last = curr->key;
+      curr = curr->next.get(ctx);
+    }
+    return true;
+  }
+
+ private:
+  struct Node {
+    Key key = 0;
+    stm::VBox<Node*> next{nullptr};
+  };
+
+  Node* alloc_node(Key key) {
+    std::lock_guard<std::mutex> lock(arena_mutex_);
+    arena_.emplace_back();
+    Node& n = arena_.back();
+    n.key = key;
+    return &n;
+  }
+
+  /// Find (prev, curr) with prev->key < key <= curr->key.
+  template <typename Ctx>
+  std::pair<Node*, Node*> locate(Ctx& ctx, Key key) const {
+    Node* prev = head_;
+    Node* curr = head_->next.get(ctx);
+    while (curr->key < key) {
+      prev = curr;
+      curr = curr->next.get(ctx);
+    }
+    return {prev, curr};
+  }
+
+  Node* head_;
+  mutable stm::VBox<long> size_{0L};
+  mutable std::mutex arena_mutex_;
+  std::deque<Node> arena_;
+};
+
+}  // namespace txf::containers

@@ -1,0 +1,170 @@
+// TxMap: a fixed-capacity transactional hash map over VBoxes.
+//
+// Open addressing with linear probing; each slot is a (key, value) pair of
+// versioned boxes, so lookups, inserts, updates and removals are plain
+// transactional reads/writes — the STM provides isolation, and racing
+// inserts to the same slot are resolved by read-set validation (the claimer
+// read the slot as empty; a concurrent claim invalidates that read).
+//
+// Design notes (DESIGN.md §6): capacity is fixed at construction like a
+// database heap — the paper's workloads (Vacation tables, TPC-C relations)
+// size their tables up front and rows are never physically reclaimed while
+// the table lives, which avoids unbounded version-chain garbage without a
+// tracing GC. Values are 64-bit words: either scalars or pointers to rows
+// whose mutable fields are themselves VBoxes.
+//
+// All methods are usable from any transactional context type `Ctx` that
+// provides `Word read(VBoxImpl&)` / `void write(VBoxImpl&, Word)` — both
+// flat stm::Transaction and core::TxCtx qualify.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "stm/vbox.hpp"
+
+namespace txf::containers {
+
+class TxMap {
+ public:
+  using Key = std::uint64_t;
+  using Value = stm::Word;
+
+  /// `capacity_hint` is rounded up to a power of two; the map holds at most
+  /// ~85% of that many keys (throws TxMapFull beyond).
+  explicit TxMap(std::size_t capacity_hint) {
+    std::size_t cap = 16;
+    while (cap < capacity_hint + capacity_hint / 4) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    max_load_ = cap - cap / 8;
+  }
+
+  struct TxMapFull : std::runtime_error {
+    TxMapFull() : std::runtime_error("TxMap capacity exceeded") {}
+  };
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Look up `key`; returns the value or nullopt.
+  template <typename Ctx>
+  std::optional<Value> get(Ctx& ctx, Key key) const {
+    const Key stored = encode(key);
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      const Key k = ctx.read(slots_[i].key.impl());
+      if (k == kEmpty) return std::nullopt;
+      if (k == stored) {
+        const Value v = ctx.read(slots_[i].value.impl());
+        if (v == kTombstone) return std::nullopt;
+        return v;
+      }
+    }
+  }
+
+  template <typename Ctx>
+  bool contains(Ctx& ctx, Key key) const {
+    return get(ctx, key).has_value();
+  }
+
+  /// Insert or update. Returns true if the key was newly inserted.
+  template <typename Ctx>
+  bool put(Ctx& ctx, Key key, Value value) {
+    assert(value != kTombstone && "reserved sentinel value");
+    const Key stored = encode(key);
+    std::size_t probes = 0;
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      if (++probes > max_load_) throw TxMapFull{};
+      const Key k = ctx.read(slots_[i].key.impl());
+      if (k == kEmpty) {
+        // Claim the slot. The read above is in the read set, so two
+        // transactions claiming the same slot conflict and one retries.
+        ctx.write(slots_[i].key.impl(), stored);
+        ctx.write(slots_[i].value.impl(), value);
+        return true;
+      }
+      if (k == stored) {
+        const bool was_dead = ctx.read(slots_[i].value.impl()) == kTombstone;
+        ctx.write(slots_[i].value.impl(), value);
+        return was_dead;
+      }
+    }
+  }
+
+  /// Remove a key. Returns true if it was present. The slot's key stays
+  /// claimed (standard tombstone scheme for open addressing).
+  template <typename Ctx>
+  bool erase(Ctx& ctx, Key key) {
+    const Key stored = encode(key);
+    for (std::size_t i = index_of(key);; i = (i + 1) & mask_) {
+      const Key k = ctx.read(slots_[i].key.impl());
+      if (k == kEmpty) return false;
+      if (k == stored) {
+        if (ctx.read(slots_[i].value.impl()) == kTombstone) return false;
+        ctx.write(slots_[i].value.impl(), kTombstone);
+        return true;
+      }
+    }
+  }
+
+  /// Visit every live (key, value) pair in slot order. This is the "long
+  /// read cycle" primitive the paper parallelizes via futures; use
+  /// scan_range to split the table across futures.
+  template <typename Ctx, typename Fn>
+  void for_each(Ctx& ctx, Fn&& fn) const {
+    scan_range(ctx, 0, capacity(), std::forward<Fn>(fn));
+  }
+
+  /// Visit live pairs with slot index in [begin, end).
+  template <typename Ctx, typename Fn>
+  void scan_range(Ctx& ctx, std::size_t begin, std::size_t end,
+                  Fn&& fn) const {
+    for (std::size_t i = begin; i < end && i < capacity(); ++i) {
+      const Key k = ctx.read(slots_[i].key.impl());
+      if (k == kEmpty) continue;
+      const Value v = ctx.read(slots_[i].value.impl());
+      if (v == kTombstone) continue;
+      fn(decode(k), v);
+    }
+  }
+
+  /// Number of live keys (transactional full scan — O(capacity)).
+  template <typename Ctx>
+  std::size_t size(Ctx& ctx) const {
+    std::size_t n = 0;
+    for_each(ctx, [&](Key, Value) { ++n; });
+    return n;
+  }
+
+ private:
+  static constexpr Key kEmpty = 0;
+  static constexpr Value kTombstone = ~Value{0};
+
+  struct Slot {
+    stm::VBox<Key> key{kEmpty};
+    stm::VBox<Value> value{0};
+  };
+
+  static Key encode(Key key) {
+    assert(key != ~Key{0} && "key sentinel reserved");
+    return key + 1;  // shift so 0 can mean "empty"
+  }
+  static Key decode(Key stored) { return stored - 1; }
+
+  std::size_t index_of(Key key) const noexcept {
+    std::uint64_t h = key + 1;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  std::size_t mask_;
+  std::size_t max_load_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace txf::containers

@@ -1,0 +1,78 @@
+// TxQueue: a fixed-capacity transactional FIFO ring buffer.
+//
+// push/pop are plain transactional operations, so a producer's push and a
+// consumer's pop compose with arbitrary other transactional work and
+// commit atomically with it. Combined with blocking retry
+// (core::retry_now / atomically's wait-on-conflict), this gives the
+// classic STM bounded channel.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "stm/vbox.hpp"
+
+namespace txf::containers {
+
+template <typename T>
+class TxQueue {
+ public:
+  explicit TxQueue(std::size_t capacity) : capacity_(capacity) {
+    for (std::size_t i = 0; i < capacity; ++i) cells_.emplace_back(T{});
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  template <typename Ctx>
+  long size(Ctx& ctx) const {
+    return tail_.get(ctx) - head_.get(ctx);
+  }
+
+  template <typename Ctx>
+  bool empty(Ctx& ctx) const {
+    return size(ctx) == 0;
+  }
+
+  template <typename Ctx>
+  bool full(Ctx& ctx) const {
+    return static_cast<std::size_t>(size(ctx)) == capacity_;
+  }
+
+  /// Append; returns false when full (use try-push + retry for blocking).
+  template <typename Ctx>
+  bool try_push(Ctx& ctx, const T& value) {
+    const long t = tail_.get(ctx);
+    if (static_cast<std::size_t>(t - head_.get(ctx)) == capacity_)
+      return false;
+    cells_[static_cast<std::size_t>(t) % capacity_].put(ctx, value);
+    tail_.put(ctx, t + 1);
+    return true;
+  }
+
+  /// Pop the oldest element, or nullopt when empty.
+  template <typename Ctx>
+  std::optional<T> try_pop(Ctx& ctx) {
+    const long h = head_.get(ctx);
+    if (tail_.get(ctx) == h) return std::nullopt;
+    const T v = cells_[static_cast<std::size_t>(h) % capacity_].get(ctx);
+    head_.put(ctx, h + 1);
+    return v;
+  }
+
+  /// Read the oldest element without consuming it.
+  template <typename Ctx>
+  std::optional<T> peek(Ctx& ctx) const {
+    const long h = head_.get(ctx);
+    if (tail_.get(ctx) == h) return std::nullopt;
+    return cells_[static_cast<std::size_t>(h) % capacity_].get(ctx);
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::deque<stm::VBox<T>> cells_;
+  mutable stm::VBox<long> head_{0L};
+  mutable stm::VBox<long> tail_{0L};
+};
+
+}  // namespace txf::containers

@@ -1,0 +1,73 @@
+// TxVector: fixed-capacity transactional array of small values, plus a
+// transactional size for stack/append usage.
+//
+// Element type T must satisfy the VBox constraints (trivially copyable,
+// <= 8 bytes). Like TxMap, capacity is fixed at construction (DESIGN.md §6).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+#include "stm/vbox.hpp"
+
+namespace txf::containers {
+
+template <typename T>
+class TxVector {
+ public:
+  explicit TxVector(std::size_t capacity, const T& fill = T{}) : size_(0L) {
+    for (std::size_t i = 0; i < capacity; ++i) cells_.emplace_back(fill);
+  }
+
+  struct TxVectorFull : std::runtime_error {
+    TxVectorFull() : std::runtime_error("TxVector capacity exceeded") {}
+  };
+
+  std::size_t capacity() const noexcept { return cells_.size(); }
+
+  template <typename Ctx>
+  T at(Ctx& ctx, std::size_t i) const {
+    assert(i < cells_.size());
+    return cells_[i].get(ctx);
+  }
+
+  template <typename Ctx>
+  void set(Ctx& ctx, std::size_t i, const T& v) {
+    assert(i < cells_.size());
+    cells_[i].put(ctx, v);
+  }
+
+  template <typename Ctx>
+  long size(Ctx& ctx) const {
+    return size_.get(ctx);
+  }
+
+  template <typename Ctx>
+  void push_back(Ctx& ctx, const T& v) {
+    const long n = size_.get(ctx);
+    if (static_cast<std::size_t>(n) >= cells_.size()) throw TxVectorFull{};
+    cells_[static_cast<std::size_t>(n)].put(ctx, v);
+    size_.put(ctx, n + 1);
+  }
+
+  template <typename Ctx>
+  T pop_back(Ctx& ctx) {
+    const long n = size_.get(ctx);
+    assert(n > 0);
+    const T v = cells_[static_cast<std::size_t>(n - 1)].get(ctx);
+    size_.put(ctx, n - 1);
+    return v;
+  }
+
+  /// Non-transactional: committed element (tests / post-run inspection).
+  T peek(std::size_t i) const { return cells_[i].peek_committed(); }
+  long peek_size() const { return size_.peek_committed(); }
+
+ private:
+  mutable std::deque<stm::VBox<T>> cells_;
+  mutable stm::VBox<long> size_;
+};
+
+}  // namespace txf::containers

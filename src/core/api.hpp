@@ -1,0 +1,346 @@
+// Public programming interface of txfutures.
+//
+//   txf::core::Runtime rt;
+//   txf::stm::VBox<long> balance(100);
+//
+//   long seen = txf::core::atomically(rt, [&](txf::core::TxCtx& ctx) {
+//     auto audit = ctx.submit([&](txf::core::TxCtx& inner) {
+//       return balance.get(inner);          // runs as a transactional future
+//     });
+//     balance.put(ctx, balance.get(ctx) - 10);  // continuation, in parallel
+//     return audit.get(ctx);                // evaluate: serialized BEFORE
+//   });                                     // the withdrawal (strong order)
+//
+// `atomically` runs the body as a top-level transaction; `TxCtx::submit`
+// spawns a transactional future and switches the caller into the
+// continuation sub-transaction; `TxFuture<T>::get` blocks until the future
+// has committed (strong ordering semantics, paper §II).
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "core/runtime.hpp"
+#include "core/tx_tree.hpp"
+#include "stm/vbox.hpp"
+#include "util/backoff.hpp"
+
+namespace txf::core {
+
+template <typename T>
+class TxFuture;
+
+/// Handle to the current sub-transactional context. Passed by reference to
+/// transaction bodies; after a submit() the same object denotes the
+/// continuation sub-transaction.
+class TxCtx {
+ public:
+  TxCtx(TxTree& tree, SubTxn* node) : tree_(&tree), node_(node) {}
+
+  TxCtx(const TxCtx&) = delete;
+  TxCtx& operator=(const TxCtx&) = delete;
+
+  /// Transactional read of a box (use VBox<T>::get for typed access).
+  stm::Word read(stm::VBoxImpl& box) { return tree_->read(*node_, box); }
+
+  /// Transactional write (use VBox<T>::put for typed access).
+  void write(stm::VBoxImpl& box, stm::Word value) {
+    tree_->write(*node_, box, value);
+  }
+
+  /// Submit `fn` as a transactional future. `fn` is invoked as
+  /// `fn(TxCtx&)` on a pool thread inside a child sub-transaction; the
+  /// calling context becomes the continuation sibling. The future is
+  /// serialized at this point — before everything the continuation does.
+  template <typename F>
+  auto submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>>;
+
+  /// Cooperative cancellation / restart check; called implicitly by every
+  /// transactional operation, exposed for long CPU-only loops.
+  void poll() { tree_->check_alive(*node_); }
+
+  TxTree& tree() noexcept { return *tree_; }
+  SubTxn* node() noexcept { return node_; }
+  Runtime& runtime() noexcept { return tree_->runtime(); }
+
+ private:
+  template <typename T>
+  friend class TxFuture;
+
+  TxTree* tree_;
+  SubTxn* node_;
+};
+
+/// Error reported when evaluating a future whose owning transaction was
+/// torn down before the future ever committed (e.g. the tree restarted and
+/// the handle was issued by a discarded execution).
+struct StaleFuture : std::exception {
+  const char* what() const noexcept override {
+    return "transactional future abandoned by an aborted transaction";
+  }
+};
+
+/// Composable blocking retry (Haskell-STM style): thrown by retry_now();
+/// atomically() aborts the attempt, blocks until some transaction commits
+/// (the global clock moves past this attempt's snapshot), and re-runs the
+/// body. Use when the body discovers a precondition that only another
+/// transaction can establish (queue non-empty, balance sufficient, ...).
+struct BlockingRetry {};
+
+/// Abort the current attempt and wait for the transactional state to
+/// change before re-running. Valid anywhere inside an atomically() body,
+/// including future code (the whole transaction waits).
+[[noreturn]] inline void retry_now(TxCtx& ctx) {
+  (void)ctx;  // requires a transactional context by signature
+  throw BlockingRetry{};
+}
+
+template <typename T>
+class TxFuture {
+ public:
+  TxFuture() = default;
+
+  /// Handle that does not own the result state (the transaction tree
+  /// does). Used in partial-rollback mode, where handles must be safe to
+  /// duplicate bitwise across FCC stack restores; such handles must not
+  /// outlive the atomically() call that produced them.
+  static TxFuture non_owning(TxFutureState<T>* state) {
+    TxFuture f;
+    f.raw_ = state;
+    return f;
+  }
+
+  /// Evaluate from inside a transactional context: helps the pool while
+  /// waiting and unwinds if the caller's own tree fails. The paper's
+  /// evaluation semantics — blocks until the future's sub-transaction has
+  /// committed.
+  T get(TxCtx& ctx) const {
+    auto& pool = ctx.runtime().pool();
+    const bool ok = ptr()->wait_ready([&] {
+      ctx.poll();
+      pool.try_run_one();
+    });
+    if (!ok) {
+      // If it is our own tree that failed, unwind with the retry protocol;
+      // only a foreign tree's abandonment makes the handle stale.
+      ctx.poll();
+      throw StaleFuture{};
+    }
+    return ptr()->value();
+  }
+
+  /// Evaluate from outside any transaction (Fig. 2 usage: the handle can be
+  /// shipped to other threads). Purely blocking.
+  T get() const {
+    if (!ptr()->wait_ready([] {})) throw StaleFuture{};
+    return ptr()->value();
+  }
+
+  /// Non-blocking: has the future committed?
+  bool ready() const { return ptr()->ready(); }
+
+  bool valid() const noexcept { return state_ != nullptr || raw_ != nullptr; }
+
+ private:
+  friend class TxCtx;
+  explicit TxFuture(std::shared_ptr<TxFutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  TxFutureState<T>* ptr() const {
+    TxFutureState<T>* p = raw_ != nullptr ? raw_ : state_.get();
+    if (p == nullptr)
+      throw std::logic_error("TxFuture: no associated state (default-"
+                             "constructed or moved-from handle)");
+    return p;
+  }
+
+  std::shared_ptr<TxFutureState<T>> state_;
+  TxFutureState<T>* raw_ = nullptr;
+};
+
+template <typename F>
+auto TxCtx::submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
+  using R = std::invoke_result_t<F&, TxCtx&>;
+  auto state = std::make_shared<TxFutureState<R>>();
+  if (tree_->serial()) {
+    // Serial fallback: run the future synchronously at the submit point in
+    // the current context — by definition the sequential execution that
+    // strong ordering makes parallel runs equivalent to.
+    if constexpr (std::is_void_v<R>) {
+      fn(*this);
+      state->stage();
+    } else {
+      state->stage(fn(*this));
+    }
+    state->publish();
+    return TxFuture<R>(std::move(state));
+  }
+  auto body = std::make_shared<std::decay_t<F>>(std::forward<F>(fn));
+  TxTree* tree = tree_;
+  auto runner = std::make_shared<NodeRunner>(
+      [tree, state, body](std::uint32_t node_idx) {
+        // The inner callable captures by VALUE: in partial-rollback mode it
+        // is moved into fiber-stable storage and its captures are read
+        // again on FCC-replayed paths, after this frame is gone.
+        tree->run_future_body(node_idx, [tree, state,
+                                         body](SubTxn& start) -> SubTxn* {
+          TxCtx inner(*tree, &start);
+          try {
+            if constexpr (std::is_void_v<R>) {
+              (*body)(inner);
+              state->stage();
+            } else {
+              state->stage((*body)(inner));
+            }
+          } catch (const TreeFailed&) {
+            throw;
+          } catch (const NodeCancelled&) {
+            throw;
+          } catch (...) {
+            // User exception in a future: abort the transaction and let it
+            // resurface from atomically() — the sequential equivalent.
+            tree->fail_with_user_exception(std::current_exception());
+            throw TreeFailed{TreeFailed::Reason::kUserException};
+          }
+          return inner.node();  // innermost continuation if `fn` submitted
+        });
+      });
+  if (tree_->partial_rollback()) {
+    // Partial-rollback mode: the state is owned by the tree and the handle
+    // is non-owning (bitwise-safe across FCC restores). All owning locals
+    // are surrendered *before* the checkpoint inside the call below, so a
+    // restored stack only re-destroys empty handles.
+    auto* raw_state = state.get();
+    body.reset();  // the runner closure keeps body/state alive
+    const TxTree::SplitResult split = tree_->submit_split_checkpointed(
+        *node_, std::move(state), std::move(runner));
+    node_ = split.continuation;
+    return TxFuture<R>::non_owning(raw_state);
+  }
+  auto [future_node, cont_node] =
+      tree_->submit_split(*node_, state, std::move(runner));
+  (void)future_node;
+  node_ = cont_node;  // the caller continues as the continuation
+  return TxFuture<R>(std::move(state));
+}
+
+/// Run `fn(TxCtx&)` as a top-level transaction with transactional-future
+/// support, retrying on conflicts. Restarts triggered by inter-tree
+/// conflicts re-run in fallback mode (Alg. 1's ownedbyAnotherTree).
+namespace detail {
+/// Park until some read-write transaction commits after `snapshot`.
+/// Polling (escalating to 2 ms) rather than a condition variable keeps the
+/// commit hot path free of wakeup bookkeeping; a parked retry wakes at
+/// most ~500 times/s once the wait is long.
+inline void wait_for_clock_change(Runtime& rt, stm::Version snapshot) {
+  util::Backoff backoff;
+  std::chrono::microseconds nap(50);
+  int step = 0;
+  while (rt.env().clock().current() == snapshot) {
+    if (step < 16) {
+      backoff.pause();
+      ++step;
+      continue;
+    }
+    std::this_thread::sleep_for(nap);
+    if (nap < std::chrono::microseconds(2000)) nap *= 2;
+  }
+}
+}  // namespace detail
+
+template <typename F>
+auto atomically(Runtime& rt, F&& fn) {
+  using R = std::invoke_result_t<F&, TxCtx&>;
+  util::Backoff backoff;
+  bool fallback = false;
+  int continuation_conflicts = 0;
+  for (;;) {
+    util::EpochDomain::Guard guard(rt.env().epochs());
+    auto* tree = new TxTree(rt, fallback);
+    if (continuation_conflicts >= 2) {
+      // Repeated intra-tree conflicts: without FCC partial rollback a
+      // parallel re-run can keep missing the same write, so degrade to the
+      // (always convergent) sequential execution.
+      tree->set_serial();
+      rt.stats().serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    }
+    TxCtx ctx(*tree, tree->root());
+    const bool on_fiber = tree->partial_rollback();
+    try {
+      if constexpr (std::is_void_v<R>) {
+        if (on_fiber) {
+          // Partial-rollback mode: the body runs on a fiber so FCC
+          // checkpoints can rewind failed continuations. The wrapper's
+          // captures reference this frame, which outlives every replay.
+          tree->run_body_on_fiber([&fn, &ctx]() -> SubTxn* {
+            fn(ctx);
+            return ctx.node();
+          });
+        } else {
+          fn(ctx);
+          tree->node_finished(*ctx.node());
+        }
+        tree->wait_and_commit_top();
+        rt.env().epochs().retire(tree);
+        return;
+      } else if (on_fiber) {
+        // Fiber-hosted bodies assign the result on (possibly replayed)
+        // passes, so R must be default-constructible here; the default
+        // policy below keeps direct initialization and has no such
+        // requirement.
+        R result{};
+        tree->run_body_on_fiber([&fn, &ctx, &result]() -> SubTxn* {
+          result = fn(ctx);
+          return ctx.node();
+        });
+        tree->wait_and_commit_top();
+        rt.env().epochs().retire(tree);
+        return result;
+      } else {
+        R result = fn(ctx);
+        tree->node_finished(*ctx.node());
+        tree->wait_and_commit_top();
+        rt.env().epochs().retire(tree);
+        return result;
+      }
+    } catch (const BlockingRetry&) {
+      // retry_now() from the body thread: wait for the world to change.
+      const stm::Version snapshot = tree->snapshot();
+      tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
+      rt.env().epochs().retire(tree);
+      detail::wait_for_clock_change(rt, snapshot);
+    } catch (const TreeFailed& tf) {
+      tree->abort_tree(tf.reason);
+      if (tf.reason == TreeFailed::Reason::kUserException) {
+        const stm::Version snapshot = tree->snapshot();
+        std::exception_ptr e = tree->user_exception();
+        rt.env().epochs().retire(tree);
+        try {
+          std::rethrow_exception(e);
+        } catch (const BlockingRetry&) {
+          // retry_now() inside a future body: same wait-and-rerun.
+          detail::wait_for_clock_change(rt, snapshot);
+          continue;
+        }
+        // Any other user exception propagates (rethrown above).
+      }
+      fallback = tf.reason == TreeFailed::Reason::kInterTreeConflict;
+      if (tf.reason == TreeFailed::Reason::kContinuationConflict)
+        ++continuation_conflicts;
+      rt.env().epochs().retire(tree);
+      backoff.pause();
+    } catch (...) {
+      // User exception: abort the transaction and propagate.
+      tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
+      rt.env().epochs().retire(tree);
+      throw;
+    }
+  }
+}
+
+}  // namespace txf::core

@@ -1,0 +1,92 @@
+#include "core/fcc.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace txf::core {
+
+namespace {
+// The fiber currently being entered on this thread; consumed by the
+// trampoline (makecontext cannot portably pass pointers).
+thread_local Fiber* t_entering = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::size_t stack_size)
+    : stack_(new char[stack_size]), stack_size_(stack_size) {}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline() {
+  Fiber* self = t_entering;
+  t_entering = nullptr;
+  self->entry_();
+  // Returning lets ucontext follow uc_link back to the host, which then
+  // marks the fiber finished (host-side, so a concurrent restore can never
+  // observe "finished" while the exit path still runs on this stack).
+}
+
+void Fiber::run(std::function<void()> fn) {
+  entry_ = std::move(fn);
+  finished_.store(false, std::memory_order_release);
+  getcontext(&fiber_ctx_);
+  fiber_ctx_.uc_stack.ss_sp = stack_.get();
+  fiber_ctx_.uc_stack.ss_size = stack_size_;
+  fiber_ctx_.uc_link = &host_ctx_;
+  makecontext(&fiber_ctx_, &Fiber::trampoline, 0);
+  t_entering = this;
+  swapcontext(&host_ctx_, &fiber_ctx_);
+  finished_.store(true, std::memory_order_release);
+}
+
+Checkpoint::CaptureResult Checkpoint::capture(Fiber& fiber) {
+  fiber_ = &fiber;
+  const std::uint64_t count_at_capture = restore_count_;
+  // Approximate the live stack pointer: everything from a margin below this
+  // frame up to the top of the fiber stack is what a restore must bring
+  // back. The margin must cover this whole frame (the compiler may place
+  // locals anywhere within it) plus the getcontext call frame; 4 KiB is
+  // far beyond any plausible layout and costs little per checkpoint.
+  constexpr std::ptrdiff_t kFrameSlack = 4096;
+  char probe;
+  char* sp = &probe - kFrameSlack;
+  if (sp < fiber.stack_base()) sp = fiber.stack_base();
+  assert(&probe > fiber.stack_base() && &probe < fiber.stack_top() &&
+         "Checkpoint::capture called outside the fiber");
+  getcontext(&regs_);
+  // Both the initial pass and every restored pass continue here. The
+  // restore count lives in *this (heap/host-owned), outside the saved
+  // stack, so it distinguishes the passes reliably.
+  if (restore_count_ != count_at_capture) {
+    return CaptureResult::kRestored;
+  }
+  stack_at_ = sp;
+  stack_copy_.assign(sp, fiber.stack_top());
+  return CaptureResult::kCaptured;
+}
+
+void Fiber::restore(Checkpoint& cp) {
+  assert(cp.fiber_ == this && "checkpoint belongs to another fiber");
+  // Wait until the previous host has fully exited the fiber: a restore
+  // request can be raised by the fiber's own final bookkeeping (the commit
+  // cascade runs inside the fiber in rollback mode), a moment before the
+  // exit path unwinds.
+  while (!finished_.load(std::memory_order_acquire)) {
+    cpu_relax_for_restore();
+  }
+  finished_.store(false, std::memory_order_release);
+  ++cp.restore_count_;
+  std::memcpy(cp.stack_at_, cp.stack_copy_.data(), cp.stack_copy_.size());
+  // Jump into the restored frame; uc_link in the original context still
+  // routes the final return through host_ctx_, which we re-arm here by
+  // being the swap target.
+  swapcontext(&host_ctx_, &cp.regs_);
+  finished_.store(true, std::memory_order_release);
+}
+
+void Fiber::cpu_relax_for_restore() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
+}  // namespace txf::core

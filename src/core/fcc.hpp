@@ -1,0 +1,105 @@
+// First-class continuation (FCC) support — the C++ analogue of the
+// OpenJDK HotSpot FCCs that JTF uses for partial rollback (paper §III).
+//
+// A Fiber runs a callable on its own stack (ucontext). From inside the
+// fiber, `Checkpoint::capture` reifies the control state: the CPU context
+// plus a copy of the live stack region. Restoring a checkpoint (from the
+// host side) rewrites the fiber stack and jumps back to the capture point,
+// which then reports kRestored — i.e. execution resumes "just after the
+// submit", exactly what Alg. 4's continuation abort needs.
+//
+// RESTRICTIONS (documented in DESIGN.md substitution 2, mirroring what FCC
+// rollback can and cannot undo in JTF): code between a checkpoint and a
+// potential restore must keep its *non-transactional* side effects
+// idempotent — heap containers must not grow across a checkpoint that can
+// be restored, and locals that live across it must be trivially copyable.
+// Transactional state (VBoxes) is rolled back by the TM itself.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace txf::core {
+
+class Fiber;
+
+/// A reified control state of a fiber: registers + live stack image.
+class Checkpoint {
+ public:
+  enum class CaptureResult { kCaptured, kRestored };
+
+  Checkpoint() = default;
+  Checkpoint(const Checkpoint&) = delete;
+  Checkpoint& operator=(const Checkpoint&) = delete;
+
+  /// Must be called from code running inside `fiber`. Returns kCaptured on
+  /// the initial pass and kRestored each time the checkpoint is restored.
+  CaptureResult capture(Fiber& fiber);
+
+  bool valid() const noexcept { return fiber_ != nullptr; }
+  Fiber* fiber() const noexcept { return fiber_; }
+  std::size_t stack_bytes() const noexcept { return stack_copy_.size(); }
+
+ private:
+  friend class Fiber;
+
+  ucontext_t regs_;
+  std::vector<char> stack_copy_;
+  char* stack_at_ = nullptr;  // where the copy belongs in the fiber stack
+  Fiber* fiber_ = nullptr;
+  // Lives outside the saved stack region, so the resumed pass can tell it
+  // is a resume. Incremented by restore().
+  std::uint64_t restore_count_ = 0;
+};
+
+/// A one-shot coroutine with manual checkpoint/restore.
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackSize = 256 * 1024;
+
+  explicit Fiber(std::size_t stack_size = kDefaultStackSize);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Run `fn` on the fiber stack to completion (or until it suspends via a
+  /// future extension; currently fibers run until return or restore).
+  /// Returns when the fiber function finished. Any thread may call it, but
+  /// only one at a time.
+  void run(std::function<void()> fn);
+
+  /// Rewrite the fiber stack from `cp` and re-enter it at the capture
+  /// point; returns when the fiber function finishes again. Must be called
+  /// from host code (never from inside this fiber). The calling thread
+  /// becomes the new host.
+  void restore(Checkpoint& cp);
+
+  bool finished() const noexcept {
+    return finished_.load(std::memory_order_acquire);
+  }
+
+  char* stack_base() const noexcept { return stack_.get(); }
+  char* stack_top() const noexcept { return stack_.get() + stack_size_; }
+  std::size_t stack_size() const noexcept { return stack_size_; }
+
+ private:
+  friend class Checkpoint;
+  static void trampoline();
+  static void cpu_relax_for_restore();
+
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_size_;
+  ucontext_t fiber_ctx_;
+  ucontext_t host_ctx_;
+  std::function<void()> entry_;
+  std::atomic<bool> finished_{true};
+};
+
+}  // namespace txf::core

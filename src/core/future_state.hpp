@@ -1,0 +1,119 @@
+// Result plumbing between a transactional future's sub-transaction and the
+// TxFuture<T> handles that evaluate it.
+//
+// Evaluation semantics (paper §III): get() blocks until the future's
+// sub-transaction *commits* (its whole subtree, under strong ordering), not
+// merely until the code ran. The handle is shareable across threads and
+// even across top-level transactions (Fig. 2); it outlives the tree, so the
+// committed value is copied out at publish time.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace txf::core {
+
+class TxFutureStateBase {
+ public:
+  virtual ~TxFutureStateBase() = default;
+
+  /// Called at subtree commit (under the tree's commit machinery): move the
+  /// staged result of the current execution into the visible slot.
+  void publish() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    move_staged_to_value();
+    ready_ = true;
+    cv_.notify_all();
+  }
+
+  /// Called when the execution that staged a value is rolled back.
+  void unpublish() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready_ = false;
+  }
+
+  /// Called when the owning tree aborts for good without this future
+  /// committing: wakes evaluators, which observe a stale handle.
+  void mark_failed() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ready_) failed_ = true;
+    cv_.notify_all();
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ready_;
+  }
+  bool failed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return failed_;
+  }
+
+  /// Block until published (returns true) or failed (returns false),
+  /// interleaving `help` (e.g. running pool tasks) so evaluation never
+  /// deadlocks a small thread pool. `help` may throw to unwind the waiter.
+  template <typename Help>
+  bool wait_ready(Help&& help) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (ready_) return true;
+        if (failed_) return false;
+        // Short timed wait: helping must get a chance even if no publish
+        // notification arrives (the work we would help with might be the
+        // very future we are waiting on).
+        cv_.wait_for(lock, std::chrono::microseconds(100),
+                     [&] { return ready_ || failed_; });
+        if (ready_) return true;
+        if (failed_) return false;
+      }
+      help();
+    }
+  }
+
+ protected:
+  virtual void move_staged_to_value() = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+  bool failed_ = false;
+};
+
+template <typename T>
+class TxFutureState final : public TxFutureStateBase {
+ public:
+  /// Called by the future's body wrapper on the executing thread, before
+  /// the sub-transaction commits. Not yet visible to evaluators.
+  void stage(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    staged_ = std::move(value);
+  }
+
+  T value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  void move_staged_to_value() override { value_ = std::move(staged_); }
+
+  T staged_{};
+  T value_{};
+};
+
+template <>
+class TxFutureState<void> final : public TxFutureStateBase {
+ public:
+  void stage() {}
+  void value() const {}
+
+ private:
+  void move_staged_to_value() override {}
+};
+
+}  // namespace txf::core

@@ -1,0 +1,78 @@
+// Ownership records and tentative versions (paper §III-A, Fig. 3b).
+//
+// Every sub-transaction owns one orec, created with it. A tentative version
+// (an entry of a VBox's tentative list, or of the tree-private store)
+// points at the orec of the sub-transaction that wrote it. When a
+// sub-transaction commits, ownership of all orecs it controls moves to its
+// parent, stamped with the parent's child-commit clock (nClock) — that pair
+// is what makes a version visible to later-started siblings (Fig. 4).
+//
+// The (owner, txTreeVer) pair is packed into one atomic word so readers see
+// a consistent snapshot without locks. The owner is identified by its index
+// in the tree's sub-transaction arena plus its depth; a reader T checks
+// "owner is an ancestor of T" purely against T's own root path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/versions.hpp"
+
+namespace txf::core {
+
+class TxTree;
+
+enum class SubTxnStatus : std::uint8_t {
+  kRunning,    // executing user code
+  kFinished,   // code done (or halted at a submit point), not yet committed
+  kCommitted,  // whole subtree committed and propagated to the parent
+  kAborted,    // rolled back (validation failure / cascade / cancel)
+};
+
+/// Packed (owner index, owner depth, txTreeVer).
+struct Ownership {
+  static constexpr unsigned kIdxBits = 20;
+  static constexpr unsigned kDepthBits = 20;
+  static constexpr unsigned kVerBits = 24;
+
+  static std::uint64_t pack(std::uint32_t idx, std::uint32_t depth,
+                            std::uint32_t ver) noexcept {
+    return (static_cast<std::uint64_t>(idx) << (kDepthBits + kVerBits)) |
+           (static_cast<std::uint64_t>(depth) << kVerBits) | ver;
+  }
+  static std::uint32_t idx(std::uint64_t w) noexcept {
+    return static_cast<std::uint32_t>(w >> (kDepthBits + kVerBits));
+  }
+  static std::uint32_t depth(std::uint64_t w) noexcept {
+    return static_cast<std::uint32_t>(w >> kVerBits) &
+           ((1u << kDepthBits) - 1);
+  }
+  static std::uint32_t ver(std::uint64_t w) noexcept {
+    return static_cast<std::uint32_t>(w) & ((1u << kVerBits) - 1);
+  }
+};
+
+struct Orec {
+  TxTree* tree = nullptr;  // immutable: the tree this orec belongs to
+  std::atomic<std::uint64_t> ownership{0};
+  std::atomic<SubTxnStatus> status{SubTxnStatus::kRunning};
+
+  void set_ownership(std::uint32_t idx, std::uint32_t depth,
+                     std::uint32_t ver) noexcept {
+    ownership.store(Ownership::pack(idx, depth, ver),
+                    std::memory_order_release);
+  }
+};
+
+/// One tentative write. Lives in the tree's arena; `next` links either the
+/// in-VBox tentative list (eager mode) or a tree-private chain (lazy /
+/// fallback mode), always in descending strong-ordering position.
+struct TentativeVersion {
+  std::atomic<stm::Word> value;
+  Orec* orec;
+  std::atomic<TentativeVersion*> next{nullptr};
+
+  TentativeVersion(stm::Word v, Orec* o) noexcept : value(v), orec(o) {}
+};
+
+}  // namespace txf::core

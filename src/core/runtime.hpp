@@ -1,0 +1,55 @@
+// Runtime: the engine object binding the STM environment, the future
+// execution pool, configuration, and statistics. One per process is
+// typical; tests create private instances.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <memory>
+
+#include "core/config.hpp"
+#include "core/tx_tree.hpp"
+#include "sched/thread_pool.hpp"
+#include "stm/transaction.hpp"
+
+namespace txf::core {
+
+class Runtime {
+ public:
+  explicit Runtime(Config config = {})
+      : config_(config), pool_(config.pool_threads) {}
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const Config& config() const noexcept { return config_; }
+  stm::StmEnv& env() noexcept { return env_; }
+  sched::ThreadPool& pool() noexcept { return pool_; }
+  TxStats& stats() noexcept { return stats_; }
+
+  /// Dump the engine counters (for debugging and example epilogues).
+  void print_stats(std::FILE* out = stderr) const {
+    std::fprintf(
+        out,
+        "txfutures stats: commits=%llu top_aborts=%llu tree_restarts=%llu "
+        "fallback_restarts=%llu future_reexecs=%llu futures=%llu "
+        "ro_skips=%llu serial_fallbacks=%llu partial_rollbacks=%llu\n",
+        static_cast<unsigned long long>(stats_.top_commits.load()),
+        static_cast<unsigned long long>(stats_.top_aborts.load()),
+        static_cast<unsigned long long>(stats_.tree_restarts.load()),
+        static_cast<unsigned long long>(stats_.fallback_restarts.load()),
+        static_cast<unsigned long long>(stats_.future_reexecutions.load()),
+        static_cast<unsigned long long>(stats_.futures_submitted.load()),
+        static_cast<unsigned long long>(stats_.ro_validation_skips.load()),
+        static_cast<unsigned long long>(stats_.serial_fallbacks.load()),
+        static_cast<unsigned long long>(stats_.partial_rollbacks.load()));
+  }
+
+ private:
+  Config config_;
+  stm::StmEnv env_;
+  sched::ThreadPool pool_;
+  TxStats stats_;
+};
+
+}  // namespace txf::core

@@ -1,0 +1,929 @@
+#include "core/tx_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runtime.hpp"
+#include "stm/vbox.hpp"
+#include "util/backoff.hpp"
+
+namespace txf::core {
+
+namespace {
+
+/// Is the tree owning this orec done (committed or aborted at top level)?
+/// A tentative head owned by such a tree is a stale lock and may be stolen
+/// (Alg. 1 line 10: status != RUNNING).
+bool tree_inactive(const Orec& orec) noexcept {
+  return orec.tree->status() != TxTree::TreeStatus::kActive;
+}
+
+/// The fiber hosting the transactional body currently running on this
+/// thread (partial-rollback mode only).
+thread_local Fiber* t_current_fiber = nullptr;
+
+}  // namespace
+
+TxTree::TxTree(Runtime& runtime, bool fallback)
+    : runtime_(runtime), env_(runtime.env()) {
+  fallback_.store(fallback || runtime.config().write_mode == WriteMode::kLazy,
+                  std::memory_order_relaxed);
+  const std::size_t hint =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  registry_slot_ = env_.registry().claim(hint);
+  // Publish-then-verify snapshot acquisition (same rationale as flat
+  // transactions: the GC must never trim a version we can still read).
+  for (;;) {
+    const stm::Version s = env_.clock().current();
+    if (registry_slot_ != stm::ActiveTxnRegistry::kNoSlot)
+      env_.registry().slot(registry_slot_).publish(s);
+    if (env_.clock().current() == s ||
+        registry_slot_ == stm::ActiveTxnRegistry::kNoSlot) {
+      snapshot_ = s;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  SubTxn& root = new_node_locked(kNoNode, SubTxnKind::kRoot);
+  root_ = root.idx;
+}
+
+TxTree::~TxTree() { release_registry(); }
+
+void TxTree::release_registry() {
+  if (registry_released_.exchange(true, std::memory_order_acq_rel)) return;
+  if (registry_slot_ != stm::ActiveTxnRegistry::kNoSlot) {
+    env_.registry().release(registry_slot_);
+  } else {
+    env_.registry().release_unregistered();
+  }
+}
+
+std::size_t TxTree::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return subs_.size();
+}
+
+SubTxn& TxTree::new_node_locked(std::uint32_t parent, SubTxnKind kind) {
+  subs_.emplace_back();
+  SubTxn& n = subs_.back();
+  n.idx = static_cast<std::uint32_t>(subs_.size() - 1);
+  n.parent = parent;
+  n.kind = kind;
+  n.orec.tree = this;
+  if (parent == kNoNode) {
+    n.depth = 0;
+    n.path = {n.idx};
+    n.path_nodes = {&n};
+    n.path_kinds = {kind};
+    n.anc_clocks = {0};
+  } else {
+    SubTxn& p = node(parent);
+    n.depth = p.depth + 1;
+    n.path = p.path;
+    n.path.push_back(n.idx);
+    n.path_nodes = p.path_nodes;
+    n.path_nodes.push_back(&n);
+    n.path_kinds = p.path_kinds;
+    n.path_kinds.push_back(kind);
+    // ancVer: the parent's map extended with the parent's current nClock
+    // (paper §III-A). The parent's own placeholder is replaced.
+    n.anc_clocks = p.anc_clocks;
+    n.anc_clocks[p.depth] = p.nclock.load(std::memory_order_acquire);
+    n.anc_clocks.push_back(0);
+  }
+  n.orec.set_ownership(n.idx, n.depth, 0);
+  n.orec.status.store(SubTxnStatus::kRunning, std::memory_order_release);
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Data path
+// --------------------------------------------------------------------------
+
+void TxTree::check_alive(SubTxn& t) {
+  if (failed_.load(std::memory_order_acquire)) throw TreeFailed{fail_reason_};
+  if (t.orec.status.load(std::memory_order_acquire) == SubTxnStatus::kAborted)
+    throw NodeCancelled{};
+  // Lazy ancVer refresh: until this sub-transaction touches any data, its
+  // visibility snapshot can be safely widened to the ancestors' current
+  // nClocks. This lets the very common submit → get → read pattern observe
+  // the evaluated future's writes directly instead of aborting the
+  // continuation (which, without FCCs, would restart the whole tree).
+  if (t.kind != SubTxnKind::kRoot && t.reads.empty() &&
+      t.written_boxes.empty()) {
+    // Double-scan for a consistent cut of the ancestors' clocks (tree
+    // commits are serialized, so this stabilizes immediately).
+    for (;;) {
+      bool stable = true;
+      for (std::uint32_t j = 0; j < t.depth; ++j) {
+        const std::uint32_t c =
+            t.path_nodes[j]->nclock.load(std::memory_order_acquire);
+        if (t.anc_clocks[j] != c) {
+          t.anc_clocks[j] = c;
+          stable = false;
+        }
+      }
+      if (stable) break;
+    }
+  }
+}
+
+bool TxTree::tentative_visible(const SubTxn& t, const TentativeVersion& v,
+                               bool now, bool exclude_self) const {
+  if (v.orec->status.load(std::memory_order_acquire) ==
+      SubTxnStatus::kAborted) {
+    return false;
+  }
+  const std::uint64_t w = v.orec->ownership.load(std::memory_order_acquire);
+  const std::uint32_t idx = Ownership::idx(w);
+  if (idx == t.idx) return !exclude_self;  // own write (current incarnation
+                                           // only: re-executions get a fresh
+                                           // node index)
+  const std::uint32_t dep = Ownership::depth(w);
+  if (dep < t.depth && t.path[dep] == idx) {
+    // Owned by an ancestor: visible if the commit that moved it there was
+    // already witnessed when t started (ancVer check, Alg. 2 lines 13-19),
+    // or unconditionally during validation ("serialize as of now").
+    return now || Ownership::ver(w) <= t.anc_clocks[dep];
+  }
+  return false;
+}
+
+TxTree::Resolved TxTree::resolve(const SubTxn& t, stm::VBoxImpl& box,
+                                 bool now, bool exclude_self) const {
+  // 1. Tree-private tentative chain (fallback / lazy mode).
+  if (uses_private_.load(std::memory_order_acquire)) {
+    TentativeVersion* v = private_head(box);
+    for (; v != nullptr; v = v->next.load(std::memory_order_acquire)) {
+      if (tentative_visible(t, *v, now, exclude_self))
+        return {v->value.load(std::memory_order_acquire), v,
+                ReadProvenance::kTentative};
+    }
+  }
+  // 2. In-box tentative list — only meaningful if our tree holds it.
+  TentativeVersion* h = box.tentative_head();
+  if (h != nullptr && h->orec->tree == this) {
+    for (TentativeVersion* v = h; v != nullptr;
+         v = v->next.load(std::memory_order_acquire)) {
+      if (v->orec->tree == this && tentative_visible(t, *v, now, exclude_self))
+        return {v->value.load(std::memory_order_acquire), v,
+                ReadProvenance::kTentative};
+    }
+  }
+  // 3. Top-level transaction's private write set (Alg. 2 lines 21-22).
+  if (const stm::Word* w = root_write_set_.find(&box))
+    return {*w, nullptr, ReadProvenance::kRootWriteSet};
+  // 4. Committed snapshot.
+  const stm::PermanentVersion* p = box.read_permanent(snapshot_);
+  assert(p != nullptr && "VBox older than this transaction's snapshot");
+  return {p->value, p, ReadProvenance::kPermanent};
+}
+
+stm::Word TxTree::read(SubTxn& t, stm::VBoxImpl& box) {
+  check_alive(t);
+  const Resolved r = resolve(t, box, /*now=*/false);
+  t.reads.push_back(ReadEntry{&box, r.provenance, r.kind});
+  return r.value;
+}
+
+TentativeVersion* TxTree::alloc_tentative(SubTxn& t, stm::Word value) {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  tentative_arena_.emplace_back(value, &t.orec);
+  return &tentative_arena_.back();
+}
+
+TentativeVersion* TxTree::private_head(stm::VBoxImpl& box) const {
+  std::scoped_lock lock(private_lock_);
+  const stm::Word* w = private_store_.find(&box);
+  return w == nullptr
+             ? nullptr
+             : reinterpret_cast<TentativeVersion*>(static_cast<uintptr_t>(*w));
+}
+
+void TxTree::insert_sorted(SubTxn& t,
+                           std::atomic<TentativeVersion*>& head_slot,
+                           TentativeVersion* v) {
+  // mutex_ held: arena indexing and list mutation are serialized; readers
+  // traverse lock-free, so stores publish with release ordering.
+  TentativeVersion* prev = nullptr;
+  TentativeVersion* cur = head_slot.load(std::memory_order_acquire);
+  while (cur != nullptr) {
+    const std::uint64_t w = cur->orec->ownership.load(std::memory_order_acquire);
+    const SubTxn& owner = node(Ownership::idx(w));
+    // Keep descending strong order: insert before the first version whose
+    // writer we follow.
+    if (follows(t.path, t.path_kinds, owner.path)) break;
+    prev = cur;
+    cur = cur->next.load(std::memory_order_acquire);
+  }
+  v->next.store(cur, std::memory_order_release);
+  if (prev == nullptr) {
+    head_slot.store(v, std::memory_order_release);
+  } else {
+    prev->next.store(v, std::memory_order_release);
+  }
+}
+
+void TxTree::write_private(SubTxn& t, stm::VBoxImpl& box, stm::Word value) {
+  uses_private_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Overwrite an existing version of ours, if any.
+  {
+    std::scoped_lock plock(private_lock_);
+    const stm::Word* w = private_store_.find(&box);
+    TentativeVersion* head =
+        w ? reinterpret_cast<TentativeVersion*>(static_cast<uintptr_t>(*w))
+          : nullptr;
+    for (TentativeVersion* v = head; v != nullptr;
+         v = v->next.load(std::memory_order_acquire)) {
+      const std::uint64_t ow = v->orec->ownership.load(std::memory_order_acquire);
+      if (Ownership::idx(ow) == t.idx &&
+          v->orec->status.load(std::memory_order_acquire) !=
+              SubTxnStatus::kAborted) {
+        v->value.store(value, std::memory_order_release);
+        return;
+      }
+    }
+    // Insert a fresh version sorted into the chain; rewire the map head.
+    TentativeVersion* n = alloc_tentative(t, value);
+    std::atomic<TentativeVersion*> slot{head};
+    insert_sorted(t, slot, n);
+    private_store_.put(&box,
+                       static_cast<stm::Word>(reinterpret_cast<uintptr_t>(
+                           slot.load(std::memory_order_relaxed))));
+  }
+  t.written_boxes.push_back(&box);
+}
+
+void TxTree::write_eager(SubTxn& t, stm::VBoxImpl& box, stm::Word value) {
+  util::Backoff backoff;
+  for (;;) {
+    TentativeVersion* h = box.tentative_head();
+    if (h != nullptr && h->orec->tree == this) {
+      // Fast path (Alg. 1 lines 5-8): we already own the head.
+      {
+        const std::uint64_t w =
+            h->orec->ownership.load(std::memory_order_acquire);
+        if (Ownership::idx(w) == t.idx &&
+            h->orec->status.load(std::memory_order_acquire) !=
+                SubTxnStatus::kAborted) {
+          h->value.store(value, std::memory_order_release);
+          return;
+        }
+      }
+      // Same tree, different owner: overwrite-or-insert under the tree
+      // mutex (Alg. 1 lines 24-34; serialized here — DESIGN.md §6).
+      std::lock_guard<std::mutex> lock(mutex_);
+      TentativeVersion* cur = box.tentative_head();
+      if (cur == nullptr || cur->orec->tree != this) continue;  // raced
+      for (TentativeVersion* v = cur; v != nullptr;
+           v = v->next.load(std::memory_order_acquire)) {
+        const std::uint64_t w =
+            v->orec->ownership.load(std::memory_order_acquire);
+        if (Ownership::idx(w) == t.idx &&
+            v->orec->status.load(std::memory_order_acquire) !=
+                SubTxnStatus::kAborted) {
+          v->value.store(value, std::memory_order_release);
+          return;
+        }
+      }
+      TentativeVersion* n = alloc_tentative(t, value);
+      std::atomic<TentativeVersion*> slot{cur};
+      insert_sorted(t, slot, n);
+      TentativeVersion* new_head = slot.load(std::memory_order_relaxed);
+      if (new_head != cur) {
+        // n became the newest version: it must take the box head. Nothing
+        // else can move the head while we are active and hold mutex_; a
+        // failed CAS here would mean silent lost writes, so check it even
+        // in release builds.
+        if (!box.cas_tentative_head(cur, new_head)) {
+          std::fprintf(stderr,
+                       "txfutures invariant violation: tentative head moved "
+                       "under an active tree lock\n");
+          std::abort();
+        }
+      }
+      t.written_boxes.push_back(&box);
+      return;
+    }
+    if (h == nullptr || tree_inactive(*h->orec)) {
+      // Free (or stale) lock: try to acquire it for our tree with a fresh
+      // node (Alg. 1 lines 10-13, with the head-pointer CAS substitution).
+      TentativeVersion* n = alloc_tentative(t, value);
+      if (box.cas_tentative_head(h, n)) {
+        t.written_boxes.push_back(&box);
+        return;
+      }
+      backoff.pause();
+      continue;  // somebody else won; re-inspect
+    }
+    // Head locked by another active tree: inter-tree write-write conflict
+    // (Alg. 1 line 19-22).
+    if (runtime_.config().inter_tree == InterTreePolicy::kSwitchToPrivate) {
+      write_private(t, box, value);
+      return;
+    }
+    runtime_.stats().fallback_restarts.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      mark_tree_failed_locked(TreeFailed::Reason::kInterTreeConflict);
+    }
+    throw TreeFailed{TreeFailed::Reason::kInterTreeConflict};
+  }
+}
+
+void TxTree::write(SubTxn& t, stm::VBoxImpl& box, stm::Word value) {
+  check_alive(t);
+  if (t.kind == SubTxnKind::kRoot) {
+    // The paper's top-level transactions keep a traditional private write
+    // set (§III-A); it freezes at the first submit, before any child runs.
+    root_write_set_.put(&box, value);
+    return;
+  }
+  if (fallback_.load(std::memory_order_acquire)) {
+    write_private(t, box, value);
+    return;
+  }
+  if (uses_private_.load(std::memory_order_acquire) &&
+      private_head(box) != nullptr) {
+    // This box already migrated to the private store for this tree.
+    write_private(t, box, value);
+    return;
+  }
+  write_eager(t, box, value);
+}
+
+// --------------------------------------------------------------------------
+// Structure / submit
+// --------------------------------------------------------------------------
+
+std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
+    SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
+    std::shared_ptr<NodeRunner> runner) {
+  check_alive(parent);
+  SubTxn* future;
+  SubTxn* cont;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    future = &new_node_locked(parent.idx, SubTxnKind::kFuture);
+    future->future_state = std::move(state);
+    future->runner = std::move(runner);
+    cont = &new_node_locked(parent.idx, SubTxnKind::kContinuation);
+    parent.child_future = future->idx;
+    parent.child_continuation = cont->idx;
+    // The parent's own code ends at the submit point; it becomes eligible
+    // to commit once both children's subtrees have committed.
+    parent.orec.status.store(SubTxnStatus::kFinished,
+                             std::memory_order_release);
+    finished_pending_.push_back(parent.idx);
+  }
+  runtime_.stats().futures_submitted.fetch_add(1, std::memory_order_relaxed);
+  schedule_future(*future);
+  return {future, cont};
+}
+
+void TxTree::schedule_future(SubTxn& f) {
+  outstanding_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  runtime_.pool().submit(
+      [runner = f.runner, idx = f.idx] { (*runner)(idx); });
+}
+
+void TxTree::run_future_body(std::uint32_t node_idx,
+                             std::function<SubTxn*(SubTxn&)> body) {
+  util::EpochDomain::Guard guard(env_.epochs());
+  SubTxn* start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    start = &node(node_idx);
+  }
+  const bool runnable =
+      !failed_.load(std::memory_order_acquire) &&
+      start->orec.status.load(std::memory_order_acquire) ==
+          SubTxnStatus::kRunning;
+  if (runnable && partial_rollback()) {
+    // Host the body on a fiber so continuations created inside it can be
+    // rolled back via FCC. The callable moves into fiber-stable storage —
+    // restores may replay its tail long after this call returned.
+    run_body_on_fiber(
+        [body = std::move(body), start]() -> SubTxn* { return body(*start); });
+  } else if (runnable) {
+    SubTxn* final_node = nullptr;
+    try {
+      final_node = body(*start);
+    } catch (const TreeFailed&) {
+      // Tree is restarting; nothing to finish.
+    } catch (const NodeCancelled&) {
+      // Our subtree is being re-executed; this incarnation just exits.
+    }
+    if (final_node != nullptr) node_finished(*final_node);
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drain_cv_.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// Commit machinery
+// --------------------------------------------------------------------------
+
+void TxTree::node_finished(SubTxn& t) {
+  std::vector<SubTxn*> resubmit;
+  std::vector<SubTxn*> resume;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (failed_.load(std::memory_order_acquire)) return;
+    if (t.orec.status.load(std::memory_order_acquire) !=
+        SubTxnStatus::kRunning) {
+      return;  // aborted/cancelled while running
+    }
+    t.orec.status.store(SubTxnStatus::kFinished, std::memory_order_release);
+    finished_pending_.push_back(t.idx);
+    cascade_locked(resubmit, resume);
+  }
+  cv_.notify_all();
+  for (SubTxn* f : resubmit) schedule_future(*f);
+  for (SubTxn* c : resume) schedule_resume(*c);
+}
+
+bool TxTree::eligible_locked(const SubTxn& t) const {
+  const auto committed = [&](std::uint32_t idx) {
+    return idx == kNoNode || node(idx).orec.status.load(
+                                 std::memory_order_acquire) ==
+                                 SubTxnStatus::kCommitted;
+  };
+  if (!committed(t.child_future) || !committed(t.child_continuation))
+    return false;
+  switch (t.kind) {
+    case SubTxnKind::kRoot:
+      return true;
+    case SubTxnKind::kContinuation:
+      // waitTurn rule for continuations (Alg. 3): the sibling future's
+      // subtree — serialized immediately before us — must have committed.
+      return node(t.parent).nclock.load(std::memory_order_acquire) >= 1;
+    case SubTxnKind::kFuture:
+      // waitTurn rule for futures (Alg. 3): for every continuation on our
+      // ancestor path, its sibling future subtree must have committed.
+      for (std::uint32_t j = 1; j < t.depth; ++j) {
+        if (t.path_kinds[j] == SubTxnKind::kContinuation &&
+            node(t.path[j - 1]).nclock.load(std::memory_order_acquire) < 1)
+          return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool TxTree::validate_locked(SubTxn& t) {
+  if (t.kind == SubTxnKind::kRoot) return true;  // no intra-tree predecessors
+  // Failure injection (tests): spuriously fail some validations; recovery
+  // must still produce the sequential result. Never inject into a node
+  // that has already been re-executed, so injection cannot livelock.
+  const std::uint32_t every =
+      runtime_.config().inject_validation_failure_every;
+  if (every != 0 && !t.reincarnated) {
+    static std::atomic<std::uint32_t> tick{0};
+    if (tick.fetch_add(1, std::memory_order_relaxed) % every == every - 1) {
+      return false;
+    }
+  }
+  if (runtime_.config().read_only_future_opt && t.written_boxes.empty() &&
+      committed_rw_count_.load(std::memory_order_acquire) == 0) {
+    // §IV-E: read-only sub-transaction with no committed read-write
+    // predecessor in the tree — its snapshot cannot have been invalidated.
+    runtime_.stats().ro_validation_skips.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    return true;
+  }
+  for (const ReadEntry& e : t.reads) {
+    // Reads that returned one of t's own writes cannot be invalidated.
+    if (e.kind == ReadProvenance::kTentative) {
+      const auto* v = static_cast<const TentativeVersion*>(e.provenance);
+      if (v->orec == &t.orec) continue;
+    }
+    // Re-resolve excluding t's own writes: a read that preceded them must
+    // still find the same predecessor/committed version.
+    const Resolved r = resolve(t, *e.box, /*now=*/true, /*exclude_self=*/true);
+    if (r.kind != e.kind || r.provenance != e.provenance) return false;
+  }
+  return true;
+}
+
+void TxTree::commit_node_locked(SubTxn& t) {
+  if (t.idx == root_) {
+    t.orec.status.store(SubTxnStatus::kCommitted, std::memory_order_release);
+    for (const ReadEntry& e : t.reads)
+      if (e.kind == ReadProvenance::kPermanent)
+        merged_permanent_reads_.push_back(e.box);
+    top_ready_ = true;
+    return;
+  }
+  SubTxn& p = node(t.parent);
+  const std::uint32_t new_ver =
+      p.nclock.load(std::memory_order_relaxed) + 1;
+  // Re-own this node's orec and everything it absorbed from its subtree
+  // (Alg. 4 lines 7-13). Publish ownership before bumping nClock so a child
+  // started after the bump always sees the new owners.
+  t.orec.set_ownership(p.idx, p.depth, new_ver);
+  t.orec.status.store(SubTxnStatus::kCommitted, std::memory_order_release);
+  for (Orec* o : t.owned_orecs) o->set_ownership(p.idx, p.depth, new_ver);
+  p.owned_orecs.push_back(&t.orec);
+  p.owned_orecs.insert(p.owned_orecs.end(), t.owned_orecs.begin(),
+                       t.owned_orecs.end());
+  t.owned_orecs.clear();
+  p.nclock.store(new_ver, std::memory_order_release);
+
+  for (const ReadEntry& e : t.reads)
+    if (e.kind == ReadProvenance::kPermanent)
+      merged_permanent_reads_.push_back(e.box);
+  tree_written_boxes_.insert(tree_written_boxes_.end(),
+                             t.written_boxes.begin(), t.written_boxes.end());
+  if (t.wrote_anything())
+    committed_rw_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (t.future_state) t.future_state->publish();
+}
+
+SubTxn* TxTree::reincarnate_future_locked(SubTxn& old_future) {
+  abort_subtree_locked(old_future);
+  SubTxn& p = node(old_future.parent);
+  SubTxn& fresh = new_node_locked(p.idx, SubTxnKind::kFuture);
+  p.child_future = fresh.idx;
+  fresh.future_state = old_future.future_state;
+  fresh.runner = old_future.runner;
+  fresh.reincarnated = true;
+  return &fresh;
+}
+
+SubTxn* TxTree::reincarnate_continuation_locked(SubTxn& old_cont) {
+  abort_subtree_locked(old_cont);
+  SubTxn& p = node(old_cont.parent);
+  SubTxn& fresh = new_node_locked(p.idx, SubTxnKind::kContinuation);
+  p.child_continuation = fresh.idx;
+  // The fresh node inherits the FCC: the resumed code re-reads the current
+  // continuation from the tree (submit_split_checkpointed's restored
+  // branch), so the same checkpoint serves every incarnation.
+  fresh.checkpoint = std::move(old_cont.checkpoint);
+  fresh.reincarnated = true;
+  return &fresh;
+}
+
+Fiber* TxTree::alloc_fiber() {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  fibers_.push_back(std::make_unique<Fiber>());
+  return fibers_.back().get();
+}
+
+bool TxTree::partial_rollback() const noexcept {
+  return runtime_.config().restart == RestartPolicy::kPartialRollback &&
+         !serial_;
+}
+
+void TxTree::schedule_resume(SubTxn& cont) {
+  outstanding_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  runtime_.pool().submit([this, idx = cont.idx] { resume_continuation(idx); });
+}
+
+void TxTree::resume_continuation(std::uint32_t idx) {
+  {
+    util::EpochDomain::Guard guard(env_.epochs());
+    Checkpoint* cp = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SubTxn& c = node(idx);
+      if (c.checkpoint && c.checkpoint->valid() &&
+          c.orec.status.load(std::memory_order_acquire) ==
+              SubTxnStatus::kRunning &&
+          !failed_.load(std::memory_order_acquire)) {
+        cp = c.checkpoint.get();
+      }
+    }
+    if (cp != nullptr) {
+      Fiber* fiber = cp->fiber();
+      Fiber* prev = t_current_fiber;
+      t_current_fiber = fiber;
+      fiber->restore(*cp);
+      t_current_fiber = prev;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drain_cv_.notify_all();
+}
+
+void TxTree::run_body_on_fiber(std::function<SubTxn*()> body) {
+  Fiber* fiber = alloc_fiber();
+  Fiber* prev = t_current_fiber;
+  t_current_fiber = fiber;
+  TxTree* const tree = this;
+  // CAREFUL with captures: an FCC restore replays the tail of this wrapper
+  // on the fiber stack long after the present host frame is gone. The
+  // callable is therefore moved into the fiber's own (heap-stable) entry
+  // slot; everything the replayed path dereferences — the wrapper closure,
+  // `body`'s target, the tree pointer — lives there or on the fiber stack.
+  fiber->run([tree, body = std::move(body)] {
+    try {
+      SubTxn* fin = body();
+      if (fin != nullptr) tree->node_finished(*fin);
+    } catch (const TreeFailed&) {
+      // Tree already marked; hosts observe failed_.
+    } catch (const NodeCancelled&) {
+    } catch (...) {
+      tree->fail_with_user_exception(std::current_exception());
+    }
+  });
+  t_current_fiber = prev;
+}
+
+TxTree::SplitResult TxTree::submit_split_checkpointed(
+    SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
+    std::shared_ptr<NodeRunner> runner) {
+  check_alive(parent);
+  assert(t_current_fiber != nullptr &&
+         "partial-rollback submit outside a fiber-hosted body");
+  SubTxn* future;
+  SubTxn* cont;
+  Checkpoint* cp;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    future = &new_node_locked(parent.idx, SubTxnKind::kFuture);
+    future->future_state = std::move(state);
+    future->runner = std::move(runner);
+    cont = &new_node_locked(parent.idx, SubTxnKind::kContinuation);
+    cont->checkpoint = std::make_unique<Checkpoint>();
+    cp = cont->checkpoint.get();
+    parent.child_future = future->idx;
+    parent.child_continuation = cont->idx;
+    parent.orec.status.store(SubTxnStatus::kFinished,
+                             std::memory_order_release);
+    finished_pending_.push_back(parent.idx);
+  }
+  runtime_.stats().futures_submitted.fetch_add(1, std::memory_order_relaxed);
+  // The capture point: a rolled-back continuation resumes exactly here (on
+  // whatever thread performs the restore) and takes the other branch. Note
+  // the shared_ptr locals were moved into the tree *before* the capture, so
+  // the restored stack only ever re-destroys empty handles.
+  if (cp->capture(*t_current_fiber) == Checkpoint::CaptureResult::kRestored) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SubTxn& f2 = node(parent.child_future);
+    SubTxn& c2 = node(parent.child_continuation);
+    return SplitResult{&f2, &c2, true};
+  }
+  schedule_future(*future);
+  return SplitResult{future, cont, false};
+}
+
+void TxTree::abort_subtree_locked(SubTxn& t) {
+  if (t.child_future != kNoNode) abort_subtree_locked(node(t.child_future));
+  if (t.child_continuation != kNoNode)
+    abort_subtree_locked(node(t.child_continuation));
+  t.orec.status.store(SubTxnStatus::kAborted, std::memory_order_release);
+  splice_node_writes(t);
+  if (t.future_state) t.future_state->unpublish();
+  finished_pending_.erase(
+      std::remove(finished_pending_.begin(), finished_pending_.end(), t.idx),
+      finished_pending_.end());
+}
+
+void TxTree::splice_node_writes(SubTxn& t) {
+  for (stm::VBoxImpl* box : t.written_boxes) {
+    // In-box list.
+    TentativeVersion* head = box->tentative_head();
+    if (head != nullptr && head->orec->tree == this) {
+      // Drop aborted-of-t nodes; the head change must go through the box.
+      while (head != nullptr && head->orec == &t.orec) {
+        TentativeVersion* next = head->next.load(std::memory_order_acquire);
+        if (!box->cas_tentative_head(head, next)) break;
+        head = box->tentative_head();
+        if (head == nullptr || head->orec->tree != this) break;
+      }
+      for (TentativeVersion* v = head; v != nullptr;) {
+        TentativeVersion* next = v->next.load(std::memory_order_acquire);
+        if (next != nullptr && next->orec == &t.orec) {
+          v->next.store(next->next.load(std::memory_order_acquire),
+                        std::memory_order_release);
+          continue;  // re-check the same v against the new next
+        }
+        v = next;
+      }
+    }
+    // Private chain.
+    if (uses_private_.load(std::memory_order_acquire)) {
+      std::scoped_lock plock(private_lock_);
+      const stm::Word* w = private_store_.find(box);
+      if (w != nullptr) {
+        auto* chain =
+            reinterpret_cast<TentativeVersion*>(static_cast<uintptr_t>(*w));
+        while (chain != nullptr && chain->orec == &t.orec)
+          chain = chain->next.load(std::memory_order_acquire);
+        for (TentativeVersion* v = chain; v != nullptr;) {
+          TentativeVersion* next = v->next.load(std::memory_order_acquire);
+          if (next != nullptr && next->orec == &t.orec) {
+            v->next.store(next->next.load(std::memory_order_acquire),
+                          std::memory_order_release);
+            continue;
+          }
+          v = next;
+        }
+        private_store_.put(box, static_cast<stm::Word>(
+                                    reinterpret_cast<uintptr_t>(chain)));
+      }
+    }
+  }
+  t.written_boxes.clear();
+}
+
+void TxTree::mark_tree_failed_locked(TreeFailed::Reason reason) {
+  if (failed_.load(std::memory_order_acquire)) return;
+  fail_reason_ = reason;
+  failed_.store(true, std::memory_order_release);
+  // Wake external evaluators of futures that will never publish. (Internal
+  // waiters unwind through check_alive in their help loops.)
+  for (SubTxn& s : subs_) {
+    if (s.future_state) s.future_state->mark_failed();
+  }
+  cv_.notify_all();
+}
+
+void TxTree::fail_continuation_locked(SubTxn& t) {
+  (void)t;
+  // RestartPolicy::kTreeRestart — the FCC-free substitute (DESIGN.md,
+  // substitution 2): restart the whole top-level transaction.
+  runtime_.stats().tree_restarts.fetch_add(1, std::memory_order_relaxed);
+  mark_tree_failed_locked(TreeFailed::Reason::kContinuationConflict);
+}
+
+void TxTree::cascade_locked(std::vector<SubTxn*>& to_resubmit,
+                            std::vector<SubTxn*>& to_resume) {
+  bool progress = true;
+  while (progress && !failed_.load(std::memory_order_acquire)) {
+    progress = false;
+    for (std::size_t i = 0; i < finished_pending_.size(); ++i) {
+      SubTxn& t = node(finished_pending_[i]);
+      if (t.orec.status.load(std::memory_order_acquire) !=
+          SubTxnStatus::kFinished) {
+        finished_pending_[i] = finished_pending_.back();
+        finished_pending_.pop_back();
+        progress = true;
+        break;
+      }
+      if (!eligible_locked(t)) continue;
+      if (!validate_locked(t)) {
+        if (t.kind == SubTxnKind::kFuture) {
+          runtime_.stats().future_reexecutions.fetch_add(
+              1, std::memory_order_relaxed);
+          SubTxn* fresh = reincarnate_future_locked(t);
+          to_resubmit.push_back(fresh);
+        } else if (t.kind == SubTxnKind::kContinuation && t.checkpoint &&
+                   t.checkpoint->valid()) {
+          // FCC partial rollback (paper §III): abort only the subtree
+          // rooted at the continuation and replay from the submit point.
+          runtime_.stats().partial_rollbacks.fetch_add(
+              1, std::memory_order_relaxed);
+          SubTxn* fresh = reincarnate_continuation_locked(t);
+          to_resume.push_back(fresh);
+        } else {
+          fail_continuation_locked(t);
+          return;
+        }
+      } else {
+        commit_node_locked(t);
+        finished_pending_.erase(std::remove(finished_pending_.begin(),
+                                            finished_pending_.end(), t.idx),
+                                finished_pending_.end());
+      }
+      progress = true;
+      break;  // the pending list changed; rescan from the start
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Top-level commit / abort
+// --------------------------------------------------------------------------
+
+void TxTree::wait_and_commit_top() {
+  // Wait for the whole tree to commit, helping the pool so queued future
+  // tasks cannot starve on small machines.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (top_ready_ || failed_.load(std::memory_order_acquire)) break;
+      cv_.wait_for(lock, std::chrono::microseconds(200), [&] {
+        return top_ready_ || failed_.load(std::memory_order_acquire);
+      });
+      if (top_ready_ || failed_.load(std::memory_order_acquire)) break;
+    }
+    runtime_.pool().try_run_one();
+  }
+  if (failed_.load(std::memory_order_acquire)) {
+    const TreeFailed::Reason reason = fail_reason_;
+    abort_tree(reason);
+    throw TreeFailed{reason};
+  }
+  do_top_commit();
+}
+
+void TxTree::do_top_commit() {
+  // Assemble the final write set: the root's private writes overlaid with
+  // the newest committed tentative version per written box.
+  stm::WriteSetMap final_writes;
+  for (stm::VBoxImpl* box : root_write_set_.boxes())
+    final_writes.put(box, root_write_set_.value_of(box));
+  for (stm::VBoxImpl* box : tree_written_boxes_) {
+    TentativeVersion* h = box->tentative_head();
+    if (h != nullptr && h->orec->tree == this) {
+      final_writes.put(box, h->value.load(std::memory_order_acquire));
+      continue;
+    }
+    if (TentativeVersion* p = private_head(*box))
+      final_writes.put(box, p->value.load(std::memory_order_acquire));
+  }
+
+  bool ok = true;
+  if (!final_writes.empty()) {
+    auto* req = new stm::CommitRequest();
+    req->snapshot = snapshot_;
+    req->reads = merged_permanent_reads_;
+    req->writes.reserve(final_writes.size());
+    for (stm::VBoxImpl* box : final_writes.boxes()) {
+      req->writes.push_back(stm::WriteBackEntry{
+          box, new stm::PermanentVersion(final_writes.value_of(box), 0,
+                                         nullptr)});
+    }
+    ok = env_.queue().commit(req);
+  }
+
+  status_.store(ok ? TreeStatus::kCommitted : TreeStatus::kAborted,
+                std::memory_order_release);
+  release_boxes();
+  release_registry();
+  drain_tasks();
+  if (!ok) {
+    runtime_.stats().top_aborts.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      mark_tree_failed_locked(TreeFailed::Reason::kTopLevelConflict);
+    }
+    throw TreeFailed{TreeFailed::Reason::kTopLevelConflict};
+  }
+  runtime_.stats().top_commits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TxTree::release_boxes() {
+  // Clear every tentative head this tree still holds; stale readers are
+  // protected by EBR (the tree itself is retired through the domain).
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SubTxn& s : subs_) {
+    for (stm::VBoxImpl* box : s.written_boxes) {
+      TentativeVersion* h = box->tentative_head();
+      if (h != nullptr && h->orec->tree == this)
+        box->cas_tentative_head(h, nullptr);
+    }
+  }
+  for (stm::VBoxImpl* box : tree_written_boxes_) {
+    TentativeVersion* h = box->tentative_head();
+    if (h != nullptr && h->orec->tree == this)
+      box->cas_tentative_head(h, nullptr);
+  }
+}
+
+void TxTree::drain_tasks() {
+  while (outstanding_tasks_.load(std::memory_order_acquire) != 0) {
+    if (runtime_.pool().try_run_one()) continue;
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait_for(lock, std::chrono::microseconds(100), [&] {
+      return outstanding_tasks_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void TxTree::fail_with_user_exception(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!user_exception_) user_exception_ = std::move(e);
+  mark_tree_failed_locked(TreeFailed::Reason::kUserException);
+}
+
+std::exception_ptr TxTree::user_exception() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return user_exception_;
+}
+
+void TxTree::abort_tree(TreeFailed::Reason reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mark_tree_failed_locked(reason);
+  }
+  drain_tasks();
+  release_boxes();
+  status_.store(TreeStatus::kAborted, std::memory_order_release);
+  release_registry();
+}
+
+}  // namespace txf::core

@@ -1,0 +1,297 @@
+// TxTree: one top-level transaction together with its tree of
+// sub-transactions (futures and continuations). Implements the paper's
+// concurrency control (§III-IV):
+//
+//  * reads per Alg. 2 — own/ancestor tentative versions (ancVer/nClock
+//    visibility), then the root write set, then the committed snapshot;
+//  * writes per Alg. 1 — tentative versions linked into the VBox whose head
+//    doubles as a tree-wide lock (eager mode), with the tree-private store
+//    as the fallback (rootWriteSet generalization) on inter-tree conflicts;
+//  * commit ordering per Alg. 3/4 — nodes commit strictly in the pre-order
+//    dictated by strong ordering semantics; commits cascade bottom-up,
+//    re-owning orecs to the parent and bumping its nClock;
+//  * top-level commit — merged read-set validation and write-back through
+//    the STM's helped commit queue.
+//
+// Threading model: user code runs on the submitting thread (root +
+// continuations) and on pool threads (futures). All tree-structure
+// mutations and the commit cascade run under `mutex_`; the data fast paths
+// (read/write on VBoxes) touch only atomics, the tree-private store's spin
+// lock, and immutable node metadata.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/future_state.hpp"
+#include "core/subtxn.hpp"
+#include "stm/transaction.hpp"
+#include "util/spin_lock.hpp"
+
+namespace txf::core {
+
+class Runtime;
+
+/// Thrown (internally) to unwind user code when the whole tree must
+/// restart; caught by the atomically() driver.
+struct TreeFailed {
+  enum class Reason : std::uint8_t {
+    kContinuationConflict,  // intra-tree validation failure (TreeRestart)
+    kInterTreeConflict,     // Alg. 1 ownedbyAnotherTree -> restart in fallback
+    kTopLevelConflict,      // commit-queue validation failed
+    kUserException,         // user code threw inside a future body
+  };
+  Reason reason;
+};
+
+/// Thrown inside a future task whose sub-transaction was cancelled (its
+/// subtree is being re-executed or the tree failed). Swallowed by the task
+/// wrapper.
+struct NodeCancelled {};
+
+/// Per-runtime counters (shared by all trees; relaxed atomics).
+struct TxStats {
+  std::atomic<std::uint64_t> top_commits{0};
+  std::atomic<std::uint64_t> top_aborts{0};          // commit-queue conflicts
+  std::atomic<std::uint64_t> tree_restarts{0};       // continuation conflicts
+  std::atomic<std::uint64_t> fallback_restarts{0};   // inter-tree conflicts
+  std::atomic<std::uint64_t> future_reexecutions{0}; // future validation fail
+  std::atomic<std::uint64_t> futures_submitted{0};
+  std::atomic<std::uint64_t> ro_validation_skips{0}; // §IV-E fast path taken
+  std::atomic<std::uint64_t> serial_fallbacks{0};    // convergence fallback
+  std::atomic<std::uint64_t> partial_rollbacks{0};   // FCC continuation rolls
+
+  void reset() {
+    top_commits = 0;
+    top_aborts = 0;
+    tree_restarts = 0;
+    fallback_restarts = 0;
+    future_reexecutions = 0;
+    futures_submitted = 0;
+    ro_validation_skips = 0;
+    serial_fallbacks = 0;
+    partial_rollbacks = 0;
+  }
+};
+
+class TxTree {
+ public:
+  enum class TreeStatus : std::uint8_t { kActive, kCommitted, kAborted };
+
+  /// `fallback` starts the tree with all sub-transaction writes going to
+  /// the tree-private store (set when restarting after an inter-tree
+  /// conflict, per Alg. 1).
+  TxTree(Runtime& runtime, bool fallback);
+  ~TxTree();
+
+  TxTree(const TxTree&) = delete;
+  TxTree& operator=(const TxTree&) = delete;
+
+  Runtime& runtime() noexcept { return runtime_; }
+  stm::Version snapshot() const noexcept { return snapshot_; }
+  SubTxn* root() noexcept { return &node(root_); }
+  TreeStatus status() const noexcept {
+    return status_.load(std::memory_order_acquire);
+  }
+  bool in_fallback() const noexcept {
+    return fallback_.load(std::memory_order_acquire);
+  }
+
+  // --- data path (called via TxCtx) ---
+
+  stm::Word read(SubTxn& t, stm::VBoxImpl& box);
+  void write(SubTxn& t, stm::VBoxImpl& box, stm::Word value);
+
+  /// Throws TreeFailed/NodeCancelled if this node must unwind, and lazily
+  /// refreshes the node's ancVer while it has touched no data. Called at
+  /// every transactional operation.
+  void check_alive(SubTxn& t);
+
+  /// Serial execution mode: futures run inline at the submit point —
+  /// literally the sequential execution that strong ordering semantics is
+  /// defined against. Used as the convergence fallback after repeated
+  /// continuation conflicts (no FCC support; DESIGN.md substitution 2).
+  bool serial() const noexcept { return serial_; }
+  void set_serial() noexcept { serial_ = true; }
+
+  // --- structure / lifecycle ---
+
+  /// Split `parent` at a submit point: creates the future (returned) and
+  /// continuation children. `state` and `runner` belong to the future.
+  /// Returns {future*, continuation*}.
+  std::pair<SubTxn*, SubTxn*> submit_split(
+      SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
+      std::shared_ptr<NodeRunner> runner);
+
+  /// Partial-rollback flavour of submit_split: additionally captures an FCC
+  /// at the submit point (the calling code must be running on a fiber —
+  /// see run_body_on_fiber). `restored` is true when this return is a
+  /// rolled-back continuation resuming: the future already exists and ran;
+  /// only the continuation node is fresh.
+  struct SplitResult {
+    SubTxn* future;
+    SubTxn* continuation;
+    bool restored;
+  };
+  SplitResult submit_split_checkpointed(
+      SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
+      std::shared_ptr<NodeRunner> runner);
+
+  /// True when this tree runs continuations on fibers with FCC rollback.
+  bool partial_rollback() const noexcept;
+
+  /// Execute `body` on a fresh tree-owned fiber with exception routing
+  /// handled; `body` returns the node to finish (the context's current
+  /// node after the user code). Used for the root body and future bodies
+  /// in partial-rollback mode. By value: the callable moves into the
+  /// fiber's stable storage (see run_future_body).
+  void run_body_on_fiber(std::function<SubTxn*()> body);
+
+  /// Schedule the future body of `f` on the pool.
+  void schedule_future(SubTxn& f);
+
+  /// Run one future body invocation on the current (pool) thread. `body`
+  /// executes the user code starting at the given node and returns the node
+  /// that was current when the code finished (the innermost continuation if
+  /// the body submitted nested futures); that node is then finished.
+  /// Taken by value: in partial-rollback mode the callable is moved into
+  /// the fiber's stable storage, because FCC restores replay its tail long
+  /// after the caller's frame is gone.
+  void run_future_body(std::uint32_t node_idx,
+                       std::function<SubTxn*(SubTxn&)> body);
+
+  /// Mark `t`'s code complete and run the commit cascade.
+  void node_finished(SubTxn& t);
+
+  /// Body-thread epilogue: wait for the whole tree to commit, then perform
+  /// the top-level commit. Throws TreeFailed when the tree must restart.
+  void wait_and_commit_top();
+
+  /// Abort the whole tree (driver saw the body throw, or restart path).
+  /// Safe to call multiple times; drains outstanding future tasks.
+  void abort_tree(TreeFailed::Reason reason);
+
+  /// A future body threw a user exception: the transaction aborts and the
+  /// exception resurfaces from atomically() — exactly what the equivalent
+  /// sequential execution (future called at the submit point) would do.
+  void fail_with_user_exception(std::exception_ptr e);
+  std::exception_ptr user_exception();
+
+  // --- helpers for tests ---
+  std::uint32_t committed_rw_subtxns() const noexcept {
+    return committed_rw_count_.load(std::memory_order_acquire);
+  }
+  std::size_t node_count() const;
+
+ private:
+  friend class TxCtx;
+
+  struct Resolved {
+    stm::Word value;
+    const void* provenance;
+    ReadProvenance kind;
+  };
+
+  SubTxn& node(std::uint32_t idx) { return subs_[idx]; }
+  const SubTxn& node(std::uint32_t idx) const { return subs_[idx]; }
+
+  SubTxn& new_node_locked(std::uint32_t parent, SubTxnKind kind);
+
+  /// Resolve a read for `t`. `now` = validation mode: every version owned
+  /// by an ancestor (any txTreeVer) is visible — the "serialize as of now"
+  /// view used by Alg. 4's validate(). `exclude_self` hides t's own writes,
+  /// so validation can recompute what a read that *preceded* those writes
+  /// would return.
+  Resolved resolve(const SubTxn& t, stm::VBoxImpl& box, bool now,
+                   bool exclude_self = false) const;
+
+  bool tentative_visible(const SubTxn& t, const TentativeVersion& v,
+                         bool now, bool exclude_self) const;
+
+  void write_eager(SubTxn& t, stm::VBoxImpl& box, stm::Word value);
+  void write_private(SubTxn& t, stm::VBoxImpl& box, stm::Word value);
+  TentativeVersion* private_head(stm::VBoxImpl& box) const;
+  /// Insert `v` (owned by t) into the list starting at `*head_slot`
+  /// keeping descending strong order. Tree write lock must be held.
+  void insert_sorted(SubTxn& t, std::atomic<TentativeVersion*>& head_slot,
+                     TentativeVersion* v);
+  TentativeVersion* alloc_tentative(SubTxn& t, stm::Word value);
+
+  // Commit machinery (mutex_ held unless noted).
+  bool eligible_locked(const SubTxn& t) const;
+  void cascade_locked(std::vector<SubTxn*>& to_resubmit,
+                      std::vector<SubTxn*>& to_resume);
+  bool validate_locked(SubTxn& t);
+  void commit_node_locked(SubTxn& t);
+  void fail_continuation_locked(SubTxn& t);
+  SubTxn* reincarnate_future_locked(SubTxn& old_future);
+  SubTxn* reincarnate_continuation_locked(SubTxn& old_cont);
+  void schedule_resume(SubTxn& cont);
+  void resume_continuation(std::uint32_t idx);
+  Fiber* alloc_fiber();
+  void abort_subtree_locked(SubTxn& t);
+  void mark_tree_failed_locked(TreeFailed::Reason reason);
+  void splice_node_writes(SubTxn& t);
+
+  void do_top_commit();  // body thread, mutex NOT held
+  void release_boxes();  // clear tentative heads owned by this tree
+  void drain_tasks();    // wait until no future task references the tree
+  void release_registry();  // idempotent snapshot-slot release
+
+  Runtime& runtime_;
+  stm::StmEnv& env_;
+
+  // Transaction-wide snapshot state (same role as a flat Transaction's).
+  std::size_t registry_slot_;
+  std::atomic<bool> registry_released_{false};
+  stm::Version snapshot_ = 0;
+
+  std::atomic<TreeStatus> status_{TreeStatus::kActive};
+  bool serial_ = false;
+  std::atomic<bool> failed_{false};
+  TreeFailed::Reason fail_reason_ = TreeFailed::Reason::kTopLevelConflict;
+  std::exception_ptr user_exception_;  // guarded by mutex_
+  std::atomic<bool> fallback_{false};
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<SubTxn> subs_;
+  std::uint32_t root_ = kNoNode;
+  std::vector<std::uint32_t> finished_pending_;
+  bool top_ready_ = false;
+
+  // Root (top-level) private write set — the paper's traditional write-set
+  // for top-level transactions; frozen once the first future is submitted.
+  stm::WriteSetMap root_write_set_;
+
+  // Tree-private tentative store (fallback / lazy mode).
+  mutable util::SpinLock private_lock_;
+  stm::WriteSetMap private_store_;  // box -> head TentativeVersion* (as Word)
+  std::atomic<bool> uses_private_{false};
+
+  // Tentative node arena (nodes must outlive splices for lock-free readers).
+  std::mutex arena_mutex_;
+  std::deque<TentativeVersion> tentative_arena_;
+  // Fibers hosting transactional bodies in partial-rollback mode; kept
+  // alive for the tree's lifetime (late rollbacks re-enter them).
+  std::deque<std::unique_ptr<Fiber>> fibers_;
+
+  // Aggregated at node commits (under mutex_).
+  std::vector<stm::VBoxImpl*> merged_permanent_reads_;
+  std::vector<stm::VBoxImpl*> tree_written_boxes_;
+  std::atomic<std::uint32_t> committed_rw_count_{0};
+
+  // Future-task accounting for safe teardown.
+  std::atomic<std::uint32_t> outstanding_tasks_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace txf::core

@@ -1,0 +1,52 @@
+// Move-only callable wrapper (std::move_only_function is C++23; we target
+// C++20). Futures capture promises and other move-only state, so
+// std::function does not fit.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace txf::sched {
+
+/// Type-erased `void()` callable with unique ownership.
+class Task {
+ public:
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f)  // NOLINT(google-explicit-constructor): mirrors std::function
+      : impl_(std::make_unique<Model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  Task(Task&&) noexcept = default;
+  Task& operator=(Task&&) noexcept = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  void operator()() {
+    impl_->invoke();
+  }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void invoke() = 0;
+  };
+
+  template <typename F>
+  struct Model final : Concept {
+    explicit Model(F&& f) : fn(std::move(f)) {}
+    explicit Model(const F& f) : fn(f) {}
+    void invoke() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace txf::sched

@@ -1,0 +1,141 @@
+#include "sched/thread_pool.hpp"
+
+#include <cassert>
+
+namespace txf::sched {
+
+thread_local ThreadPool::Worker* ThreadPool::current_worker_ = nullptr;
+thread_local ThreadPool* ThreadPool::current_pool_ = nullptr;
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::thread::hardware_concurrency();
+    if (worker_count == 0) worker_count = 2;
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->rng = util::Xoshiro256(0x9e3779b9u * (i + 1));
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(*workers_[i]); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    work_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+  // Drain anything left unexecuted (tasks own their state; dropping them on
+  // the floor would leak, so destroy them explicitly).
+  for (auto& w : workers_) {
+    while (Task* t = w->deque.pop()) delete t;
+  }
+  std::lock_guard<std::mutex> lock(inject_mutex_);
+  for (Task* t : injected_) delete t;
+  injected_.clear();
+}
+
+void ThreadPool::submit(Task task) {
+  auto* heap_task = new Task(std::move(task));
+  if (current_pool_ == this && current_worker_ != nullptr) {
+    current_worker_->deque.push(heap_task);
+  } else {
+    std::lock_guard<std::mutex> lock(inject_mutex_);
+    injected_.push_back(heap_task);
+  }
+  notify_one();
+}
+
+void ThreadPool::notify_one() {
+  // Publish new work first; a worker deciding to park re-checks the epoch
+  // under the mutex after registering as a sleeper, so the order
+  // (bump, then check sleepers) cannot lose a wakeup. Skipping the mutex
+  // when nobody sleeps keeps the hot submit path lock-free.
+  work_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+Task* ThreadPool::pop_injected() {
+  std::lock_guard<std::mutex> lock(inject_mutex_);
+  if (injected_.empty()) return nullptr;
+  Task* t = injected_.front();
+  injected_.pop_front();
+  return t;
+}
+
+Task* ThreadPool::steal_from_others(Worker* self) {
+  const std::size_t n = workers_.size();
+  if (n <= 1 && self != nullptr) return nullptr;
+  // Start at a random victim to avoid stampedes (CP: minimize contention).
+  std::size_t start;
+  if (self != nullptr) {
+    start = static_cast<std::size_t>(self->rng.next_bounded(n));
+  } else {
+    static std::atomic<std::size_t> rr{0};
+    start = rr.fetch_add(1, std::memory_order_relaxed) % n;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker* victim = workers_[(start + k) % n].get();
+    if (victim == self) continue;
+    if (Task* t = victim->deque.steal()) return t;
+  }
+  return nullptr;
+}
+
+Task* ThreadPool::find_task(Worker* self) {
+  if (self != nullptr) {
+    if (Task* t = self->deque.pop()) return t;
+  }
+  if (Task* t = pop_injected()) return t;
+  return steal_from_others(self);
+}
+
+bool ThreadPool::try_run_one() {
+  Task* t = find_task(current_pool_ == this ? current_worker_ : nullptr);
+  if (t == nullptr) return false;
+  // Run with worker identity if we have one; helpers keep their own.
+  (*t)();
+  delete t;
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::worker_loop(Worker& self) {
+  current_worker_ = &self;
+  current_pool_ = this;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Task* t = find_task(&self);
+    if (t != nullptr) {
+      (*t)();
+      delete t;
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Nothing runnable: park until the work epoch changes (CP.42 — never
+    // wait without a condition).
+    const std::uint64_t seen = work_epoch_.load(std::memory_order_seq_cst);
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] {
+      return stopping_.load(std::memory_order_acquire) ||
+             work_epoch_.load(std::memory_order_seq_cst) != seen;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  current_worker_ = nullptr;
+  current_pool_ = nullptr;
+}
+
+}  // namespace txf::sched

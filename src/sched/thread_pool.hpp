@@ -1,0 +1,84 @@
+// Fixed-size work-stealing thread pool.
+//
+// Each worker owns a Chase-Lev deque; external submissions go through a
+// shared injection queue. Threads blocked inside the TM runtime (e.g. a
+// continuation waiting on a future's result) can call `try_run_one()` to
+// help drain pending work — essential on machines with few cores, where a
+// naive blocking wait would starve the future it is waiting for
+// (DESIGN.md §6, scheduler knob).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/task.hpp"
+#include "sched/ws_deque.hpp"
+#include "util/cache_line.hpp"
+#include "util/xoshiro.hpp"
+
+namespace txf::sched {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads (defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedule a task. Safe from any thread, including workers (a worker
+  /// pushes to its own deque, giving LIFO locality for nested futures).
+  void submit(Task task);
+
+  /// Execute one pending task on the calling thread if any is available.
+  /// Returns false when nothing was runnable right now.
+  bool try_run_one();
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// True if called from one of this pool's worker threads.
+  bool on_worker_thread() const noexcept { return current_worker_ != nullptr; }
+
+  /// Tasks executed so far (for tests / metrics).
+  std::uint64_t executed_count() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    WsDeque<Task*> deque;
+    util::Xoshiro256 rng;
+    std::size_t index = 0;
+  };
+
+  void worker_loop(Worker& self);
+  Task* find_task(Worker* self);
+  Task* steal_from_others(Worker* self);
+  Task* pop_injected();
+  void notify_one();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mutex_;
+  std::deque<Task*> injected_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::uint64_t> work_epoch_{0};
+  std::atomic<std::uint32_t> sleepers_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> executed_{0};
+
+  static thread_local Worker* current_worker_;
+  static thread_local ThreadPool* current_pool_;
+};
+
+}  // namespace txf::sched

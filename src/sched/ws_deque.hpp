@@ -1,0 +1,143 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory orderings
+// follow the sequentially-consistent variant of Lê et al., PPoPP'13 —
+// chosen over the fence-based one because ThreadSanitizer does not model
+// std::atomic_thread_fence, and a TSAN-verifiable scheduler is worth the
+// few extra ordered accesses).
+//
+// The owner thread pushes/pops at the bottom without contention; thieves
+// steal from the top with a CAS. Elements are raw pointers (the pool owns
+// heap-allocated Task objects), which keeps the buffer trivially copyable.
+// Growth allocates a bigger ring; old rings are kept until destruction so a
+// concurrent thief can still read from a stale buffer safely (the standard
+// Chase-Lev retirement strategy — rings are small and growth is rare).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace txf::sched {
+
+template <typename T>
+class WsDeque {
+  static_assert(std::is_pointer_v<T>, "WsDeque stores raw pointers");
+
+ public:
+  explicit WsDeque(std::size_t initial_capacity = 64) {
+    buffer_.store(new Ring(round_up(initial_capacity)),
+                  std::memory_order_relaxed);
+  }
+
+  ~WsDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Ring* r : retired_) delete r;
+  }
+
+  WsDeque(const WsDeque&) = delete;
+  WsDeque& operator=(const WsDeque&) = delete;
+
+  /// Owner-only: push an element at the bottom.
+  void push(T item) {
+    const std::int64_t b = bottom_->load(std::memory_order_relaxed);
+    const std::int64_t t = top_->load(std::memory_order_acquire);
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(ring->capacity)) {
+      ring = grow(ring, t, b);
+    }
+    ring->put(b, item);
+    // Publish the element: thieves acquire `bottom_`, so the cell write
+    // above happens-before any steal that observes b+1.
+    bottom_->store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner-only: pop from the bottom. Returns nullptr when empty.
+  T pop() {
+    const std::int64_t b = bottom_->load(std::memory_order_relaxed) - 1;
+    Ring* ring = buffer_.load(std::memory_order_relaxed);
+    bottom_->store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_->load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_->store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T item = ring->get(b);
+    if (t == b) {
+      // Last element: race with thieves for it.
+      if (!top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_->store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Thief: steal from the top. Returns nullptr when empty or lost a race.
+  T steal() {
+    std::int64_t t = top_->load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_->load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* ring = buffer_.load(std::memory_order_acquire);
+    T item = ring->get(t);
+    if (!top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate size (safe from any thread; may be stale).
+  std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_->load(std::memory_order_acquire);
+    const std::int64_t t = top_->load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(std::make_unique<std::atomic<T>[]>(cap)) {}
+
+    T get(std::int64_t i) const noexcept {
+      return cells[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) noexcept {
+      cells[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 1;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // thieves may still read it; free at dtor
+    return bigger;
+  }
+
+  util::CacheAligned<std::atomic<std::int64_t>> top_{0};
+  util::CacheAligned<std::atomic<std::int64_t>> bottom_{0};
+  std::atomic<Ring*> buffer_{nullptr};
+  std::vector<Ring*> retired_;  // owner-only
+};
+
+}  // namespace txf::sched

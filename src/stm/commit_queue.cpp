@@ -1,0 +1,159 @@
+#include "stm/commit_queue.hpp"
+
+#include <cassert>
+
+#include "stm/vbox.hpp"
+#include "util/backoff.hpp"
+
+namespace txf::stm {
+
+CommitQueue::CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
+                         util::EpochDomain& epochs)
+    : clock_(clock), registry_(registry), epochs_(epochs) {
+  // Sentinel: a done request at version 0 so the first real request gets
+  // version 1 and help_until_done always has a head to look at.
+  auto* sentinel = new CommitRequest();
+  sentinel->commit_version_.store(0, std::memory_order_relaxed);
+  sentinel->verdict_.store(CommitRequest::Verdict::kValid,
+                           std::memory_order_relaxed);
+  sentinel->done_.store(true, std::memory_order_relaxed);
+  head_->store(sentinel, std::memory_order_relaxed);
+  tail_->store(sentinel, std::memory_order_relaxed);
+}
+
+CommitQueue::~CommitQueue() {
+  // Quiescent at destruction: every request except the final sentinel-like
+  // head has been retired through EBR already.
+  CommitRequest* h = head_->load(std::memory_order_relaxed);
+  while (h != nullptr) {
+    CommitRequest* next = h->next_.load(std::memory_order_relaxed);
+    for (auto& wb : h->writes) {
+      // Nodes of valid requests were linked into boxes (owned there);
+      // aborted/unprocessed ones are still ours.
+      if (h->verdict() != CommitRequest::Verdict::kValid) delete wb.node;
+    }
+    delete h;
+    h = next;
+  }
+}
+
+void CommitQueue::enqueue(CommitRequest* req) {
+  util::Backoff backoff;
+  for (;;) {
+    CommitRequest* t = tail_->load(std::memory_order_acquire);
+    CommitRequest* n = t->next_.load(std::memory_order_acquire);
+    if (n != nullptr) {
+      // Tail is lagging: help swing it.
+      tail_->compare_exchange_strong(t, n, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+      continue;
+    }
+    // Tentatively take the slot after t: version = t's version + 1. Both
+    // the version and the write-back node stamps must be published before
+    // the link succeeds — helpers may start processing the request the
+    // moment it becomes reachable.
+    const Version ver = t->commit_version() + 1;
+    req->commit_version_.store(ver, std::memory_order_release);
+    for (auto& wb : req->writes) wb.node->version = ver;
+    if (t->next_.compare_exchange_strong(n, req, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      tail_->compare_exchange_strong(t, req, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+      return;
+    }
+    backoff.pause();
+  }
+}
+
+bool CommitQueue::validate(const CommitRequest& req) {
+  for (const VBoxImpl* box : req.reads) {
+    const PermanentVersion* head = box->permanent_head();
+    if (head->version > req.snapshot) return false;
+  }
+  return true;
+}
+
+void CommitQueue::write_back(CommitRequest& req) {
+  const Version ver = req.commit_version();
+  for (auto& wb : req.writes) {
+    util::Backoff backoff;
+    for (;;) {
+      auto* head = const_cast<PermanentVersion*>(wb.box->permanent_head());
+      if (head->version >= ver) break;  // another helper already linked it
+      // All helpers compute the same `head` here (older requests are done
+      // and nothing newer can write back yet), so racing stores of `next`
+      // write the same value.
+      wb.node->next.store(head, std::memory_order_release);
+      if (wb.box->cas_permanent_head(head, wb.node)) break;
+      backoff.pause();
+    }
+  }
+}
+
+void CommitQueue::maybe_trim(CommitRequest& req) {
+  const std::uint64_t tick =
+      trim_tick_.fetch_add(1, std::memory_order_relaxed);
+  if (trim_period_ == 0 || tick % trim_period_ != 0) return;
+  const Version min = registry_.min_active(clock_.current());
+  for (auto& wb : req.writes) wb.box->trim(min, epochs_);
+}
+
+void CommitQueue::process(CommitRequest* req) {
+  // 1. Decide the verdict (idempotent: first CAS wins, both helpers compute
+  //    the same answer because the committed state is frozen while this
+  //    request is at the head).
+  if (req->verdict() == CommitRequest::Verdict::kUnknown) {
+    const bool ok = validate(*req);
+    CommitRequest::Verdict expected = CommitRequest::Verdict::kUnknown;
+    req->verdict_.compare_exchange_strong(
+        expected,
+        ok ? CommitRequest::Verdict::kValid : CommitRequest::Verdict::kAborted,
+        std::memory_order_acq_rel, std::memory_order_acquire);
+  }
+  // 2. Apply.
+  if (req->verdict() == CommitRequest::Verdict::kValid) write_back(*req);
+  // 3. Cover the version (aborted requests leave a harmless gap).
+  clock_.advance_to(req->commit_version());
+  // 4. Publish completion.
+  req->done_.store(true, std::memory_order_release);
+}
+
+void CommitQueue::help_until_done(CommitRequest* target) {
+  while (!target->done()) {
+    CommitRequest* h = head_->load(std::memory_order_acquire);
+    if (h->done()) {
+      CommitRequest* n = h->next_.load(std::memory_order_acquire);
+      if (n == nullptr) continue;  // target not linked yet? (cannot happen
+                                   // for our own target, but be safe)
+      if (head_->compare_exchange_strong(h, n, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        // h is now unreachable from head_; stale enqueuer references are
+        // protected by the caller-held EBR guard.
+        epochs_.retire(h);
+      }
+      continue;
+    }
+    process(h);
+  }
+}
+
+bool CommitQueue::commit(CommitRequest* req) {
+  enqueue(req);
+  help_until_done(req);
+  const bool ok = req->verdict() == CommitRequest::Verdict::kValid;
+  if (ok) {
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    maybe_trim(*req);
+  } else {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    // The write-back nodes were never linked; free them with the request.
+    // (Retire, because helpers may still be reading them.)
+    for (auto& wb : req->writes) epochs_.retire(wb.node);
+    req->writes.clear();
+  }
+  // The request itself is retired when the head moves past it (see
+  // help_until_done); nothing more to do here.
+  return ok;
+}
+
+}  // namespace txf::stm

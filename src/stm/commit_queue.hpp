@@ -1,0 +1,114 @@
+// Ordered commit queue with helping — the JVSTM-style lock-free commit
+// (paper §III-A: "increasing the global counter and writing-back the values
+// ... in a non-blocking, yet atomic, fashion" via a helping mechanism).
+//
+// Committing read-write transactions enqueue a CommitRequest; commit
+// versions are assigned by queue position (predecessor's version + 1).
+// Every committer then *helps* process the queue strictly in order:
+//
+//   validate(head) -> write back (if valid) -> advance global clock -> done
+//
+// All steps are idempotent, so any number of helpers can execute them
+// concurrently and a stalled committer never blocks the system. Validation
+// is the classic multi-version read-set check: a request aborts iff some
+// box it read has a committed version newer than its snapshot.
+//
+// Requests are heap-allocated and reclaimed through EBR once the queue head
+// has moved past them (stale tail/predecessor pointers may still be
+// dereferenced by concurrent enqueuers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "stm/global_clock.hpp"
+#include "stm/versions.hpp"
+#include "util/epoch.hpp"
+
+namespace txf::stm {
+
+class VBoxImpl;
+
+/// One pre-allocated permanent node per written box; helpers link exactly
+/// this node, which is what makes concurrent write-back idempotent.
+struct WriteBackEntry {
+  VBoxImpl* box;
+  PermanentVersion* node;
+};
+
+class CommitRequest {
+ public:
+  enum class Verdict : std::uint8_t { kUnknown, kValid, kAborted };
+
+  std::vector<WriteBackEntry> writes;
+  std::vector<VBoxImpl*> reads;
+  Version snapshot = 0;
+
+  Version commit_version() const noexcept {
+    return commit_version_.load(std::memory_order_acquire);
+  }
+  Verdict verdict() const noexcept {
+    return verdict_.load(std::memory_order_acquire);
+  }
+  bool done() const noexcept { return done_.load(std::memory_order_acquire); }
+
+ private:
+  friend class CommitQueue;
+  std::atomic<Version> commit_version_{0};
+  std::atomic<Verdict> verdict_{Verdict::kUnknown};
+  std::atomic<bool> done_{false};
+  std::atomic<CommitRequest*> next_{nullptr};
+};
+
+class CommitQueue {
+ public:
+  CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
+              util::EpochDomain& epochs);
+  ~CommitQueue();
+
+  CommitQueue(const CommitQueue&) = delete;
+  CommitQueue& operator=(const CommitQueue&) = delete;
+
+  /// Enqueue `req`, help until it is done, and return whether it committed.
+  /// On success the write-back has been applied and the global clock covers
+  /// the new version; on failure the caller owns retry. The queue takes
+  /// ownership of `req` and of the nodes of an aborted request's write set.
+  /// Caller must hold an EBR guard on the domain passed at construction.
+  bool commit(CommitRequest* req);
+
+  /// Commits that skipped the queue (read-only); for metrics only.
+  std::uint64_t committed_count() const noexcept {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t aborted_count() const noexcept {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+
+  /// How often (in committed requests) to trim written boxes. Exposed for
+  /// tests; default keeps GC overhead negligible.
+  void set_trim_period(std::uint32_t period) noexcept { trim_period_ = period; }
+
+ private:
+  void enqueue(CommitRequest* req);
+  void help_until_done(CommitRequest* target);
+  void process(CommitRequest* req);
+  static bool validate(const CommitRequest& req);
+  static void write_back(CommitRequest& req);
+  void maybe_trim(CommitRequest& req);
+
+  GlobalClock& clock_;
+  ActiveTxnRegistry& registry_;
+  util::EpochDomain& epochs_;
+
+  // head_ = oldest request that may not be done; tail_ = last enqueued.
+  util::CacheAligned<std::atomic<CommitRequest*>> head_;
+  util::CacheAligned<std::atomic<CommitRequest*>> tail_;
+
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> trim_tick_{0};
+  std::uint32_t trim_period_ = 32;
+};
+
+}  // namespace txf::stm

@@ -1,0 +1,119 @@
+// Global version clock and active-transaction registry.
+//
+// The clock is the JVSTM-style "version number of the latest read-write
+// transaction that successfully committed" (paper §III-A). The registry
+// tracks the snapshot of every live transaction so the version GC can
+// compute the oldest snapshot still in use and trim permanent version lists
+// behind it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "util/cache_line.hpp"
+
+namespace txf::stm {
+
+using Version = std::uint64_t;
+inline constexpr Version kNoVersion = std::numeric_limits<Version>::max();
+
+class GlobalClock {
+ public:
+  /// Snapshot for a starting transaction.
+  Version current() const noexcept {
+    return clock_->load(std::memory_order_acquire);
+  }
+
+  /// Monotonically raise the clock to at least `v` (helpers may race; the
+  /// max wins).
+  void advance_to(Version v) noexcept {
+    Version cur = clock_->load(std::memory_order_relaxed);
+    while (cur < v && !clock_->compare_exchange_weak(
+                          cur, v, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  util::CacheAligned<std::atomic<Version>> clock_{0};
+};
+
+/// Lock-free registry of snapshots held by live transactions. Each thread
+/// claims a slot on first use and publishes its current snapshot there;
+/// `min_active()` is a conservative lower bound used by the version GC.
+class ActiveTxnRegistry {
+ public:
+  static constexpr std::size_t kMaxSlots = 256;
+
+  class Slot {
+   public:
+    void publish(Version snapshot) noexcept {
+      value_.store(snapshot, std::memory_order_seq_cst);
+    }
+    void clear() noexcept {
+      value_.store(kNoVersion, std::memory_order_release);
+    }
+    Version get() const noexcept {
+      return value_.load(std::memory_order_seq_cst);
+    }
+
+   private:
+    std::atomic<Version> value_{kNoVersion};
+  };
+
+  static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  /// Claim a slot, scanning from `hint` (pass a per-thread hash so threads
+  /// keep re-claiming "their" slot without contention). Returns the slot
+  /// index, or kNoSlot when all slots are taken (more than kMaxSlots
+  /// concurrent transactions). An unclaimed transaction's snapshot would be
+  /// invisible to min_active(), so overflowing claimers are counted and
+  /// min_active() degrades to "trim nothing" until they finish.
+  std::size_t claim(std::size_t hint) noexcept {
+    for (std::size_t k = 0; k < kMaxSlots; ++k) {
+      const std::size_t i = (hint + k) % kMaxSlots;
+      bool expected = false;
+      if (claimed_[i]->compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+        return i;
+      }
+    }
+    unregistered_->fetch_add(1, std::memory_order_seq_cst);
+    return kNoSlot;
+  }
+
+  /// Release for a claim() that returned kNoSlot.
+  void release_unregistered() noexcept {
+    unregistered_->fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  Slot& slot(std::size_t index) noexcept { return *slots_[index]; }
+
+  void release(std::size_t index) noexcept {
+    if (index == kNoSlot) return;
+    slots_[index]->clear();
+    claimed_[index]->store(false, std::memory_order_release);
+  }
+
+  /// Oldest snapshot any live transaction may be using, bounded by `upper`
+  /// (pass the current clock). Conservative: empty registry returns
+  /// `upper`; any slotless transaction in flight forces 0 (no trimming).
+  Version min_active(Version upper) const noexcept {
+    if (unregistered_->load(std::memory_order_seq_cst) != 0) return 0;
+    Version min = upper;
+    for (std::size_t i = 0; i < kMaxSlots; ++i) {
+      if (!claimed_[i]->load(std::memory_order_acquire)) continue;
+      const Version v = slots_[i]->get();
+      if (v < min) min = v;
+    }
+    return min;
+  }
+
+ private:
+  util::CacheAligned<Slot> slots_[kMaxSlots];
+  util::CacheAligned<std::atomic<bool>> claimed_[kMaxSlots];
+  util::CacheAligned<std::atomic<std::uint64_t>> unregistered_{0};
+};
+
+}  // namespace txf::stm

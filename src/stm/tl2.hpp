@@ -1,0 +1,285 @@
+// TL2-style word-based STM (Dice, Shalev, Shavit, DISC'06) — the classic
+// lock-based design of TinySTM/TL2, implemented as a baseline comparator
+// for the multi-version STM underneath txfutures.
+//
+// Why it exists in this repo: the paper builds on a JVSTM-like
+// multi-version STM; a single-version, versioned-lock STM is the standard
+// alternative. bench_stm_comparison contrasts them (read-only transactions
+// never abort under MVCC; under TL2 they must race the writers), which
+// backs the paper's design choice empirically.
+//
+// Design: a global version clock plus a striped table of versioned write
+// locks (orecs) indexed by address hash. Transactions buffer writes,
+// post-validate every read against its orec, and commit by locking the
+// write set, re-validating the read set, writing back and stamping the
+// orecs with a new clock value.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "stm/write_set.hpp"
+#include "util/backoff.hpp"
+#include "util/cache_line.hpp"
+
+namespace txf::stm::tl2 {
+
+using Word = std::uint64_t;
+
+/// A versioned lock: LSB = locked, upper bits = commit version.
+class VersionedLock {
+ public:
+  static constexpr std::uint64_t kLockedBit = 1;
+
+  std::uint64_t load() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  static bool is_locked(std::uint64_t v) noexcept { return v & kLockedBit; }
+  static std::uint64_t version_of(std::uint64_t v) noexcept {
+    return v >> 1;
+  }
+
+  bool try_lock(std::uint64_t observed) noexcept {
+    if (is_locked(observed)) return false;
+    return state_.compare_exchange_strong(observed, observed | kLockedBit,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+  void unlock_with_version(std::uint64_t version) noexcept {
+    state_.store(version << 1, std::memory_order_release);
+  }
+  void unlock_restore(std::uint64_t observed) noexcept {
+    state_.store(observed, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> state_{0};
+};
+
+/// Shared state of one TL2 instance.
+class Tl2Env {
+ public:
+  static constexpr std::size_t kOrecCount = 1 << 20;
+
+  Tl2Env() : orecs_(std::make_unique<VersionedLock[]>(kOrecCount)) {}
+
+  Tl2Env(const Tl2Env&) = delete;
+  Tl2Env& operator=(const Tl2Env&) = delete;
+
+  std::uint64_t clock() const noexcept {
+    return clock_->load(std::memory_order_acquire);
+  }
+  std::uint64_t advance_clock() noexcept {
+    return clock_->fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  VersionedLock& orec_for(const void* addr) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(addr);
+    h ^= h >> 16;
+    h *= 0x85ebca6bU;
+    h ^= h >> 13;
+    return orecs_[h & (kOrecCount - 1)];
+  }
+
+  std::uint64_t commits() const noexcept {
+    return commits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t aborts() const noexcept {
+    return aborts_.load(std::memory_order_relaxed);
+  }
+  void count_commit() noexcept {
+    commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void count_abort() noexcept {
+    aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  util::CacheAligned<std::atomic<std::uint64_t>> clock_{0};
+  // Striped versioned locks (heap: ~8 MiB); default state = version 0,
+  // unlocked.
+  std::unique_ptr<VersionedLock[]> orecs_;
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+};
+
+/// A transactional variable: one shared word plus its lock-table slot.
+template <typename T>
+class Tl2Var {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word),
+                "Tl2Var<T> requires a small trivially copyable T");
+
+ public:
+  explicit Tl2Var(const T& initial = T{}) {
+    Word w = 0;
+    std::memcpy(&w, &initial, sizeof(T));
+    value_.store(w, std::memory_order_relaxed);
+  }
+
+  T peek() const noexcept {
+    const Word w = value_.load(std::memory_order_acquire);
+    T v;
+    std::memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+
+  std::atomic<Word>& cell() noexcept { return value_; }
+  const std::atomic<Word>& cell() const noexcept { return value_; }
+
+ private:
+  std::atomic<Word> value_{0};
+};
+
+/// Conflict signal: aborts the current attempt (caught by atomically_tl2).
+struct Tl2Conflict {};
+
+class Tl2Txn {
+ public:
+  explicit Tl2Txn(Tl2Env& env)
+      : env_(env), rv_(env.clock()) {}
+
+  template <typename T>
+  T read(const Tl2Var<T>& var) {
+    auto* cell = const_cast<std::atomic<Word>*>(&var.cell());
+    if (const Word* w = writes_.find(key_of(cell))) return from_word<T>(*w);
+    VersionedLock& orec = env_.orec_for(cell);
+    // TL2 post-validated read.
+    const std::uint64_t pre = orec.load();
+    const Word w = cell->load(std::memory_order_acquire);
+    const std::uint64_t post = orec.load();
+    if (VersionedLock::is_locked(post) || pre != post ||
+        VersionedLock::version_of(post) > rv_) {
+      throw Tl2Conflict{};
+    }
+    reads_.push_back(ReadRec{&orec});
+    return from_word<T>(w);
+  }
+
+  template <typename T>
+  void write(Tl2Var<T>& var, const T& value) {
+    Word w = 0;
+    std::memcpy(&w, &value, sizeof(T));
+    writes_.put(key_of(&var.cell()), w);
+    write_cells_.push_back(&var.cell());
+  }
+
+  bool try_commit() {
+    if (writes_.empty()) return true;  // read-only: rv-validated already
+    // Phase 1: lock the write set (encounter order; abort on busy —
+    // TinySTM's write-through variant spins, TL2 aborts; we abort).
+    std::vector<VersionedLock*> locks;
+    std::vector<std::uint64_t> observed;
+    locks.reserve(write_cells_.size());
+    observed.reserve(write_cells_.size());
+    const auto& cells = write_cells_;
+    const auto release_all = [&] {
+      for (std::size_t i = 0; i < locks.size(); ++i)
+        locks[i]->unlock_restore(observed[i]);
+    };
+    for (std::atomic<Word>* cell : cells) {
+      VersionedLock& orec = env_.orec_for(cell);
+      // The same orec may guard several cells (hash striping): skip dups.
+      bool dup = false;
+      for (VersionedLock* held : locks) {
+        if (held == &orec) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      const std::uint64_t v = orec.load();
+      if (VersionedLock::version_of(v) > rv_ || !orec.try_lock(v)) {
+        release_all();
+        return false;
+      }
+      locks.push_back(&orec);
+      observed.push_back(v);
+    }
+    // Phase 2: new version.
+    const std::uint64_t wv = env_.advance_clock();
+    // Phase 3: validate the read set (unless rv+1 == wv: nothing committed
+    // in between — the classic TL2 short-circuit).
+    if (wv != rv_ + 1) {
+      for (const ReadRec& r : reads_) {
+        const std::uint64_t v = r.orec->load();
+        const bool locked_by_us = [&] {
+          for (VersionedLock* held : locks)
+            if (held == r.orec) return true;
+          return false;
+        }();
+        if ((VersionedLock::is_locked(v) && !locked_by_us) ||
+            VersionedLock::version_of(v) > rv_) {
+          release_all();
+          return false;
+        }
+      }
+    }
+    // Phase 4: write back and release with wv.
+    for (std::atomic<Word>* cell : cells) {
+      cell->store(writes_.value_of(key_of(cell)), std::memory_order_release);
+    }
+    for (VersionedLock* held : locks) held->unlock_with_version(wv);
+    return true;
+  }
+
+  std::size_t read_count() const noexcept { return reads_.size(); }
+  std::size_t write_count() const noexcept { return write_cells_.size(); }
+
+ private:
+  struct ReadRec {
+    VersionedLock* orec;
+  };
+  // WriteSetMap keys are VBoxImpl*; reuse it with the cell address as key.
+  static VBoxImpl* key_of(const std::atomic<Word>* cell) noexcept {
+    return reinterpret_cast<VBoxImpl*>(
+        const_cast<std::atomic<Word>*>(cell));
+  }
+
+  template <typename T>
+  static T from_word(Word w) noexcept {
+    T v;
+    std::memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+
+  Tl2Env& env_;
+  std::uint64_t rv_;
+  std::vector<ReadRec> reads_;
+  WriteSetMap writes_;
+  std::vector<std::atomic<Word>*> write_cells_;
+};
+
+/// Retry loop for TL2 transactions.
+template <typename F>
+auto atomically_tl2(Tl2Env& env, F&& fn) {
+  using R = std::invoke_result_t<F&, Tl2Txn&>;
+  util::Backoff backoff;
+  for (;;) {
+    Tl2Txn txn(env);
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn(txn);
+        if (txn.try_commit()) {
+          env.count_commit();
+          return;
+        }
+      } else {
+        R result = fn(txn);
+        if (txn.try_commit()) {
+          env.count_commit();
+          return result;
+        }
+      }
+    } catch (const Tl2Conflict&) {
+      // fall through to retry
+    }
+    env.count_abort();
+    backoff.pause();
+  }
+}
+
+}  // namespace txf::stm::tl2

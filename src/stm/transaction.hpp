@@ -1,0 +1,174 @@
+// Flat (future-free) top-level transactions and the STM environment.
+//
+// This is the conventional JVSTM-style MVCC transaction of paper §III-A:
+// snapshot reads against the permanent version lists, a private write set,
+// and commit through the ordered helping queue. Transaction trees (futures)
+// build on top of this in core/.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+#include "stm/commit_queue.hpp"
+#include "stm/global_clock.hpp"
+#include "stm/vbox.hpp"
+#include "stm/write_set.hpp"
+#include "util/backoff.hpp"
+#include "util/epoch.hpp"
+
+namespace txf::stm {
+
+/// Shared state of one STM instance: the clock, the live-snapshot registry,
+/// the commit queue and the reclamation domain. Library users normally hold
+/// exactly one (via core::Runtime); tests create private ones freely.
+class StmEnv {
+ public:
+  StmEnv() : epochs_(&util::global_epoch_domain()), queue_(clock_, registry_, *epochs_) {}
+  explicit StmEnv(util::EpochDomain& domain)
+      : epochs_(&domain), queue_(clock_, registry_, domain) {}
+
+  StmEnv(const StmEnv&) = delete;
+  StmEnv& operator=(const StmEnv&) = delete;
+
+  GlobalClock& clock() noexcept { return clock_; }
+  ActiveTxnRegistry& registry() noexcept { return registry_; }
+  CommitQueue& queue() noexcept { return queue_; }
+  util::EpochDomain& epochs() noexcept { return *epochs_; }
+
+ private:
+  GlobalClock clock_;
+  ActiveTxnRegistry registry_;
+  util::EpochDomain* epochs_;
+  CommitQueue queue_;
+};
+
+/// Thrown by user code to force an abort-and-retry of the current attempt.
+struct RetryTransaction {};
+
+class Transaction {
+ public:
+  enum class Mode { kReadWrite, kReadOnly };
+
+  explicit Transaction(StmEnv& env, Mode mode = Mode::kReadWrite)
+      : env_(env), guard_(env.epochs()), mode_(mode) {
+    const std::size_t hint =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    slot_ = env_.registry().claim(hint);
+    begin_snapshot();
+  }
+
+  ~Transaction() {
+    if (slot_ != ActiveTxnRegistry::kNoSlot) {
+      env_.registry().release(slot_);
+    } else {
+      env_.registry().release_unregistered();
+    }
+  }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Version snapshot() const noexcept { return snapshot_; }
+  Mode mode() const noexcept { return mode_; }
+  StmEnv& env() noexcept { return env_; }
+
+  /// Transactional read (paper §III-A: write-set lookup, then the newest
+  /// permanent version committed before this transaction began).
+  Word read(VBoxImpl& box) {
+    if (mode_ == Mode::kReadWrite) {
+      if (const Word* w = writes_.find(&box)) return *w;
+    }
+    const PermanentVersion* v = box.read_permanent(snapshot_);
+    assert(v != nullptr && "VBox read at a snapshot older than the box");
+    if (mode_ == Mode::kReadWrite) reads_.put(&box, 0);
+    return v->value;
+  }
+
+  /// Transactional write: buffered privately until commit.
+  void write(VBoxImpl& box, Word value) {
+    assert(mode_ == Mode::kReadWrite && "write inside a read-only transaction");
+    writes_.put(&box, value);
+  }
+
+  bool wrote_anything() const noexcept { return !writes_.empty(); }
+  std::size_t read_count() const noexcept { return reads_.size(); }
+  std::size_t write_count() const noexcept { return writes_.size(); }
+
+  /// Attempt to commit. Read-only executions commit immediately (their
+  /// snapshot is consistent by construction, §IV-E); writers go through the
+  /// helped commit queue. Returns false on conflict — caller retries with a
+  /// fresh Transaction.
+  bool try_commit() {
+    if (writes_.empty()) return true;
+    auto* req = new CommitRequest();
+    req->snapshot = snapshot_;
+    req->reads = reads_.boxes();
+    req->writes.reserve(writes_.size());
+    for (VBoxImpl* box : writes_.boxes()) {
+      req->writes.push_back(
+          WriteBackEntry{box, new PermanentVersion(writes_.value_of(box),
+                                                   /*ver=*/0, nullptr)});
+    }
+    return env_.queue().commit(req);
+  }
+
+ private:
+  void begin_snapshot() {
+    // Publish-then-verify so the version GC can never trim a version this
+    // snapshot still needs (see ActiveTxnRegistry).
+    for (;;) {
+      const Version s = env_.clock().current();
+      if (slot_ != ActiveTxnRegistry::kNoSlot)
+        env_.registry().slot(slot_).publish(s);
+      if (env_.clock().current() == s ||
+          slot_ == ActiveTxnRegistry::kNoSlot) {
+        snapshot_ = s;
+        return;
+      }
+    }
+  }
+
+  StmEnv& env_;
+  util::EpochDomain::Guard guard_;
+  std::size_t slot_ = ActiveTxnRegistry::kNoSlot;
+  Version snapshot_ = 0;
+  WriteSetMap writes_;
+  WriteSetMap reads_;  // keys only: the read set
+  Mode mode_;
+};
+
+/// Run `fn(Transaction&)` atomically, retrying on conflict with bounded
+/// exponential backoff. Returns fn's result.
+template <typename F>
+auto atomically(StmEnv& env, F&& fn,
+                Transaction::Mode mode = Transaction::Mode::kReadWrite) {
+  using R = std::invoke_result_t<F&, Transaction&>;
+  util::Backoff backoff;
+  for (;;) {
+    Transaction tx(env, mode);
+    if constexpr (std::is_void_v<R>) {
+      bool retry = false;
+      try {
+        fn(tx);
+      } catch (const RetryTransaction&) {
+        retry = true;
+      }
+      if (!retry && tx.try_commit()) return;
+    } else {
+      bool retry = false;
+      R result{};
+      try {
+        result = fn(tx);
+      } catch (const RetryTransaction&) {
+        retry = true;
+      }
+      if (!retry && tx.try_commit()) return result;
+    }
+    backoff.pause();
+  }
+}
+
+}  // namespace txf::stm

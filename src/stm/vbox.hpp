@@ -1,0 +1,178 @@
+// Versioned boxes (paper §III): the unit of transactional shared state.
+//
+// VBoxImpl is the untyped concurrency-layer cell holding the two lists of
+// Fig. 3b: the permanent (committed) version list and the tentative list
+// used by sub-transactions of a transaction tree. VBox<T> is the typed
+// user-facing wrapper.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <type_traits>
+
+#include "stm/versions.hpp"
+#include "util/epoch.hpp"
+
+namespace txf::core {
+struct TentativeVersion;  // defined in core/tentative.hpp
+}
+
+namespace txf::stm {
+
+// LIFETIME CONTRACT: a VBox's version numbers come from one StmEnv's global
+// clock, and its old versions are reclaimed against that env's registry. A
+// box must therefore be used with a single StmEnv for its whole life;
+// sharing boxes across envs (or reusing them after the env's clock reset)
+// makes committed versions unreachable.
+class VBoxImpl {
+ public:
+  /// The initial value is committed at version 0, so it is visible to every
+  /// transaction from the start.
+  explicit VBoxImpl(Word initial)
+      : permanent_(new PermanentVersion(initial, 0, nullptr)) {}
+
+  /// Destruction requires quiescence (no transaction may touch this box).
+  ~VBoxImpl() {
+    PermanentVersion* p = permanent_.load(std::memory_order_relaxed);
+    while (p != nullptr) {
+      PermanentVersion* next = p->next.load(std::memory_order_relaxed);
+      delete p;
+      p = next;
+    }
+  }
+
+  VBoxImpl(const VBoxImpl&) = delete;
+  VBoxImpl& operator=(const VBoxImpl&) = delete;
+
+  // --- permanent list ---
+
+  const PermanentVersion* permanent_head() const noexcept {
+    return permanent_.load(std::memory_order_acquire);
+  }
+
+  /// Newest committed version visible at `snapshot`.
+  const PermanentVersion* read_permanent(Version snapshot) const noexcept {
+    return find_visible(permanent_head(), snapshot);
+  }
+
+  /// Commit write-back: link `node` in front of `expected`. Idempotence for
+  /// helped commits comes from helpers sharing one pre-allocated node: the
+  /// first CAS wins and later helpers observe head->version >= node->version.
+  bool cas_permanent_head(PermanentVersion* expected,
+                          PermanentVersion* node) noexcept {
+    return permanent_.compare_exchange_strong(expected, node,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire);
+  }
+
+  /// Retire versions strictly older than the newest one visible at
+  /// `min_snapshot` (they can never be read again). Caller must be inside an
+  /// EBR guard of `domain`.
+  void trim(Version min_snapshot, util::EpochDomain& domain) {
+    PermanentVersion* keep = permanent_.load(std::memory_order_acquire);
+    while (keep != nullptr && keep->version > min_snapshot)
+      keep = keep->next.load(std::memory_order_acquire);
+    if (keep == nullptr) return;
+    // Detach everything older than `keep`. Serialize trimmers so the same
+    // node is never retired twice.
+    bool expected = false;
+    if (!trimming_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return;  // another thread is trimming this box
+    }
+    PermanentVersion* old =
+        keep->next.exchange(nullptr, std::memory_order_acq_rel);
+    trimming_.store(false, std::memory_order_release);
+    while (old != nullptr) {
+      PermanentVersion* next = old->next.load(std::memory_order_relaxed);
+      domain.retire(old);
+      old = next;
+    }
+  }
+
+  // --- tentative list (head doubles as the per-tree lock, §IV-A) ---
+
+  core::TentativeVersion* tentative_head() const noexcept {
+    return tentative_.load(std::memory_order_acquire);
+  }
+
+  bool cas_tentative_head(core::TentativeVersion* expected,
+                          core::TentativeVersion* desired) noexcept {
+    return tentative_.compare_exchange_strong(expected, desired,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire);
+  }
+
+  void store_tentative_head(core::TentativeVersion* v) noexcept {
+    tentative_.store(v, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<PermanentVersion*> permanent_;
+  std::atomic<core::TentativeVersion*> tentative_{nullptr};
+  std::atomic<bool> trimming_{false};
+};
+
+// --- typed wrapper -------------------------------------------------------
+
+/// Pack a small trivially-copyable value into the STM word.
+template <typename T>
+Word pack_word(const T& v) noexcept {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(Word),
+                "VBox<T> requires trivially copyable T of at most 8 bytes; "
+                "store larger objects behind a pointer to an immutable "
+                "record (see containers/)");
+  Word w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  return w;
+}
+
+template <typename T>
+T unpack_word(Word w) noexcept {
+  T v;
+  std::memcpy(&v, &w, sizeof(T));
+  return v;
+}
+
+/// Typed versioned box. All access goes through a transactional context
+/// (`Ctx` is any type exposing `Word read(VBoxImpl&)` and
+/// `void write(VBoxImpl&, Word)` — flat transactions and sub-transactions
+/// both qualify).
+template <typename T>
+class VBox {
+ public:
+  explicit VBox(const T& initial = T{}) : impl_(pack_word(initial)) {}
+
+  template <typename Ctx>
+  T get(Ctx& ctx) const {
+    return unpack_word<T>(ctx.read(impl_));
+  }
+
+  template <typename Ctx>
+  void put(Ctx& ctx, const T& value) {
+    ctx.write(impl_, pack_word(value));
+  }
+
+  /// Non-transactional peek at the latest committed value. For tests,
+  /// initialization, and post-quiescence inspection only.
+  T peek_committed() const noexcept {
+    return unpack_word<T>(impl_.permanent_head()->value);
+  }
+
+  /// Overwrite the initial committed value in place. Only safe while the
+  /// box is still private to the constructing thread (e.g. wiring up
+  /// container sentinels before publication).
+  void unsafe_init(const T& value) noexcept {
+    const_cast<PermanentVersion*>(impl_.permanent_head())->value =
+        pack_word(value);
+  }
+
+  VBoxImpl& impl() noexcept { return impl_; }
+  const VBoxImpl& impl() const noexcept { return impl_; }
+
+ private:
+  mutable VBoxImpl impl_;
+};
+
+}  // namespace txf::stm

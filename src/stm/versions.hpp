@@ -1,0 +1,42 @@
+// Committed ("permanent") version list nodes (paper Fig. 3b, left list).
+//
+// Each VBox keeps a singly linked list of committed versions in descending
+// version order. The head is CASed by commit write-back; readers traverse to
+// the newest version not exceeding their snapshot. Old nodes are retired via
+// EBR once no live snapshot can reach them. `next` is atomic because helped
+// commits may store it concurrently (always with the same value) and the
+// trimmer cuts it while readers traverse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "stm/global_clock.hpp"
+
+namespace txf::stm {
+
+/// Payload word. The concurrency layer is word-based: VBox<T> packs small
+/// trivially-copyable T into this, larger T go through pointers to immutable
+/// records (DESIGN.md §6).
+using Word = std::uint64_t;
+
+struct PermanentVersion {
+  Word value;
+  Version version;
+  std::atomic<PermanentVersion*> next;  // older version, or nullptr
+
+  PermanentVersion(Word v, Version ver, PermanentVersion* nxt) noexcept
+      : value(v), version(ver), next(nxt) {}
+};
+
+/// Newest version with version <= snapshot, or nullptr if the list has no
+/// version old enough (boxes are seeded with a version-0 value, so nullptr
+/// means "snapshot predates the box" and is a programming error).
+inline const PermanentVersion* find_visible(const PermanentVersion* head,
+                                            Version snapshot) noexcept {
+  while (head != nullptr && head->version > snapshot)
+    head = head->next.load(std::memory_order_acquire);
+  return head;
+}
+
+}  // namespace txf::stm

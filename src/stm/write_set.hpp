@@ -1,0 +1,111 @@
+// Private write set: open-addressing hash map from VBox to written word.
+//
+// Top-level (flat) transactions buffer writes here (paper §III-A); the same
+// structure backs the tree-private rootWriteSet used by the inter-tree
+// conflict fallback (§IV-A, ownedByAnotherTree). Hot path is
+// lookup-on-every-read, so this is a flat, allocation-light linear-probing
+// table rather than std::unordered_map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stm/versions.hpp"
+
+namespace txf::stm {
+
+class VBoxImpl;
+
+class WriteSetMap {
+ public:
+  struct Entry {
+    VBoxImpl* box = nullptr;
+    Word value = 0;
+  };
+
+  WriteSetMap() { reset_table(16); }
+
+  void clear() {
+    if (size_ == 0) return;
+    std::fill(table_.begin(), table_.end(), Entry{});
+    order_.clear();
+    size_ = 0;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Insert or overwrite.
+  void put(VBoxImpl* box, Word value) {
+    if ((size_ + 1) * 10 >= table_.size() * 7) grow();
+    std::size_t i = probe_start(box);
+    for (;;) {
+      Entry& e = table_[i];
+      if (e.box == box) {
+        e.value = value;
+        return;
+      }
+      if (e.box == nullptr) {
+        e.box = box;
+        e.value = value;
+        order_.push_back(box);
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Returns pointer to the stored value or nullptr.
+  const Word* find(const VBoxImpl* box) const noexcept {
+    std::size_t i = probe_start(box);
+    for (;;) {
+      const Entry& e = table_[i];
+      if (e.box == box) return &e.value;
+      if (e.box == nullptr) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Boxes in first-write order (stable iteration for write-back).
+  const std::vector<VBoxImpl*>& boxes() const noexcept { return order_; }
+
+  Word value_of(const VBoxImpl* box) const noexcept {
+    const Word* w = find(box);
+    return w != nullptr ? *w : 0;
+  }
+
+ private:
+  std::size_t probe_start(const VBoxImpl* box) const noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(box);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  void reset_table(std::size_t cap) {
+    table_.assign(cap, Entry{});
+    mask_ = cap - 1;
+  }
+
+  void grow() {
+    std::vector<Entry> old;
+    old.swap(table_);
+    reset_table(old.size() * 2);
+    for (const Entry& e : old) {
+      if (e.box == nullptr) continue;
+      std::size_t i = probe_start(e.box);
+      while (table_[i].box != nullptr) i = (i + 1) & mask_;
+      table_[i] = e;
+    }
+  }
+
+  std::vector<Entry> table_;
+  std::vector<VBoxImpl*> order_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace txf::stm

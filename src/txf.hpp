@@ -1,0 +1,22 @@
+// Umbrella header: everything a txfutures application needs.
+//
+//   #include "txf.hpp"
+//
+//   txf::core::Runtime rt;
+//   txf::stm::VBox<long> x(0);
+//   txf::core::atomically(rt, [&](txf::core::TxCtx& ctx) {
+//     auto f = ctx.submit([&](txf::core::TxCtx& c) { return x.get(c); });
+//     x.put(ctx, f.get(ctx) + 1);
+//   });
+#pragma once
+
+#include "containers/tx_counter.hpp"
+#include "containers/tx_list.hpp"
+#include "containers/tx_map.hpp"
+#include "containers/tx_queue.hpp"
+#include "containers/tx_vector.hpp"
+#include "core/api.hpp"
+#include "core/config.hpp"
+#include "core/runtime.hpp"
+#include "stm/transaction.hpp"
+#include "stm/vbox.hpp"

@@ -1,0 +1,62 @@
+// Bounded exponential backoff for contended atomic retry loops.
+//
+// Spin loops that retry a CAS under contention must yield progressively to
+// avoid memory-bus saturation (the paper's workloads hammer a small set of
+// hot VBoxes, so the write path relies on this). The policy is: a few pause
+// instructions first, then `std::this_thread::yield()`, then short sleeps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace txf::util {
+
+/// Hint the CPU that we are in a spin-wait loop.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fallback: a compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff helper. Create one per retry loop; call `pause()`
+/// after each failed attempt and `reset()` after a success.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t spin_limit = 6,
+                   std::uint32_t yield_limit = 10) noexcept
+      : spin_limit_(spin_limit), yield_limit_(yield_limit) {}
+
+  void pause() noexcept {
+    if (step_ < spin_limit_) {
+      // 2^step pause instructions.
+      for (std::uint32_t i = 0; i < (1u << step_); ++i) cpu_relax();
+    } else if (step_ < spin_limit_ + yield_limit_) {
+      std::this_thread::yield();
+    } else {
+      // Cap the sleep: latency of a commit wait should stay microseconds.
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    ++step_;
+  }
+
+  void reset() noexcept { step_ = 0; }
+
+  std::uint32_t step() const noexcept { return step_; }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t yield_limit_;
+  std::uint32_t step_ = 0;
+};
+
+}  // namespace txf::util

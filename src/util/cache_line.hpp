@@ -1,0 +1,48 @@
+// Cache-line geometry helpers.
+//
+// Shared mutable state in txfutures is laid out so that independently
+// written words never share a cache line (C++ Core Guidelines CP.*: avoid
+// false sharing between threads). `CacheAligned<T>` pads a value to a full
+// line; `kCacheLineSize` is the constant used across the project.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace txf::util {
+
+// Fixed at 64 rather than std::hardware_destructive_interference_size: the
+// value is part of our layout ABI and must not drift with -mtune flags
+// (this is also what -Winterference-size recommends).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so it occupies (at least) one whole cache line.
+///
+/// Use for per-thread counters, queue heads/tails, and any atomic that is
+/// written by one thread while neighbours are written by others.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(alignof(T) <= kCacheLineSize,
+                "T is over-aligned beyond a cache line");
+
+  T value;
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+
+ private:
+  // Pad the tail so arrays of CacheAligned<T> do not share lines either.
+  [[maybe_unused]] char pad_[kCacheLineSize > sizeof(T)
+                                 ? kCacheLineSize - sizeof(T)
+                                 : 1] = {};
+};
+
+}  // namespace txf::util

@@ -1,0 +1,215 @@
+#include "util/epoch.hpp"
+
+#include <cassert>
+
+namespace txf::util {
+
+// Per-(thread, domain) state. A thread may use several domains (tests create
+// private ones), so the thread-local holds a small registry keyed by domain.
+namespace {
+// Trivially-destructible flag that outlives the thread_local ThreadState:
+// static-duration destructors (e.g. the global domain at process exit) must
+// not touch a ThreadState that was already destroyed.
+thread_local bool t_state_alive = false;
+}  // namespace
+
+struct EpochDomain::ThreadState {
+  ThreadState() { t_state_alive = true; }
+
+  struct Entry {
+    EpochDomain* domain = nullptr;
+    std::size_t slot_index = 0;
+    std::vector<Retired> bag;
+    std::size_t since_advance = 0;
+  };
+
+  std::vector<Entry> entries;
+
+  Entry& entry_for(EpochDomain& domain) {
+    for (auto& e : entries)
+      if (e.domain == &domain) return e;
+    // First use of this domain on this thread: claim a slot.
+    Entry e;
+    e.domain = &domain;
+    e.slot_index = EpochDomain::kMaxThreads;
+    for (std::size_t i = 0; i < EpochDomain::kMaxThreads; ++i) {
+      bool expected = false;
+      if (domain.slots_[i]->in_use.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        e.slot_index = i;
+        break;
+      }
+    }
+    assert(e.slot_index < EpochDomain::kMaxThreads &&
+           "EpochDomain: more than kMaxThreads concurrent threads");
+    entries.push_back(std::move(e));
+    return entries.back();
+  }
+
+  ~ThreadState() {
+    t_state_alive = false;
+    // Hand pending retirements to each domain's orphan list and free slots.
+    for (auto& e : entries) {
+      if (e.domain == nullptr) continue;
+      if (!e.bag.empty()) {
+        std::lock_guard<std::mutex> lock(e.domain->orphan_mutex_);
+        for (auto& r : e.bag) e.domain->orphans_.push_back(r);
+        e.bag.clear();
+      }
+      auto& slot = *e.domain->slots_[e.slot_index];
+      slot.pinned_epoch.store(0, std::memory_order_release);
+      slot.in_use.store(false, std::memory_order_release);
+    }
+  }
+};
+
+namespace {
+thread_local EpochDomain::ThreadState t_state;
+}  // namespace
+
+EpochDomain::EpochDomain() { global_epoch_->store(1, std::memory_order_relaxed); }
+
+EpochDomain::~EpochDomain() {
+  // The owner must guarantee quiescence before destruction.
+  drain_for_shutdown();
+  // Detach this domain from any live thread-local registries. Threads that
+  // already exited removed themselves via ~ThreadState; the destroying
+  // thread's own registry may still reference us — unless it was destroyed
+  // already (process exit tears thread_locals down before statics).
+  if (t_state_alive) {
+    for (auto& e : t_state.entries)
+      if (e.domain == this) e.domain = nullptr;
+  }
+}
+
+EpochDomain::ThreadState& EpochDomain::local_state() { return t_state; }
+
+void EpochDomain::pin() {
+  auto& entry = local_state().entry_for(*this);
+  auto& slot = *slots_[entry.slot_index];
+  if (slot.pin_depth++ > 0) return;  // nested guard: already pinned
+  // Publish the epoch we observe; loop in case the epoch moves while we
+  // publish (keeps the pinned value current, bounding reclamation lag).
+  std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
+  for (;;) {
+    slot.pinned_epoch.store(e, std::memory_order_seq_cst);
+    const std::uint64_t now = global_epoch_->load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+}
+
+void EpochDomain::unpin() {
+  auto& entry = local_state().entry_for(*this);
+  auto& slot = *slots_[entry.slot_index];
+  assert(slot.pin_depth > 0);
+  if (--slot.pin_depth == 0)
+    slot.pinned_epoch.store(0, std::memory_order_release);
+}
+
+EpochDomain::Guard::Guard(EpochDomain& domain) : domain_(domain) {
+  domain_.pin();  // pin() handles nesting via the slot's pin depth
+}
+
+EpochDomain::Guard::~Guard() { domain_.unpin(); }
+
+void EpochDomain::retire(void* p, void (*deleter)(void*)) {
+  auto& entry = local_state().entry_for(*this);
+  entry.bag.push_back(
+      Retired{p, deleter, global_epoch_->load(std::memory_order_acquire)});
+  if (++entry.since_advance >= kAdvanceThreshold) {
+    entry.since_advance = 0;
+    try_advance_and_collect();
+  }
+}
+
+bool EpochDomain::try_advance() {
+  const std::uint64_t e = global_epoch_->load(std::memory_order_seq_cst);
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    const auto& slot = *slots_[i];
+    if (!slot.in_use.load(std::memory_order_acquire)) continue;
+    const std::uint64_t pinned =
+        slot.pinned_epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned != e) return false;  // straggler
+  }
+  std::uint64_t expected = e;
+  return global_epoch_->compare_exchange_strong(expected, e + 1,
+                                                std::memory_order_seq_cst);
+}
+
+void EpochDomain::collect(std::vector<Retired>& bag,
+                          std::uint64_t safe_before) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    if (bag[i].epoch < safe_before) {
+      bag[i].deleter(bag[i].ptr);
+    } else {
+      bag[kept++] = bag[i];
+    }
+  }
+  bag.resize(kept);
+}
+
+void EpochDomain::try_advance_and_collect() {
+  try_advance();
+  const std::uint64_t e = global_epoch_->load(std::memory_order_acquire);
+  // Nodes retired at epoch x are safe once e >= x + 2, i.e. x < e - 1.
+  if (e < 2) return;
+  const std::uint64_t safe_before = e - 1;
+  auto& entry = local_state().entry_for(*this);
+  collect(entry.bag, safe_before);
+  // Also help with orphans left behind by exited threads.
+  std::vector<Retired> grabbed;
+  {
+    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    grabbed.swap(orphans_);
+  }
+  if (!grabbed.empty()) {
+    collect(grabbed, safe_before);
+    if (!grabbed.empty()) {
+      std::lock_guard<std::mutex> lock(orphan_mutex_);
+      for (auto& r : grabbed) orphans_.push_back(r);
+    }
+  }
+}
+
+std::size_t EpochDomain::drain_for_shutdown() {
+  std::size_t freed = 0;
+  if (t_state_alive) {
+    auto& entry = local_state().entry_for(*this);
+    for (auto& r : entry.bag) {
+      r.deleter(r.ptr);
+      ++freed;
+    }
+    entry.bag.clear();
+  }
+  std::lock_guard<std::mutex> lock(orphan_mutex_);
+  for (auto& r : orphans_) {
+    r.deleter(r.ptr);
+    ++freed;
+  }
+  orphans_.clear();
+  return freed;
+}
+
+std::size_t EpochDomain::pending_count() const {
+  std::size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(
+        const_cast<EpochDomain*>(this)->orphan_mutex_);
+    n += orphans_.size();
+  }
+  // Only the calling thread's own bag is visible without racing.
+  if (t_state_alive) {
+    for (const auto& e : t_state.entries)
+      if (e.domain == this) n += e.bag.size();
+  }
+  return n;
+}
+
+EpochDomain& global_epoch_domain() {
+  static EpochDomain domain;
+  return domain;
+}
+
+}  // namespace txf::util

@@ -1,0 +1,120 @@
+// Epoch-based memory reclamation (EBR).
+//
+// The STM's permanent version lists and stolen tentative nodes are unlinked
+// by one thread while other threads may still be traversing them. The JVM
+// paper implementation leans on Java's GC; this domain is the C++
+// substitute (see DESIGN.md substitution 1).
+//
+// Protocol (classic 3-epoch EBR):
+//  * Readers wrap traversals in a Guard, which pins the thread to the
+//    current global epoch.
+//  * `retire(p, deleter)` stamps the node with the current epoch.
+//  * The global epoch may advance from E to E+1 only when every pinned
+//    thread has observed E; a node retired in epoch E is freed once the
+//    global epoch reaches E+2, at which point no reader can still hold a
+//    reference to it.
+//
+// Threads register implicitly on first use; on thread exit their pending
+// retirements migrate to a shared orphan list so nothing leaks.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/cache_line.hpp"
+
+namespace txf::util {
+
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+  /// Local retirements accumulated before attempting an epoch advance.
+  static constexpr std::size_t kAdvanceThreshold = 64;
+
+  EpochDomain();
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// RAII pin: while alive, nodes retired under this domain in the pinned
+  /// epoch (or later) will not be freed.
+  class Guard {
+   public:
+    explicit Guard(EpochDomain& domain);
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard();
+
+   private:
+    EpochDomain& domain_;
+  };
+
+  /// Defer `deleter(p)` until no pinned reader can reach `p`. May be called
+  /// with or without a Guard held.
+  void retire(void* p, void (*deleter)(void*));
+
+  /// Convenience: retire with `delete static_cast<T*>(p)`.
+  template <typename T>
+  void retire(T* p) {
+    retire(static_cast<void*>(p),
+           [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Attempt one epoch advance and free what became safe. Called
+  /// automatically from retire(); exposed for tests and shutdown paths.
+  void try_advance_and_collect();
+
+  /// Free everything unconditionally. Only safe when no thread is pinned
+  /// (e.g. single-threaded shutdown). Returns the number freed.
+  std::size_t drain_for_shutdown();
+
+  std::uint64_t global_epoch() const noexcept {
+    return global_epoch_->load(std::memory_order_acquire);
+  }
+
+  /// Per-thread bookkeeping; public only because it lives in a
+  /// thread_local defined in the implementation file.
+  struct ThreadState;
+
+  /// Number of retired-but-not-yet-freed nodes (approximate; for tests).
+  std::size_t pending_count() const;
+
+ private:
+  friend struct ThreadState;
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct Slot {
+    // 0 = quiescent; otherwise the epoch the thread is pinned at.
+    std::atomic<std::uint64_t> pinned_epoch{0};
+    std::atomic<bool> in_use{false};
+    std::uint32_t pin_depth = 0;  // only touched by the owning thread
+  };
+
+  ThreadState& local_state();
+  void pin();
+  void unpin();
+  bool try_advance();
+  void collect(std::vector<Retired>& bag, std::uint64_t safe_before);
+
+  CacheAligned<std::atomic<std::uint64_t>> global_epoch_;
+  CacheAligned<Slot> slots_[kMaxThreads];
+
+  std::mutex orphan_mutex_;
+  std::vector<Retired> orphans_;
+
+  friend class Guard;
+};
+
+/// Process-wide domain used by the STM runtime.
+EpochDomain& global_epoch_domain();
+
+}  // namespace txf::util

@@ -1,0 +1,92 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Records values (nanoseconds, retry counts, ...) into buckets whose relative
+// width is bounded by 1/32 (~3%), with a fixed, allocation-free footprint
+// covering the full uint64 range. Mergeable like StreamingStats so each
+// worker records privately and the driver combines results.
+//
+// Scheme: values < 64 get exact buckets. Larger values are bucketed by
+// (octave = msb-5, top 5 bits below the leading one), i.e. 32 buckets per
+// power of two.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace txf::util {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kExactBuckets = 64;   // values 0..63 exact
+  static constexpr unsigned kPerOctave = 32;      // buckets per power of two
+  static constexpr unsigned kOctaves = 58;        // msb 6..63
+  static constexpr unsigned kBucketCount = kExactBuckets + kPerOctave * kOctaves;
+
+  void record(std::uint64_t value) noexcept {
+    ++counts_[index_for(value)];
+    ++total_;
+    sum_ += value;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (unsigned i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  double mean() const noexcept {
+    return total_ ? static_cast<double>(sum_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1] (upper bound of the containing bucket).
+  std::uint64_t quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i];
+      if (seen >= target) return upper_bound(i);
+    }
+    return upper_bound(kBucketCount - 1);
+  }
+
+  std::uint64_t p50() const noexcept { return quantile(0.50); }
+  std::uint64_t p95() const noexcept { return quantile(0.95); }
+  std::uint64_t p99() const noexcept { return quantile(0.99); }
+  std::uint64_t max_recorded() const noexcept {
+    for (unsigned i = kBucketCount; i-- > 0;)
+      if (counts_[i]) return upper_bound(i);
+    return 0;
+  }
+
+  static unsigned index_for(std::uint64_t value) noexcept {
+    if (value < kExactBuckets) return static_cast<unsigned>(value);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+    const unsigned octave = msb - 5;  // >= 1
+    // (value >> octave) is in [32, 64); subtract 32 for the sub index.
+    const unsigned sub = static_cast<unsigned>(value >> octave) - kPerOctave;
+    return kExactBuckets + (octave - 1) * kPerOctave + sub;
+  }
+
+  /// Largest value mapping to `index` (inclusive).
+  static std::uint64_t upper_bound(unsigned index) noexcept {
+    if (index < kExactBuckets) return index;
+    const unsigned j = index - kExactBuckets;
+    const unsigned octave = j / kPerOctave + 1;
+    const unsigned sub = j % kPerOctave + kPerOctave;  // in [32, 64)
+    return ((static_cast<std::uint64_t>(sub) + 1) << octave) - 1;
+  }
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+}  // namespace txf::util

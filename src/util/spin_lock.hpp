@@ -1,0 +1,42 @@
+// Test-and-test-and-set spin lock with exponential backoff.
+//
+// Used only for short critical sections (tree bookkeeping); satisfies the
+// Lockable concept so it composes with std::scoped_lock / std::unique_lock
+// (Core Guidelines CP.20: RAII, never plain lock()/unlock()).
+#pragma once
+
+#include <atomic>
+
+#include "util/backoff.hpp"
+#include "util/cache_line.hpp"
+
+namespace txf::util {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      // Test first: spin on a read to keep the line shared until it is free.
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      backoff.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace txf::util

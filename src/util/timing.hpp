@@ -1,0 +1,45 @@
+// Wall-clock helpers for benchmark drivers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace txf::util {
+
+/// Monotonic nanosecond timestamp.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scoped stopwatch: accumulates elapsed ns into a caller-owned slot.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::uint64_t& sink) noexcept
+      : sink_(sink), start_(now_ns()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { sink_ += now_ns() - start_; }
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+/// Simple stopwatch with explicit start/elapsed.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(now_ns()) {}
+  void restart() noexcept { start_ = now_ns(); }
+  std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
+  double elapsed_s() const noexcept {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace txf::util

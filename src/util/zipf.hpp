@@ -1,0 +1,74 @@
+// Skewed-access distributions for workload generation.
+//
+// ZipfGenerator: classic Zipf(θ) over [0, n) using the Gray et al. (SIGMOD'94)
+// constant-time rejection-free method. NuRand: the TPC-C non-uniform random
+// function (clause 2.1.6), needed by the TPC-C workload (S7).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/xoshiro.hpp"
+
+namespace txf::util {
+
+/// Zipf-distributed integers in [0, n). theta = 0 is uniform; the classic
+/// "80/20" skew is around theta = 0.99 (YCSB's default).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta)
+      : n_(n), theta_(theta), alpha_(1.0 / (1.0 - theta)) {
+    zetan_ = zeta(n, theta);
+    zeta2_ = zeta(2, theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t next(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+  double theta() const noexcept { return theta_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double zeta2_;
+  double eta_;
+};
+
+/// TPC-C NURand(A, x, y): non-uniform random over [x, y].
+/// C is the per-field run constant required by the spec.
+class NuRand {
+ public:
+  NuRand(std::uint64_t a, std::uint64_t c) noexcept : a_(a), c_(c) {}
+
+  std::uint64_t next(Xoshiro256& rng, std::uint64_t x,
+                     std::uint64_t y) const noexcept {
+    const std::uint64_t lhs = rng.next_range(0, a_);
+    const std::uint64_t rhs = rng.next_range(x, y);
+    return (((lhs | rhs) + c_) % (y - x + 1)) + x;
+  }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t c_;
+};
+
+}  // namespace txf::util

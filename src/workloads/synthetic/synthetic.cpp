@@ -1,0 +1,140 @@
+#include "workloads/synthetic/synthetic.hpp"
+
+#include <atomic>
+
+namespace txf::workloads::synthetic {
+
+namespace {
+
+/// Sequential slice of the read-only body: `count` random reads through a
+/// transactional context, `iter` CPU steps between accesses.
+template <typename Ctx>
+std::uint64_t read_slice_tx(Ctx& ctx, SyntheticArray& array,
+                            std::uint64_t seed, std::size_t count,
+                            std::uint64_t iter) {
+  util::Xoshiro256 rng(seed);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.next_bounded(array.size()));
+    sum += array.box(idx).get(ctx);
+    sum += cpu_work(iter, sum);
+  }
+  return sum;
+}
+
+std::uint64_t read_slice_raw(SyntheticArray& array, std::uint64_t seed,
+                             std::size_t count, std::uint64_t iter) {
+  util::Xoshiro256 rng(seed);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t idx =
+        static_cast<std::size_t>(rng.next_bounded(array.size()));
+    sum += array.raw(idx);
+    sum += cpu_work(iter, sum);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::uint64_t run_readonly_tx(core::Runtime& rt, SyntheticArray& array,
+                              util::Xoshiro256& rng,
+                              const ReadOnlyParams& p) {
+  const std::size_t jobs = p.jobs == 0 ? 1 : p.jobs;
+  const std::size_t slice = p.txlen / jobs;
+  // Fresh seeds per transaction; identical across retries is unnecessary
+  // (reads are uniform either way).
+  std::vector<std::uint64_t> seeds(jobs);
+  for (auto& s : seeds) s = rng.next();
+
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    std::uint64_t sum = 0;
+    if (jobs == 1) {
+      return read_slice_tx(ctx, array, seeds[0], p.txlen, p.iter);
+    }
+    std::vector<core::TxFuture<std::uint64_t>> futs;
+    futs.reserve(jobs - 1);
+    for (std::size_t j = 0; j + 1 < jobs; ++j) {
+      futs.push_back(ctx.submit([&array, seed = seeds[j], slice,
+                                 iter = p.iter](core::TxCtx& c) {
+        return read_slice_tx(c, array, seed, slice, iter);
+      }));
+    }
+    // The continuation executes the final slice itself.
+    sum += read_slice_tx(ctx, array, seeds[jobs - 1],
+                         p.txlen - slice * (jobs - 1), p.iter);
+    for (auto& f : futs) sum += f.get(ctx);
+    return sum;
+  });
+}
+
+void run_update_tx(core::Runtime& rt, SyntheticArray& array,
+                   util::Xoshiro256& rng, const UpdateParams& p) {
+  const std::size_t jobs = p.jobs == 0 ? 1 : p.jobs;
+  const std::size_t slice = p.prefix_len / jobs;
+  std::vector<std::uint64_t> seeds(jobs);
+  for (auto& s : seeds) s = rng.next();
+  // Hot-spot targets chosen uniformly with replacement (paper §V); hot
+  // items occupy the first `hot_items` slots of the array.
+  std::vector<std::size_t> targets(p.hot_writes);
+  for (auto& t : targets)
+    t = static_cast<std::size_t>(rng.next_bounded(p.hot_items));
+
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    // Read prefix, parallelized across futures.
+    std::uint64_t sum = 0;
+    std::vector<core::TxFuture<std::uint64_t>> futs;
+    if (jobs > 1) {
+      futs.reserve(jobs - 1);
+      for (std::size_t j = 0; j + 1 < jobs; ++j) {
+        futs.push_back(ctx.submit([&array, seed = seeds[j], slice,
+                                   iter = p.iter](core::TxCtx& c) {
+          return read_slice_tx(c, array, seed, slice, iter);
+        }));
+      }
+    }
+    sum += read_slice_tx(ctx, array, seeds[jobs - 1],
+                         p.prefix_len - slice * (jobs - 1), p.iter);
+    for (auto& f : futs) sum += f.get(ctx);
+    // Hot-spot update phase (continuation).
+    for (const std::size_t t : targets) {
+      array.box(t).put(ctx, array.box(t).get(ctx) + (sum | 1));
+    }
+  });
+}
+
+std::uint64_t run_readonly_plain(sched::ThreadPool& pool,
+                                 SyntheticArray& array,
+                                 util::Xoshiro256& rng,
+                                 const ReadOnlyParams& p) {
+  const std::size_t jobs = p.jobs == 0 ? 1 : p.jobs;
+  const std::size_t slice = p.txlen / jobs;
+  std::vector<std::uint64_t> seeds(jobs);
+  for (auto& s : seeds) s = rng.next();
+  if (jobs == 1) return read_slice_raw(array, seeds[0], p.txlen, p.iter);
+
+  std::vector<std::uint64_t> results(jobs - 1, 0);
+  std::atomic<std::size_t> done{0};
+  for (std::size_t j = 0; j + 1 < jobs; ++j) {
+    pool.submit([&array, &results, &done, j, seed = seeds[j], slice,
+                 iter = p.iter] {
+      results[j] = read_slice_raw(array, seed, slice, iter);
+      done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  std::uint64_t sum = read_slice_raw(array, seeds[jobs - 1],
+                                     p.txlen - slice * (jobs - 1), p.iter);
+  while (done.load(std::memory_order_acquire) != jobs - 1) {
+    pool.try_run_one();
+  }
+  for (const auto r : results) sum += r;
+  return sum;
+}
+
+std::uint64_t run_readonly_seq(SyntheticArray& array, util::Xoshiro256& rng,
+                               const ReadOnlyParams& p) {
+  return read_slice_raw(array, rng.next(), p.txlen, p.iter);
+}
+
+}  // namespace txf::workloads::synthetic

@@ -1,0 +1,89 @@
+// Synthetic benchmark (paper §V, Figs. 5a-5c).
+//
+// Transactions perform a configurable number of read/write accesses over an
+// array of VBoxes (1M elements in the paper), with a tunable CPU-bound loop
+// of `iter` register operations between consecutive accesses. The
+// conflict-prone variant appends 10 updates on a set of 20 hot-spot items.
+// Each transaction can be parallelized over `jobs` ways (jobs-1 futures
+// plus the continuation), and a non-transactional plain-future twin
+// isolates the inherent cost of future-based parallelism (Fig. 5a).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/api.hpp"
+#include "sched/thread_pool.hpp"
+#include "stm/vbox.hpp"
+#include "util/xoshiro.hpp"
+
+namespace txf::workloads::synthetic {
+
+/// CPU-bound filler: `iters` register-arithmetic steps. Returns a value the
+/// caller must consume (defeats dead-code elimination).
+inline std::uint64_t cpu_work(std::uint64_t iters,
+                              std::uint64_t seed) noexcept {
+  std::uint64_t x = seed | 1;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+class SyntheticArray {
+ public:
+  explicit SyntheticArray(std::size_t n) : raw_(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      boxes_.emplace_back(static_cast<std::uint64_t>(i));
+      raw_[i] = static_cast<std::uint64_t>(i);
+    }
+  }
+
+  std::size_t size() const noexcept { return raw_.size(); }
+  stm::VBox<std::uint64_t>& box(std::size_t i) { return boxes_[i]; }
+  /// Non-transactional mirror for the plain-future baseline.
+  std::uint64_t raw(std::size_t i) const noexcept { return raw_[i]; }
+
+ private:
+  std::deque<stm::VBox<std::uint64_t>> boxes_;
+  std::vector<std::uint64_t> raw_;
+};
+
+struct ReadOnlyParams {
+  std::size_t txlen = 1000;  // memory accesses per transaction
+  std::uint64_t iter = 0;    // CPU iterations between accesses
+  std::size_t jobs = 1;      // 1 = no futures; j = j-1 futures + continuation
+};
+
+struct UpdateParams {
+  std::size_t prefix_len = 1000;  // read prefix length
+  std::uint64_t iter = 1000;      // CPU iterations between accesses
+  std::size_t jobs = 1;
+  std::size_t hot_items = 20;   // hot-spot set size
+  std::size_t hot_writes = 10;  // updates per transaction
+};
+
+/// One read-only transaction (JTF). Returns a checksum.
+std::uint64_t run_readonly_tx(core::Runtime& rt, SyntheticArray& array,
+                              util::Xoshiro256& rng,
+                              const ReadOnlyParams& p);
+
+/// One conflict-prone update transaction (JTF).
+void run_update_tx(core::Runtime& rt, SyntheticArray& array,
+                   util::Xoshiro256& rng, const UpdateParams& p);
+
+/// One "transaction" using plain (non-transactional) futures over the raw
+/// array — the Fig. 5a comparator that isolates inherent future overheads.
+std::uint64_t run_readonly_plain(sched::ThreadPool& pool,
+                                 SyntheticArray& array,
+                                 util::Xoshiro256& rng,
+                                 const ReadOnlyParams& p);
+
+/// Purely sequential, non-transactional run (normalization baseline).
+std::uint64_t run_readonly_seq(SyntheticArray& array, util::Xoshiro256& rng,
+                               const ReadOnlyParams& p);
+
+}  // namespace txf::workloads::synthetic

@@ -1,0 +1,274 @@
+#include "workloads/tpcc/tpcc.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace txf::workloads::tpcc {
+
+TpccDB::TpccDB(const TpccParams& p)
+    : params_(p), orders_(p.max_orders), new_orders_(p.max_orders) {
+  const int w = params_.warehouses;
+  for (int i = 0; i < w; ++i) warehouses_.emplace_back();
+  for (int i = 0; i < w * params_.districts; ++i) districts_.emplace_back();
+  for (int i = 0; i < w * params_.districts * params_.customers_per_district;
+       ++i)
+    customers_.emplace_back();
+  for (int i = 0; i < params_.items; ++i) items_.emplace_back();
+  for (int i = 0; i < w * params_.items; ++i) stock_.emplace_back();
+}
+
+OrderRow* TpccDB::alloc_order() {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  order_arena_.emplace_back();
+  return &order_arena_.back();
+}
+
+void TpccDB::populate(core::Runtime& rt, util::Xoshiro256& rng) {
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    for (auto& item : items_)
+      item.price = 100 + static_cast<int>(rng.next_bounded(9900));
+    for (auto& s : stock_) s.quantity.put(ctx, 10 + static_cast<int>(
+                                                    rng.next_bounded(91)));
+  });
+}
+
+void TpccDB::new_order(core::Runtime& rt, util::Xoshiro256& rng) {
+  const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const int d = static_cast<int>(rng.next_bounded(params_.districts));
+  const int c = static_cast<int>(nurand_cust_.next(
+      rng, 0, params_.customers_per_district - 1));
+  const int n_lines = 5 + static_cast<int>(rng.next_bounded(11));
+  int line_item[kMaxOrderLines];
+  int line_qty[kMaxOrderLines];
+  for (int i = 0; i < n_lines; ++i) {
+    line_item[i] =
+        static_cast<int>(nurand_item_.next(rng, 0, params_.items - 1));
+    line_qty[i] = 1 + static_cast<int>(rng.next_bounded(10));
+  }
+
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    DistrictRow& dist = districts_[d_index(w, d)];
+    const int o_id = dist.next_o_id.get(ctx);
+    dist.next_o_id.put(ctx, o_id + 1);
+
+    OrderRow* order = alloc_order();
+    order->w = w;
+    order->d = d;
+    order->o_id = o_id;
+    order->c_id = c;
+    order->n_lines = n_lines;
+
+    long total = 0;
+    for (int i = 0; i < n_lines; ++i) {
+      order->line_item[i] = line_item[i];
+      order->line_qty[i] = line_qty[i];
+      StockRow& stock = stock_[s_index(w, line_item[i])];
+      const int q = stock.quantity.get(ctx);
+      stock.quantity.put(ctx, q >= line_qty[i] + 10 ? q - line_qty[i]
+                                                    : q - line_qty[i] + 91);
+      stock.ytd.put(ctx, stock.ytd.get(ctx) + line_qty[i]);
+      stock.order_cnt.put(ctx, stock.order_cnt.get(ctx) + 1);
+      total += static_cast<long>(items_[line_item[i]].price) * line_qty[i];
+    }
+    order->total.put(ctx, total);
+    const std::uint64_t key = order_key(w, d, o_id);
+    orders_.put(ctx, key,
+                static_cast<containers::TxMap::Value>(
+                    reinterpret_cast<uintptr_t>(order)));
+    new_orders_.put(ctx, key,
+                    static_cast<containers::TxMap::Value>(
+                        reinterpret_cast<uintptr_t>(order)));
+    CustomerTRow& cust = customers_[c_index(w, d, c)];
+    cust.balance.put(ctx, cust.balance.get(ctx) - total);
+  });
+}
+
+void TpccDB::payment(core::Runtime& rt, util::Xoshiro256& rng) {
+  const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const int d = static_cast<int>(rng.next_bounded(params_.districts));
+  const int c = static_cast<int>(
+      nurand_cust_.next(rng, 0, params_.customers_per_district - 1));
+  const long amount = 100 + static_cast<long>(rng.next_bounded(4900));
+
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    WarehouseRow& wh = warehouses_[static_cast<std::size_t>(w)];
+    wh.ytd.put(ctx, wh.ytd.get(ctx) + amount);
+    DistrictRow& dist = districts_[d_index(w, d)];
+    dist.ytd.put(ctx, dist.ytd.get(ctx) + amount);
+    CustomerTRow& cust = customers_[c_index(w, d, c)];
+    cust.balance.put(ctx, cust.balance.get(ctx) + amount);
+    cust.ytd_payment.put(ctx, cust.ytd_payment.get(ctx) + amount);
+    cust.payment_cnt.put(ctx, cust.payment_cnt.get(ctx) + 1);
+  });
+}
+
+long TpccDB::order_status(core::Runtime& rt, util::Xoshiro256& rng) {
+  const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const int d = static_cast<int>(rng.next_bounded(params_.districts));
+
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    DistrictRow& dist = districts_[d_index(w, d)];
+    const int next = dist.next_o_id.get(ctx);
+    if (next <= 1) return 0L;
+    const int o_id = next - 1;  // most recent order of the district
+    const auto v = orders_.get(ctx, order_key(w, d, o_id));
+    if (!v) return 0L;
+    auto* order = reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(*v));
+    return order->total.get(ctx);
+  });
+}
+
+void TpccDB::delivery(core::Runtime& rt, util::Xoshiro256& rng) {
+  const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const int carrier = 1 + static_cast<int>(rng.next_bounded(10));
+
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    // Deliver the oldest undelivered order of each district.
+    for (int d = 0; d < params_.districts; ++d) {
+      DistrictRow& dist = districts_[d_index(w, d)];
+      const int next = dist.next_o_id.get(ctx);
+      for (int o_id = std::max(1, next - 20); o_id < next; ++o_id) {
+        const std::uint64_t key = order_key(w, d, o_id);
+        const auto v = new_orders_.get(ctx, key);
+        if (!v) continue;
+        auto* order =
+            reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(*v));
+        new_orders_.erase(ctx, key);
+        order->carrier_id.put(ctx, carrier);
+        CustomerTRow& cust = customers_[c_index(w, d, order->c_id)];
+        cust.balance.put(ctx, cust.balance.get(ctx) + order->total.get(ctx));
+        cust.delivery_cnt.put(ctx, cust.delivery_cnt.get(ctx) + 1);
+        break;  // one order per district, per the spec
+      }
+    }
+  });
+}
+
+long TpccDB::stock_level(core::Runtime& rt, util::Xoshiro256& rng) {
+  const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const int threshold = 10 + static_cast<int>(rng.next_bounded(11));
+  const std::size_t jobs = params_.jobs == 0 ? 1 : params_.jobs;
+
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    // Count stock entries of the warehouse below the threshold; the scan
+    // splits across futures.
+    auto count_range = [this, w, threshold](core::TxCtx& c, int lo, int hi) {
+      long n = 0;
+      for (int i = lo; i < hi; ++i) {
+        if (stock_[s_index(w, i)].quantity.get(c) < threshold) ++n;
+      }
+      return n;
+    };
+    if (jobs <= 1) return count_range(ctx, 0, params_.items);
+    const int slice = (params_.items + static_cast<int>(jobs) - 1) /
+                      static_cast<int>(jobs);
+    std::vector<core::TxFuture<long>> futs;
+    for (std::size_t j = 0; j + 1 < jobs; ++j) {
+      const int lo = std::min(static_cast<int>(j) * slice, params_.items);
+      const int hi = std::min(lo + slice, params_.items);
+      futs.push_back(ctx.submit(
+          [count_range, lo, hi](core::TxCtx& c) { return count_range(c, lo, hi); }));
+    }
+    long total = count_range(
+        ctx, std::min(static_cast<int>(jobs - 1) * slice, params_.items),
+        params_.items);
+    for (auto& f : futs) total += f.get(ctx);
+    return total;
+  });
+}
+
+long TpccDB::warehouse_analytics(core::Runtime& rt, util::Xoshiro256& rng) {
+  const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const std::size_t jobs = params_.jobs == 0 ? 1 : params_.jobs;
+  const int n_cust = params_.districts * params_.customers_per_district;
+
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    // "Total money raised by the warehouse" (paper §V): district YTDs plus
+    // every customer's payment history. The customer scan is the long
+    // cycle; it splits across futures.
+    auto scan_customers = [this, w](core::TxCtx& c, int lo, int hi) {
+      long sum = 0;
+      const std::size_t base = static_cast<std::size_t>(w) *
+                               params_.districts *
+                               params_.customers_per_district;
+      for (int i = lo; i < hi; ++i) {
+        CustomerTRow& cust = customers_[base + static_cast<std::size_t>(i)];
+        sum += cust.ytd_payment.get(c);
+      }
+      return sum;
+    };
+    long total = 0;
+    for (int d = 0; d < params_.districts; ++d)
+      total += districts_[d_index(w, d)].ytd.get(ctx);
+
+    if (jobs <= 1) return total + scan_customers(ctx, 0, n_cust);
+    const int slice =
+        (n_cust + static_cast<int>(jobs) - 1) / static_cast<int>(jobs);
+    std::vector<core::TxFuture<long>> futs;
+    for (std::size_t j = 0; j + 1 < jobs; ++j) {
+      const int lo = std::min(static_cast<int>(j) * slice, n_cust);
+      const int hi = std::min(lo + slice, n_cust);
+      futs.push_back(ctx.submit([scan_customers, lo, hi](core::TxCtx& c) {
+        return scan_customers(c, lo, hi);
+      }));
+    }
+    total += scan_customers(
+        ctx, std::min(static_cast<int>(jobs - 1) * slice, n_cust), n_cust);
+    for (auto& f : futs) total += f.get(ctx);
+    return total;
+  });
+}
+
+void TpccDB::run_mix(core::Runtime& rt, util::Xoshiro256& rng) {
+  const auto roll = rng.next_bounded(100);
+  const auto analytics =
+      static_cast<std::uint64_t>(std::max(params_.analytics_pct, 0));
+  if (roll < analytics) {
+    warehouse_analytics(rt, rng);
+    return;
+  }
+  // Remaining probability split following the classic TPC-C weights
+  // (NewOrder 45 : Payment 43 : OrderStatus 4 : Delivery 4 : StockLevel 4).
+  const auto r = rng.next_bounded(100);
+  if (r < 45) {
+    new_order(rt, rng);
+  } else if (r < 88) {
+    payment(rt, rng);
+  } else if (r < 92) {
+    order_status(rt, rng);
+  } else if (r < 96) {
+    delivery(rt, rng);
+  } else {
+    stock_level(rt, rng);
+  }
+}
+
+bool TpccDB::audit(core::Runtime& rt) {
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    bool ok = true;
+    for (int w = 0; w < params_.warehouses; ++w) {
+      long district_sum = 0;
+      for (int d = 0; d < params_.districts; ++d)
+        district_sum += districts_[d_index(w, d)].ytd.get(ctx);
+      if (warehouses_[static_cast<std::size_t>(w)].ytd.get(ctx) !=
+          district_sum)
+        ok = false;
+      // Every order id below next_o_id must exist in the order table.
+      for (int d = 0; d < params_.districts; ++d) {
+        const int next = districts_[d_index(w, d)].next_o_id.get(ctx);
+        for (int o = 1; o < next; ++o) {
+          if (!orders_.contains(ctx, order_key(w, d, o))) ok = false;
+        }
+      }
+    }
+    return ok;
+  });
+}
+
+long TpccDB::committed_orders() const {
+  long n = 0;
+  for (const auto& d : districts_) n += d.next_o_id.peek_committed() - 1;
+  return n;
+}
+
+}  // namespace txf::workloads::tpcc

@@ -1,0 +1,138 @@
+// TPC-C (paper §V, Figs. 6d-6f): an OLTP warehouse-supplier workload
+// rebuilt on txfutures.
+//
+// Scaled-down but structurally faithful schema: warehouses, 10 districts
+// per warehouse, customers per district, an item catalog and per-warehouse
+// stock. Five transaction profiles — NewOrder, Payment, OrderStatus,
+// Delivery, StockLevel — plus the paper's adaptation: a long read-mostly
+// analytics transaction ("total money raised by the warehouse", §V) whose
+// scan cycle is parallelized with transactional futures.
+//
+// Contention characteristics mirror the original: Payment and NewOrder
+// both hit the warehouse/district YTD and next-order-id boxes, which makes
+// the workload inherently non-scalable with many concurrent top-level
+// transactions — exactly the regime where the paper shows futures winning.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "containers/tx_counter.hpp"
+#include "containers/tx_map.hpp"
+#include "core/api.hpp"
+#include "util/zipf.hpp"
+
+namespace txf::workloads::tpcc {
+
+struct WarehouseRow {
+  stm::VBox<long> ytd{0L};
+};
+
+struct DistrictRow {
+  stm::VBox<long> ytd{0L};
+  stm::VBox<int> next_o_id{1};
+};
+
+struct CustomerTRow {
+  stm::VBox<long> balance{-10L};
+  stm::VBox<long> ytd_payment{10L};
+  stm::VBox<int> payment_cnt{1};
+  stm::VBox<int> delivery_cnt{0};
+};
+
+struct ItemRow {
+  int price = 0;  // immutable catalog data
+};
+
+struct StockRow {
+  stm::VBox<int> quantity{0};
+  stm::VBox<long> ytd{0L};
+  stm::VBox<int> order_cnt{0};
+};
+
+inline constexpr int kMaxOrderLines = 15;
+
+struct OrderRow {
+  int w = 0, d = 0, o_id = 0, c_id = 0;  // immutable after insert
+  int n_lines = 0;
+  int line_item[kMaxOrderLines] = {};
+  int line_qty[kMaxOrderLines] = {};
+  stm::VBox<int> carrier_id{0};
+  stm::VBox<long> total{0L};
+};
+
+struct TpccParams {
+  int warehouses = 1;
+  int districts = 10;
+  int customers_per_district = 128;
+  int items = 1024;
+  std::size_t jobs = 1;       // futures parallelism of the analytics scan
+  int analytics_pct = 10;     // % of transactions running the long scan
+  std::size_t max_orders = 1 << 18;  // order-table capacity
+};
+
+class TpccDB {
+ public:
+  explicit TpccDB(const TpccParams& p);
+
+  const TpccParams& params() const noexcept { return params_; }
+
+  void populate(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// The five classic profiles. Each runs one top-level transaction.
+  void new_order(core::Runtime& rt, util::Xoshiro256& rng);
+  void payment(core::Runtime& rt, util::Xoshiro256& rng);
+  long order_status(core::Runtime& rt, util::Xoshiro256& rng);
+  void delivery(core::Runtime& rt, util::Xoshiro256& rng);
+  long stock_level(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// The paper's long transaction: total money raised by a warehouse
+  /// (district YTDs + customer balances + payments), with the customer scan
+  /// split across `params.jobs` ways via transactional futures.
+  long warehouse_analytics(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// One step of the standard mix (weights per TpccParams::analytics_pct).
+  void run_mix(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// Consistency audit for tests: warehouse YTD equals the sum of its
+  /// district YTDs; every order id below next_o_id exists.
+  bool audit(core::Runtime& rt);
+
+  long committed_orders() const;
+
+ private:
+  std::size_t d_index(int w, int d) const {
+    return static_cast<std::size_t>(w) * params_.districts + d;
+  }
+  std::size_t c_index(int w, int d, int c) const {
+    return d_index(w, d) * params_.customers_per_district + c;
+  }
+  std::size_t s_index(int w, int i) const {
+    return static_cast<std::size_t>(w) * params_.items + i;
+  }
+  static std::uint64_t order_key(int w, int d, int o_id) {
+    return (static_cast<std::uint64_t>(w) << 40) |
+           (static_cast<std::uint64_t>(d) << 32) |
+           static_cast<std::uint32_t>(o_id);
+  }
+
+  OrderRow* alloc_order();
+
+  TpccParams params_;
+  std::deque<WarehouseRow> warehouses_;
+  std::deque<DistrictRow> districts_;
+  std::deque<CustomerTRow> customers_;
+  std::deque<ItemRow> items_;
+  std::deque<StockRow> stock_;
+  containers::TxMap orders_;
+  containers::TxMap new_orders_;  // undelivered orders (key -> order ptr)
+
+  std::mutex arena_mutex_;
+  std::deque<OrderRow> order_arena_;
+
+  util::NuRand nurand_item_{8191, 7911};
+  util::NuRand nurand_cust_{1023, 259};
+};
+
+}  // namespace txf::workloads::tpcc

@@ -1,0 +1,262 @@
+#include "workloads/vacation/vacation.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace txf::workloads::vacation {
+
+namespace {
+
+constexpr std::uint64_t pack_holding(ResourceKind k, std::uint64_t id) {
+  return (static_cast<std::uint64_t>(k) << 56) | id;
+}
+constexpr ResourceKind holding_kind(std::uint64_t h) {
+  return static_cast<ResourceKind>(h >> 56);
+}
+constexpr std::uint64_t holding_id(std::uint64_t h) {
+  return h & ((std::uint64_t{1} << 56) - 1);
+}
+
+struct Candidate {
+  std::uint64_t id = ~std::uint64_t{0};
+  int price = INT32_MAX;
+  bool found() const { return id != ~std::uint64_t{0}; }
+};
+
+}  // namespace
+
+VacationDB::VacationDB(const VacationParams& params)
+    : params_(params),
+      tables_{containers::TxMap(params.relations * 2),
+              containers::TxMap(params.relations * 2),
+              containers::TxMap(params.relations * 2)},
+      customers_(params.customers * 2),
+      next_item_id_(params.relations) {}
+
+ReservationRow* VacationDB::alloc_row(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  row_arena_.emplace_back();
+  ReservationRow& r = row_arena_.back();
+  r.id = id;
+  return &r;
+}
+
+CustomerRow* VacationDB::alloc_customer(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(arena_mutex_);
+  customer_arena_.emplace_back();
+  CustomerRow& c = customer_arena_.back();
+  c.id = id;
+  return &c;
+}
+
+void VacationDB::populate(core::Runtime& rt, util::Xoshiro256& rng) {
+  // Batch inserts to keep the populate transactions small.
+  constexpr std::size_t kBatch = 128;
+  for (int kind = 0; kind < kResourceKinds; ++kind) {
+    for (std::size_t base = 0; base < params_.relations; base += kBatch) {
+      core::atomically(rt, [&](core::TxCtx& ctx) {
+        const std::size_t end = std::min(base + kBatch, params_.relations);
+        for (std::size_t id = base; id < end; ++id) {
+          ReservationRow* row = alloc_row(id);
+          row->total.put(ctx, 1 + static_cast<int>(rng.next_bounded(5)));
+          row->used.put(ctx, 0);
+          row->price.put(ctx, 50 + static_cast<int>(rng.next_bounded(450)));
+          tables_[kind].put(ctx, id,
+                            static_cast<containers::TxMap::Value>(
+                                reinterpret_cast<uintptr_t>(row)));
+        }
+      });
+    }
+  }
+  for (std::size_t base = 0; base < params_.customers; base += kBatch) {
+    core::atomically(rt, [&](core::TxCtx& ctx) {
+      const std::size_t end = std::min(base + kBatch, params_.customers);
+      for (std::size_t id = base; id < end; ++id) {
+        CustomerRow* c = alloc_customer(id);
+        c->bill.put(ctx, 0);
+        customers_.put(ctx, id,
+                       static_cast<containers::TxMap::Value>(
+                           reinterpret_cast<uintptr_t>(c)));
+      }
+    });
+  }
+}
+
+int VacationDB::make_reservation(core::Runtime& rt, util::Xoshiro256& rng) {
+  const std::uint64_t cust_id = rng.next_bounded(params_.customers);
+  // Pre-draw the query window per resource kind so retries are identical.
+  std::vector<std::uint64_t> queried[kResourceKinds];
+  for (int k = 0; k < kResourceKinds; ++k) {
+    queried[k].resize(params_.query_window);
+    for (auto& q : queried[k]) q = rng.next_bounded(params_.relations);
+  }
+  const std::size_t jobs = params_.jobs == 0 ? 1 : params_.jobs;
+  // Lazily allocated at most once per call, reused across conflict
+  // retries so aborted attempts don't grow the arena.
+  CustomerRow* spare_customer = nullptr;
+
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    int reserved = 0;
+    for (int k = 0; k < kResourceKinds; ++k) {
+      auto& tab = tables_[k];
+      const auto& ids = queried[k];
+
+      // The long query cycle: find the cheapest available item. Scan
+      // slices in parallel via transactional futures (paper §V).
+      auto scan = [&tab, &ids, this](core::TxCtx& c, std::size_t lo,
+                                     std::size_t hi) {
+        Candidate best;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto v = tab.get(c, ids[i]);
+          if (!v) continue;
+          ReservationRow* row = row_from(*v);
+          const int total = row->total.get(c);
+          const int used = row->used.get(c);
+          const int price = row->price.get(c);
+          if (used < total && price < best.price) {
+            best.price = price;
+            best.id = ids[i];
+          }
+        }
+        return best;
+      };
+
+      Candidate best;
+      if (jobs <= 1) {
+        best = scan(ctx, 0, ids.size());
+      } else {
+        const std::size_t slice = (ids.size() + jobs - 1) / jobs;
+        std::vector<core::TxFuture<Candidate>> futs;
+        for (std::size_t j = 0; j + 1 < jobs; ++j) {
+          const std::size_t lo = std::min(j * slice, ids.size());
+          const std::size_t hi = std::min(lo + slice, ids.size());
+          futs.push_back(ctx.submit([scan, lo, hi](core::TxCtx& c) {
+            return scan(c, lo, hi);
+          }));
+        }
+        best = scan(ctx, std::min((jobs - 1) * slice, ids.size()),
+                    ids.size());
+        for (auto& f : futs) {
+          const Candidate c = f.get(ctx);
+          if (c.found() && c.price < best.price) best = c;
+        }
+      }
+
+      if (!best.found()) continue;
+      // Reserve in the continuation (serialized after all query futures).
+      const auto v = tab.get(ctx, best.id);
+      if (!v) continue;
+      ReservationRow* row = row_from(*v);
+      const int total = row->total.get(ctx);
+      const int used = row->used.get(ctx);
+      if (used >= total) continue;  // raced within the window: still exact
+      row->used.put(ctx, used + 1);
+
+      const auto cv = customers_.get(ctx, cust_id);
+      CustomerRow* cust;
+      if (cv) {
+        cust = customer_from(*cv);
+      } else {
+        if (spare_customer == nullptr) spare_customer = alloc_customer(cust_id);
+        cust = spare_customer;
+        cust->id = cust_id;
+        cust->bill.put(ctx, 0);
+        customers_.put(ctx, cust_id,
+                       static_cast<containers::TxMap::Value>(
+                           reinterpret_cast<uintptr_t>(cust)));
+      }
+      cust->bill.put(ctx, cust->bill.get(ctx) + row->price.get(ctx));
+      try {
+        cust->holdings.push_back(
+            ctx, pack_holding(static_cast<ResourceKind>(k), best.id));
+      } catch (const containers::TxVector<std::uint64_t>::TxVectorFull&) {
+        // Customer is full: undo this reservation within the transaction.
+        row->used.put(ctx, used);
+        cust->bill.put(ctx, cust->bill.get(ctx) - row->price.get(ctx));
+        continue;
+      }
+      ++reserved;
+    }
+    return reserved;
+  });
+}
+
+void VacationDB::delete_customer(core::Runtime& rt, util::Xoshiro256& rng) {
+  const std::uint64_t cust_id = rng.next_bounded(params_.customers);
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    const auto cv = customers_.get(ctx, cust_id);
+    if (!cv) return;
+    CustomerRow* cust = customer_from(*cv);
+    const long n = cust->holdings.size(ctx);
+    for (long i = 0; i < n; ++i) {
+      const std::uint64_t h =
+          cust->holdings.at(ctx, static_cast<std::size_t>(i));
+      auto& tab = tables_[static_cast<int>(holding_kind(h))];
+      const auto rv = tab.get(ctx, holding_id(h));
+      if (!rv) continue;  // item was removed from the table meanwhile
+      ReservationRow* row = row_from(*rv);
+      row->used.put(ctx, row->used.get(ctx) - 1);
+    }
+    while (cust->holdings.size(ctx) > 0) cust->holdings.pop_back(ctx);
+    cust->bill.put(ctx, 0);
+    customers_.erase(ctx, cust_id);
+  });
+}
+
+void VacationDB::update_tables(core::Runtime& rt, util::Xoshiro256& rng) {
+  struct Op {
+    int kind;
+    std::uint64_t id;
+    bool add;       // add capacity / new item vs price change
+    int new_price;
+  };
+  std::vector<Op> ops(static_cast<std::size_t>(params_.update_ops));
+  for (auto& op : ops) {
+    op.kind = static_cast<int>(rng.next_bounded(kResourceKinds));
+    op.id = rng.next_bounded(params_.relations);
+    op.add = rng.next_bounded(2) == 0;
+    op.new_price = 50 + static_cast<int>(rng.next_bounded(450));
+  }
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    for (const Op& op : ops) {
+      auto& tab = tables_[op.kind];
+      const auto v = tab.get(ctx, op.id);
+      if (!v) continue;
+      ReservationRow* row = row_from(*v);
+      if (op.add) {
+        row->total.put(ctx, row->total.get(ctx) + 1);
+      } else {
+        row->price.put(ctx, op.new_price);
+      }
+    }
+  });
+}
+
+bool VacationDB::audit(core::Runtime& rt) {
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    bool ok = true;
+    long total_used_items = 0;
+    for (int k = 0; k < kResourceKinds; ++k) {
+      tables_[k].for_each(ctx, [&](std::uint64_t, std::uint64_t v) {
+        ReservationRow* row = row_from(v);
+        const int used = row->used.get(ctx);
+        const int total = row->total.get(ctx);
+        if (used < 0 || used > total) ok = false;
+        total_used_items += used;
+      });
+    }
+    long total_holdings = 0;
+    customers_.for_each(ctx, [&](std::uint64_t, std::uint64_t v) {
+      CustomerRow* cust = customer_from(v);
+      total_holdings += cust->holdings.size(ctx);
+      if (cust->bill.get(ctx) < 0) ok = false;
+    });
+    // Every live holding pins one `used` unit; deleted items may leave
+    // used units unaccounted, so used >= holdings need not hold strictly —
+    // but holdings never exceed used slots.
+    if (total_holdings > total_used_items) ok = false;
+    return ok;
+  });
+}
+
+}  // namespace txf::workloads::vacation

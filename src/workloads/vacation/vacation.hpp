@@ -1,0 +1,97 @@
+// Vacation: the STAMP travel-agency benchmark (paper §V, Figs. 6a-6c)
+// rebuilt on txfutures.
+//
+// A Manager keeps four relations — cars, flights, rooms (reservable items)
+// and customers. Clients run three transaction profiles: MakeReservation
+// (query a window of items per resource type, pick the cheapest available,
+// reserve it), DeleteCustomer (cancel everything a customer holds) and
+// UpdateTables (add/remove items, change prices). Following the paper, the
+// long query cycle inside MakeReservation is parallelized with
+// transactional futures: each future scans a slice of the queried items
+// and proposes the cheapest candidate; the continuation reserves the
+// winner, preserving the sequential semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "containers/tx_map.hpp"
+#include "containers/tx_vector.hpp"
+#include "core/api.hpp"
+#include "util/xoshiro.hpp"
+
+namespace txf::workloads::vacation {
+
+enum class ResourceKind : std::uint8_t { kCar = 0, kFlight = 1, kRoom = 2 };
+inline constexpr int kResourceKinds = 3;
+
+struct ReservationRow {
+  std::uint64_t id;
+  stm::VBox<int> total;
+  stm::VBox<int> used;
+  stm::VBox<int> price;
+};
+
+struct CustomerRow {
+  std::uint64_t id;
+  stm::VBox<long> bill;
+  /// Packed holdings: (kind << 56) | item id.
+  containers::TxVector<std::uint64_t> holdings{32};
+};
+
+struct VacationParams {
+  std::size_t relations = 1024;    // items per resource table
+  std::size_t customers = 1024;
+  std::size_t query_window = 64;   // items examined per MakeReservation
+  std::size_t jobs = 1;            // futures parallelism of the query cycle
+  int update_ops = 8;              // items touched per UpdateTables
+};
+
+class VacationDB {
+ public:
+  explicit VacationDB(const VacationParams& params);
+
+  const VacationParams& params() const noexcept { return params_; }
+
+  /// Populate tables (run once, single-threaded, transactional).
+  void populate(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// MakeReservation: reserves up to one item of each resource kind for a
+  /// random customer. Returns the number of successful reservations.
+  int make_reservation(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// DeleteCustomer: release all holdings and zero the bill.
+  void delete_customer(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// UpdateTables: change prices / availability of random items.
+  void update_tables(core::Runtime& rt, util::Xoshiro256& rng);
+
+  /// Consistency audit (tests): for every table, used <= total and every
+  /// customer holding refers to a live item. Returns true when consistent.
+  bool audit(core::Runtime& rt);
+
+ private:
+  containers::TxMap& table(ResourceKind k) { return tables_[static_cast<int>(k)]; }
+
+  ReservationRow* row_from(containers::TxMap::Value v) const {
+    return reinterpret_cast<ReservationRow*>(static_cast<uintptr_t>(v));
+  }
+  CustomerRow* customer_from(containers::TxMap::Value v) const {
+    return reinterpret_cast<CustomerRow*>(static_cast<uintptr_t>(v));
+  }
+
+  ReservationRow* alloc_row(std::uint64_t id);
+  CustomerRow* alloc_customer(std::uint64_t id);
+
+  VacationParams params_;
+  containers::TxMap tables_[kResourceKinds];
+  containers::TxMap customers_;
+
+  std::mutex arena_mutex_;
+  std::deque<ReservationRow> row_arena_;
+  std::deque<CustomerRow> customer_arena_;
+  std::uint64_t next_item_id_;
+};
+
+}  // namespace txf::workloads::vacation

@@ -1,0 +1,184 @@
+// Tests for TxList (the sorted transactional IntSet list).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "containers/tx_list.hpp"
+#include "core/api.hpp"
+#include "util/xoshiro.hpp"
+
+namespace {
+
+using txf::containers::TxList;
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+
+TEST(TxListTest, InsertContainsErase) {
+  Runtime rt;
+  TxList list;
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_TRUE(list.insert(ctx, 5));
+    EXPECT_TRUE(list.insert(ctx, 3));
+    EXPECT_TRUE(list.insert(ctx, 9));
+    EXPECT_FALSE(list.insert(ctx, 5));  // duplicate
+    EXPECT_TRUE(list.contains(ctx, 3));
+    EXPECT_FALSE(list.contains(ctx, 4));
+    EXPECT_EQ(list.size(ctx), 3);
+    EXPECT_TRUE(list.erase(ctx, 3));
+    EXPECT_FALSE(list.erase(ctx, 3));
+    EXPECT_FALSE(list.contains(ctx, 3));
+    EXPECT_EQ(list.size(ctx), 2);
+    EXPECT_TRUE(list.is_sorted(ctx));
+  });
+}
+
+TEST(TxListTest, SumMatchesContents) {
+  Runtime rt;
+  TxList list;
+  atomically(rt, [&](TxCtx& ctx) {
+    for (long k : {10, 20, 30, 40}) list.insert(ctx, k);
+  });
+  const long total =
+      atomically(rt, [&](TxCtx& ctx) { return list.sum(ctx); });
+  EXPECT_EQ(total, 100);
+}
+
+TEST(TxListTest, NegativeAndBoundaryKeys) {
+  Runtime rt;
+  TxList list;
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_TRUE(list.insert(ctx, -100));
+    EXPECT_TRUE(list.insert(ctx, 0));
+    EXPECT_TRUE(list.insert(ctx, 100));
+    EXPECT_TRUE(list.contains(ctx, -100));
+    EXPECT_TRUE(list.is_sorted(ctx));
+  });
+}
+
+TEST(TxListTest, AbortRollsBackSplices) {
+  Runtime rt;
+  TxList list;
+  atomically(rt, [&](TxCtx& ctx) { list.insert(ctx, 1); });
+  try {
+    atomically(rt, [&](TxCtx& ctx) {
+      list.insert(ctx, 2);
+      list.erase(ctx, 1);
+      throw std::runtime_error("abort");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_TRUE(list.contains(ctx, 1));
+    EXPECT_FALSE(list.contains(ctx, 2));
+    EXPECT_EQ(list.size(ctx), 1);
+  });
+}
+
+TEST(TxListTest, ConcurrentDisjointInsertsAllLand) {
+  Runtime rt(Config{.pool_threads = 2});
+  TxList list;
+  constexpr int kThreads = 4;
+  constexpr long kPer = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (long i = 0; i < kPer; ++i) {
+        atomically(rt, [&](TxCtx& ctx) {
+          list.insert(ctx, static_cast<long>(t) * 1000 + i);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_EQ(list.size(ctx), kThreads * kPer);
+    EXPECT_TRUE(list.is_sorted(ctx));
+  });
+}
+
+TEST(TxListTest, ConcurrentMixedOpsKeepInvariants) {
+  Runtime rt(Config{.pool_threads = 2});
+  TxList list;
+  atomically(rt, [&](TxCtx& ctx) {
+    for (long k = 0; k < 64; k += 2) list.insert(ctx, k);
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      txf::util::Xoshiro256 rng(40 + t);
+      for (int i = 0; i < 200; ++i) {
+        const long key = static_cast<long>(rng.next_bounded(64));
+        const auto op = rng.next_bounded(3);
+        atomically(rt, [&](TxCtx& ctx) {
+          if (op == 0) {
+            list.insert(ctx, key);
+          } else if (op == 1) {
+            list.erase(ctx, key);
+          } else {
+            (void)list.contains(ctx, key);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  atomically(rt, [&](TxCtx& ctx) { EXPECT_TRUE(list.is_sorted(ctx)); });
+}
+
+TEST(TxListTest, SizeTracksMutations) {
+  // Size is itself transactional: a concurrent auditor summing size deltas
+  // must never see a torn intermediate.
+  Runtime rt(Config{.pool_threads = 2});
+  TxList list;
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      atomically(rt, [&](TxCtx& ctx) {
+        const long reported = list.size(ctx);
+        // Count manually within the same snapshot (all keys are < 128).
+        long count = 0;
+        for (long k = 0; k < 128; ++k)
+          if (list.contains(ctx, k)) ++count;
+        if (count != reported) bad.fetch_add(1);
+      });
+    }
+  });
+  txf::util::Xoshiro256 rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const long key = static_cast<long>(rng.next_bounded(128));
+    atomically(rt, [&](TxCtx& ctx) {
+      if (rng.next_bounded(2) == 0) {
+        list.insert(ctx, key);
+      } else {
+        list.erase(ctx, key);
+      }
+    });
+  }
+  stop.store(true);
+  auditor.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(TxListTest, ParallelSumWithFuture) {
+  // The whole-list sum inside a future must be consistent with a
+  // continuation mutating the list (strong ordering: the sum excludes the
+  // continuation's insert).
+  Runtime rt(Config{.pool_threads = 2});
+  TxList list;
+  atomically(rt, [&](TxCtx& ctx) {
+    for (long k : {1, 2, 3}) list.insert(ctx, k);
+  });
+  const long summed = atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& c) { return list.sum(c); });
+    list.insert(ctx, 100);  // continuation mutates after the future
+    return f.get(ctx);
+  });
+  EXPECT_EQ(summed, 6);
+  atomically(rt, [&](TxCtx& ctx) { EXPECT_TRUE(list.contains(ctx, 100)); });
+}
+
+}  // namespace

@@ -1,0 +1,233 @@
+// Tests for transactional containers: TxMap, TxCounter, TxVector — both on
+// flat transactions and inside transaction trees with futures.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "containers/tx_counter.hpp"
+#include "containers/tx_map.hpp"
+#include "containers/tx_vector.hpp"
+#include "core/api.hpp"
+
+namespace {
+
+using txf::containers::StripedTxCounter;
+using txf::containers::TxCounter;
+using txf::containers::TxMap;
+using txf::containers::TxVector;
+using txf::core::atomically;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+
+TEST(TxMapTest, PutGetErase) {
+  Runtime rt;
+  TxMap map(64);
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_FALSE(map.get(ctx, 1).has_value());
+    EXPECT_TRUE(map.put(ctx, 1, 100));
+    EXPECT_TRUE(map.put(ctx, 2, 200));
+    EXPECT_FALSE(map.put(ctx, 1, 111));  // update, not insert
+    EXPECT_EQ(map.get(ctx, 1).value(), 111u);
+    EXPECT_EQ(map.get(ctx, 2).value(), 200u);
+    EXPECT_TRUE(map.erase(ctx, 1));
+    EXPECT_FALSE(map.erase(ctx, 1));
+    EXPECT_FALSE(map.get(ctx, 1).has_value());
+  });
+}
+
+TEST(TxMapTest, KeyZeroWorks) {
+  Runtime rt;
+  TxMap map(16);
+  atomically(rt, [&](TxCtx& ctx) {
+    map.put(ctx, 0, 42);
+    EXPECT_EQ(map.get(ctx, 0).value(), 42u);
+  });
+}
+
+TEST(TxMapTest, ReinsertAfterErase) {
+  Runtime rt;
+  TxMap map(16);
+  atomically(rt, [&](TxCtx& ctx) {
+    map.put(ctx, 5, 1);
+    map.erase(ctx, 5);
+    EXPECT_TRUE(map.put(ctx, 5, 2));  // revives the tombstoned slot
+    EXPECT_EQ(map.get(ctx, 5).value(), 2u);
+  });
+}
+
+TEST(TxMapTest, ManyKeysAndScan) {
+  Runtime rt;
+  TxMap map(1024);
+  constexpr std::uint64_t kN = 500;
+  atomically(rt, [&](TxCtx& ctx) {
+    for (std::uint64_t k = 0; k < kN; ++k) map.put(ctx, k * 7, k);
+  });
+  atomically(rt, [&](TxCtx& ctx) {
+    std::set<std::uint64_t> seen;
+    std::uint64_t sum = 0;
+    map.for_each(ctx, [&](std::uint64_t k, std::uint64_t v) {
+      seen.insert(k);
+      sum += v;
+    });
+    EXPECT_EQ(seen.size(), kN);
+    EXPECT_EQ(sum, kN * (kN - 1) / 2);
+    EXPECT_EQ(map.size(ctx), kN);
+  });
+}
+
+TEST(TxMapTest, CapacityOverflowThrows) {
+  Runtime rt;
+  TxMap map(4);  // rounds up small; fill beyond max load
+  EXPECT_THROW(atomically(rt, [&](TxCtx& ctx) {
+                 for (std::uint64_t k = 0; k < 100; ++k)
+                   map.put(ctx, k, k);
+               }),
+               TxMap::TxMapFull);
+}
+
+TEST(TxMapTest, IsolationBetweenTransactions) {
+  Runtime rt;
+  TxMap map(64);
+  atomically(rt, [&](TxCtx& ctx) { map.put(ctx, 9, 1); });
+  std::atomic<bool> committed{false};
+  std::thread writer([&] {
+    atomically(rt, [&](TxCtx& ctx) { map.put(ctx, 9, 2); });
+    committed.store(true);
+  });
+  writer.join();
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_EQ(map.get(ctx, 9).value(), 2u);
+  });
+}
+
+TEST(TxMapTest, ConcurrentInsertersDontLoseKeys) {
+  Runtime rt;
+  TxMap map(4096);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPer = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPer; ++i) {
+        atomically(rt, [&](TxCtx& ctx) {
+          map.put(ctx, static_cast<std::uint64_t>(t) * 10000 + i, i);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_EQ(map.size(ctx), kThreads * kPer);
+  });
+}
+
+TEST(TxMapTest, ParallelScanWithFuturesMatchesSerial) {
+  Runtime rt;
+  TxMap map(512);
+  constexpr std::uint64_t kN = 300;
+  atomically(rt, [&](TxCtx& ctx) {
+    for (std::uint64_t k = 0; k < kN; ++k) map.put(ctx, k, k * 2);
+  });
+  const auto total = atomically(rt, [&](TxCtx& ctx) {
+    const std::size_t half = map.capacity() / 2;
+    auto lo = ctx.submit([&, half](TxCtx& c) {
+      std::uint64_t s = 0;
+      map.scan_range(c, 0, half, [&](std::uint64_t, std::uint64_t v) { s += v; });
+      return s;
+    });
+    std::uint64_t hi = 0;
+    map.scan_range(ctx, half, map.capacity(),
+                   [&](std::uint64_t, std::uint64_t v) { hi += v; });
+    return lo.get(ctx) + hi;
+  });
+  EXPECT_EQ(total, kN * (kN - 1));  // sum of 2k for k in [0, kN)
+}
+
+TEST(TxCounterTest, FetchAddSequence) {
+  Runtime rt;
+  TxCounter c(10);
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_EQ(c.fetch_add(ctx, 5), 10);
+    EXPECT_EQ(c.get(ctx), 15);
+    c.add(ctx, -3);
+    EXPECT_EQ(c.get(ctx), 12);
+  });
+  EXPECT_EQ(c.peek(), 12);
+}
+
+TEST(TxCounterTest, ConcurrentIncrementsExact) {
+  Runtime rt;
+  TxCounter c(0);
+  constexpr int kThreads = 4, kIter = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIter; ++i)
+        atomically(rt, [&](TxCtx& ctx) { c.add(ctx, 1); });
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.peek(), kThreads * kIter);
+}
+
+TEST(StripedCounterTest, SumsAcrossStripes) {
+  Runtime rt;
+  StripedTxCounter c(8);
+  constexpr int kThreads = 4, kIter = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIter; ++i) {
+        atomically(rt, [&](TxCtx& ctx) {
+          c.add(ctx, 1, static_cast<std::size_t>(t));
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.peek(), kThreads * kIter);
+}
+
+TEST(TxVectorTest, PushPopSetAt) {
+  Runtime rt;
+  TxVector<int> v(8);
+  atomically(rt, [&](TxCtx& ctx) {
+    v.push_back(ctx, 1);
+    v.push_back(ctx, 2);
+    EXPECT_EQ(v.size(ctx), 2);
+    EXPECT_EQ(v.at(ctx, 0), 1);
+    v.set(ctx, 0, 9);
+    EXPECT_EQ(v.at(ctx, 0), 9);
+    EXPECT_EQ(v.pop_back(ctx), 2);
+    EXPECT_EQ(v.size(ctx), 1);
+  });
+  EXPECT_EQ(v.peek_size(), 1);
+  EXPECT_EQ(v.peek(0), 9);
+}
+
+TEST(TxVectorTest, OverflowThrows) {
+  Runtime rt;
+  TxVector<int> v(2);
+  EXPECT_THROW(atomically(rt, [&](TxCtx& ctx) {
+                 v.push_back(ctx, 1);
+                 v.push_back(ctx, 2);
+                 v.push_back(ctx, 3);
+               }),
+               TxVector<int>::TxVectorFull);
+}
+
+TEST(TxVectorTest, AbortRollsBackPush) {
+  Runtime rt;
+  TxVector<int> v(8);
+  try {
+    atomically(rt, [&](TxCtx& ctx) {
+      v.push_back(ctx, 1);
+      throw std::runtime_error("abort");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(v.peek_size(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// Basic transactional-future behaviour: flat trees, submit/get, strong
+// ordering of a single future/continuation pair, nested submission.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "core/api.hpp"
+
+namespace {
+
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+using txf::stm::VBox;
+
+TEST(CoreFlat, ReadAndCommit) {
+  Runtime rt;
+  VBox<int> x(7);
+  const int v = atomically(rt, [&](TxCtx& ctx) { return x.get(ctx); });
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(rt.stats().top_commits.load(), 1u);
+}
+
+TEST(CoreFlat, WriteCommitsToPermanent) {
+  Runtime rt;
+  VBox<int> x(1);
+  atomically(rt, [&](TxCtx& ctx) { x.put(ctx, 42); });
+  EXPECT_EQ(x.peek_committed(), 42);
+}
+
+TEST(CoreFlat, RootReadsOwnWrites) {
+  Runtime rt;
+  VBox<int> x(1);
+  const int v = atomically(rt, [&](TxCtx& ctx) {
+    x.put(ctx, 10);
+    return x.get(ctx);
+  });
+  EXPECT_EQ(v, 10);
+}
+
+TEST(CoreFlat, VoidBodyWorks) {
+  Runtime rt;
+  VBox<int> x(0);
+  atomically(rt, [&](TxCtx& ctx) { x.put(ctx, 5); });
+  EXPECT_EQ(x.peek_committed(), 5);
+}
+
+TEST(CoreFuture, FutureReturnsValue) {
+  Runtime rt;
+  VBox<int> x(21);
+  const int v = atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) { return x.get(inner) * 2; });
+    return f.get(ctx);
+  });
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(rt.stats().futures_submitted.load(), 1u);
+}
+
+TEST(CoreFuture, FutureSeesParentPrefixWrites) {
+  Runtime rt;
+  VBox<int> x(0);
+  const int v = atomically(rt, [&](TxCtx& ctx) {
+    x.put(ctx, 9);  // root prefix write, before the submit
+    auto f = ctx.submit([&](TxCtx& inner) { return x.get(inner); });
+    return f.get(ctx);
+  });
+  EXPECT_EQ(v, 9);
+}
+
+TEST(CoreFuture, ContinuationSeesFutureWriteAfterEvaluation) {
+  Runtime rt;
+  VBox<int> x(0);
+  const int v = atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) {
+      x.put(inner, 5);
+      return 0;
+    });
+    f.get(ctx);  // future committed: its write is now visible here...
+    return x.get(ctx);
+  });
+  // ...unless this continuation started before the future committed and
+  // therefore ran against the old snapshot — in which case it must have
+  // been re-executed. Either way the final answer is the sequential one.
+  EXPECT_EQ(v, 5);
+}
+
+TEST(CoreFuture, FutureWritePropagatesToTopLevelCommit) {
+  Runtime rt;
+  VBox<int> x(0);
+  atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) {
+      x.put(inner, 123);
+      return 0;
+    });
+    f.get(ctx);
+  });
+  EXPECT_EQ(x.peek_committed(), 123);
+}
+
+TEST(CoreFuture, ContinuationWriteWins) {
+  // Sequential semantics: continuation code runs after the future, so its
+  // write to the same box is the newer one.
+  Runtime rt;
+  VBox<int> x(0);
+  atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) {
+      x.put(inner, 1);
+      return 0;
+    });
+    x.put(ctx, 2);  // continuation write — serialized after the future's
+    f.get(ctx);
+  });
+  EXPECT_EQ(x.peek_committed(), 2);
+}
+
+TEST(CoreFuture, MultipleFuturesAccumulate) {
+  Runtime rt;
+  constexpr int kN = 8;
+  VBox<long> sum(0);
+  const long total = atomically(rt, [&](TxCtx& ctx) {
+    std::vector<txf::core::TxFuture<long>> futs;
+    for (int i = 1; i <= kN; ++i) {
+      futs.push_back(ctx.submit([i](TxCtx&) { return static_cast<long>(i); }));
+    }
+    long acc = 0;
+    for (auto& f : futs) acc += f.get(ctx);
+    return acc;
+  });
+  EXPECT_EQ(total, kN * (kN + 1) / 2);
+}
+
+TEST(CoreFuture, NestedFutureInsideFuture) {
+  Runtime rt;
+  VBox<int> x(1);
+  const int v = atomically(rt, [&](TxCtx& ctx) {
+    auto outer = ctx.submit([&](TxCtx& mid) {
+      auto inner = mid.submit([&](TxCtx& in) { return x.get(in) + 10; });
+      return inner.get(mid) + 100;
+    });
+    return outer.get(ctx);
+  });
+  EXPECT_EQ(v, 111);
+}
+
+TEST(CoreFuture, VoidFuture) {
+  Runtime rt;
+  VBox<int> x(0);
+  atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) { x.put(inner, 3); });
+    f.get(ctx);
+  });
+  EXPECT_EQ(x.peek_committed(), 3);
+}
+
+TEST(CoreFuture, GetOutsideTransactionAfterCommit) {
+  Runtime rt;
+  txf::core::TxFuture<int> handle;
+  atomically(rt, [&](TxCtx& ctx) {
+    handle = ctx.submit([](TxCtx&) { return 77; });
+    handle.get(ctx);
+  });
+  // Fig. 2-style: the handle remains usable outside the transaction.
+  EXPECT_TRUE(handle.valid());
+  EXPECT_EQ(handle.get(), 77);
+  EXPECT_TRUE(handle.ready());
+}
+
+TEST(CoreFuture, UserExceptionPropagates) {
+  Runtime rt;
+  VBox<int> x(0);
+  EXPECT_THROW(atomically(rt, [&](TxCtx& ctx) {
+                 x.put(ctx, 1);
+                 throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // The aborted transaction must not have published its write.
+  EXPECT_EQ(x.peek_committed(), 0);
+}
+
+TEST(CoreFuture, FutureWithoutEvaluationStillCommits) {
+  // Evaluating is optional; the tree must still wait for the future before
+  // the top-level commit.
+  Runtime rt;
+  VBox<int> x(0);
+  atomically(rt, [&](TxCtx& ctx) {
+    ctx.submit([&](TxCtx& inner) {
+      x.put(inner, 8);
+      return 0;
+    });
+  });
+  EXPECT_EQ(x.peek_committed(), 8);
+}
+
+}  // namespace

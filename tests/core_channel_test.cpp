@@ -1,0 +1,139 @@
+// Cross-transaction future channels (paper Fig. 2) — including the failure
+// semantics: what evaluators observe when the producing transaction
+// restarts or aborts before the future commits.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/api.hpp"
+
+namespace {
+
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::StaleFuture;
+using txf::core::TxCtx;
+using txf::core::TxFuture;
+using txf::stm::VBox;
+
+TEST(Channel, HandleOutlivesTransaction) {
+  Runtime rt(Config{.pool_threads = 2});
+  TxFuture<int> handle;
+  atomically(rt, [&](TxCtx& ctx) {
+    handle = ctx.submit([](TxCtx&) { return 5; });
+    handle.get(ctx);
+  });
+  EXPECT_EQ(handle.get(), 5);
+  EXPECT_EQ(handle.get(), 5);  // repeatable
+}
+
+TEST(Channel, ManyConsumersOneFuture) {
+  Runtime rt(Config{.pool_threads = 2});
+  VBox<int> data(21);
+  TxFuture<int> shared;
+  std::atomic<bool> published{false};
+
+  std::vector<std::thread> consumers;
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      while (!published.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      sum.fetch_add(shared.get());
+    });
+  }
+  atomically(rt, [&](TxCtx& ctx) {
+    shared = ctx.submit([&](TxCtx& c) { return data.get(c) * 2; });
+    published.store(true, std::memory_order_release);
+    shared.get(ctx);
+  });
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(sum.load(), 4 * 42);
+}
+
+TEST(Channel, InvalidHandleThrowsLogicError) {
+  TxFuture<int> empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_THROW(empty.get(), std::logic_error);
+  EXPECT_THROW((void)empty.ready(), std::logic_error);
+}
+
+TEST(Channel, AbandonedFutureReportsStale) {
+  // The producing transaction aborts (user exception) before the future's
+  // handle ever publishes a value visible outside: an external evaluator
+  // must get StaleFuture, not a hang.
+  Runtime rt(Config{.pool_threads = 2});
+  TxFuture<int> leaked;
+  std::atomic<bool> got_handle{false};
+  std::atomic<int> verdict{0};  // 1 = stale, 2 = value
+
+  std::thread consumer([&] {
+    while (!got_handle.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    try {
+      (void)leaked.get();
+      verdict.store(2);
+    } catch (const StaleFuture&) {
+      verdict.store(1);
+    }
+  });
+
+  std::atomic<bool> blocker{true};
+  try {
+    atomically(rt, [&](TxCtx& ctx) {
+      leaked = ctx.submit([&](TxCtx& c) {
+        // Keep the future un-committed until the transaction dies; poll so
+        // the abort can cancel this task (abort_tree drains it).
+        while (blocker.load(std::memory_order_acquire)) {
+          c.poll();
+          std::this_thread::yield();
+        }
+        return 1;
+      });
+      got_handle.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      throw std::runtime_error("producer dies");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  blocker.store(false, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(verdict.load(), 1);  // stale, not a hang and not a value
+}
+
+TEST(Channel, ValueSurvivesProducerRetry) {
+  // If the producer's top-level commit conflicts and the body re-runs, the
+  // re-executed future publishes again; an external consumer that waited
+  // gets a (possibly newer) committed value, never garbage.
+  Runtime rt(Config{.pool_threads = 2});
+  VBox<int> src(1);
+  VBox<int> out(0);
+  std::atomic<bool> first_pass{true};
+  std::atomic<bool> reader_ready{false};
+  TxFuture<int> chan;
+
+  std::thread noise;
+  atomically(rt, [&](TxCtx& ctx) {
+    chan = ctx.submit([&](TxCtx& c) { return src.get(c); });
+    reader_ready.store(true, std::memory_order_release);
+    const int v = chan.get(ctx);
+    if (first_pass.exchange(false)) {
+      // Force a top-level conflict: bump src from another transaction
+      // after we've read it.
+      noise = std::thread([&] {
+        atomically(rt, [&](TxCtx& c2) { src.put(c2, 2); });
+      });
+      noise.join();
+    }
+    out.put(ctx, v + 100);
+  });
+  EXPECT_TRUE(chan.ready());
+  const int final_out = out.peek_committed();
+  EXPECT_TRUE(final_out == 101 || final_out == 102) << final_out;
+  // The channel's committed value matches what the committed run read.
+  EXPECT_EQ(chan.get() + 100, final_out);
+}
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for the FCC substrate: fibers, stack checkpoints, restores —
+// including restore from a different thread and repeated restores.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/fcc.hpp"
+
+namespace {
+
+using txf::core::Checkpoint;
+using txf::core::Fiber;
+
+TEST(Fiber, RunsToCompletion) {
+  Fiber fiber;
+  int x = 0;
+  fiber.run([&] { x = 42; });
+  EXPECT_EQ(x, 42);
+  EXPECT_TRUE(fiber.finished());
+}
+
+TEST(Fiber, RunsOnItsOwnStack) {
+  Fiber fiber;
+  char* frame_addr = nullptr;
+  fiber.run([&] {
+    char probe;
+    frame_addr = &probe;
+  });
+  EXPECT_GE(frame_addr, fiber.stack_base());
+  EXPECT_LT(frame_addr, fiber.stack_top());
+}
+
+TEST(Fiber, SequentialRunsReuseStack) {
+  Fiber fiber;
+  int total = 0;
+  for (int i = 0; i < 10; ++i) {
+    fiber.run([&, i] { total += i; });
+  }
+  EXPECT_EQ(total, 45);
+}
+
+TEST(Checkpoint, CaptureThenRestoreReplaysSuffix) {
+  Fiber fiber;
+  Checkpoint cp;
+  int phase_a = 0;
+  int phase_b = 0;
+  fiber.run([&] {
+    phase_a += 1;                       // before the checkpoint: runs once
+    const auto r = cp.capture(fiber);
+    (void)r;
+    phase_b += 1;                       // after: runs once per (re)entry
+  });
+  EXPECT_EQ(phase_a, 1);
+  EXPECT_EQ(phase_b, 1);
+
+  fiber.restore(cp);
+  EXPECT_EQ(phase_a, 1);  // prefix not replayed
+  EXPECT_EQ(phase_b, 2);  // suffix replayed
+
+  fiber.restore(cp);
+  EXPECT_EQ(phase_b, 3);
+}
+
+TEST(Checkpoint, CaptureReportsRestoredPass) {
+  Fiber fiber;
+  Checkpoint cp;
+  std::vector<Checkpoint::CaptureResult> results;
+  fiber.run([&] { results.push_back(cp.capture(fiber)); });
+  fiber.restore(cp);
+  fiber.restore(cp);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], Checkpoint::CaptureResult::kCaptured);
+  EXPECT_EQ(results[1], Checkpoint::CaptureResult::kRestored);
+  EXPECT_EQ(results[2], Checkpoint::CaptureResult::kRestored);
+}
+
+TEST(Checkpoint, LocalsRestoredBitwise) {
+  Fiber fiber;
+  Checkpoint cp;
+  long observed_first = -1;
+  long observed_restored = -1;
+  bool first = true;
+  fiber.run([&] {
+    long local = 100;  // trivially copyable: safe across checkpoints
+    const auto r = cp.capture(fiber);
+    if (r == Checkpoint::CaptureResult::kCaptured) {
+      observed_first = local;
+      local = 999;  // mutation after the checkpoint...
+      (void)local;
+    } else {
+      observed_restored = local;  // ...must be undone by the restore
+    }
+  });
+  EXPECT_EQ(observed_first, 100);
+  fiber.restore(cp);
+  EXPECT_EQ(observed_restored, 100);
+}
+
+TEST(Checkpoint, DeepCallChainSurvivesRestore) {
+  Fiber fiber;
+  Checkpoint cp;
+  int runs = 0;
+  // Capture several frames deep; the restore must bring the whole chain
+  // back so the returns unwind correctly.
+  std::function<int(int)> deep = [&](int depth) -> int {
+    if (depth == 0) {
+      cp.capture(fiber);
+      ++runs;
+      return 1;
+    }
+    return deep(depth - 1) + depth;
+  };
+  int result = 0;
+  fiber.run([&] { result = deep(6); });
+  EXPECT_EQ(result, 1 + 6 + 5 + 4 + 3 + 2 + 1);
+  EXPECT_EQ(runs, 1);
+  fiber.restore(cp);
+  EXPECT_EQ(result, 22);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(Checkpoint, RestoreFromAnotherThread) {
+  Fiber fiber;
+  Checkpoint cp;
+  std::atomic<int> entries{0};
+  std::thread::id first_tid;
+  std::thread::id second_tid;
+  fiber.run([&] {
+    cp.capture(fiber);
+    if (entries.fetch_add(1) == 0) {
+      first_tid = std::this_thread::get_id();
+    } else {
+      second_tid = std::this_thread::get_id();
+    }
+  });
+  // A different thread re-enters the fiber at the checkpoint.
+  std::thread other([&] { fiber.restore(cp); });
+  other.join();
+  EXPECT_EQ(entries.load(), 2);
+  EXPECT_NE(first_tid, second_tid);
+}
+
+TEST(Checkpoint, MultipleCheckpointsRestoreToTheRightOne) {
+  Fiber fiber;
+  Checkpoint early, late;
+  std::vector<int> trace;
+  fiber.run([&] {
+    trace.push_back(1);
+    if (early.capture(fiber) == Checkpoint::CaptureResult::kCaptured) {
+      trace.push_back(2);
+    } else {
+      trace.push_back(20);
+    }
+    if (late.capture(fiber) == Checkpoint::CaptureResult::kCaptured) {
+      trace.push_back(3);
+    } else {
+      trace.push_back(30);
+    }
+  });
+  fiber.restore(late);   // replays only the tail
+  fiber.restore(early);  // replays from the earlier point
+  // Initial: 1,2,3. Restore(late): 30. Restore(early): 20, and the replay
+  // then REACHES late.capture as a fresh call, re-capturing it -> 3.
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 30, 20, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Blocking retry (retry_now) and the transactional ring queue: the classic
+// STM bounded-channel composition.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "containers/tx_queue.hpp"
+#include "core/api.hpp"
+
+namespace {
+
+using txf::containers::TxQueue;
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::retry_now;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+using txf::stm::VBox;
+
+TEST(TxQueueTest, PushPopFifo) {
+  Runtime rt;
+  TxQueue<int> q(4);
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_TRUE(q.empty(ctx));
+    EXPECT_TRUE(q.try_push(ctx, 1));
+    EXPECT_TRUE(q.try_push(ctx, 2));
+    EXPECT_EQ(q.size(ctx), 2);
+    EXPECT_EQ(q.peek(ctx).value(), 1);
+    EXPECT_EQ(q.try_pop(ctx).value(), 1);
+    EXPECT_EQ(q.try_pop(ctx).value(), 2);
+    EXPECT_FALSE(q.try_pop(ctx).has_value());
+  });
+}
+
+TEST(TxQueueTest, FullQueueRejectsPush) {
+  Runtime rt;
+  TxQueue<int> q(2);
+  atomically(rt, [&](TxCtx& ctx) {
+    EXPECT_TRUE(q.try_push(ctx, 1));
+    EXPECT_TRUE(q.try_push(ctx, 2));
+    EXPECT_TRUE(q.full(ctx));
+    EXPECT_FALSE(q.try_push(ctx, 3));
+    // Pop one; wrap-around push works.
+    EXPECT_EQ(q.try_pop(ctx).value(), 1);
+    EXPECT_TRUE(q.try_push(ctx, 3));
+  });
+}
+
+TEST(TxQueueTest, WrapAroundManyTimes) {
+  Runtime rt;
+  TxQueue<int> q(3);
+  for (int round = 0; round < 50; ++round) {
+    atomically(rt, [&](TxCtx& ctx) {
+      q.try_push(ctx, round);
+      EXPECT_EQ(q.try_pop(ctx).value(), round);
+    });
+  }
+}
+
+TEST(TxQueueTest, AbortRollsBackPush) {
+  Runtime rt;
+  TxQueue<int> q(4);
+  try {
+    atomically(rt, [&](TxCtx& ctx) {
+      q.try_push(ctx, 9);
+      throw std::runtime_error("abort");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  atomically(rt, [&](TxCtx& ctx) { EXPECT_TRUE(q.empty(ctx)); });
+}
+
+TEST(RetryNow, BlocksUntilConditionEstablished) {
+  Runtime rt(Config{.pool_threads = 2});
+  VBox<int> flag(0);
+  std::atomic<bool> consumer_done{false};
+
+  std::thread consumer([&] {
+    const int v = atomically(rt, [&](TxCtx& ctx) {
+      const int f = flag.get(ctx);
+      if (f == 0) retry_now(ctx);  // wait for the producer
+      return f;
+    });
+    EXPECT_EQ(v, 7);
+    consumer_done.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(consumer_done.load());  // still parked
+  atomically(rt, [&](TxCtx& ctx) { flag.put(ctx, 7); });
+  consumer.join();
+  EXPECT_TRUE(consumer_done.load());
+}
+
+TEST(RetryNow, BoundedChannelProducerConsumer) {
+  Runtime rt(Config{.pool_threads = 2});
+  TxQueue<long> chan(4);
+  constexpr long kItems = 200;
+
+  std::thread producer([&] {
+    for (long i = 1; i <= kItems; ++i) {
+      atomically(rt, [&](TxCtx& ctx) {
+        if (!chan.try_push(ctx, i)) retry_now(ctx);  // block while full
+      });
+    }
+  });
+
+  long sum = 0;
+  for (long i = 0; i < kItems; ++i) {
+    sum += atomically(rt, [&](TxCtx& ctx) {
+      auto v = chan.try_pop(ctx);
+      if (!v) retry_now(ctx);  // block while empty
+      return *v;
+    });
+  }
+  producer.join();
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+  atomically(rt, [&](TxCtx& ctx) { EXPECT_TRUE(chan.empty(ctx)); });
+}
+
+TEST(RetryNow, WorksFromInsideAFuture) {
+  Runtime rt(Config{.pool_threads = 2});
+  VBox<int> gate(0);
+  std::atomic<bool> waiting{false};
+  std::thread opener([&] {
+    while (!waiting.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    atomically(rt, [&](TxCtx& ctx) { gate.put(ctx, 1); });
+  });
+  const int seen = atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& c) {
+      const int g = gate.get(c);
+      waiting.store(true, std::memory_order_release);
+      if (g == 0) retry_now(c);  // whole transaction waits and re-runs
+      return g;
+    });
+    return f.get(ctx);
+  });
+  opener.join();
+  EXPECT_EQ(seen, 1);
+}
+
+}  // namespace

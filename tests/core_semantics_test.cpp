@@ -1,0 +1,216 @@
+// Directed tests encoding the paper's semantics discussion: the executions
+// of Fig. 1 (nested future evaluated by the top level), Fig. 2 (future as a
+// cross-transaction channel), Fig. 3a (the example tree), and the Fig. 4
+// visibility rules, plus equivalence-to-sequential properties.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace {
+
+using txf::core::atomically;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+using txf::core::TxFuture;
+using txf::stm::VBox;
+
+// Fig. 1: T0 writes y, submits TF1; TF1 writes x and submits TF2; T0
+// evaluates TF2. Under strong ordering TF2 is serialized at its submission
+// point (inside TF1, after w(x)), so it must see both w(y, y0) by T0 and
+// w(x, x1) by TF1 regardless of when it is evaluated.
+TEST(PaperFig1, NestedFutureSeesBothAncestorsWrites) {
+  Runtime rt;
+  VBox<int> x(0), y(0);
+  const std::pair<int, int> seen = atomically(rt, [&](TxCtx& ctx) {
+    y.put(ctx, 7);  // w(y, y0) by T0
+    auto tf1 = ctx.submit([&](TxCtx& c1) {
+      x.put(c1, 5);  // w(x, x1) by TF1
+      auto tf2 = c1.submit([&](TxCtx& c2) {
+        return std::make_pair(x.get(c2), y.get(c2));
+      });
+      return tf2;
+    });
+    TxFuture<std::pair<int, int>> tf2 = tf1.get(ctx);
+    return tf2.get(ctx);  // evaluated by T0, far from the submission point
+  });
+  EXPECT_EQ(seen.first, 5);
+  EXPECT_EQ(seen.second, 7);
+}
+
+// Fig. 2: T1 submits TF and passes the reference out; T2 (a different
+// top-level transaction / thread) evaluates it. Evaluation blocks until the
+// future commits and yields the value produced in T1's context.
+TEST(PaperFig2, FutureAsCrossTransactionChannel) {
+  Runtime rt;
+  VBox<int> data(11);
+  std::atomic<TxFuture<int>*> channel{nullptr};
+  TxFuture<int> slot;
+
+  std::thread t2([&] {
+    while (channel.load(std::memory_order_acquire) == nullptr)
+      std::this_thread::yield();
+    TxFuture<int> f = *channel.load(std::memory_order_acquire);
+    const int got = atomically(rt, [&](TxCtx& ctx) {
+      (void)ctx;
+      return f.get();  // evaluate inside T2 (non-transactional evaluation)
+    });
+    EXPECT_EQ(got, 11);
+  });
+
+  atomically(rt, [&](TxCtx& ctx) {
+    slot = ctx.submit([&](TxCtx& inner) { return data.get(inner); });
+    channel.store(&slot, std::memory_order_release);
+    slot.get(ctx);
+  });
+  t2.join();
+}
+
+// Fig. 3a: T0 submits TF1 (which submits TF2), then TC4 submits TF5, TC6
+// runs last. The appends to a log box must come out in the pre-order
+// serialization: T0, TF1, TF2, TC3, TC4-prefix, TF5, TC6.
+TEST(PaperFig3a, ExampleTreeSerializesInPreOrder) {
+  Runtime rt;
+  // Encode the visit order as digits of a base-10 number.
+  VBox<long> log(0);
+  auto append = [&](TxCtx& c, long digit) {
+    log.put(c, log.get(c) * 10 + digit);
+  };
+  atomically(rt, [&](TxCtx& ctx) {
+    append(ctx, 1);  // T0 prefix
+    auto tf1 = ctx.submit([&](TxCtx& c1) {
+      append(c1, 2);  // TF1 prefix
+      auto tf2 = c1.submit([&](TxCtx& c2) {
+        append(c2, 3);  // TF2
+        return 0;
+      });
+      append(c1, 4);  // TC3 (continuation of TF1)
+      tf2.get(c1);
+      return 0;
+    });
+    append(ctx, 5);  // TC4 prefix
+    auto tf5 = ctx.submit([&](TxCtx& c5) {
+      append(c5, 6);  // TF5
+      return 0;
+    });
+    append(ctx, 7);  // TC6
+    tf1.get(ctx);
+    tf5.get(ctx);
+  });
+  EXPECT_EQ(log.peek_committed(), 1234567L);
+}
+
+// The decisive strong-ordering property: the parallel execution with
+// futures must equal the program run with every future called
+// synchronously at its submission point.
+TEST(StrongOrdering, EquivalentToSequentialExecution) {
+  Runtime rt;
+  constexpr int kBoxes = 6;
+  std::deque<VBox<long>> boxes;
+  for (int i = 0; i < kBoxes; ++i) boxes.emplace_back(i);
+
+  // A little program mixing reads and writes across futures.
+  auto program = [&](TxCtx& ctx) {
+    boxes[0].put(ctx, boxes[1].get(ctx) + 100);
+    auto f1 = ctx.submit([&](TxCtx& c) {
+      boxes[2].put(c, boxes[0].get(c) * 2);
+      return boxes[2].get(c);
+    });
+    auto f2 = ctx.submit([&](TxCtx& c) {
+      boxes[3].put(c, boxes[1].get(c) + boxes[4].get(c));
+      return boxes[3].get(c);
+    });
+    const long a = f1.get(ctx);
+    const long b = f2.get(ctx);
+    boxes[5].put(ctx, a + b);
+  };
+
+  atomically(rt, program);
+  std::vector<long> with_futures;
+  for (auto& b : boxes) with_futures.push_back(b.peek_committed());
+
+  // Sequential oracle computed by hand from initial state {0,1,2,3,4,5}:
+  // boxes[0] = 1+100 = 101; f1: boxes[2] = 202, returns 202;
+  // f2: boxes[3] = 1+4 = 5, returns 5; boxes[5] = 207.
+  EXPECT_EQ(with_futures, (std::vector<long>{101, 1, 202, 5, 4, 207}));
+}
+
+TEST(StrongOrdering, FutureChainMatchesLoopOrder) {
+  // Futures submitted in a loop must apply their increments in submission
+  // order; each future multiplies then adds, making order observable.
+  Runtime rt;
+  VBox<long> acc(1);
+  atomically(rt, [&](TxCtx& ctx) {
+    std::vector<TxFuture<int>> fs;
+    for (int i = 2; i <= 5; ++i) {
+      fs.push_back(ctx.submit([&, i](TxCtx& c) {
+        acc.put(c, acc.get(c) * 10 + i);
+        return 0;
+      }));
+    }
+    for (auto& f : fs) f.get(ctx);
+  });
+  EXPECT_EQ(acc.peek_committed(), 12345L);
+}
+
+// Fig. 4 visibility: TC6 (continuation started before its sibling future
+// TF5 committed) must not see TF5's tentative writes during execution; it
+// reads the pre-state. Here we avoid evaluating TF5 in the continuation so
+// the continuation genuinely races — we force determinism by delaying TF5.
+TEST(PaperFig4, SiblingWritesInvisibleUntilWitnessedCommit) {
+  Runtime rt;
+  VBox<int> x(1);
+  std::atomic<bool> cont_read_done{false};
+  int seen_by_continuation = -1;
+  atomically(rt, [&](TxCtx& ctx) {
+    auto tf = ctx.submit([&](TxCtx& inner) {
+      // Hold the future until the continuation has read.
+      while (!cont_read_done.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      x.put(inner, 2);
+      return 0;
+    });
+    // Touch data immediately so the lazy ancVer refresh freezes before the
+    // future commits (mirrors "TC6 started before TF5 committed").
+    seen_by_continuation = x.get(ctx);
+    cont_read_done.store(true, std::memory_order_release);
+    tf.get(ctx);
+  });
+  // The continuation raced ahead of the future: it read the old value, and
+  // because the future *wrote* x afterwards, the continuation must have
+  // been rolled back and re-run (seeing 2) — or, if its first read already
+  // came after the commit, it saw 2 directly. Commit state is sequential:
+  EXPECT_EQ(x.peek_committed(), 2);
+}
+
+TEST(ReadOnly, PureReadTreeSkipsCommitQueue) {
+  Runtime rt;
+  VBox<int> x(5);
+  const auto before = rt.env().queue().committed_count();
+  const int v = atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) { return x.get(inner); });
+    return f.get(ctx) + x.get(ctx);
+  });
+  EXPECT_EQ(v, 10);
+  // No write: nothing went through the commit queue.
+  EXPECT_EQ(rt.env().queue().committed_count(), before);
+}
+
+TEST(ReadOnly, ValidationSkipCounted) {
+  Runtime rt;
+  VBox<int> x(5);
+  rt.stats().reset();
+  atomically(rt, [&](TxCtx& ctx) {
+    auto f = ctx.submit([&](TxCtx& inner) { return x.get(inner); });
+    return f.get(ctx);
+  });
+  // The read-only future (and the read-only continuation) may skip
+  // validation per §IV-E.
+  EXPECT_GE(rt.stats().ro_validation_skips.load(), 1u);
+}
+
+}  // namespace

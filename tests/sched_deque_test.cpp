@@ -1,0 +1,99 @@
+// Tests for the Chase-Lev work-stealing deque.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "sched/ws_deque.hpp"
+
+namespace {
+
+using Deque = txf::sched::WsDeque<int*>;
+
+TEST(WsDeque, PushPopLifoOrder) {
+  Deque d;
+  int a = 1, b = 2, c = 3;
+  d.push(&a);
+  d.push(&b);
+  d.push(&c);
+  EXPECT_EQ(d.pop(), &c);
+  EXPECT_EQ(d.pop(), &b);
+  EXPECT_EQ(d.pop(), &a);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(WsDeque, StealFifoOrder) {
+  Deque d;
+  int a = 1, b = 2;
+  d.push(&a);
+  d.push(&b);
+  EXPECT_EQ(d.steal(), &a);
+  EXPECT_EQ(d.steal(), &b);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(WsDeque, EmptyBehaviour) {
+  Deque d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  Deque d(4);
+  std::vector<int> storage(1000);
+  for (int i = 0; i < 1000; ++i) d.push(&storage[i]);
+  EXPECT_EQ(d.size_approx(), 1000u);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(d.pop(), &storage[i]);
+}
+
+// Every pushed element must be consumed exactly once across the owner and
+// multiple thieves.
+TEST(WsDequeStress, NoLossNoDuplication) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  Deque d;
+  std::vector<int> storage(kItems);
+  std::iota(storage.begin(), storage.end(), 0);
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) || !d.empty_approx()) {
+        if (int* p = d.steal()) {
+          seen[static_cast<std::size_t>(p - storage.data())].fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Owner interleaves pushes and pops.
+  for (int i = 0; i < kItems; ++i) {
+    d.push(&storage[i]);
+    if (i % 3 == 0) {
+      if (int* p = d.pop()) {
+        seen[static_cast<std::size_t>(p - storage.data())].fetch_add(1);
+      }
+    }
+  }
+  while (int* p = d.pop()) {
+    seen[static_cast<std::size_t>(p - storage.data())].fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  // Final sweep in case thieves exited between empty check and our pops.
+  while (int* p = d.steal()) {
+    seen[static_cast<std::size_t>(p - storage.data())].fetch_add(1);
+  }
+
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace

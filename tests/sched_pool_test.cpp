@@ -1,0 +1,125 @@
+// Tests for the work-stealing thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "sched/thread_pool.hpp"
+
+namespace {
+
+using txf::sched::Task;
+using txf::sched::ThreadPool;
+
+TEST(Task, MoveOnlyCallableWorks) {
+  auto p = std::make_unique<int>(41);
+  Task t([q = std::move(p)] { ++*q; });
+  EXPECT_TRUE(static_cast<bool>(t));
+  t();  // must not crash; the unique_ptr is owned by the task
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  constexpr int kTasks = 1000;
+  std::promise<void> all_done;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&] {
+      if (count.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::promise<void> done;
+  pool.submit([&] {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] {
+        if (count.fetch_add(1) + 1 == 100) done.set_value();
+      });
+    }
+  });
+  done.get_future().wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, TryRunOneHelpsFromExternalThread) {
+  ThreadPool pool(1);
+  // Occupy the single worker so the queue backs up.
+  std::promise<void> release;
+  auto release_future = release.get_future().share();
+  std::atomic<bool> worker_busy{false};
+  pool.submit([&, release_future] {
+    worker_busy = true;
+    release_future.wait();
+  });
+  while (!worker_busy.load()) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+
+  // The external thread can steal and run the pending task itself.
+  while (ran.load() == 0) {
+    pool.try_run_one();
+  }
+  EXPECT_EQ(ran.load(), 1);
+  release.set_value();
+}
+
+TEST(ThreadPool, TryRunOneReturnsFalseWhenIdle) {
+  ThreadPool pool(2);
+  // Give workers a moment to drain anything.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ThreadPool, WorkerCountDefaultsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, DestructionWithPendingTasksDoesNotLeakOrCrash) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::promise<void> release;
+    auto rf = release.get_future().share();
+    std::atomic<bool> busy{false};
+    pool.submit([&, rf] {
+      busy = true;
+      rf.wait();
+    });
+    while (!busy.load()) std::this_thread::yield();
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+    release.set_value();
+    // Pool destructor joins; some tasks may run, the rest are destroyed.
+  }
+  EXPECT_LE(ran.load(), 50);
+}
+
+TEST(ThreadPool, ManyProducersManyTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i)
+        pool.submit([&] { count.fetch_add(1); });
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (count.load() < kProducers * kPerProducer) {
+    pool.try_run_one();
+  }
+  EXPECT_EQ(count.load(), kProducers * kPerProducer);
+}
+
+}  // namespace

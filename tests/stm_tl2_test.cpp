@@ -1,0 +1,190 @@
+// Tests for the TL2-style baseline STM.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "stm/tl2.hpp"
+#include "util/xoshiro.hpp"
+
+namespace {
+
+using txf::stm::tl2::atomically_tl2;
+using txf::stm::tl2::Tl2Env;
+using txf::stm::tl2::Tl2Txn;
+using txf::stm::tl2::Tl2Var;
+using txf::stm::tl2::VersionedLock;
+
+TEST(VersionedLockTest, LockUnlockCycle) {
+  VersionedLock lock;
+  const auto v0 = lock.load();
+  EXPECT_FALSE(VersionedLock::is_locked(v0));
+  EXPECT_EQ(VersionedLock::version_of(v0), 0u);
+  EXPECT_TRUE(lock.try_lock(v0));
+  EXPECT_TRUE(VersionedLock::is_locked(lock.load()));
+  EXPECT_FALSE(lock.try_lock(lock.load()));  // already locked
+  lock.unlock_with_version(7);
+  EXPECT_EQ(VersionedLock::version_of(lock.load()), 7u);
+  EXPECT_FALSE(VersionedLock::is_locked(lock.load()));
+}
+
+TEST(VersionedLockTest, RestorePreservesVersion) {
+  VersionedLock lock;
+  lock.unlock_with_version(5);
+  const auto v = lock.load();
+  ASSERT_TRUE(lock.try_lock(v));
+  lock.unlock_restore(v);
+  EXPECT_EQ(VersionedLock::version_of(lock.load()), 5u);
+}
+
+TEST(Tl2, ReadInitialValue) {
+  Tl2Env env;
+  Tl2Var<int> x(11);
+  const int v = atomically_tl2(env, [&](Tl2Txn& tx) { return tx.read(x); });
+  EXPECT_EQ(v, 11);
+}
+
+TEST(Tl2, WriteThenReadBack) {
+  Tl2Env env;
+  Tl2Var<int> x(0);
+  atomically_tl2(env, [&](Tl2Txn& tx) {
+    tx.write(x, 9);
+    EXPECT_EQ(tx.read(x), 9);  // read-your-writes
+  });
+  EXPECT_EQ(x.peek(), 9);
+}
+
+TEST(Tl2, ReadOnlyCommitsWithoutClockAdvance) {
+  Tl2Env env;
+  Tl2Var<int> x(1);
+  const auto before = env.clock();
+  atomically_tl2(env, [&](Tl2Txn& tx) { (void)tx.read(x); });
+  EXPECT_EQ(env.clock(), before);
+}
+
+TEST(Tl2, CounterUnderConcurrency) {
+  Tl2Env env;
+  Tl2Var<long> counter(0);
+  constexpr int kThreads = 4, kIter = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIter; ++i) {
+        atomically_tl2(env, [&](Tl2Txn& tx) {
+          tx.write(counter, tx.read(counter) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.peek(), static_cast<long>(kThreads) * kIter);
+  EXPECT_GT(env.commits(), 0u);
+}
+
+TEST(Tl2, TransferInvariantWithConcurrentReaders) {
+  Tl2Env env;
+  constexpr int kAccounts = 8;
+  constexpr long kInitial = 100;
+  std::deque<Tl2Var<long>> accounts;
+  for (int i = 0; i < kAccounts; ++i) accounts.emplace_back(kInitial);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      const long total = atomically_tl2(env, [&](Tl2Txn& tx) {
+        long sum = 0;
+        for (auto& a : accounts) sum += tx.read(a);
+        return sum;
+      });
+      if (total != kAccounts * kInitial) violations.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> movers;
+  for (int m = 0; m < 2; ++m) {
+    movers.emplace_back([&, m] {
+      txf::util::Xoshiro256 rng(50 + m);
+      for (int k = 0; k < 3000; ++k) {
+        const auto from = rng.next_bounded(kAccounts);
+        const auto to = rng.next_bounded(kAccounts);
+        if (from == to) continue;
+        atomically_tl2(env, [&](Tl2Txn& tx) {
+          const long amount = 1 + static_cast<long>(k % 5);
+          tx.write(accounts[from], tx.read(accounts[from]) - amount);
+          tx.write(accounts[to], tx.read(accounts[to]) + amount);
+        });
+      }
+    });
+  }
+  for (auto& th : movers) th.join();
+  stop.store(true);
+  auditor.join();
+  EXPECT_EQ(violations.load(), 0);
+  long total = 0;
+  for (auto& a : accounts) total += a.peek();
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+TEST(Tl2, AbortsAreCounted) {
+  Tl2Env env;
+  Tl2Var<long> hot(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1500; ++i) {
+        atomically_tl2(env, [&](Tl2Txn& tx) {
+          tx.write(hot, tx.read(hot) + 1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // High contention on one word: some attempts must have aborted.
+  EXPECT_GT(env.aborts(), 0u);
+  EXPECT_EQ(hot.peek(), 4 * 1500);
+}
+
+TEST(Tl2, WriteManyVariablesAtomically) {
+  Tl2Env env;
+  constexpr int kVars = 64;
+  std::deque<Tl2Var<long>> vars;
+  for (int i = 0; i < kVars; ++i) vars.emplace_back(0L);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const auto snapshot = atomically_tl2(env, [&](Tl2Txn& tx) {
+        std::vector<long> out;
+        out.reserve(kVars);
+        for (auto& v : vars) out.push_back(tx.read(v));
+        return out;
+      });
+      for (int i = 1; i < kVars; ++i) {
+        if (snapshot[static_cast<std::size_t>(i)] != snapshot[0]) {
+          torn.fetch_add(1);
+          break;
+        }
+      }
+    }
+  });
+  for (int round = 1; round <= 300; ++round) {
+    atomically_tl2(env, [&](Tl2Txn& tx) {
+      for (auto& v : vars) tx.write(v, static_cast<long>(round));
+    });
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(Tl2, DoubleTypeRoundTrip) {
+  Tl2Env env;
+  Tl2Var<double> d(1.5);
+  atomically_tl2(env, [&](Tl2Txn& tx) { tx.write(d, tx.read(d) * 2.0); });
+  EXPECT_DOUBLE_EQ(d.peek(), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Tests for flat top-level transactions: snapshot isolation, commit
+// validation, read-only fast path, atomically() retry loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "stm/transaction.hpp"
+#include "util/xoshiro.hpp"
+
+namespace {
+
+using txf::stm::StmEnv;
+using txf::stm::Transaction;
+using txf::stm::VBox;
+
+TEST(Txn, ReadsInitialValue) {
+  StmEnv env;
+  VBox<int> x(10);
+  Transaction tx(env);
+  EXPECT_EQ(x.get(tx), 10);
+  EXPECT_TRUE(tx.try_commit());
+}
+
+TEST(Txn, ReadYourOwnWrites) {
+  StmEnv env;
+  VBox<int> x(1);
+  Transaction tx(env);
+  x.put(tx, 5);
+  EXPECT_EQ(x.get(tx), 5);
+  EXPECT_TRUE(tx.try_commit());
+  EXPECT_EQ(x.peek_committed(), 5);
+}
+
+TEST(Txn, WritesInvisibleUntilCommit) {
+  StmEnv env;
+  VBox<int> x(1);
+  Transaction writer(env);
+  x.put(writer, 2);
+  {
+    Transaction reader(env);
+    EXPECT_EQ(x.get(reader), 1);
+    EXPECT_TRUE(reader.try_commit());
+  }
+  EXPECT_TRUE(writer.try_commit());
+  {
+    Transaction reader(env);
+    EXPECT_EQ(x.get(reader), 2);
+    EXPECT_TRUE(reader.try_commit());
+  }
+}
+
+TEST(Txn, SnapshotIgnoresLaterCommits) {
+  StmEnv env;
+  VBox<int> x(1);
+  Transaction early(env);          // snapshot taken now
+  {
+    Transaction w(env);
+    x.put(w, 99);
+    ASSERT_TRUE(w.try_commit());
+  }
+  // `early` still sees the old value: multi-version snapshot.
+  EXPECT_EQ(x.get(early), 1);
+  EXPECT_TRUE(early.try_commit());  // read-only: commits fine
+}
+
+TEST(Txn, ReadWriteConflictAborts) {
+  StmEnv env;
+  VBox<int> x(0);
+  Transaction t1(env);
+  (void)x.get(t1);  // t1 reads x
+  {
+    Transaction t2(env);
+    x.put(t2, 7);
+    ASSERT_TRUE(t2.try_commit());  // t2 commits a newer version of x
+  }
+  x.put(t1, 100);  // t1 writes based on its stale read
+  EXPECT_FALSE(t1.try_commit());
+  EXPECT_EQ(x.peek_committed(), 7);
+}
+
+TEST(Txn, BlindWritesBothCommit) {
+  StmEnv env;
+  VBox<int> x(0);
+  Transaction t1(env), t2(env);
+  x.put(t1, 1);
+  x.put(t2, 2);
+  EXPECT_TRUE(t1.try_commit());
+  EXPECT_TRUE(t2.try_commit());
+  EXPECT_EQ(x.peek_committed(), 2);  // queue order: t1 then t2
+}
+
+TEST(Txn, WriteSkewAllowedBySnapshotValidation) {
+  // JVSTM-style validation checks the read set only; two transactions that
+  // read nothing and write different boxes always commit.
+  StmEnv env;
+  VBox<int> x(0), y(0);
+  Transaction t1(env), t2(env);
+  x.put(t1, 1);
+  y.put(t2, 1);
+  EXPECT_TRUE(t1.try_commit());
+  EXPECT_TRUE(t2.try_commit());
+}
+
+TEST(Txn, ReadOnlyModeSkipsTracking) {
+  StmEnv env;
+  VBox<int> x(3);
+  Transaction tx(env, Transaction::Mode::kReadOnly);
+  EXPECT_EQ(x.get(tx), 3);
+  EXPECT_EQ(tx.read_count(), 0u);
+  EXPECT_TRUE(tx.try_commit());
+}
+
+TEST(Txn, AtomicallyRetriesUntilSuccess) {
+  StmEnv env;
+  VBox<int> x(0);
+  // Seed a conflict: a competing thread keeps bumping x while we try to
+  // read-modify-write it; atomically() must eventually win.
+  std::atomic<bool> stop{false};
+  std::thread noise([&] {
+    while (!stop.load()) {
+      txf::stm::atomically(env, [&](Transaction& t) {
+        x.put(t, x.get(t) + 1);
+      });
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    txf::stm::atomically(env, [&](Transaction& t) {
+      x.put(t, x.get(t) + 1);
+    });
+  }
+  stop.store(true);
+  noise.join();
+  EXPECT_GE(x.peek_committed(), 100);
+}
+
+TEST(Txn, AtomicallyReturnsValue) {
+  StmEnv env;
+  VBox<int> x(21);
+  const int doubled = txf::stm::atomically(env, [&](Transaction& t) {
+    return x.get(t) * 2;
+  });
+  EXPECT_EQ(doubled, 42);
+}
+
+TEST(Txn, RetryTransactionExceptionRetries) {
+  StmEnv env;
+  VBox<int> x(0);
+  int attempts = 0;
+  txf::stm::atomically(env, [&](Transaction& t) {
+    x.put(t, x.get(t) + 1);
+    if (++attempts < 3) throw txf::stm::RetryTransaction{};
+  });
+  EXPECT_EQ(attempts, 3);
+  // Aborted attempts must not have committed their writes.
+  EXPECT_EQ(x.peek_committed(), 1);
+}
+
+TEST(Txn, CounterInvariantUnderConcurrency) {
+  StmEnv env;
+  VBox<long> counter(0);
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < kIncrements; ++k) {
+        txf::stm::atomically(env, [&](Transaction& t) {
+          counter.put(t, counter.get(t) + 1);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.peek_committed(),
+            static_cast<long>(kThreads) * kIncrements);
+}
+
+TEST(Txn, TransferPreservesTotal) {
+  // Opacity stress: concurrent transfers keep the sum invariant; concurrent
+  // read-only transactions must always observe the invariant sum.
+  StmEnv env;
+  constexpr int kAccounts = 8;
+  constexpr long kInitial = 100;
+  std::deque<VBox<long>> accounts;
+  for (int i = 0; i < kAccounts; ++i) accounts.emplace_back(kInitial);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread auditor([&] {
+    while (!stop.load()) {
+      const long total = txf::stm::atomically(
+          env,
+          [&](Transaction& t) {
+            long sum = 0;
+            for (auto& a : accounts) sum += a.get(t);
+            return sum;
+          },
+          Transaction::Mode::kReadOnly);
+      if (total != kAccounts * kInitial) violations.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> movers;
+  for (int m = 0; m < 3; ++m) {
+    movers.emplace_back([&, m] {
+      txf::util::Xoshiro256 rng(100 + m);
+      for (int k = 0; k < 3000; ++k) {
+        const auto from = rng.next_bounded(kAccounts);
+        const auto to = rng.next_bounded(kAccounts);
+        if (from == to) continue;
+        txf::stm::atomically(env, [&](Transaction& t) {
+          const long amount = 1 + static_cast<long>(k % 5);
+          accounts[from].put(t, accounts[from].get(t) - amount);
+          accounts[to].put(t, accounts[to].get(t) + amount);
+        });
+      }
+    });
+  }
+  for (auto& t : movers) t.join();
+  stop.store(true);
+  auditor.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  long total = 0;
+  for (auto& a : accounts) total += a.peek_committed();
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Tests for VBox packing, permanent version lists, and trimming.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stm/vbox.hpp"
+#include "util/epoch.hpp"
+
+namespace {
+
+using txf::stm::PermanentVersion;
+using txf::stm::VBox;
+using txf::stm::VBoxImpl;
+using txf::stm::Word;
+
+TEST(WordPacking, RoundTripsCommonTypes) {
+  EXPECT_EQ(txf::stm::unpack_word<int>(txf::stm::pack_word(int{-7})), -7);
+  EXPECT_EQ(txf::stm::unpack_word<std::uint64_t>(
+                txf::stm::pack_word(std::uint64_t{1} << 63)),
+            std::uint64_t{1} << 63);
+  EXPECT_DOUBLE_EQ(txf::stm::unpack_word<double>(txf::stm::pack_word(3.25)),
+                   3.25);
+  EXPECT_EQ(txf::stm::unpack_word<bool>(txf::stm::pack_word(true)), true);
+  int x = 9;
+  EXPECT_EQ(txf::stm::unpack_word<int*>(txf::stm::pack_word(&x)), &x);
+}
+
+TEST(VBoxImpl, InitialValueVisibleAtVersionZero) {
+  VBoxImpl box(42);
+  const PermanentVersion* v = box.read_permanent(0);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->value, 42u);
+  EXPECT_EQ(v->version, 0u);
+}
+
+TEST(VBoxImpl, SnapshotSelectsNewestNotExceeding) {
+  VBoxImpl box(1);
+  // Manually link versions 5 and 9 (commit queue does this in production).
+  auto* head0 = const_cast<PermanentVersion*>(box.permanent_head());
+  auto* v5 = new PermanentVersion(50, 5, head0);
+  ASSERT_TRUE(box.cas_permanent_head(head0, v5));
+  auto* v9 = new PermanentVersion(90, 9, v5);
+  ASSERT_TRUE(box.cas_permanent_head(v5, v9));
+
+  EXPECT_EQ(box.read_permanent(0)->value, 1u);
+  EXPECT_EQ(box.read_permanent(4)->value, 1u);
+  EXPECT_EQ(box.read_permanent(5)->value, 50u);
+  EXPECT_EQ(box.read_permanent(8)->value, 50u);
+  EXPECT_EQ(box.read_permanent(9)->value, 90u);
+  EXPECT_EQ(box.read_permanent(100)->value, 90u);
+}
+
+TEST(VBoxImpl, CasHeadFailsOnStaleExpected) {
+  VBoxImpl box(1);
+  auto* head0 = const_cast<PermanentVersion*>(box.permanent_head());
+  auto* v1 = new PermanentVersion(10, 1, head0);
+  ASSERT_TRUE(box.cas_permanent_head(head0, v1));
+  auto* v2 = new PermanentVersion(20, 2, head0);
+  EXPECT_FALSE(box.cas_permanent_head(head0, v2));
+  delete v2;
+}
+
+TEST(VBoxImpl, TrimDropsUnreachableVersions) {
+  txf::util::EpochDomain domain;
+  VBoxImpl box(1);
+  auto* head0 = const_cast<PermanentVersion*>(box.permanent_head());
+  auto* v5 = new PermanentVersion(50, 5, head0);
+  ASSERT_TRUE(box.cas_permanent_head(head0, v5));
+  auto* v9 = new PermanentVersion(90, 9, v5);
+  ASSERT_TRUE(box.cas_permanent_head(v5, v9));
+
+  // Oldest live snapshot is 6: version 5 must survive (it is the visible
+  // version at snapshot 6), version 0 may go.
+  box.trim(6, domain);
+  EXPECT_EQ(box.read_permanent(6)->value, 50u);
+  EXPECT_EQ(box.read_permanent(100)->value, 90u);
+  // Version 0 is gone: a (hypothetical) snapshot-0 reader finds nothing.
+  EXPECT_EQ(box.read_permanent(4), nullptr);
+}
+
+TEST(VBoxImpl, TrimKeepsEverythingWhenMinSnapshotOld) {
+  txf::util::EpochDomain domain;
+  VBoxImpl box(7);
+  box.trim(0, domain);
+  EXPECT_EQ(box.read_permanent(0)->value, 7u);
+}
+
+TEST(VBoxTyped, GetPutThroughContext) {
+  // Minimal fake context: direct read/write against the permanent head.
+  struct FakeCtx {
+    Word read(VBoxImpl& b) { return b.permanent_head()->value; }
+    void write(VBoxImpl& b, Word w) {
+      auto* head = const_cast<PermanentVersion*>(b.permanent_head());
+      auto* node = new PermanentVersion(w, head->version + 1, head);
+      ASSERT_TRUE(b.cas_permanent_head(head, node));
+    }
+  };
+  VBox<int> box(5);
+  FakeCtx ctx;
+  EXPECT_EQ(box.get(ctx), 5);
+  box.put(ctx, -17);
+  EXPECT_EQ(box.get(ctx), -17);
+  EXPECT_EQ(box.peek_committed(), -17);
+}
+
+TEST(VBoxTyped, PeekCommittedSeesInitial) {
+  VBox<double> box(2.5);
+  EXPECT_DOUBLE_EQ(box.peek_committed(), 2.5);
+}
+
+}  // namespace

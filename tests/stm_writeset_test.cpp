@@ -1,0 +1,87 @@
+// Tests for the open-addressing write-set map.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stm/vbox.hpp"
+#include "stm/write_set.hpp"
+
+namespace {
+
+using txf::stm::VBoxImpl;
+using txf::stm::WriteSetMap;
+
+TEST(WriteSetMap, EmptyFindsNothing) {
+  WriteSetMap ws;
+  VBoxImpl box(0);
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.find(&box), nullptr);
+}
+
+TEST(WriteSetMap, PutThenFind) {
+  WriteSetMap ws;
+  VBoxImpl a(0), b(0);
+  ws.put(&a, 11);
+  ws.put(&b, 22);
+  ASSERT_NE(ws.find(&a), nullptr);
+  EXPECT_EQ(*ws.find(&a), 11u);
+  EXPECT_EQ(*ws.find(&b), 22u);
+  EXPECT_EQ(ws.size(), 2u);
+}
+
+TEST(WriteSetMap, OverwriteKeepsSingleEntry) {
+  WriteSetMap ws;
+  VBoxImpl a(0);
+  ws.put(&a, 1);
+  ws.put(&a, 2);
+  ws.put(&a, 3);
+  EXPECT_EQ(ws.size(), 1u);
+  EXPECT_EQ(*ws.find(&a), 3u);
+  EXPECT_EQ(ws.boxes().size(), 1u);
+}
+
+TEST(WriteSetMap, PreservesFirstWriteOrder) {
+  WriteSetMap ws;
+  std::vector<std::unique_ptr<VBoxImpl>> boxes;
+  for (int i = 0; i < 10; ++i) boxes.push_back(std::make_unique<VBoxImpl>(0));
+  for (int i = 0; i < 10; ++i) ws.put(boxes[i].get(), i);
+  ws.put(boxes[0].get(), 99);  // overwrite must not reorder
+  ASSERT_EQ(ws.boxes().size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ws.boxes()[i], boxes[i].get());
+}
+
+TEST(WriteSetMap, GrowsBeyondInitialCapacity) {
+  WriteSetMap ws;
+  std::vector<std::unique_ptr<VBoxImpl>> boxes;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    boxes.push_back(std::make_unique<VBoxImpl>(0));
+    ws.put(boxes.back().get(), static_cast<txf::stm::Word>(i));
+  }
+  EXPECT_EQ(ws.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_NE(ws.find(boxes[i].get()), nullptr);
+    EXPECT_EQ(*ws.find(boxes[i].get()), static_cast<txf::stm::Word>(i));
+  }
+}
+
+TEST(WriteSetMap, ClearResets) {
+  WriteSetMap ws;
+  VBoxImpl a(0), b(0);
+  ws.put(&a, 1);
+  ws.put(&b, 2);
+  ws.clear();
+  EXPECT_TRUE(ws.empty());
+  EXPECT_EQ(ws.find(&a), nullptr);
+  EXPECT_TRUE(ws.boxes().empty());
+  ws.put(&a, 5);
+  EXPECT_EQ(*ws.find(&a), 5u);
+}
+
+TEST(WriteSetMap, ValueOfMissingIsZero) {
+  WriteSetMap ws;
+  VBoxImpl a(0);
+  EXPECT_EQ(ws.value_of(&a), 0u);
+}
+
+}  // namespace

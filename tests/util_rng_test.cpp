@@ -1,0 +1,132 @@
+// Unit tests for xoshiro256**, SplitMix64, Zipf and NURand generators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/xoshiro.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using txf::util::NuRand;
+using txf::util::SplitMix64;
+using txf::util::Xoshiro256;
+using txf::util::ZipfGenerator;
+
+TEST(SplitMix64, IsDeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(x, c.next());
+}
+
+TEST(Xoshiro256, DeterministicStreamPerSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, BoundedStaysInBounds) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+    const auto v = rng.next_range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Xoshiro256, BoundedZeroIsZero) {
+  Xoshiro256 rng(9);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+  EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(77);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::array<int, kBuckets> hist{};
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.next_bounded(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int count : hist) {
+    EXPECT_NEAR(count, expected, expected * 0.1);
+  }
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(3);
+  std::uniform_int_distribution<int> dist(0, 9);
+  for (int i = 0; i < 100; ++i) {
+    const int v = dist(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Zipf, StaysInRange) {
+  Xoshiro256 rng(11);
+  ZipfGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(Zipf, SkewsTowardLowIndices) {
+  Xoshiro256 rng(13);
+  ZipfGenerator zipf(1000, 0.99);
+  int low = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) low += (zipf.next(rng) < 10);
+  // Zipf(0.99) concentrates far more than 10/1000 of mass on the first 10.
+  EXPECT_GT(low, kDraws / 5);
+}
+
+TEST(Zipf, LowThetaApproachesUniform) {
+  Xoshiro256 rng(17);
+  ZipfGenerator zipf(100, 0.01);
+  std::array<int, 10> decile{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++decile[zipf.next(rng) / 10];
+  for (int count : decile) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 10 * 0.25);
+  }
+}
+
+TEST(NuRand, RespectsRange) {
+  Xoshiro256 rng(19);
+  NuRand nu(255, 91);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = nu.next(rng, 1, 3000);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 3000u);
+  }
+}
+
+TEST(NuRand, CoversWholeRangeEventually) {
+  Xoshiro256 rng(23);
+  NuRand nu(255, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) seen.insert(nu.next(rng, 1, 100));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Tests for SpinLock and Backoff.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/backoff.hpp"
+#include "util/spin_lock.hpp"
+
+namespace {
+
+using txf::util::Backoff;
+using txf::util::SpinLock;
+
+TEST(SpinLock, BasicLockUnlock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, WorksWithScopedLock) {
+  SpinLock lock;
+  {
+    std::scoped_lock guard(lock);
+    EXPECT_FALSE(lock.try_lock());
+  }
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(SpinLock, MutualExclusionCounter) {
+  SpinLock lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Backoff, StepsAdvanceAndReset) {
+  Backoff b;
+  EXPECT_EQ(b.step(), 0u);
+  b.pause();
+  b.pause();
+  EXPECT_EQ(b.step(), 2u);
+  b.reset();
+  EXPECT_EQ(b.step(), 0u);
+}
+
+TEST(Backoff, SurvivesManyPauses) {
+  Backoff b(2, 2);  // reaches the sleep regime quickly
+  for (int i = 0; i < 8; ++i) b.pause();
+  EXPECT_GE(b.step(), 8u);
+}
+
+}  // namespace

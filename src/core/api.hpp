@@ -17,11 +17,15 @@
 // has committed (strong ordering semantics, paper §II).
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <thread>
+#include <cstdint>
 #include <exception>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
+#include <thread>
 #include <type_traits>
 #include <utility>
 
@@ -29,6 +33,7 @@
 #include "core/tx_tree.hpp"
 #include "stm/vbox.hpp"
 #include "util/backoff.hpp"
+#include "util/xoshiro.hpp"
 
 namespace txf::core {
 
@@ -115,15 +120,28 @@ class TxFuture {
     return f;
   }
 
-  /// Evaluate from inside a transactional context: helps the pool while
-  /// waiting and unwinds if the caller's own tree fails. The paper's
-  /// evaluation semantics — blocks until the future's sub-transaction has
-  /// committed.
+  /// Evaluate from inside a transactional context: helps while waiting and
+  /// unwinds if the caller's own tree fails. The paper's evaluation
+  /// semantics — blocks until the future's sub-transaction has committed.
+  ///
+  /// Helping discipline (robustness): first try to run exactly the body we
+  /// are waiting on (targeted help — always deadlock-free, since the
+  /// awaited future precedes this frame in strong order). Arbitrary pool
+  /// tasks are only picked up by frames that are not themselves inside a
+  /// future body; a body stacked on top of an unrelated continuation frame
+  /// can transitively wait on it, which is how the nested-helping deadlock
+  /// wedged. A stall monitor converts any residual wait cycle into a clean
+  /// kStalled restart.
   T get(TxCtx& ctx) const {
+    TxFutureState<T>* st = ptr();
+    TxTree& tree = ctx.tree();
     auto& pool = ctx.runtime().pool();
-    const bool ok = ptr()->wait_ready([&] {
+    StallMonitor stall(tree);
+    const bool ok = st->wait_ready([&] {
       ctx.poll();
-      pool.try_run_one();
+      if (!tree.help_evaluate(*st) && !TxTree::in_future_body())
+        pool.try_run_one();
+      stall.tick();
     });
     if (!ok) {
       // If it is our own tree that failed, unwind with the retry protocol;
@@ -131,7 +149,7 @@ class TxFuture {
       ctx.poll();
       throw StaleFuture{};
     }
-    return ptr()->value();
+    return st->value();
   }
 
   /// Evaluate from outside any transaction (Fig. 2 usage: the handle can be
@@ -251,94 +269,190 @@ inline void wait_for_clock_change(Runtime& rt, stm::Version snapshot) {
     if (nap < std::chrono::microseconds(2000)) nap *= 2;
   }
 }
+
+/// Capped exponential backoff with full jitter between failed attempts
+/// (attempt k sleeps uniform [0, min(base << k, cap)] µs). Returns the time
+/// actually slept, in nanoseconds.
+inline std::uint64_t backoff_sleep(const Config& cfg, std::uint32_t attempt,
+                                   util::Xoshiro256& jitter) {
+  const std::uint32_t shift = attempt < 20 ? attempt : 20;
+  std::uint64_t cap = static_cast<std::uint64_t>(cfg.backoff_base_us) << shift;
+  if (cap > cfg.backoff_cap_us) cap = cfg.backoff_cap_us;
+  if (cap == 0) return 0;
+  const std::uint64_t us = jitter.next_bounded(cap + 1);
+  if (us == 0) return 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
 }  // namespace detail
 
+/// Contention-managed top-level transaction driver.
+///
+/// Every parallel attempt holds the runtime's serial token *shared*; after
+/// Config::max_attempts failed attempts — or once Config::tx_deadline_us
+/// expires — the call escalates: it takes the token *exclusively*, runs the
+/// tree in serial mode (futures inline at the submit point), and therefore
+/// cannot conflict with anything. Together with the stall detector (which
+/// turns wedged waits into kStalled restarts) this bounds every
+/// atomically() call: eventual termination is guaranteed, not just likely.
 template <typename F>
 auto atomically(Runtime& rt, F&& fn) {
   using R = std::invoke_result_t<F&, TxCtx&>;
-  util::Backoff backoff;
+  using Clock = std::chrono::steady_clock;
+  const Config& cfg = rt.config();
+  auto& rob = rt.robustness();
+
+  // Per-call jitter stream; a global counter keeps calls decorrelated
+  // without any cross-call state.
+  static std::atomic<std::uint64_t> call_counter{0};
+  util::Xoshiro256 jitter(0x6a09e667f3bcc909ULL ^
+                          call_counter.fetch_add(1, std::memory_order_relaxed));
+
+  const bool has_deadline = cfg.tx_deadline_us != 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::microseconds(cfg.tx_deadline_us);
+
+  std::uint32_t failed_attempts = 0;
   bool fallback = false;
   int continuation_conflicts = 0;
+  bool serial_mode = false;
+  bool deadline_counted = false;
+
   for (;;) {
-    util::EpochDomain::Guard guard(rt.env().epochs());
-    auto* tree = new TxTree(rt, fallback);
-    if (continuation_conflicts >= 2) {
-      // Repeated intra-tree conflicts: without FCC partial rollback a
-      // parallel re-run can keep missing the same write, so degrade to the
-      // (always convergent) sequential execution.
-      tree->set_serial();
-      rt.stats().serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    // Decide escalation *before* taking the token: the escalated attempt
+    // needs it exclusive.
+    bool escalate = serial_mode || continuation_conflicts >= 2;
+    if (!escalate && cfg.max_attempts != 0 &&
+        failed_attempts >= cfg.max_attempts) {
+      escalate = true;
     }
-    TxCtx ctx(*tree, tree->root());
-    const bool on_fiber = tree->partial_rollback();
-    try {
-      if constexpr (std::is_void_v<R>) {
-        if (on_fiber) {
-          // Partial-rollback mode: the body runs on a fiber so FCC
-          // checkpoints can rewind failed continuations. The wrapper's
-          // captures reference this frame, which outlives every replay.
-          tree->run_body_on_fiber([&fn, &ctx]() -> SubTxn* {
+    if (!escalate && has_deadline && failed_attempts > 0 &&
+        Clock::now() >= deadline) {
+      if (!deadline_counted) {
+        rob.deadline_aborts.fetch_add(1, std::memory_order_relaxed);
+        deadline_counted = true;
+      }
+      escalate = true;
+    }
+
+    stm::Version retry_snapshot = 0;
+    bool wait_clock_change = false;
+    bool do_backoff = false;
+    {
+      // Declaration order matters: the waiter gate unwinds after the locks,
+      // so the "escalation pending" signal outlives the exclusive hold.
+      struct WaiterGate {
+        std::atomic<int>* w = nullptr;
+        ~WaiterGate() {
+          if (w != nullptr) w->fetch_sub(1, std::memory_order_acq_rel);
+        }
+      } gate;
+      std::shared_lock<std::shared_mutex> shared_tok(rt.serial_token(),
+                                                     std::defer_lock);
+      std::unique_lock<std::shared_mutex> excl_tok(rt.serial_token(),
+                                                   std::defer_lock);
+      if (escalate) {
+        serial_mode = true;  // sticky: once degraded, stay serial
+        gate.w = &rt.serial_waiters();
+        gate.w->fetch_add(1, std::memory_order_acq_rel);
+        excl_tok.lock();
+        rob.serial_irrevocable.fetch_add(1, std::memory_order_relaxed);
+        rt.stats().serial_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Defer to pending escalations (writer-starvation guard), then
+        // enter as one of many parallel attempts.
+        while (rt.serial_waiters().load(std::memory_order_acquire) != 0)
+          std::this_thread::yield();
+        shared_tok.lock();
+      }
+
+      util::EpochDomain::Guard guard(rt.env().epochs());
+      auto* tree = new TxTree(rt, fallback);
+      if (escalate) tree->set_serial();
+      TxCtx ctx(*tree, tree->root());
+      const bool on_fiber = tree->partial_rollback();
+      try {
+        if constexpr (std::is_void_v<R>) {
+          if (on_fiber) {
+            // Partial-rollback mode: the body runs on a fiber so FCC
+            // checkpoints can rewind failed continuations. The wrapper's
+            // captures reference this frame, which outlives every replay.
+            tree->run_body_on_fiber([&fn, &ctx]() -> SubTxn* {
+              fn(ctx);
+              return ctx.node();
+            });
+          } else {
             fn(ctx);
+            tree->node_finished(*ctx.node());
+          }
+          tree->wait_and_commit_top();
+          rt.env().epochs().retire(tree);
+          return;
+        } else if (on_fiber) {
+          // Fiber-hosted bodies assign the result on (possibly replayed)
+          // passes, so R must be default-constructible here; the default
+          // policy below keeps direct initialization and has no such
+          // requirement.
+          R result{};
+          tree->run_body_on_fiber([&fn, &ctx, &result]() -> SubTxn* {
+            result = fn(ctx);
             return ctx.node();
           });
+          tree->wait_and_commit_top();
+          rt.env().epochs().retire(tree);
+          return result;
         } else {
-          fn(ctx);
+          R result = fn(ctx);
           tree->node_finished(*ctx.node());
+          tree->wait_and_commit_top();
+          rt.env().epochs().retire(tree);
+          return result;
         }
-        tree->wait_and_commit_top();
+      } catch (const BlockingRetry&) {
+        // retry_now() from the body thread: wait for the world to change —
+        // after releasing the token, or nothing could ever commit.
+        retry_snapshot = tree->snapshot();
+        tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
         rt.env().epochs().retire(tree);
-        return;
-      } else if (on_fiber) {
-        // Fiber-hosted bodies assign the result on (possibly replayed)
-        // passes, so R must be default-constructible here; the default
-        // policy below keeps direct initialization and has no such
-        // requirement.
-        R result{};
-        tree->run_body_on_fiber([&fn, &ctx, &result]() -> SubTxn* {
-          result = fn(ctx);
-          return ctx.node();
-        });
-        tree->wait_and_commit_top();
-        rt.env().epochs().retire(tree);
-        return result;
-      } else {
-        R result = fn(ctx);
-        tree->node_finished(*ctx.node());
-        tree->wait_and_commit_top();
-        rt.env().epochs().retire(tree);
-        return result;
-      }
-    } catch (const BlockingRetry&) {
-      // retry_now() from the body thread: wait for the world to change.
-      const stm::Version snapshot = tree->snapshot();
-      tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
-      rt.env().epochs().retire(tree);
-      detail::wait_for_clock_change(rt, snapshot);
-    } catch (const TreeFailed& tf) {
-      tree->abort_tree(tf.reason);
-      if (tf.reason == TreeFailed::Reason::kUserException) {
-        const stm::Version snapshot = tree->snapshot();
-        std::exception_ptr e = tree->user_exception();
-        rt.env().epochs().retire(tree);
-        try {
-          std::rethrow_exception(e);
-        } catch (const BlockingRetry&) {
-          // retry_now() inside a future body: same wait-and-rerun.
-          detail::wait_for_clock_change(rt, snapshot);
-          continue;
+        wait_clock_change = true;
+      } catch (const TreeFailed& tf) {
+        tree->abort_tree(tf.reason);
+        if (tf.reason == TreeFailed::Reason::kUserException) {
+          retry_snapshot = tree->snapshot();
+          std::exception_ptr e = tree->user_exception();
+          rt.env().epochs().retire(tree);
+          try {
+            std::rethrow_exception(e);
+          } catch (const BlockingRetry&) {
+            // retry_now() inside a future body: same wait-and-rerun.
+            wait_clock_change = true;
+          }
+          // Any other user exception propagates (rethrown above).
+        } else {
+          fallback = tf.reason == TreeFailed::Reason::kInterTreeConflict;
+          if (tf.reason == TreeFailed::Reason::kContinuationConflict)
+            ++continuation_conflicts;
+          rt.env().epochs().retire(tree);
+          ++failed_attempts;
+          rob.retries.fetch_add(1, std::memory_order_relaxed);
+          do_backoff = !serial_mode;
         }
-        // Any other user exception propagates (rethrown above).
+      } catch (...) {
+        // User exception: abort the transaction and propagate.
+        tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
+        rt.env().epochs().retire(tree);
+        throw;
       }
-      fallback = tf.reason == TreeFailed::Reason::kInterTreeConflict;
-      if (tf.reason == TreeFailed::Reason::kContinuationConflict)
-        ++continuation_conflicts;
-      rt.env().epochs().retire(tree);
-      backoff.pause();
-    } catch (...) {
-      // User exception: abort the transaction and propagate.
-      tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
-      rt.env().epochs().retire(tree);
-      throw;
+    }  // token released here
+    if (wait_clock_change) detail::wait_for_clock_change(rt, retry_snapshot);
+    if (do_backoff) {
+      const std::uint64_t ns =
+          detail::backoff_sleep(cfg, failed_attempts, jitter);
+      if (ns != 0) rob.backoff_ns.fetch_add(ns, std::memory_order_relaxed);
     }
   }
 }

@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/failpoint.hpp"
+
 namespace txf::core {
 
 /// Where sub-transaction writes live.
@@ -52,11 +54,37 @@ struct Config {
   /// §IV-E: skip validation of read-only futures when no read-write
   /// sub-transaction committed before them. Off switch is ablation Abl. C.
   bool read_only_future_opt = true;
-  /// Failure injection for tests: make roughly one in
-  /// `inject_validation_failure_every` sub-transaction validations fail
-  /// spuriously (0 = off). The engine must recover with identical results
-  /// — exercised by the failure-injection test suite.
+  /// Legacy failure-injection knob, now folded into the failpoint framework:
+  /// Runtime translates it into a `core.subtxn.validate` chaos rule firing
+  /// every Nth validation (0 = off). Prefer `chaos` for new code.
   std::uint32_t inject_validation_failure_every = 0;
+
+  // --- contention manager (bounded retry + graceful degradation) ---
+
+  /// Parallel attempts per atomically() before escalating to the
+  /// serial-irrevocable fallback. The budget counts *failed* attempts of any
+  /// kind (conflicts, stalls, chaos-induced aborts). 0 disables escalation
+  /// (retry forever, the pre-robustness behaviour).
+  std::uint32_t max_attempts = 16;
+  /// Capped exponential backoff between attempts: attempt k waits a uniform
+  /// random slice of [0, min(backoff_base_us << k, backoff_cap_us)] (full
+  /// jitter, so colliding trees decorrelate).
+  std::uint32_t backoff_base_us = 4;
+  std::uint32_t backoff_cap_us = 1000;
+  /// Optional wall-clock deadline for one atomically() call, in
+  /// microseconds; when it expires the current attempt is abandoned and the
+  /// call escalates straight to the serial-irrevocable fallback
+  /// (0 = no deadline).
+  std::uint64_t tx_deadline_us = 0;
+  /// Stall detector: a thread waiting inside a transaction (future
+  /// evaluation, top-commit wait) that observes no tree progress for this
+  /// long declares the attempt wedged and fails it — the retry budget and
+  /// serial fallback then guarantee termination. 0 disables detection.
+  std::uint64_t stall_timeout_us = 250000;
+
+  /// Chaos schedule armed for the lifetime of the Runtime (failpoint
+  /// framework; see util/failpoint.hpp). Empty = disarmed.
+  util::fp::ChaosPlan chaos;
 };
 
 }  // namespace txf::core

@@ -8,6 +8,7 @@
 // committed value is copied out at publish time.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -20,6 +21,17 @@ namespace txf::core {
 class TxFutureStateBase {
  public:
   virtual ~TxFutureStateBase() = default;
+
+  /// Current node incarnation evaluating this future (kNoNode-equivalent
+  /// ~0u until first scheduled). Lets a blocked evaluator help run exactly
+  /// the body it waits on (TxTree::help_evaluate) instead of arbitrary pool
+  /// tasks — targeted helping cannot recurse into a deadlock.
+  void set_node_idx(std::uint32_t idx) noexcept {
+    node_idx_.store(idx, std::memory_order_release);
+  }
+  std::uint32_t node_idx() const noexcept {
+    return node_idx_.load(std::memory_order_acquire);
+  }
 
   /// Called at subtree commit (under the tree's commit machinery): move the
   /// staged result of the current execution into the visible slot.
@@ -78,6 +90,7 @@ class TxFutureStateBase {
  protected:
   virtual void move_staged_to_value() = 0;
 
+  std::atomic<std::uint32_t> node_idx_{~std::uint32_t{0}};
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool ready_ = false;

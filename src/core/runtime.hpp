@@ -3,21 +3,42 @@
 // typical; tests create private instances.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <memory>
+#include <shared_mutex>
+#include <utility>
 
 #include "core/config.hpp"
 #include "core/tx_tree.hpp"
 #include "sched/thread_pool.hpp"
 #include "stm/transaction.hpp"
+#include "util/failpoint.hpp"
+#include "util/stats.hpp"
 
 namespace txf::core {
 
 class Runtime {
  public:
   explicit Runtime(Config config = {})
-      : config_(config), pool_(config.pool_threads) {}
+      : config_(std::move(config)), pool_(config_.pool_threads) {
+    // Fold the legacy injection knob into the failpoint framework, then arm
+    // the chaos plan (if any) for the lifetime of this runtime.
+    util::fp::ChaosPlan plan = config_.chaos;
+    if (config_.inject_validation_failure_every != 0) {
+      plan.add("core.subtxn.validate", util::fp::Action::kFail,
+               config_.inject_validation_failure_every);
+    }
+    if (!plan.rules.empty()) {
+      util::fp::Controller::instance().arm(plan);
+      armed_chaos_ = true;
+    }
+  }
+
+  ~Runtime() {
+    if (armed_chaos_) util::fp::Controller::instance().disarm();
+  }
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -26,6 +47,20 @@ class Runtime {
   stm::StmEnv& env() noexcept { return env_; }
   sched::ThreadPool& pool() noexcept { return pool_; }
   TxStats& stats() noexcept { return stats_; }
+  util::RobustnessCounters& robustness() noexcept { return robustness_; }
+
+  /// Serial-irrevocable token. Every top-level attempt holds it shared; an
+  /// escalated attempt takes it exclusive, so while the escalated transaction
+  /// runs no other top-level transaction can start or commit — the escalated
+  /// tree executes its futures inline and cannot lose a conflict, which
+  /// bounds every atomically() call (see api.hpp contention manager).
+  std::shared_mutex& serial_token() noexcept { return serial_token_; }
+
+  /// Escalations waiting for (or holding) the exclusive token. Normal
+  /// attempts defer to pending escalations before taking the token shared,
+  /// so writer acquisition cannot starve under a stream of readers
+  /// (pthread rwlocks prefer readers by default).
+  std::atomic<int>& serial_waiters() noexcept { return serial_waiters_; }
 
   /// Dump the engine counters (for debugging and example epilogues).
   void print_stats(std::FILE* out = stderr) const {
@@ -43,6 +78,7 @@ class Runtime {
         static_cast<unsigned long long>(stats_.ro_validation_skips.load()),
         static_cast<unsigned long long>(stats_.serial_fallbacks.load()),
         static_cast<unsigned long long>(stats_.partial_rollbacks.load()));
+    robustness_.print(out);
   }
 
  private:
@@ -50,6 +86,10 @@ class Runtime {
   stm::StmEnv env_;
   sched::ThreadPool pool_;
   TxStats stats_;
+  util::RobustnessCounters robustness_;
+  std::shared_mutex serial_token_;
+  std::atomic<int> serial_waiters_{0};
+  bool armed_chaos_ = false;
 };
 
 }  // namespace txf::core

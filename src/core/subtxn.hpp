@@ -82,6 +82,11 @@ struct SubTxn {
   std::shared_ptr<TxFutureStateBase> future_state;
   std::shared_ptr<NodeRunner> runner;
 
+  /// For futures: set by the first thread to start the body (pool task or a
+  /// waiter helping inline through TxTree::help_evaluate); every other
+  /// starter backs off, so one incarnation's body runs at most once.
+  std::atomic<bool> claimed{false};
+
   /// For continuations under RestartPolicy::kPartialRollback: the FCC
   /// captured at the submit point that created this continuation. Moved to
   /// the replacement node when the continuation is rolled back.

@@ -9,6 +9,7 @@
 #include "core/runtime.hpp"
 #include "stm/vbox.hpp"
 #include "util/backoff.hpp"
+#include "util/failpoint.hpp"
 
 namespace txf::core {
 
@@ -97,6 +98,7 @@ SubTxn& TxTree::new_node_locked(std::uint32_t parent, SubTxnKind kind) {
   }
   n.orec.set_ownership(n.idx, n.depth, 0);
   n.orec.status.store(SubTxnStatus::kRunning, std::memory_order_release);
+  bump_progress();
   return n;
 }
 
@@ -386,10 +388,59 @@ std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
   return {future, cont};
 }
 
+namespace {
+/// Depth of future bodies on the calling thread's stack. Frames inside a
+/// body must not run *arbitrary* pool tasks while blocked: a picked-up body
+/// can transitively wait on the continuation frame buried beneath it on this
+/// very stack (the nested-helping deadlock). Targeted helping
+/// (help_evaluate) stays safe at any depth.
+thread_local int t_future_body_depth = 0;
+}  // namespace
+
+bool TxTree::in_future_body() noexcept { return t_future_body_depth > 0; }
+
+void TxTree::task_done() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drain_cv_.notify_all();
+}
+
 void TxTree::schedule_future(SubTxn& f) {
+  if (f.future_state) f.future_state->set_node_idx(f.idx);
+  bump_progress();
   outstanding_tasks_.fetch_add(1, std::memory_order_acq_rel);
-  runtime_.pool().submit(
-      [runner = f.runner, idx = f.idx] { (*runner)(idx); });
+  // The task wrapper, not run_future_body, owns the outstanding-task
+  // accounting: a waiter may claim and run the body inline first, in which
+  // case the pool task is a no-op but must still balance the counter.
+  runtime_.pool().submit([this, runner = f.runner, idx = f.idx] {
+    (*runner)(idx);
+    task_done();
+  });
+}
+
+bool TxTree::help_evaluate(const TxFutureStateBase& state) {
+  const std::uint32_t idx = state.node_idx();
+  std::shared_ptr<NodeRunner> runner;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idx == kNoNode || idx >= subs_.size()) return false;
+    SubTxn& f = node(idx);
+    if (f.future_state.get() != &state) return false;  // foreign or stale
+    if (failed_.load(std::memory_order_acquire)) return false;
+    if (f.claimed.load(std::memory_order_acquire)) return false;
+    if (f.orec.status.load(std::memory_order_acquire) !=
+        SubTxnStatus::kRunning) {
+      return false;
+    }
+    runner = f.runner;
+  }
+  if (!runner) return false;
+  // The claim inside run_future_body makes racing with the pool task safe:
+  // exactly one of the two actually executes the body.
+  (*runner)(idx);
+  return true;
 }
 
 void TxTree::run_future_body(std::uint32_t node_idx,
@@ -400,18 +451,37 @@ void TxTree::run_future_body(std::uint32_t node_idx,
     std::lock_guard<std::mutex> lock(mutex_);
     start = &node(node_idx);
   }
+  // One execution per incarnation: the first starter (pool task or inline
+  // helper) wins; everyone else backs off.
+  if (start->claimed.exchange(true, std::memory_order_acq_rel)) return;
+  bump_progress();
   const bool runnable =
       !failed_.load(std::memory_order_acquire) &&
       start->orec.status.load(std::memory_order_acquire) ==
           SubTxnStatus::kRunning;
-  if (runnable && partial_rollback()) {
+  if (!runnable) return;
+  const unsigned mask = TXF_FP_MASK("core.subtxn.start");
+  if (mask & (util::fp::kFailBit | util::fp::kAbortTreeBit)) {
+    // Chaos: spurious inter-tree conflict right as the body starts — the
+    // tree restarts in fallback mode and must converge all the same.
+    runtime_.robustness().failpoint_fires.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    runtime_.stats().fallback_restarts.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    mark_tree_failed_locked(TreeFailed::Reason::kInterTreeConflict);
+    return;
+  }
+  if (partial_rollback()) {
     // Host the body on a fiber so continuations created inside it can be
     // rolled back via FCC. The callable moves into fiber-stable storage —
     // restores may replay its tail long after this call returned.
+    ++t_future_body_depth;
     run_body_on_fiber(
         [body = std::move(body), start]() -> SubTxn* { return body(*start); });
-  } else if (runnable) {
+    --t_future_body_depth;
+  } else {
     SubTxn* final_node = nullptr;
+    ++t_future_body_depth;
     try {
       final_node = body(*start);
     } catch (const TreeFailed&) {
@@ -419,13 +489,9 @@ void TxTree::run_future_body(std::uint32_t node_idx,
     } catch (const NodeCancelled&) {
       // Our subtree is being re-executed; this incarnation just exits.
     }
+    --t_future_body_depth;
     if (final_node != nullptr) node_finished(*final_node);
   }
-  {
-    std::lock_guard<std::mutex> lock(drain_mutex_);
-    outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
-  }
-  drain_cv_.notify_all();
 }
 
 // --------------------------------------------------------------------------
@@ -446,6 +512,7 @@ void TxTree::node_finished(SubTxn& t) {
     finished_pending_.push_back(t.idx);
     cascade_locked(resubmit, resume);
   }
+  bump_progress();
   cv_.notify_all();
   for (SubTxn* f : resubmit) schedule_future(*f);
   for (SubTxn* c : resume) schedule_resume(*c);
@@ -481,15 +548,21 @@ bool TxTree::eligible_locked(const SubTxn& t) const {
 
 bool TxTree::validate_locked(SubTxn& t) {
   if (t.kind == SubTxnKind::kRoot) return true;  // no intra-tree predecessors
-  // Failure injection (tests): spuriously fail some validations; recovery
-  // must still produce the sequential result. Never inject into a node
-  // that has already been re-executed, so injection cannot livelock.
-  const std::uint32_t every =
-      runtime_.config().inject_validation_failure_every;
-  if (every != 0 && !t.reincarnated) {
-    static std::atomic<std::uint32_t> tick{0};
-    if (tick.fetch_add(1, std::memory_order_relaxed) % every == every - 1) {
-      return false;
+  // Chaos (tests): spuriously fail some validations; recovery must still
+  // produce the sequential result. Never inject into a node that has already
+  // been re-executed, and never into a serial-irrevocable tree, so injection
+  // cannot livelock. (Config::inject_validation_failure_every arms this same
+  // site through Runtime.)
+  if (!t.reincarnated && !serial()) {
+    const unsigned mask = TXF_FP_MASK("core.subtxn.validate");
+    if (mask != 0) {
+      runtime_.robustness().failpoint_fires.fetch_add(
+          1, std::memory_order_relaxed);
+      if (mask & util::fp::kAbortTreeBit) {
+        mark_tree_failed_locked(TreeFailed::Reason::kInterTreeConflict);
+        return false;
+      }
+      if (mask & util::fp::kFailBit) return false;
     }
   }
   if (runtime_.config().read_only_future_opt && t.written_boxes.empty() &&
@@ -584,6 +657,7 @@ bool TxTree::partial_rollback() const noexcept {
 }
 
 void TxTree::schedule_resume(SubTxn& cont) {
+  bump_progress();
   outstanding_tasks_.fetch_add(1, std::memory_order_acq_rel);
   runtime_.pool().submit([this, idx = cont.idx] { resume_continuation(idx); });
 }
@@ -606,15 +680,13 @@ void TxTree::resume_continuation(std::uint32_t idx) {
       Fiber* fiber = cp->fiber();
       Fiber* prev = t_current_fiber;
       t_current_fiber = fiber;
+      ++t_future_body_depth;
       fiber->restore(*cp);
+      --t_future_body_depth;
       t_current_fiber = prev;
     }
   }
-  {
-    std::lock_guard<std::mutex> lock(drain_mutex_);
-    outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
-  }
-  drain_cv_.notify_all();
+  task_done();
 }
 
 void TxTree::run_body_on_fiber(std::function<SubTxn*()> body) {
@@ -743,6 +815,7 @@ void TxTree::mark_tree_failed_locked(TreeFailed::Reason reason) {
   if (failed_.load(std::memory_order_acquire)) return;
   fail_reason_ = reason;
   failed_.store(true, std::memory_order_release);
+  bump_progress();
   // Wake external evaluators of futures that will never publish. (Internal
   // waiters unwind through check_alive in their help loops.)
   for (SubTxn& s : subs_) {
@@ -808,9 +881,63 @@ void TxTree::cascade_locked(std::vector<SubTxn*>& to_resubmit,
 // Top-level commit / abort
 // --------------------------------------------------------------------------
 
+void TxTree::debug_dump() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(stderr, "=== TxTree stuck: %zu nodes, pending=%zu, "
+               "outstanding=%u failed=%d top_ready=%d ===\n", subs_.size(),
+               finished_pending_.size(),
+               outstanding_tasks_.load(std::memory_order_acquire),
+               (int)failed_.load(std::memory_order_acquire), (int)top_ready_);
+  for (const SubTxn& s : subs_) {
+    std::fprintf(stderr,
+                 "  node %u kind=%d parent=%d cf=%d cc=%d status=%d "
+                 "nclock=%u reinc=%d reads=%zu writes=%zu eligible=%d "
+                 "valid=%d\n",
+                 s.idx, (int)s.kind, (int)s.parent, (int)s.child_future,
+                 (int)s.child_continuation,
+                 (int)s.orec.status.load(std::memory_order_acquire),
+                 s.nclock.load(std::memory_order_acquire),
+                 (int)s.reincarnated, s.reads.size(), s.written_boxes.size(),
+                 (int)eligible_locked(s),
+                 s.orec.status.load(std::memory_order_acquire) ==
+                         SubTxnStatus::kFinished
+                     ? (int)validate_locked(const_cast<SubTxn&>(s))
+                     : -1);
+  }
+}
+
+void TxTree::fail_stalled() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_.load(std::memory_order_acquire)) return;
+  runtime_.robustness().stall_aborts.fetch_add(1, std::memory_order_relaxed);
+  mark_tree_failed_locked(TreeFailed::Reason::kStalled);
+}
+
+StallMonitor::StallMonitor(TxTree& tree)
+    : tree_(tree),
+      timeout_us_(tree.runtime().config().stall_timeout_us),
+      last_epoch_(tree.progress_epoch()),
+      since_(std::chrono::steady_clock::now()) {}
+
+void StallMonitor::tick() {
+  if (timeout_us_ == 0) return;
+  const std::uint64_t epoch = tree_.progress_epoch();
+  if (epoch != last_epoch_) {
+    last_epoch_ = epoch;
+    since_ = std::chrono::steady_clock::now();
+    return;
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - since_);
+  if (static_cast<std::uint64_t>(elapsed.count()) >= timeout_us_)
+    tree_.fail_stalled();
+}
+
 void TxTree::wait_and_commit_top() {
   // Wait for the whole tree to commit, helping the pool so queued future
-  // tasks cannot starve on small machines.
+  // tasks cannot starve on small machines. The stall monitor turns any
+  // residual wedge into a clean kStalled restart.
+  StallMonitor stall(*this);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -821,6 +948,7 @@ void TxTree::wait_and_commit_top() {
       if (top_ready_ || failed_.load(std::memory_order_acquire)) break;
     }
     runtime_.pool().try_run_one();
+    stall.tick();
   }
   if (failed_.load(std::memory_order_acquire)) {
     const TreeFailed::Reason reason = fail_reason_;

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,7 @@ struct TreeFailed {
     kInterTreeConflict,     // Alg. 1 ownedbyAnotherTree -> restart in fallback
     kTopLevelConflict,      // commit-queue validation failed
     kUserException,         // user code threw inside a future body
+    kStalled,               // stall detector: no tree progress for too long
   };
   Reason reason;
 };
@@ -184,6 +186,36 @@ class TxTree {
   void fail_with_user_exception(std::exception_ptr e);
   std::exception_ptr user_exception();
 
+  // --- robustness: targeted helping + stall detection ---
+
+  /// If the future evaluating into `state` belongs to this tree and its body
+  /// has not started anywhere yet, claim and run it on the calling thread.
+  /// Safe from any waiter: the awaited future precedes the waiter in strong
+  /// order, so inlining it reproduces the sequential execution and cannot
+  /// close a wait cycle (unlike running *arbitrary* pool tasks, which can
+  /// bury a continuation frame the picked-up body transitively waits on).
+  /// Returns true when a body was actually run.
+  bool help_evaluate(const TxFutureStateBase& state);
+
+  /// True while the calling thread is inside a future body of any tree —
+  /// such frames must not run arbitrary pool tasks (see help_evaluate).
+  static bool in_future_body() noexcept;
+
+  /// Monotone counter bumped on every tree state change (node created /
+  /// finished / committed / rescheduled / failed). Stall detection watches
+  /// it; see StallMonitor.
+  std::uint64_t progress_epoch() const noexcept {
+    return progress_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Stall detector verdict: fail the whole tree with Reason::kStalled so
+  /// every blocked frame unwinds and atomically() retries (and eventually
+  /// escalates to the serial-irrevocable fallback). Idempotent.
+  void fail_stalled();
+
+  /// Debug: print the node table to stderr (diagnosing stuck cascades).
+  void debug_dump();
+
   // --- helpers for tests ---
   std::uint32_t committed_rw_subtxns() const noexcept {
     return committed_rw_count_.load(std::memory_order_acquire);
@@ -292,6 +324,30 @@ class TxTree {
   std::atomic<std::uint32_t> outstanding_tasks_{0};
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
+
+  void bump_progress() noexcept {
+    progress_epoch_.fetch_add(1, std::memory_order_release);
+  }
+  void task_done();  // outstanding_tasks_ decrement + drain notification
+  std::atomic<std::uint64_t> progress_epoch_{0};
+};
+
+/// Watchdog held by a thread blocked on tree progress (future evaluation,
+/// top-commit wait). tick() on every wait iteration; when the tree's
+/// progress epoch stays unchanged for Config::stall_timeout_us the monitor
+/// fails the tree (TreeFailed::Reason::kStalled), turning any residual wait
+/// cycle — e.g. user-level cyclic future evaluation, or all threads buried
+/// under out-of-order get()s — into a clean retry instead of a hang.
+class StallMonitor {
+ public:
+  explicit StallMonitor(TxTree& tree);
+  void tick();
+
+ private:
+  TxTree& tree_;
+  std::uint64_t timeout_us_;
+  std::uint64_t last_epoch_;
+  std::chrono::steady_clock::time_point since_;
 };
 
 }  // namespace txf::core

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/failpoint.hpp"
+
 namespace txf::sched {
 
 thread_local ThreadPool::Worker* ThreadPool::current_worker_ = nullptr;
@@ -44,6 +46,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
+  TXF_FP_POINT("sched.submit");
   auto* heap_task = new Task(std::move(task));
   if (current_pool_ == this && current_worker_ != nullptr) {
     current_worker_->deque.push(heap_task);
@@ -76,6 +79,9 @@ Task* ThreadPool::pop_injected() {
 }
 
 Task* ThreadPool::steal_from_others(Worker* self) {
+  // Chaos perturbation only (delay/yield): shifts which worker wins a steal
+  // race without changing the protocol.
+  TXF_FP_POINT("sched.steal");
   const std::size_t n = workers_.size();
   if (n <= 1 && self != nullptr) return nullptr;
   // Start at a random victim to avoid stampedes (CP: minimize contention).

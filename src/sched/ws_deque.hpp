@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/cache_line.hpp"
+#include "util/failpoint.hpp"
 
 namespace txf::sched {
 
@@ -84,6 +85,9 @@ class WsDeque {
     if (t >= b) return nullptr;
     Ring* ring = buffer_.load(std::memory_order_acquire);
     T item = ring->get(t);
+    // Chaos perturbation only (delay/yield): widens the classic Chase-Lev
+    // race window between reading the cell and claiming it with the CAS.
+    TXF_FP_POINT("sched.deque.steal");
     if (!top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                        std::memory_order_relaxed)) {
       return nullptr;

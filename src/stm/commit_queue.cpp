@@ -4,6 +4,7 @@
 
 #include "stm/vbox.hpp"
 #include "util/backoff.hpp"
+#include "util/failpoint.hpp"
 
 namespace txf::stm {
 
@@ -38,6 +39,9 @@ CommitQueue::~CommitQueue() {
 }
 
 void CommitQueue::enqueue(CommitRequest* req) {
+  // Chaos perturbation only (delay/yield): stretches the window between
+  // linking and processing so helper interleavings get exercised.
+  TXF_FP_POINT("stm.commit.enqueue");
   util::Backoff backoff;
   for (;;) {
     CommitRequest* t = tail_->load(std::memory_order_acquire);
@@ -74,6 +78,9 @@ bool CommitQueue::validate(const CommitRequest& req) {
 }
 
 void CommitQueue::write_back(CommitRequest& req) {
+  // Chaos perturbation only: a stalled writer-backer forces other commits
+  // to help this request through (the helped-queue invariant under test).
+  TXF_FP_POINT("stm.commit.writeback");
   const Version ver = req.commit_version();
   for (auto& wb : req.writes) {
     util::Backoff backoff;

@@ -25,6 +25,7 @@
 #include "stm/write_set.hpp"
 #include "util/backoff.hpp"
 #include "util/cache_line.hpp"
+#include "util/failpoint.hpp"
 
 namespace txf::stm::tl2 {
 
@@ -152,7 +153,9 @@ class Tl2Txn {
     const Word w = cell->load(std::memory_order_acquire);
     const std::uint64_t post = orec.load();
     if (VersionedLock::is_locked(post) || pre != post ||
-        VersionedLock::version_of(post) > rv_) {
+        VersionedLock::version_of(post) > rv_ ||
+        TXF_FP_FIRES("stm.validate")) {
+      env_.count_abort();  // exactly one abort per failed attempt
       throw Tl2Conflict{};
     }
     reads_.push_back(ReadRec{&orec});
@@ -167,8 +170,14 @@ class Tl2Txn {
     write_cells_.push_back(&var.cell());
   }
 
+  /// Commit (or fail) the attempt. Owns the env's commit/abort accounting:
+  /// exactly one commit is counted per successful attempt and one abort per
+  /// failed one, wherever the failure is detected (here or in read()).
   bool try_commit() {
-    if (writes_.empty()) return true;  // read-only: rv-validated already
+    if (writes_.empty()) {
+      env_.count_commit();
+      return true;  // read-only: rv-validated already
+    }
     // Phase 1: lock the write set (encounter order; abort on busy —
     // TinySTM's write-through variant spins, TL2 aborts; we abort).
     std::vector<VersionedLock*> locks;
@@ -192,8 +201,12 @@ class Tl2Txn {
       }
       if (dup) continue;
       const std::uint64_t v = orec.load();
-      if (VersionedLock::version_of(v) > rv_ || !orec.try_lock(v)) {
+      // Failpoint first: once try_lock succeeds the orec must be recorded,
+      // so a chaos-induced failure has to precede the acquisition.
+      if (TXF_FP_FIRES("stm.commit.wlock") ||
+          VersionedLock::version_of(v) > rv_ || !orec.try_lock(v)) {
         release_all();
+        env_.count_abort();
         return false;
       }
       locks.push_back(&orec);
@@ -212,8 +225,10 @@ class Tl2Txn {
           return false;
         }();
         if ((VersionedLock::is_locked(v) && !locked_by_us) ||
-            VersionedLock::version_of(v) > rv_) {
+            VersionedLock::version_of(v) > rv_ ||
+            TXF_FP_FIRES("stm.validate")) {
           release_all();
+          env_.count_abort();
           return false;
         }
       }
@@ -223,6 +238,7 @@ class Tl2Txn {
       cell->store(writes_.value_of(key_of(cell)), std::memory_order_release);
     }
     for (VersionedLock* held : locks) held->unlock_with_version(wv);
+    env_.count_commit();
     return true;
   }
 
@@ -253,7 +269,9 @@ class Tl2Txn {
   std::vector<std::atomic<Word>*> write_cells_;
 };
 
-/// Retry loop for TL2 transactions.
+/// Retry loop for TL2 transactions. Commit/abort accounting lives inside
+/// Tl2Txn (read() and try_commit()) so every outcome is counted exactly
+/// once at the point of detection, independent of the retry-loop shape.
 template <typename F>
 auto atomically_tl2(Tl2Env& env, F&& fn) {
   using R = std::invoke_result_t<F&, Tl2Txn&>;
@@ -263,21 +281,14 @@ auto atomically_tl2(Tl2Env& env, F&& fn) {
     try {
       if constexpr (std::is_void_v<R>) {
         fn(txn);
-        if (txn.try_commit()) {
-          env.count_commit();
-          return;
-        }
+        if (txn.try_commit()) return;
       } else {
         R result = fn(txn);
-        if (txn.try_commit()) {
-          env.count_commit();
-          return result;
-        }
+        if (txn.try_commit()) return result;
       }
     } catch (const Tl2Conflict&) {
       // fall through to retry
     }
-    env.count_abort();
     backoff.pause();
   }
 }

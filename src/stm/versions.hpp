@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "stm/global_clock.hpp"
+#include "util/failpoint.hpp"
 
 namespace txf::stm {
 
@@ -34,6 +35,9 @@ struct PermanentVersion {
 /// means "snapshot predates the box" and is a programming error).
 inline const PermanentVersion* find_visible(const PermanentVersion* head,
                                             Version snapshot) noexcept {
+  // Chaos perturbation only (delay/yield): stretches version-list traversal
+  // against concurrent write-back and trimming.
+  TXF_FP_POINT("stm.read.version");
   while (head != nullptr && head->version > snapshot)
     head = head->next.load(std::memory_order_acquire);
   return head;

@@ -1,0 +1,165 @@
+#include "util/failpoint.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace txf::util::fp {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+/// Fold the master seed with the site name and rule index so each rule of
+/// each site draws an independent, reproducible xoshiro stream.
+std::uint64_t mix_name(std::uint64_t seed, const char* name,
+                       std::size_t rule_index) {
+  // FNV-1a over the site name folded into the master seed.
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 1099511628211ULL;
+  }
+  h ^= rule_index * 0x9e3779b97f4a7c15ULL;
+  return h;
+}
+
+}  // namespace
+
+FailPoint::FailPoint(const char* name) : name_(name) {
+  Controller::instance().register_site(this);
+}
+
+unsigned FailPoint::evaluate() {
+  if (!has_rules_.load(std::memory_order_acquire)) return 0;
+  passes_.fetch_add(1, std::memory_order_relaxed);
+  unsigned mask = 0;
+  std::uint32_t delay_us = 0;
+  bool yield = false;
+  {
+    std::lock_guard<std::mutex> lock(eval_mutex_);
+    for (ArmedRule& r : armed_) {
+      const bool fire = r.every != 0
+                            ? (r.counter++ % r.every) == r.every - 1
+                            : r.rng.next_double() < r.probability;
+      if (!fire) continue;
+      switch (r.action) {
+        case Action::kFail:
+          mask |= kFailBit;
+          break;
+        case Action::kAbortTree:
+          mask |= kAbortTreeBit;
+          break;
+        case Action::kDelayUs:
+          delay_us = r.param != 0 ? static_cast<std::uint32_t>(
+                                        r.rng.next_bounded(r.param + 1))
+                                  : 0;
+          break;
+        case Action::kYield:
+          yield = true;
+          break;
+      }
+    }
+    if (mask != 0 || delay_us != 0 || yield)
+      fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Perturbations happen outside the site mutex so concurrent passages keep
+  // drawing deterministically while one thread sleeps.
+  if (delay_us != 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  if (yield) std::this_thread::yield();
+  return mask;
+}
+
+Controller& Controller::instance() {
+  static Controller c;
+  return c;
+}
+
+void Controller::register_site(FailPoint* site) {
+  // Lock-free push; arming may race with a site's first passage, so fold the
+  // current plan in under the mutex when armed.
+  FailPoint* head = sites_.load(std::memory_order_acquire);
+  do {
+    site->next_ = head;
+  } while (!sites_.compare_exchange_weak(head, site,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire));
+  if (armed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    apply_plan_locked(site);
+  }
+}
+
+void Controller::apply_plan_locked(FailPoint* site) {
+  std::lock_guard<std::mutex> eval_lock(site->eval_mutex_);
+  site->armed_.clear();
+  std::size_t rule_index = 0;
+  for (const Rule& r : plan_.rules) {
+    if (r.site == site->name_) {
+      FailPoint::ArmedRule ar;
+      ar.action = r.action;
+      ar.every = r.every;
+      ar.probability = r.probability;
+      ar.param = r.param;
+      ar.counter = 0;
+      ar.rng = Xoshiro256(mix_name(plan_.seed, site->name_, rule_index));
+      site->armed_.push_back(ar);
+    }
+    ++rule_index;
+  }
+  site->passes_.store(0, std::memory_order_relaxed);
+  site->fires_.store(0, std::memory_order_relaxed);
+  site->has_rules_.store(!site->armed_.empty(), std::memory_order_release);
+}
+
+void Controller::arm(const ChaosPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  for (FailPoint* s = sites_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next_) {
+    apply_plan_locked(s);
+  }
+  armed_.store(true, std::memory_order_release);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void Controller::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  g_armed.store(false, std::memory_order_release);
+  armed_.store(false, std::memory_order_release);
+  plan_ = ChaosPlan{};
+  for (FailPoint* s = sites_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next_) {
+    std::lock_guard<std::mutex> eval_lock(s->eval_mutex_);
+    s->armed_.clear();
+    s->has_rules_.store(false, std::memory_order_release);
+  }
+}
+
+FailPoint* Controller::find(const std::string& name) {
+  for (FailPoint* s = sites_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next_) {
+    if (name == s->name_) return s;
+  }
+  return nullptr;
+}
+
+std::uint64_t Controller::total_fires() {
+  std::uint64_t total = 0;
+  for (FailPoint* s = sites_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next_) {
+    total += s->fires();
+  }
+  return total;
+}
+
+std::vector<std::string> Controller::site_names() {
+  std::vector<std::string> names;
+  for (FailPoint* s = sites_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next_) {
+    names.emplace_back(s->name_);
+  }
+  return names;
+}
+
+}  // namespace txf::util::fp

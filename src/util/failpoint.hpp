@@ -1,0 +1,195 @@
+// Deterministic, seeded failpoint framework for chaos testing.
+//
+// Engine hot paths declare *named* failpoints:
+//
+//   if (TXF_FP_FIRES("stm.validate")) return false;   // fail-action sites
+//   TXF_FP_POINT("sched.steal");                      // delay/yield-only sites
+//
+// A site costs one relaxed atomic load and a predicted-not-taken branch when
+// no chaos plan is armed (the site object itself is a function-local static,
+// registered once on first passage). Tests arm a ChaosPlan — a list of
+// (site-name, action, every-N / probability, delay bound) rules — through
+// `Controller::arm()`, normally via `core::Config::chaos` at Runtime
+// construction.
+//
+// Determinism: every site draws from its own xoshiro256** stream seeded from
+// (master seed, site name). Decisions at one site form a fixed sequence per
+// seed regardless of which threads pass through it, so any chaotic run is
+// replayable from its seed: same seed => same per-site fire sequence, and
+// the engine's recovery machinery must converge to identical committed
+// results (asserted by core_chaos_test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/xoshiro.hpp"
+
+namespace txf::util::fp {
+
+/// What an armed rule does to its site.
+enum class Action : std::uint8_t {
+  kFail,      // site's TXF_FP_FIRES(...) returns true (caller interprets)
+  kDelayUs,   // sleep a random 0..param microseconds, then continue
+  kYield,     // std::this_thread::yield(), then continue
+  kAbortTree, // like kFail, reported via fires_abort (core sites abort the
+              // whole transaction tree instead of one validation)
+};
+
+/// One chaos rule: applies `action` to the site named `site`.
+/// `every` != 0: fire on every Nth passage (deterministic modulo schedule).
+/// `every` == 0: fire with probability `probability` per passage, drawn from
+/// the site's seeded stream.
+struct Rule {
+  std::string site;
+  Action action = Action::kFail;
+  std::uint32_t every = 0;
+  double probability = 0.0;
+  std::uint32_t param = 0;  // kDelayUs: max microseconds of injected delay
+};
+
+/// A chaos schedule: the rules plus the master seed of the run.
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  std::vector<Rule> rules;
+
+  ChaosPlan& add(std::string site, Action action, std::uint32_t every,
+                 std::uint32_t param = 0) {
+    rules.push_back(Rule{std::move(site), action, every, 0.0, param});
+    return *this;
+  }
+  ChaosPlan& add_prob(std::string site, Action action, double probability,
+                      std::uint32_t param = 0) {
+    rules.push_back(Rule{std::move(site), action, 0, probability, param});
+    return *this;
+  }
+};
+
+/// Per-site state. Sites are function-local statics that live forever;
+/// arming/disarming only flips their armed state and resets their streams.
+class FailPoint {
+ public:
+  explicit FailPoint(const char* name);
+
+  FailPoint(const FailPoint&) = delete;
+  FailPoint& operator=(const FailPoint&) = delete;
+
+  const char* name() const noexcept { return name_; }
+
+  /// Total passages while armed (approximate under concurrency: relaxed).
+  std::uint64_t passes() const noexcept {
+    return passes_.load(std::memory_order_relaxed);
+  }
+  /// Times the site fired any action.
+  std::uint64_t fires() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+  /// Slow path, called only while the global chaos plan is armed. Applies
+  /// delay/yield actions internally; returns a bit mask of caller-visible
+  /// actions (kFail -> 1, kAbortTree -> 2).
+  unsigned evaluate();
+
+ private:
+  friend class Controller;
+
+  struct ArmedRule {
+    Action action;
+    std::uint32_t every;
+    double probability;
+    std::uint32_t param;
+    std::uint64_t counter = 0;  // passage counter for every-N rules
+    Xoshiro256 rng;             // per-rule stream (probability/delay draws)
+  };
+
+  const char* name_;
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> fires_{0};
+  // Armed rules for this site. Written while arming, mutated (counters, rng
+  // draws) under eval_mutex_ in evaluate() — armed paths are test-only, so
+  // a mutex per passage is acceptable there.
+  std::mutex eval_mutex_;
+  std::vector<ArmedRule> armed_;
+  std::atomic<bool> has_rules_{false};
+  FailPoint* next_ = nullptr;  // registry chain
+};
+
+/// Process-wide failpoint controller. All sites register here on first
+/// passage; tests arm/disarm chaos plans and read fire counters.
+class Controller {
+ public:
+  static Controller& instance();
+
+  /// Arm `plan` process-wide. Resets all per-site streams/counters so the
+  /// fire sequence restarts from the seed (replayability).
+  void arm(const ChaosPlan& plan);
+
+  /// Disarm: all sites revert to the zero-cost disabled path.
+  void disarm();
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Find a registered site by name (nullptr if it never executed).
+  FailPoint* find(const std::string& name);
+
+  /// Sum of fires across all sites (the chaos run's activity counter).
+  std::uint64_t total_fires();
+
+  /// All registered site names (diagnostics / documentation tests).
+  std::vector<std::string> site_names();
+
+  // Internal: called from FailPoint's constructor.
+  void register_site(FailPoint* site);
+
+ private:
+  Controller() = default;
+  void apply_plan_locked(FailPoint* site);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<FailPoint*> sites_{nullptr};  // lock-free registration chain
+  // Guards arming and per-site armed_ vectors (cold path only).
+  std::mutex mutex_;
+  ChaosPlan plan_;
+};
+
+/// Global "any plan armed" flag, read on every site passage.
+extern std::atomic<bool> g_armed;
+
+inline bool enabled() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+/// Returns the action mask for this passage (0 almost always).
+inline unsigned passage(FailPoint& site) {
+  if (!enabled()) return 0;
+  return site.evaluate();
+}
+}  // namespace detail
+
+/// Caller-visible action bits returned by TXF_FP_MASK.
+inline constexpr unsigned kFailBit = 1u;
+inline constexpr unsigned kAbortTreeBit = 2u;
+
+}  // namespace txf::util::fp
+
+/// Declare-and-evaluate a failpoint site. Yields the action mask (0 when
+/// disarmed/not firing; kFailBit / kAbortTreeBit otherwise). Delay and yield
+/// actions are applied internally before returning.
+#define TXF_FP_MASK(name_literal)                                      \
+  ([]() -> unsigned {                                                  \
+    static ::txf::util::fp::FailPoint txf_fp_site_(name_literal);      \
+    return ::txf::util::fp::detail::passage(txf_fp_site_);             \
+  }())
+
+/// Failpoint that only asks "should I inject a failure here?".
+#define TXF_FP_FIRES(name_literal) \
+  (TXF_FP_MASK(name_literal) & ::txf::util::fp::kFailBit)
+
+/// Pure perturbation site (delay / yield); fail actions are ignored.
+#define TXF_FP_POINT(name_literal) ((void)TXF_FP_MASK(name_literal))

@@ -6,11 +6,47 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 
 namespace txf::util {
+
+/// Robustness counters exported by the contention manager and the failpoint
+/// framework (relaxed atomics; benches and the chaos tests assert on them).
+/// One instance lives in core::Runtime next to the engine's TxStats.
+struct RobustnessCounters {
+  std::atomic<std::uint64_t> retries{0};            // re-run attempts
+  std::atomic<std::uint64_t> backoff_ns{0};         // time spent backing off
+  std::atomic<std::uint64_t> stall_aborts{0};       // stall detector fired
+  std::atomic<std::uint64_t> deadline_aborts{0};    // Config::tx_deadline hit
+  std::atomic<std::uint64_t> serial_irrevocable{0}; // token escalations
+  std::atomic<std::uint64_t> failpoint_fires{0};    // chaos actions observed
+
+  void reset() noexcept {
+    retries = 0;
+    backoff_ns = 0;
+    stall_aborts = 0;
+    deadline_aborts = 0;
+    serial_irrevocable = 0;
+    failpoint_fires = 0;
+  }
+
+  void print(std::FILE* out) const {
+    std::fprintf(
+        out,
+        "robustness: retries=%llu backoff_ns=%llu stall_aborts=%llu "
+        "deadline_aborts=%llu serial_irrevocable=%llu failpoint_fires=%llu\n",
+        static_cast<unsigned long long>(retries.load()),
+        static_cast<unsigned long long>(backoff_ns.load()),
+        static_cast<unsigned long long>(stall_aborts.load()),
+        static_cast<unsigned long long>(deadline_aborts.load()),
+        static_cast<unsigned long long>(serial_irrevocable.load()),
+        static_cast<unsigned long long>(failpoint_fires.load()));
+  }
+};
 
 class StreamingStats {
  public:

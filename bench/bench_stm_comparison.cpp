@@ -7,10 +7,15 @@
 // can never abort, while TL2 readers race writers and retry. Writers pay
 // for multi-versioning instead.
 //
-// Flags: --threads N --ms N --vars N --read-pct a,b,c
+// The MVCC rows also report the group-commit pipeline breakdown
+// (stm/commit_queue.hpp): requests shed by stage-1 pre-validation, batch
+// count and mean size, and the mean enqueue->done dwell per request.
+//
+// Flags: --threads N --ms N --vars N --read-pct a,b,c --json FILE
 #include <cstdio>
 #include <deque>
 #include <sstream>
+#include <string>
 
 #include <atomic>
 #include <thread>
@@ -27,9 +32,18 @@ using namespace txf::workloads;
 
 namespace {
 
+struct PipelineStats {
+  std::uint64_t sheds = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;
+  double avg_batch = 0;
+  double avg_dwell_ns = 0;
+};
+
 struct Outcome {
   double tput;
   double abort_rate;
+  PipelineStats pipe;  // MVCC only
 };
 
 constexpr int kReadsPerTxn = 32;
@@ -49,13 +63,16 @@ Outcome run_mvcc(std::size_t threads, int ms, std::size_t n_vars,
   for (std::size_t w = 0; w < threads; ++w) {
     workers.emplace_back([&, w] {
       Xoshiro256 rng(10 + w);
+      // One Transaction per worker, re-armed with park()/reset() between
+      // attempts and between transactions: set-map capacity and the EBR
+      // guard slot are reused instead of reallocated per attempt.
+      txf::stm::Transaction tx(env);
       while (!stop.load(std::memory_order_acquire)) {
         const bool read_only =
             rng.next_bounded(100) < static_cast<std::uint64_t>(read_pct);
+        tx.reset(read_only ? txf::stm::Transaction::Mode::kReadOnly
+                           : txf::stm::Transaction::Mode::kReadWrite);
         for (;;) {
-          txf::stm::Transaction tx(
-              env, read_only ? txf::stm::Transaction::Mode::kReadOnly
-                             : txf::stm::Transaction::Mode::kReadWrite);
           long sum = 0;
           for (int i = 0; i < kReadsPerTxn; ++i)
             sum += vars[rng.next_bounded(n_vars)].get(tx);
@@ -65,6 +82,8 @@ Outcome run_mvcc(std::size_t threads, int ms, std::size_t n_vars,
           }
           if (tx.try_commit()) break;
           aborted.fetch_add(1, std::memory_order_relaxed);
+          tx.park();
+          tx.reset();
         }
         committed.fetch_add(1, std::memory_order_relaxed);
       }
@@ -76,8 +95,25 @@ Outcome run_mvcc(std::size_t threads, int ms, std::size_t n_vars,
   const double secs = static_cast<double>(txf::util::now_ns() - t0) * 1e-9;
   const auto c = committed.load();
   const auto a = aborted.load();
-  return {static_cast<double>(c) / secs,
-          c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0};
+
+  Outcome out{static_cast<double>(c) / secs,
+              c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0,
+              {}};
+  const txf::stm::CommitQueue& q = env.queue();
+  out.pipe.sheds = q.prevalidation_sheds();
+  out.pipe.batches = q.batch_count();
+  out.pipe.batched_requests = q.batched_requests();
+  out.pipe.avg_batch =
+      out.pipe.batches
+          ? static_cast<double>(out.pipe.batched_requests) /
+                static_cast<double>(out.pipe.batches)
+          : 0;
+  out.pipe.avg_dwell_ns =
+      q.queue_dwell_samples()
+          ? static_cast<double>(q.queue_dwell_ns()) /
+                static_cast<double>(q.queue_dwell_samples())
+          : 0;
+  return out;
 }
 
 Outcome run_tl2(std::size_t threads, int ms, std::size_t n_vars,
@@ -116,7 +152,8 @@ Outcome run_tl2(std::size_t threads, int ms, std::size_t n_vars,
   const auto c = env.commits();
   const auto a = env.aborts();
   return {static_cast<double>(committed.load()) / secs,
-          c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0};
+          c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0,
+          {}};
 }
 
 }  // namespace
@@ -127,6 +164,7 @@ int main(int argc, char** argv) {
   const int ms = static_cast<int>(args.get_int("ms", 400));
   const auto n_vars = static_cast<std::size_t>(args.get_int("vars", 64));
   const auto read_pcts = parse_u64_list("read-pct", args.get_str("read-pct", "0,50,90,100"));
+  const std::string json_path = args.get_str("json", "");
 
   std::printf(
       "# STM substrate comparison: multi-version (JVSTM-style) vs TL2\n"
@@ -134,12 +172,48 @@ int main(int argc, char** argv) {
       threads, n_vars, kReadsPerTxn, kWritesPerTxn, ms);
   print_header({"read_pct", "mvcc_tx/s", "mvcc_abort", "tl2_tx/s",
                 "tl2_abort"});
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"stm_comparison\",\n"
+       << "  \"threads\": " << threads << ", \"ms\": " << ms
+       << ", \"vars\": " << n_vars << ",\n  \"rows\": [";
+  bool first_row = true;
   for (const auto pct_u : read_pcts) {
     const int pct = static_cast<int>(pct_u);
     const Outcome m = run_mvcc(threads, ms, n_vars, pct);
     const Outcome t = run_tl2(threads, ms, n_vars, pct);
     print_row({std::to_string(pct), fmt(m.tput, 1), fmt(m.abort_rate, 3),
                fmt(t.tput, 1), fmt(t.abort_rate, 3)});
+    if (pct < 100) {
+      std::printf(
+          "#   pipeline: sheds=%llu batches=%llu avg_batch=%.2f "
+          "avg_dwell_ns=%.0f\n",
+          static_cast<unsigned long long>(m.pipe.sheds),
+          static_cast<unsigned long long>(m.pipe.batches), m.pipe.avg_batch,
+          m.pipe.avg_dwell_ns);
+    }
+    json << (first_row ? "" : ",") << "\n    {\"read_pct\": " << pct
+         << ", \"mvcc_tput\": " << fmt(m.tput, 1)
+         << ", \"mvcc_abort_rate\": " << fmt(m.abort_rate, 4)
+         << ", \"tl2_tput\": " << fmt(t.tput, 1)
+         << ", \"tl2_abort_rate\": " << fmt(t.abort_rate, 4)
+         << ", \"pipeline\": {\"sheds\": " << m.pipe.sheds
+         << ", \"batches\": " << m.pipe.batches
+         << ", \"batched_requests\": " << m.pipe.batched_requests
+         << ", \"avg_batch\": " << fmt(m.pipe.avg_batch, 2)
+         << ", \"avg_dwell_ns\": " << fmt(m.pipe.avg_dwell_ns, 0) << "}}";
+    first_row = false;
+  }
+  json << "\n  ]\n}\n";
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      const std::string s = json.str();
+      std::fwrite(s.data(), 1, s.size(), f);
+      std::fclose(f);
+      std::printf("# json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
   }
   std::printf(
       "# Expected shape: MVCC read-only transactions never abort, so the\n"

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Short commit-pipeline bench smoke: runs the substrate comparison (which
+# emits throughput + abort rate + pipeline breakdown as JSON) and a short
+# window of the commit-path microbench. Keeps CI fast — this is a smoke
+# check that the counters wire up and throughput is in a sane range, not a
+# performance gate; BENCH_commit_pipeline.json in the repo root records the
+# curated before/after measurement for the group-commit PR.
+#
+# Usage: scripts/bench_commit_pipeline.sh <build-dir> [out.json]
+set -euo pipefail
+
+build_dir=${1:?usage: $0 <build-dir> [out.json]}
+out=${2:-BENCH_commit_pipeline.ci.json}
+
+"${build_dir}/bench/bench_stm_comparison" \
+  --threads 4 --ms 150 --read-pct 0,90,100 --json "${out}"
+
+"${build_dir}/bench/bench_micro_stm" \
+  --benchmark_filter='CommitQueueThroughput' --benchmark_min_time=0.1
+
+echo "--- ${out} ---"
+cat "${out}"
+
+# The JSON must parse and carry the pipeline counters.
+python3 - "${out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+rows = data["rows"]
+assert rows, "no bench rows emitted"
+for row in rows:
+    assert row["mvcc_tput"] > 0, row
+    pipe = row["pipeline"]
+    for key in ("sheds", "batches", "batched_requests", "avg_batch",
+                "avg_dwell_ns"):
+        assert key in pipe, (key, row)
+    if row["read_pct"] < 100:
+        assert pipe["batches"] > 0, row
+print("bench smoke OK:", len(rows), "rows")
+EOF

@@ -79,6 +79,34 @@ class Runtime {
         static_cast<unsigned long long>(stats_.serial_fallbacks.load()),
         static_cast<unsigned long long>(stats_.partial_rollbacks.load()));
     robustness_.print(out);
+    print_commit_pipeline(out);
+  }
+
+  /// Commit-pipeline breakdown (group-commit queue; see stm/commit_queue.hpp):
+  /// stage-1 sheds, batch count and mean size, and mean queue dwell time.
+  void print_commit_pipeline(std::FILE* out = stderr) const {
+    const stm::CommitQueue& q = env_.queue();
+    const unsigned long long batches = q.batch_count();
+    const unsigned long long batched = q.batched_requests();
+    const unsigned long long samples = q.queue_dwell_samples();
+    std::fprintf(
+        out,
+        "commit pipeline: committed=%llu aborted=%llu prevalidation_sheds=%llu "
+        "batches=%llu avg_batch=%.2f avg_dwell_ns=%llu\n",
+        static_cast<unsigned long long>(q.committed_count()),
+        static_cast<unsigned long long>(q.aborted_count()),
+        static_cast<unsigned long long>(q.prevalidation_sheds()), batches,
+        batches != 0 ? static_cast<double>(batched) / static_cast<double>(batches)
+                     : 0.0,
+        samples != 0 ? static_cast<unsigned long long>(q.queue_dwell_ns() /
+                                                       samples)
+                     : 0ULL);
+    std::fprintf(out, "batch size histogram (1,2,<=4,<=8,...,65+):");
+    for (std::size_t i = 0; i < stm::CommitQueue::kBatchSizeBuckets; ++i) {
+      std::fprintf(out, " %llu",
+                   static_cast<unsigned long long>(q.batch_size_bucket(i)));
+    }
+    std::fprintf(out, "\n");
   }
 
  private:

@@ -974,18 +974,28 @@ void TxTree::do_top_commit() {
       final_writes.put(box, p->value.load(std::memory_order_acquire));
   }
 
+  // Top-level tree commits ride the same group-commit pipeline as flat
+  // transactions: pre-validate, then enqueue a pooled request into the
+  // batched queue. A serial-irrevocable tree (api.hpp fallback) holds the
+  // exclusive serial token here, so no other core commit can be advancing
+  // the permanent state: its pre-validation passes vacuously and it flows
+  // through as a batch of one — no special-casing needed.
   bool ok = true;
   if (!final_writes.empty()) {
-    auto* req = new stm::CommitRequest();
-    req->snapshot = snapshot_;
-    req->reads = merged_permanent_reads_;
-    req->writes.reserve(final_writes.size());
-    for (stm::VBoxImpl* box : final_writes.boxes()) {
-      req->writes.push_back(stm::WriteBackEntry{
-          box, new stm::PermanentVersion(final_writes.value_of(box), 0,
-                                         nullptr)});
+    util::EpochDomain::Guard guard(env_.epochs());
+    if (!env_.queue().prevalidate(merged_permanent_reads_, snapshot_)) {
+      ok = false;
+    } else {
+      stm::CommitRequest* req = stm::CommitQueue::acquire_request();
+      req->snapshot = snapshot_;
+      req->reads = merged_permanent_reads_;
+      req->writes.reserve(final_writes.size());
+      for (stm::VBoxImpl* box : final_writes.boxes()) {
+        req->writes.push_back(stm::WriteBackEntry{
+            box, stm::CommitQueue::acquire_node(final_writes.value_of(box))});
+      }
+      ok = env_.queue().commit(req);
     }
-    ok = env_.queue().commit(req);
   }
 
   status_.store(ok ? TreeStatus::kCommitted : TreeStatus::kAborted,

@@ -1,18 +1,66 @@
 #include "stm/commit_queue.hpp"
 
+#include <bit>
 #include <cassert>
+#include <chrono>
+#include <cstddef>
 
 #include "stm/vbox.hpp"
+#include "stm/write_set.hpp"
 #include "util/backoff.hpp"
 #include "util/failpoint.hpp"
 
 namespace txf::stm {
 
+// ---------------------------------------------------------------------------
+// Thread-local object pools.
+//
+// The commit fast path used to pay one heap allocation per request plus one
+// per written box; in steady state every one of those objects comes back
+// through EBR retirement, so the deleters feed thread-local free lists
+// instead of the allocator and acquire_* pops from them. Pools are reached
+// through a trivially-destructible raw pointer that the owner nulls at
+// thread exit, so a deleter running during another thread's EBR collection
+// (or during teardown) safely degrades to plain delete.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kPoolCap = 64;
+
+struct LocalPools {
+  std::vector<CommitRequest*> requests;
+  std::vector<PermanentVersion*> nodes;
+  std::vector<void*> batches;  // stored untyped; Batch is private to the queue
+  void (*delete_batch)(void*) = nullptr;
+
+  ~LocalPools();
+};
+
+thread_local LocalPools* tl_pools = nullptr;
+
+thread_local struct PoolOwner {
+  LocalPools pools;
+  PoolOwner() { tl_pools = &pools; }
+  ~PoolOwner() { tl_pools = nullptr; }
+} tl_pool_owner;
+
+LocalPools* pools_for_acquire() {
+  // Odr-use the owner so first use on this thread constructs the pool.
+  return &tl_pool_owner.pools;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CommitQueue: construction / destruction
+// ---------------------------------------------------------------------------
+
 CommitQueue::CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
                          util::EpochDomain& epochs)
     : clock_(clock), registry_(registry), epochs_(epochs) {
-  // Sentinel: a done request at version 0 so the first real request gets
-  // version 1 and help_until_done always has a head to look at.
+  // Sentinel: a done request at version 0 so the boundary (head_) always
+  // points at a processed request and the first batch starts after it.
   auto* sentinel = new CommitRequest();
   sentinel->commit_version_.store(0, std::memory_order_relaxed);
   sentinel->verdict_.store(CommitRequest::Verdict::kValid,
@@ -23,8 +71,10 @@ CommitQueue::CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
 }
 
 CommitQueue::~CommitQueue() {
-  // Quiescent at destruction: every request except the final sentinel-like
-  // head has been retired through EBR already.
+  // Quiescent at destruction: every consumed request except the current
+  // boundary has been retired through EBR already, and the batch slot was
+  // cleared by whichever helper completed the last batch.
+  assert(batch_->load(std::memory_order_relaxed) == nullptr);
   CommitRequest* h = head_->load(std::memory_order_relaxed);
   while (h != nullptr) {
     CommitRequest* next = h->next_.load(std::memory_order_relaxed);
@@ -38,9 +88,130 @@ CommitQueue::~CommitQueue() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pools
+// ---------------------------------------------------------------------------
+
+CommitRequest* CommitQueue::acquire_request() {
+  if (LocalPools* p = pools_for_acquire(); p != nullptr && !p->requests.empty()) {
+    CommitRequest* r = p->requests.back();
+    p->requests.pop_back();
+    return r;
+  }
+  return new CommitRequest();
+}
+
+PermanentVersion* CommitQueue::acquire_node(Word value) {
+  if (LocalPools* p = pools_for_acquire(); p != nullptr && !p->nodes.empty()) {
+    PermanentVersion* n = p->nodes.back();
+    p->nodes.pop_back();
+    n->value = value;
+    return n;
+  }
+  return new PermanentVersion(value, 0, nullptr);
+}
+
+void CommitQueue::recycle_request(void* ptr) {
+  auto* r = static_cast<CommitRequest*>(ptr);
+  LocalPools* p = tl_pools;
+  if (p == nullptr || p->requests.size() >= kPoolCap) {
+    delete r;
+    return;
+  }
+  // Keep the vectors' capacity — that is the point of the pool.
+  r->writes.clear();
+  r->reads.clear();
+  r->snapshot = 0;
+  r->commit_version_.store(0, std::memory_order_relaxed);
+  r->verdict_.store(CommitRequest::Verdict::kUnknown, std::memory_order_relaxed);
+  r->done_.store(false, std::memory_order_relaxed);
+  r->next_.store(nullptr, std::memory_order_relaxed);
+  p->requests.push_back(r);
+}
+
+void CommitQueue::recycle_node(void* ptr) {
+  auto* n = static_cast<PermanentVersion*>(ptr);
+  LocalPools* p = tl_pools;
+  if (p == nullptr || p->nodes.size() >= kPoolCap) {
+    delete n;
+    return;
+  }
+  n->version.store(0, std::memory_order_relaxed);
+  n->next.store(nullptr, std::memory_order_relaxed);
+  p->nodes.push_back(n);
+}
+
+void VBoxImpl::retire_node(PermanentVersion* node, util::EpochDomain& domain) {
+  domain.retire(static_cast<void*>(node), &CommitQueue::recycle_node);
+}
+
+CommitQueue::Batch* CommitQueue::acquire_batch() {
+  if (LocalPools* p = pools_for_acquire(); p != nullptr && !p->batches.empty()) {
+    auto* b = static_cast<Batch*>(p->batches.back());
+    p->batches.pop_back();
+    return b;
+  }
+  return new Batch();
+}
+
+void CommitQueue::recycle_batch(void* ptr) {
+  auto* b = static_cast<Batch*>(ptr);
+  LocalPools* p = tl_pools;
+  if (p == nullptr || p->batches.size() >= kPoolCap) {
+    delete b;
+    return;
+  }
+  b->boundary = nullptr;
+  b->reqs.clear();
+  b->base = 0;
+  b->next_partition.store(0, std::memory_order_relaxed);
+  // A stale completed flag on a reused batch would make every helper skip
+  // stage 2/3 (and the done flags) for a brand-new segment — livelock.
+  b->completed.store(false, std::memory_order_relaxed);
+  b->stats_done.store(false, std::memory_order_relaxed);
+  if (p->delete_batch == nullptr) {
+    p->delete_batch = [](void* q) { delete static_cast<Batch*>(q); };
+  }
+  p->batches.push_back(b);
+}
+
+LocalPools::~LocalPools() {
+  for (CommitRequest* r : requests) delete r;
+  for (PermanentVersion* n : nodes) delete n;
+  for (void* b : batches) delete_batch(b);
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: pre-validation
+// ---------------------------------------------------------------------------
+
+bool CommitQueue::prevalidate(const std::vector<VBoxImpl*>& reads,
+                              Version snapshot) {
+  // Chaos perturbation only (delay/yield): widens the window between the
+  // shed decision and enqueue, so a shed raced by a committing writer and a
+  // pass raced into a doomed batch slot both get exercised.
+  TXF_FP_POINT("stm.commit.prevalidate");
+  for (const VBoxImpl* box : reads) {
+    // Committed versions only grow, so a head past our snapshot dooms the
+    // final validation no matter when this request would reach a batch.
+    if (box->permanent_head()->version.load(std::memory_order_acquire) >
+        snapshot) {
+      sheds_.fetch_add(1, std::memory_order_relaxed);
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Queue linkage (MS-queue; versions are no longer assigned here — that
+// moved into the batch's deterministic pass)
+// ---------------------------------------------------------------------------
+
 void CommitQueue::enqueue(CommitRequest* req) {
   // Chaos perturbation only (delay/yield): stretches the window between
-  // linking and processing so helper interleavings get exercised.
+  // linking and batching so combiner/helper interleavings get exercised.
   TXF_FP_POINT("stm.commit.enqueue");
   util::Backoff backoff;
   for (;;) {
@@ -52,13 +223,6 @@ void CommitQueue::enqueue(CommitRequest* req) {
                                      std::memory_order_relaxed);
       continue;
     }
-    // Tentatively take the slot after t: version = t's version + 1. Both
-    // the version and the write-back node stamps must be published before
-    // the link succeeds — helpers may start processing the request the
-    // moment it becomes reachable.
-    const Version ver = t->commit_version() + 1;
-    req->commit_version_.store(ver, std::memory_order_release);
-    for (auto& wb : req->writes) wb.node->version = ver;
     if (t->next_.compare_exchange_strong(n, req, std::memory_order_acq_rel,
                                          std::memory_order_relaxed)) {
       tail_->compare_exchange_strong(t, req, std::memory_order_acq_rel,
@@ -69,97 +233,309 @@ void CommitQueue::enqueue(CommitRequest* req) {
   }
 }
 
-bool CommitQueue::validate(const CommitRequest& req) {
-  for (const VBoxImpl* box : req.reads) {
-    const PermanentVersion* head = box->permanent_head();
-    if (head->version > req.snapshot) return false;
+// ---------------------------------------------------------------------------
+// Stage 2: batch formation + the deterministic pass
+// ---------------------------------------------------------------------------
+
+struct CommitQueue::Plan {
+  struct Partition {
+    VBoxImpl* box;
+    PermanentVersion* node;  // the batch's newest version of `box`
+  };
+
+  std::vector<Partition> partitions;
+  // box -> index into `partitions`; doubles as "written by an earlier valid
+  // request of this batch" for the in-batch conflict check.
+  WriteSetMap written;
+  std::size_t valid_count = 0;
+
+  void reset() {
+    partitions.clear();
+    written.clear();
+    valid_count = 0;
   }
-  return true;
+};
+
+CommitQueue::Plan& CommitQueue::local_plan() {
+  thread_local Plan plan;
+  return plan;
 }
 
-void CommitQueue::write_back(CommitRequest& req) {
-  // Chaos perturbation only: a stalled writer-backer forces other commits
-  // to help this request through (the helped-queue invariant under test).
-  TXF_FP_POINT("stm.commit.writeback");
-  const Version ver = req.commit_version();
-  for (auto& wb : req.writes) {
-    util::Backoff backoff;
-    for (;;) {
-      auto* head = const_cast<PermanentVersion*>(wb.box->permanent_head());
-      if (head->version >= ver) break;  // another helper already linked it
-      // All helpers compute the same `head` here (older requests are done
-      // and nothing newer can write back yet), so racing stores of `next`
-      // write the same value.
-      wb.node->next.store(head, std::memory_order_release);
-      if (wb.box->cas_permanent_head(head, wb.node)) break;
-      backoff.pause();
+void CommitQueue::try_form_batch() {
+  CommitRequest* boundary = head_->load(std::memory_order_acquire);
+  CommitRequest* first = boundary->next_.load(std::memory_order_acquire);
+  if (first == nullptr) return;  // nothing pending
+  if (batch_->load(std::memory_order_acquire) != nullptr) return;
+
+  Batch* b = acquire_batch();
+  b->boundary = boundary;
+  const std::uint32_t limit = batch_limit_.load(std::memory_order_relaxed);
+  for (CommitRequest* cur = first;
+       cur != nullptr && b->reqs.size() < limit;
+       cur = cur->next_.load(std::memory_order_acquire)) {
+    b->reqs.push_back(cur);
+  }
+  // base must be read *after* boundary: a completed batch advances the clock
+  // before swinging head_, so if head_ still equals `boundary` when helpers
+  // run the stale check, `base` is exactly the clock at publication and
+  // versions base+1..base+k are collision-free. If a batch completed in
+  // between, head_ moved and this batch is discarded as stale.
+  b->base = clock_.current();
+
+  Batch* expected = nullptr;
+  if (!batch_->compare_exchange_strong(expected, b, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+    recycle_batch(b);  // never published; no reader can hold it
+    return;
+  }
+  // Chaos: stall the combiner right after publication — helpers must drive
+  // the batch to completion without it.
+  TXF_FP_POINT("stm.commit.batch.form");
+  help_batch(b);
+}
+
+void CommitQueue::build_plan(Batch& b, Plan& plan) {
+  plan.reset();
+  Version next = b.base;
+  for (CommitRequest* req : b.reqs) {
+    if (req->verdict_.load(std::memory_order_acquire) ==
+        CommitRequest::Verdict::kUnknown) {
+      // Validate against (a) the permanent state frozen at batch start and
+      // (b) boxes written by earlier *valid* members of this batch (their
+      // versions exceed any member's snapshot but are not linked yet).
+      // (a) is only deterministic before write-back starts; a helper that
+      // reads mutating heads computes a verdict that loses the CAS below,
+      // because write-back implies some helper already stored every verdict.
+      bool ok = true;
+      for (VBoxImpl* box : req->reads) {
+        if (box->permanent_head()->version.load(std::memory_order_acquire) >
+                req->snapshot ||
+            plan.written.find(box) != nullptr) {
+          ok = false;
+          break;
+        }
+      }
+      auto expected = CommitRequest::Verdict::kUnknown;
+      req->verdict_.compare_exchange_strong(
+          expected,
+          ok ? CommitRequest::Verdict::kValid
+             : CommitRequest::Verdict::kAborted,
+          std::memory_order_acq_rel, std::memory_order_acquire);
+    }
+    // Everything below derives from the STORED verdict only, so every
+    // helper computes the same versions, partitions, and shadow set.
+    if (req->verdict_.load(std::memory_order_acquire) !=
+        CommitRequest::Verdict::kValid) {
+      continue;
+    }
+    ++next;  // only valid requests consume a version: the clock is gap-free
+    req->commit_version_.store(next, std::memory_order_release);
+    ++plan.valid_count;
+    for (auto& wb : req->writes) {
+      // Racing helpers store the same value (deterministic pass).
+      wb.node->version.store(next, std::memory_order_relaxed);
+      if (const Word* idx = plan.written.find(wb.box)) {
+        auto& part = plan.partitions[static_cast<std::size_t>(*idx)];
+        // The older same-batch write is shadowed: it is stamped but never
+        // linked — the clock jumps base -> base+k atomically, so no snapshot
+        // can fall on an intermediate version (GlobalClock::advance_to).
+        // Its owner retires it after commit (it is the node whose `next` was
+        // never installed).
+        part.node = wb.node;
+      } else {
+        plan.written.put(wb.box, static_cast<Word>(plan.partitions.size()));
+        plan.partitions.push_back(Plan::Partition{wb.box, wb.node});
+      }
     }
   }
 }
 
-void CommitQueue::maybe_trim(CommitRequest& req) {
-  const std::uint64_t tick =
-      trim_tick_.fetch_add(1, std::memory_order_relaxed);
-  if (trim_period_ == 0 || tick % trim_period_ != 0) return;
-  const Version min = registry_.min_active(clock_.current());
-  for (auto& wb : req.writes) wb.box->trim(min, epochs_);
+// ---------------------------------------------------------------------------
+// Stage 3: parallel write-back
+// ---------------------------------------------------------------------------
+
+void CommitQueue::link_partition(const Plan& plan, std::size_t part) {
+  // Chaos perturbation only: a stalled linker forces the other helpers'
+  // idempotent sweep to carry the partition (the helping invariant under
+  // test).
+  TXF_FP_POINT("stm.commit.writeback");
+  const Plan::Partition& p = plan.partitions[part];
+  PermanentVersion* node = p.node;
+  const Version ver = node->version.load(std::memory_order_relaxed);
+  util::Backoff backoff;
+  for (;;) {
+    auto* head = const_cast<PermanentVersion*>(p.box->permanent_head());
+    if (head->version.load(std::memory_order_acquire) >= ver) {
+      break;  // another helper already linked it (or a later batch did)
+    }
+    // All helpers that get here observe the same pre-batch head (older
+    // batches are fully linked, newer ones cannot start), so this CAS either
+    // installs that unique predecessor or fails because it is already
+    // installed — and once the node has been linked and trimmed behind, the
+    // slot holds trimmed_tail(), so a stalled helper cannot resurrect a
+    // retired segment.
+    PermanentVersion* expected_next = nullptr;
+    node->next.compare_exchange_strong(expected_next, head,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+    if (p.box->cas_permanent_head(head, node)) break;
+    backoff.pause();
+  }
 }
 
-void CommitQueue::process(CommitRequest* req) {
-  // 1. Decide the verdict (idempotent: first CAS wins, both helpers compute
-  //    the same answer because the committed state is frozen while this
-  //    request is at the head).
-  if (req->verdict() == CommitRequest::Verdict::kUnknown) {
-    const bool ok = validate(*req);
-    CommitRequest::Verdict expected = CommitRequest::Verdict::kUnknown;
-    req->verdict_.compare_exchange_strong(
-        expected,
-        ok ? CommitRequest::Verdict::kValid : CommitRequest::Verdict::kAborted,
-        std::memory_order_acq_rel, std::memory_order_acquire);
+void CommitQueue::record_batch_stats(Batch& b) {
+  if (b.stats_done.exchange(true, std::memory_order_relaxed)) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = b.reqs.size();
+  batched_requests_.fetch_add(n, std::memory_order_relaxed);
+  // Bucket i covers sizes (2^(i-1), 2^i]: 1, 2, 3-4, 5-8, ..., 65+.
+  std::size_t bucket =
+      n <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(n - 1));
+  if (bucket >= kBatchSizeBuckets) bucket = kBatchSizeBuckets - 1;
+  batch_size_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+void CommitQueue::help_batch(Batch* b) {
+  // Stale check: head_ moves only when a batch completes, so a batch whose
+  // boundary is behind head_ was formed from an already-consumed segment.
+  // head_ is monotone, hence staleness is permanent and every helper agrees;
+  // whoever wins the slot CAS discards the batch before anyone processes it.
+  if (head_->load(std::memory_order_acquire) != b->boundary) {
+    Batch* cur = b;
+    if (batch_->compare_exchange_strong(cur, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      epochs_.retire(static_cast<void*>(b), &CommitQueue::recycle_batch);
+    }
+    return;
   }
-  // 2. Apply.
-  if (req->verdict() == CommitRequest::Verdict::kValid) write_back(*req);
-  // 3. Cover the version (aborted requests leave a harmless gap).
-  clock_.advance_to(req->commit_version());
-  // 4. Publish completion.
-  req->done_.store(true, std::memory_order_release);
+  // Chaos: delay a helper right after it committed to working on this batch.
+  TXF_FP_POINT("stm.commit.batch.handoff");
+
+  if (!b->completed.load(std::memory_order_acquire)) {
+    // Stage 2: every helper replays the same deterministic pass; verdict
+    // CASes are first-wins and everything else derives from stored verdicts.
+    // After this returns, *all* verdicts of the batch are decided (the
+    // write-back gate the validation determinism argument relies on).
+    Plan& plan = local_plan();
+    build_plan(*b, plan);
+
+    // Stage 3: claim distinct partitions first (parallel fan-out)...
+    const std::size_t nparts = plan.partitions.size();
+    for (;;) {
+      const std::uint32_t i =
+          b->next_partition.fetch_add(1, std::memory_order_relaxed);
+      if (i >= nparts) break;
+      link_partition(plan, i);
+    }
+    // ...then sweep them all (idempotent), so this helper has personally
+    // verified every box is linked before it publishes the clock. A claimer
+    // that stalled cannot strand its partition.
+    for (std::size_t i = 0; i < nparts; ++i) link_partition(plan, i);
+
+    // Completion — each step idempotent or CAS-once, any helper can run it:
+    // (1) publish the whole batch atomically,
+    clock_.advance_to(b->base + plan.valid_count);
+    // (2) release the committers,
+    for (CommitRequest* r : b->reqs)
+      r->done_.store(true, std::memory_order_release);
+    // (3) let late helpers skip straight to the cleanup below.
+    b->completed.store(true, std::memory_order_release);
+  }
+  // Cleanup — plan-free, so helpers arriving after completion stay cheap:
+  // (4) account the batch exactly once,
+  record_batch_stats(*b);
+  // (5) swing the boundary past the consumed segment. The winner retires the
+  // consumed requests (all but the new boundary) back into the pools; the
+  // owners retire their own shadowed write-back nodes (see commit()).
+  CommitRequest* expected = b->boundary;
+  CommitRequest* last = b->reqs.back();
+  if (head_->compare_exchange_strong(expected, last,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+    epochs_.retire(static_cast<void*>(b->boundary),
+                   &CommitQueue::recycle_request);
+    for (std::size_t i = 0; i + 1 < b->reqs.size(); ++i) {
+      epochs_.retire(static_cast<void*>(b->reqs[i]),
+                     &CommitQueue::recycle_request);
+    }
+  }
+  // (5) clear the slot so the next batch can form. Exactly one clearer wins
+  // and retires the Batch object (a helper stalled before this point finds
+  // the batch stale on re-entry and races the same CAS harmlessly).
+  Batch* cur = b;
+  if (batch_->compare_exchange_strong(cur, nullptr, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+    epochs_.retire(static_cast<void*>(b), &CommitQueue::recycle_batch);
+  }
 }
 
 void CommitQueue::help_until_done(CommitRequest* target) {
   while (!target->done()) {
-    CommitRequest* h = head_->load(std::memory_order_acquire);
-    if (h->done()) {
-      CommitRequest* n = h->next_.load(std::memory_order_acquire);
-      if (n == nullptr) continue;  // target not linked yet? (cannot happen
-                                   // for our own target, but be safe)
-      if (head_->compare_exchange_strong(h, n, std::memory_order_acq_rel,
-                                         std::memory_order_relaxed)) {
-        // h is now unreachable from head_; stale enqueuer references are
-        // protected by the caller-held EBR guard.
-        epochs_.retire(h);
-      }
-      continue;
+    Batch* b = batch_->load(std::memory_order_acquire);
+    if (b != nullptr) {
+      help_batch(b);
+    } else {
+      try_form_batch();
     }
-    process(h);
   }
 }
 
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+void CommitQueue::maybe_trim(CommitRequest& req) {
+  const std::uint64_t tick = trim_tick_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t period = trim_period_.load(std::memory_order_relaxed);
+  if (period == 0 || tick % period != 0) return;
+  const Version min = registry_.min_active(clock_.current());
+  for (auto& wb : req.writes) wb.box->trim(min, epochs_);
+}
+
 bool CommitQueue::commit(CommitRequest* req) {
+  // Dwell is sampled 1-in-64: two clock reads per commit are measurable on
+  // the single-thread fast path, and the mean is what the breakdown reports.
+  thread_local std::uint32_t dwell_tick = 0;
+  const bool timed = (++dwell_tick & 63u) == 0;
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
   enqueue(req);
   help_until_done(req);
+  if (timed) {
+    dwell_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+    dwell_samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   const bool ok = req->verdict() == CommitRequest::Verdict::kValid;
   if (ok) {
     committed_.fetch_add(1, std::memory_order_relaxed);
+    // Retire this request's *shadowed* nodes: versions overwritten by a
+    // newer same-batch write of the same box. A shadowed node is exactly one
+    // whose `next` was never installed (linking CASes it from nullptr before
+    // the batch's done flags; trim only ever reaches linked nodes), so the
+    // check is race-free here, after done.
+    for (auto& wb : req->writes) {
+      if (wb.node->next.load(std::memory_order_acquire) == nullptr)
+        VBoxImpl::retire_node(wb.node, epochs_);
+    }
     maybe_trim(*req);
   } else {
     aborted_.fetch_add(1, std::memory_order_relaxed);
-    // The write-back nodes were never linked; free them with the request.
-    // (Retire, because helpers may still be reading them.)
-    for (auto& wb : req->writes) epochs_.retire(wb.node);
+    // The write-back nodes were never linked; recycle them. (Through EBR,
+    // because a lagging helper's deterministic pass may still read the
+    // request; the verdict it sees is kAborted, so it skips these nodes,
+    // but the vector itself must stay intact until the grace period — hence
+    // clear() only after retiring, and the request itself is EBR-retired by
+    // the head-swing winner.)
+    for (auto& wb : req->writes) VBoxImpl::retire_node(wb.node, epochs_);
     req->writes.clear();
   }
-  // The request itself is retired when the head moves past it (see
-  // help_until_done); nothing more to do here.
   return ok;
 }
 

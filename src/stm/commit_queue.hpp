@@ -1,23 +1,63 @@
-// Ordered commit queue with helping — the JVSTM-style lock-free commit
-// (paper §III-A: "increasing the global counter and writing-back the values
-// ... in a non-blocking, yet atomic, fashion" via a helping mechanism).
+// Group-commit pipeline — the ordered commit path of the JVSTM-style
+// substrate (paper §III-A), refactored from "every helper processes every
+// request end-to-end in order" into three stages:
 //
-// Committing read-write transactions enqueue a CommitRequest; commit
-// versions are assigned by queue position (predecessor's version + 1).
-// Every committer then *helps* process the queue strictly in order:
+//   1. PRE-VALIDATION (parallel, queue-free). A committer checks its read
+//      set against the permanent lists at the current clock *before*
+//      enqueueing. A box whose committed head already exceeds the snapshot
+//      dooms the request no matter where it would land in the queue
+//      (versions only grow), so it is shed without ever touching the queue
+//      or allocating write-back nodes. See prevalidate().
 //
-//   validate(head) -> write back (if valid) -> advance global clock -> done
+//   2. BATCHED VERSION ASSIGNMENT (combiner + helpers). A combiner claims
+//      the whole current queue segment as an immutable Batch
+//      (flat-combining style), then every thread waiting on the queue
+//      replays one deterministic pass over it: final-validate each request
+//      against the frozen permanent state AND against the write sets of
+//      earlier valid requests of the same batch, merge verdicts through
+//      first-wins CASes, and assign *consecutive* versions base+1..base+k
+//      to the valid requests — aborted requests consume no version, so the
+//      clock stays gap-free and equal to the committed-writer count.
 //
-// All steps are idempotent, so any number of helpers can execute them
-// concurrently and a stalled committer never blocks the system. Validation
-// is the classic multi-version read-set check: a request aborts iff some
-// box it read has a committed version newer than its snapshot.
+//   3. PARALLEL WRITE-BACK (fan-out). The deterministic pass also yields a
+//      per-box partition plan (boxes are disjoint across partitions, nodes
+//      within a partition ascend in version). Helpers claim partitions via
+//      fetch_add and link them; every helper then runs a cheap idempotent
+//      sweep over all partitions, so a stalled helper can never strand a
+//      box. The global clock is published ONCE per batch, only after the
+//      sweep proves every box linked — snapshots observe a batch atomically.
 //
-// Requests are heap-allocated and reclaimed through EBR once the queue head
-// has moved past them (stale tail/predecessor pointers may still be
-// dereferenced by concurrent enqueuers).
+// Idempotence / helping argument (the part that must survive review):
+//  * The Batch is fully formed (request array, base version) before it is
+//    published by a single CAS; helpers only ever see complete batches.
+//  * The deterministic pass is a pure function of (batch contents, stored
+//    verdicts, permanent state frozen at batch start). Verdict CASes are
+//    first-wins; write-back cannot start until every verdict is decided, so
+//    any verdict computed from mutating state necessarily loses its CAS and
+//    the stored (pre-write-back) value is used instead. Version stamps and
+//    commit_version_ stores are therefore always the same value from every
+//    helper, which is why those fields are atomics written with plain
+//    stores.
+//  * Per-box linking reuses the PR-0 idempotent CAS: helpers share the one
+//    pre-allocated node per (request, box); `head->version >= node->version`
+//    means someone else already linked it. Nodes of one box are attempted
+//    in ascending version order by every helper, so the permanent list
+//    stays strictly version-descending.
+//  * Completion (clock advance, done flags, head swing, slot clear) is a
+//    sequence of idempotent or CAS-once steps any helper can execute; a
+//    combiner that stalls at any point — including immediately after
+//    publishing its batch — is simply overtaken.
+//
+// A batch whose boundary no longer equals head_ is stale (its requests were
+// already retired by a completed batch); staleness is stable because head_
+// is monotone, and every helper checks it before acting.
+//
+// Requests and version nodes are pooled: EBR retirement funnels them into
+// thread-local free lists (vector capacity preserved) instead of the
+// allocator. See commit_queue.cpp.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -63,6 +103,12 @@ class CommitRequest {
 
 class CommitQueue {
  public:
+  /// Upper bound on requests claimed into one batch (also the clock's
+  /// maximum jump); tests can lower it to force specific schedules.
+  static constexpr std::uint32_t kDefaultBatchLimit = 128;
+  /// Power-of-two batch-size histogram buckets: 1, 2, 3-4, 5-8, ..., 65+.
+  static constexpr std::size_t kBatchSizeBuckets = 8;
+
   CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
               util::EpochDomain& epochs);
   ~CommitQueue();
@@ -70,14 +116,28 @@ class CommitQueue {
   CommitQueue(const CommitQueue&) = delete;
   CommitQueue& operator=(const CommitQueue&) = delete;
 
-  /// Enqueue `req`, help until it is done, and return whether it committed.
-  /// On success the write-back has been applied and the global clock covers
-  /// the new version; on failure the caller owns retry. The queue takes
-  /// ownership of `req` and of the nodes of an aborted request's write set.
-  /// Caller must hold an EBR guard on the domain passed at construction.
+  /// Stage 1: shed a doomed read set without touching the queue. Returns
+  /// false (and counts the shed as an abort) iff some read box already has a
+  /// committed version newer than `snapshot`. Callers use this *before*
+  /// allocating a CommitRequest; passing it does not guarantee the final
+  /// (stage 2) validation will pass.
+  bool prevalidate(const std::vector<VBoxImpl*>& reads, Version snapshot);
+
+  /// Stages 2+3: enqueue `req`, help batches until it is done, and return
+  /// whether it committed. On success the write-back has been applied and
+  /// the global clock covers the batch; on failure the caller owns retry.
+  /// The queue takes ownership of `req` and of the nodes of an aborted
+  /// request's write set. Caller must hold an EBR guard on the domain passed
+  /// at construction.
   bool commit(CommitRequest* req);
 
-  /// Commits that skipped the queue (read-only); for metrics only.
+  /// Acquire a request from the thread-local pool (fields reset, vector
+  /// capacity preserved). Ownership passes back to the queue via commit().
+  static CommitRequest* acquire_request();
+
+  /// Acquire a write-back node from the thread-local pool.
+  static PermanentVersion* acquire_node(Word value);
+
   std::uint64_t committed_count() const noexcept {
     return committed_.load(std::memory_order_relaxed);
   }
@@ -85,30 +145,113 @@ class CommitQueue {
     return aborted_.load(std::memory_order_relaxed);
   }
 
+  // --- pipeline observability (bench/CI attribution) ---
+
+  /// Requests shed by stage-1 pre-validation (included in aborted_count).
+  std::uint64_t prevalidation_sheds() const noexcept {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  /// Batches processed (stage 2 combiner claims).
+  std::uint64_t batch_count() const noexcept {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  /// Requests that went through a batch (committed + queue-aborted).
+  std::uint64_t batched_requests() const noexcept {
+    return batched_requests_.load(std::memory_order_relaxed);
+  }
+  /// Batch-size histogram bucket `i` covers sizes (2^(i-1), 2^i].
+  std::uint64_t batch_size_bucket(std::size_t i) const noexcept {
+    return batch_size_hist_[i < kBatchSizeBuckets ? i : kBatchSizeBuckets - 1]
+        .load(std::memory_order_relaxed);
+  }
+  /// Total nanoseconds requests spent between enqueue and done, and the
+  /// number of requests measured (dwell = queue latency of stage 2+3).
+  std::uint64_t queue_dwell_ns() const noexcept {
+    return dwell_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t queue_dwell_samples() const noexcept {
+    return dwell_samples_.load(std::memory_order_relaxed);
+  }
+
   /// How often (in committed requests) to trim written boxes. Exposed for
-  /// tests; default keeps GC overhead negligible.
-  void set_trim_period(std::uint32_t period) noexcept { trim_period_ = period; }
+  /// tests; default keeps GC overhead negligible. Atomic: helpers read it
+  /// concurrently with test threads reconfiguring it.
+  void set_trim_period(std::uint32_t period) noexcept {
+    trim_period_.store(period, std::memory_order_relaxed);
+  }
+
+  /// Cap on requests per batch (tests force 1 to serialize, or small values
+  /// to exercise segment boundaries).
+  void set_batch_limit(std::uint32_t limit) noexcept {
+    batch_limit_.store(limit == 0 ? 1 : limit, std::memory_order_relaxed);
+  }
 
  private:
+  friend class VBoxImpl;  // retire_node feeds the node pool's recycler
+
+  /// An immutable segment claim plus the batch's shared merge state. The
+  /// request array and base version are frozen before publication; only the
+  /// claim/stat atomics mutate afterwards.
+  struct Batch {
+    CommitRequest* boundary = nullptr;       // head_ value the batch extends
+    std::vector<CommitRequest*> reqs;        // segment, in queue order
+    Version base = 0;                        // clock before this batch
+    std::atomic<std::uint32_t> next_partition{0};
+    // Set once the clock and all done flags are published: late helpers skip
+    // the deterministic pass and write-back and jump to the cleanup steps.
+    std::atomic<bool> completed{false};
+    std::atomic<bool> stats_done{false};
+  };
+
+  /// Thread-local scratch for the deterministic pass (see commit_queue.cpp);
+  /// all helpers independently compute identical plans from it.
+  struct Plan;
+
+  static Plan& local_plan();
+  /// EBR deleters that recycle into the thread-local pools backing
+  /// acquire_request()/acquire_node() (overflow falls back to delete).
+  static void recycle_request(void* p);
+  static void recycle_node(void* p);
+  static Batch* acquire_batch();
+  static void recycle_batch(void* p);
+
   void enqueue(CommitRequest* req);
   void help_until_done(CommitRequest* target);
-  void process(CommitRequest* req);
-  static bool validate(const CommitRequest& req);
-  static void write_back(CommitRequest& req);
+  /// Form a batch from the current head_ segment and publish it; no-op if a
+  /// batch is already active or the segment is empty.
+  void try_form_batch();
+  /// Drive `b` to completion (or bail if it is stale). Safe for any helper.
+  void help_batch(Batch* b);
+  /// The deterministic verdict/version/partition pass (stage 2).
+  void build_plan(Batch& b, Plan& plan);
+  /// Link one partition's nodes in ascending version order (idempotent).
+  static void link_partition(const Plan& plan, std::size_t part);
+  void record_batch_stats(Batch& b);
   void maybe_trim(CommitRequest& req);
 
   GlobalClock& clock_;
   ActiveTxnRegistry& registry_;
   util::EpochDomain& epochs_;
 
-  // head_ = oldest request that may not be done; tail_ = last enqueued.
+  // head_ = boundary: the last retired-or-sentinel request; its successors
+  // are the unclaimed segment. tail_ = last enqueued (MS-queue style).
   util::CacheAligned<std::atomic<CommitRequest*>> head_;
   util::CacheAligned<std::atomic<CommitRequest*>> tail_;
+  // The single active batch (nullptr between batches). Serializes stage 2/3
+  // at batch granularity; within a batch all threads cooperate.
+  util::CacheAligned<std::atomic<Batch*>> batch_{nullptr};
 
   std::atomic<std::uint64_t> committed_{0};
   std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::array<std::atomic<std::uint64_t>, kBatchSizeBuckets> batch_size_hist_{};
+  std::atomic<std::uint64_t> dwell_ns_{0};
+  std::atomic<std::uint64_t> dwell_samples_{0};
   std::atomic<std::uint64_t> trim_tick_{0};
-  std::uint32_t trim_period_ = 32;
+  std::atomic<std::uint32_t> trim_period_{32};
+  std::atomic<std::uint32_t> batch_limit_{kDefaultBatchLimit};
 };
 
 }  // namespace txf::stm

@@ -27,6 +27,14 @@ class GlobalClock {
 
   /// Monotonically raise the clock to at least `v` (helpers may race; the
   /// max wins).
+  ///
+  /// Group-commit contract (see commit_queue.hpp): the clock advances once
+  /// per *batch*, only after every box written by the batch carries its new
+  /// version. Snapshots therefore observe a batch atomically — either all of
+  /// its versions (snapshot >= batch tail) or none (snapshot <= batch base);
+  /// no snapshot can ever fall between two versions assigned by the same
+  /// batch, which is what licenses skipping the write-back of same-batch
+  /// shadowed nodes.
   void advance_to(Version v) noexcept {
     Version cur = clock_->load(std::memory_order_relaxed);
     while (cur < v && !clock_->compare_exchange_weak(

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -36,6 +37,7 @@ class StmEnv {
   GlobalClock& clock() noexcept { return clock_; }
   ActiveTxnRegistry& registry() noexcept { return registry_; }
   CommitQueue& queue() noexcept { return queue_; }
+  const CommitQueue& queue() const noexcept { return queue_; }
   util::EpochDomain& epochs() noexcept { return *epochs_; }
 
  private:
@@ -53,7 +55,8 @@ class Transaction {
   enum class Mode { kReadWrite, kReadOnly };
 
   explicit Transaction(StmEnv& env, Mode mode = Mode::kReadWrite)
-      : env_(env), guard_(env.epochs()), mode_(mode) {
+      : env_(env), mode_(mode) {
+    guard_.emplace(env.epochs());
     const std::size_t hint =
         std::hash<std::thread::id>{}(std::this_thread::get_id());
     slot_ = env_.registry().claim(hint);
@@ -103,16 +106,43 @@ class Transaction {
   /// fresh Transaction.
   bool try_commit() {
     if (writes_.empty()) return true;
-    auto* req = new CommitRequest();
+    // Stage-1 pre-validation (commit_queue.hpp): a doomed read set is shed
+    // here, before the queue is touched or any write-back state allocated.
+    if (!env_.queue().prevalidate(reads_.boxes(), snapshot_)) return false;
+    CommitRequest* req = CommitQueue::acquire_request();
     req->snapshot = snapshot_;
     req->reads = reads_.boxes();
     req->writes.reserve(writes_.size());
     for (VBoxImpl* box : writes_.boxes()) {
       req->writes.push_back(
-          WriteBackEntry{box, new PermanentVersion(writes_.value_of(box),
-                                                   /*ver=*/0, nullptr)});
+          WriteBackEntry{box, CommitQueue::acquire_node(writes_.value_of(box))});
     }
     return env_.queue().commit(req);
+  }
+
+  /// Make this transaction invisible between retry attempts: unpin the EBR
+  /// guard (so reclamation keeps flowing while we back off) and clear the
+  /// published snapshot (so the version GC is not held back by a doomed
+  /// attempt). The transaction must not be used again until reset().
+  void park() {
+    guard_.reset();
+    if (slot_ != ActiveTxnRegistry::kNoSlot) env_.registry().slot(slot_).clear();
+  }
+
+  /// Re-arm a parked transaction for the next attempt. Keeps the registry
+  /// slot and both set maps (their capacity is the point of reusing the
+  /// object) but drops their contents and takes a fresh snapshot.
+  void reset() {
+    guard_.emplace(env_.epochs());
+    writes_.clear();
+    reads_.clear();
+    begin_snapshot();
+  }
+
+  /// reset(), switching the execution mode for the next attempt.
+  void reset(Mode mode) {
+    mode_ = mode;
+    reset();
   }
 
  private:
@@ -132,7 +162,7 @@ class Transaction {
   }
 
   StmEnv& env_;
-  util::EpochDomain::Guard guard_;
+  std::optional<util::EpochDomain::Guard> guard_;
   std::size_t slot_ = ActiveTxnRegistry::kNoSlot;
   Version snapshot_ = 0;
   WriteSetMap writes_;
@@ -141,14 +171,17 @@ class Transaction {
 };
 
 /// Run `fn(Transaction&)` atomically, retrying on conflict with bounded
-/// exponential backoff. Returns fn's result.
+/// exponential backoff. Returns fn's result. One Transaction object is
+/// reused across attempts (park()/reset()), so a long retry fight costs no
+/// per-attempt allocations and never pins the reclamation epoch through a
+/// backoff sleep.
 template <typename F>
 auto atomically(StmEnv& env, F&& fn,
                 Transaction::Mode mode = Transaction::Mode::kReadWrite) {
   using R = std::invoke_result_t<F&, Transaction&>;
   util::Backoff backoff;
+  Transaction tx(env, mode);
   for (;;) {
-    Transaction tx(env, mode);
     if constexpr (std::is_void_v<R>) {
       bool retry = false;
       try {
@@ -167,7 +200,9 @@ auto atomically(StmEnv& env, F&& fn,
       }
       if (!retry && tx.try_commit()) return result;
     }
+    tx.park();
     backoff.pause();
+    tx.reset();
   }
 }
 

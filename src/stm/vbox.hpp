@@ -35,7 +35,7 @@ class VBoxImpl {
   /// Destruction requires quiescence (no transaction may touch this box).
   ~VBoxImpl() {
     PermanentVersion* p = permanent_.load(std::memory_order_relaxed);
-    while (p != nullptr) {
+    while (p != nullptr && p != trimmed_tail()) {
       PermanentVersion* next = p->next.load(std::memory_order_relaxed);
       delete p;
       p = next;
@@ -69,27 +69,41 @@ class VBoxImpl {
   /// Retire versions strictly older than the newest one visible at
   /// `min_snapshot` (they can never be read again). Caller must be inside an
   /// EBR guard of `domain`.
+  ///
+  /// The whole operation — including the search for the cut point — runs
+  /// under the `trimming_` flag: a racing trimmer whose `keep` search
+  /// overlapped another trimmer's cut could otherwise land inside the
+  /// already-detached (and retired) segment and retire the same nodes a
+  /// second time.
   void trim(Version min_snapshot, util::EpochDomain& domain) {
-    PermanentVersion* keep = permanent_.load(std::memory_order_acquire);
-    while (keep != nullptr && keep->version > min_snapshot)
-      keep = keep->next.load(std::memory_order_acquire);
-    if (keep == nullptr) return;
-    // Detach everything older than `keep`. Serialize trimmers so the same
-    // node is never retired twice.
     bool expected = false;
     if (!trimming_.compare_exchange_strong(expected, true,
                                            std::memory_order_acq_rel)) {
       return;  // another thread is trimming this box
     }
+    PermanentVersion* keep = permanent_.load(std::memory_order_acquire);
+    while (keep != nullptr &&
+           keep->version.load(std::memory_order_acquire) > min_snapshot)
+      keep = keep->next.load(std::memory_order_acquire);
+    // Cut with the trimmed_tail() sentinel, not nullptr: write-back installs
+    // a node's `next` via CAS-from-nullptr, so the non-null sentinel keeps a
+    // stalled helper from re-pointing `keep->next` at the retired segment.
     PermanentVersion* old =
-        keep->next.exchange(nullptr, std::memory_order_acq_rel);
+        keep != nullptr ? keep->next.exchange(trimmed_tail(),
+                                              std::memory_order_acq_rel)
+                        : nullptr;
     trimming_.store(false, std::memory_order_release);
-    while (old != nullptr) {
+    while (old != nullptr && old != trimmed_tail()) {
       PermanentVersion* next = old->next.load(std::memory_order_relaxed);
-      domain.retire(old);
+      retire_node(old, domain);
       old = next;
     }
   }
+
+  /// Retire a version node through `domain`, recycling it into the
+  /// commit-path node pool once the grace period expires (defined in
+  /// commit_queue.cpp next to the pool).
+  static void retire_node(PermanentVersion* node, util::EpochDomain& domain);
 
   // --- tentative list (head doubles as the per-tree lock, §IV-A) ---
 

@@ -5,7 +5,10 @@
 // the newest version not exceeding their snapshot. Old nodes are retired via
 // EBR once no live snapshot can reach them. `next` is atomic because helped
 // commits may store it concurrently (always with the same value) and the
-// trimmer cuts it while readers traverse.
+// trimmer cuts it while readers traverse. `version` is atomic because the
+// group-commit pipeline stamps it from any helper replaying the batch's
+// deterministic version assignment (all stores carry the same value); the
+// implicit conversion keeps `node->version` reads working everywhere.
 #pragma once
 
 #include <atomic>
@@ -23,12 +26,26 @@ using Word = std::uint64_t;
 
 struct PermanentVersion {
   Word value;
-  Version version;
+  std::atomic<Version> version;
   std::atomic<PermanentVersion*> next;  // older version, or nullptr
 
   PermanentVersion(Word v, Version ver, PermanentVersion* nxt) noexcept
       : value(v), version(ver), next(nxt) {}
 };
+
+/// Distinguished end-of-list marker installed by VBoxImpl::trim in place of
+/// nullptr when it cuts a list. Write-back sets a fresh node's `next` with a
+/// single CAS-from-nullptr, so a helper that stalled across an entire
+/// batch + trim cycle can no longer resurrect the retired segment: by the
+/// time it wakes, `next` is either the linked predecessor or this sentinel,
+/// and its CAS fails. The sentinel's version is kNoVersion and its `next` is
+/// nullptr, so every traversal (find_visible, trim's keep-walk) steps past
+/// it to nullptr without special-casing; only code that frees nodes must
+/// stop at it.
+inline PermanentVersion* trimmed_tail() noexcept {
+  static PermanentVersion tail{0, kNoVersion, nullptr};
+  return &tail;
+}
 
 /// Newest version with version <= snapshot, or nullptr if the list has no
 /// version old enough (boxes are seeded with a version-0 value, so nullptr
@@ -38,7 +55,8 @@ inline const PermanentVersion* find_visible(const PermanentVersion* head,
   // Chaos perturbation only (delay/yield): stretches version-list traversal
   // against concurrent write-back and trimming.
   TXF_FP_POINT("stm.read.version");
-  while (head != nullptr && head->version > snapshot)
+  while (head != nullptr &&
+         head->version.load(std::memory_order_acquire) > snapshot)
     head = head->next.load(std::memory_order_acquire);
   return head;
 }

@@ -7,6 +7,7 @@
 // table rather than std::unordered_map.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -26,9 +27,23 @@ class WriteSetMap {
 
   WriteSetMap() { reset_table(16); }
 
+  /// O(size), not O(capacity): the table never shrinks after grow(), so a
+  /// pooled/reused map must not pay a full-table fill to drop a tiny write
+  /// set. Each inserted box is walked to its slot and cleared individually;
+  /// the probe loop cannot use empty-slot termination (earlier clears punch
+  /// holes into probe chains) but every box in order_ is guaranteed present,
+  /// so scanning until found always terminates.
   void clear() {
     if (size_ == 0) return;
-    std::fill(table_.begin(), table_.end(), Entry{});
+    if (size_ * 4 >= table_.size()) {
+      std::fill(table_.begin(), table_.end(), Entry{});
+    } else {
+      for (VBoxImpl* box : order_) {
+        std::size_t i = probe_start(box);
+        while (table_[i].box != box) i = (i + 1) & mask_;
+        table_[i] = Entry{};
+      }
+    }
     order_.clear();
     size_ = 0;
   }

@@ -55,14 +55,19 @@ long counter_result(Runtime& rt, int iters) {
 }
 
 // The acceptance schedule: a validation failure roughly every 7th
-// validation plus random 0-50us delays on the commit and steal paths.
+// validation plus random 0-50us delays on the commit-pipeline stages
+// (pre-validation, enqueue, combiner publication, helper handoff,
+// write-back) and the steal path.
 Config acceptance_schedule(std::uint64_t seed) {
   Config cfg;
   cfg.pool_threads = 2;
   cfg.chaos.seed = seed;
   cfg.chaos.add("core.subtxn.validate", fp::Action::kFail, 7);
-  cfg.chaos.add_prob("stm.commit.writeback", fp::Action::kDelayUs, 0.5, 50);
+  cfg.chaos.add_prob("stm.commit.prevalidate", fp::Action::kDelayUs, 0.3, 30);
   cfg.chaos.add_prob("stm.commit.enqueue", fp::Action::kDelayUs, 0.5, 50);
+  cfg.chaos.add_prob("stm.commit.batch.form", fp::Action::kDelayUs, 0.3, 50);
+  cfg.chaos.add_prob("stm.commit.batch.handoff", fp::Action::kYield, 0.3);
+  cfg.chaos.add_prob("stm.commit.writeback", fp::Action::kDelayUs, 0.5, 50);
   cfg.chaos.add_prob("sched.steal", fp::Action::kDelayUs, 0.5, 50);
   return cfg;
 }

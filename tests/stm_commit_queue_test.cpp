@@ -68,19 +68,24 @@ TEST(CommitQueue, StaleReaderAborts) {
   EXPECT_EQ(env.queue().aborted_count(), 1u);
 }
 
-TEST(CommitQueue, AbortedVersionLeavesGap) {
+TEST(CommitQueue, AbortedRequestConsumesNoVersion) {
+  // Group-commit pipeline: only valid requests are assigned versions, so an
+  // abort leaves no gap — the clock always equals the number of committed
+  // writers (the invariant the batch's deterministic pass maintains).
   StmEnv env;
   txf::util::EpochDomain::Guard guard(env.epochs());
   VBoxImpl box(0);
   const auto s0 = env.clock().current();
-  ASSERT_TRUE(env.queue().commit(make_request(&box, 1, s0)));       // ver 1
-  ASSERT_FALSE(env.queue().commit(make_request(&box, 2, s0, {&box})));  // ver 2 gap
+  ASSERT_TRUE(env.queue().commit(make_request(&box, 1, s0)));           // ver 1
+  ASSERT_FALSE(env.queue().commit(make_request(&box, 2, s0, {&box})));  // abort
   ASSERT_TRUE(env.queue().commit(make_request(&box, 3, env.clock().current())));
-  // The clock covered the aborted version's slot.
-  EXPECT_EQ(env.clock().current(), 3u);
-  EXPECT_EQ(box.permanent_head()->version, 3u);
-  // Reading at snapshot 2 skips the gap and returns version 1.
-  EXPECT_EQ(box.read_permanent(2)->value, 1u);
+  EXPECT_EQ(env.clock().current(), 2u);
+  EXPECT_EQ(env.clock().current(), env.queue().committed_count());
+  EXPECT_EQ(box.permanent_head()->version, 2u);
+  EXPECT_EQ(box.permanent_head()->value, 3u);
+  // Snapshot 1 sees the first commit; the abort left no trace.
+  EXPECT_EQ(box.read_permanent(1)->value, 1u);
+  EXPECT_EQ(env.queue().prevalidation_sheds(), 0u);  // abort came from stage 2
 }
 
 TEST(CommitQueue, ReadOfUnrelatedBoxDoesNotAbort) {

@@ -13,14 +13,20 @@
 // futures and plain futures against the no-future baseline (baseline=1.0).
 //
 // Flags: --array N --trees N --jobs N --ms N --txlens a,b,c --iters a,b,c
+//        --json FILE
 // Defaults are scaled for small machines; use --jobs 16 --array 1000000
 // --txlens 10,100,1000,10000,100000 --iters 0,100,1000,10000 to reproduce
 // the paper's full grid.
+//
+// --json additionally reports the transactional runs' read-path telemetry
+// (VBox home-slot hits vs permanent-list walks); scripts/bench_read_path.sh
+// gates on it.
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "stm/read_stats.hpp"
 #include "util/timing.hpp"
 #include "workloads/common/driver.hpp"
 #include "workloads/synthetic/synthetic.hpp"
@@ -33,9 +39,25 @@ namespace synth = txf::workloads::synthetic;
 
 namespace {
 
+/// Aggregated read-path telemetry of one transactional run (fresh Runtime
+/// per measurement, so the counters start from zero each time).
+struct ReadPathTally {
+  std::uint64_t home_hits = 0;
+  std::uint64_t list_walks = 0;
+
+  void absorb(const txf::stm::ReadPathStats& s) {
+    home_hits += s.home_hits.load(std::memory_order_relaxed);
+    list_walks += s.list_walks.load(std::memory_order_relaxed);
+  }
+  double hit_rate() const {
+    const double total = static_cast<double>(home_hits + list_walks);
+    return total > 0 ? static_cast<double>(home_hits) / total : 0.0;
+  }
+};
+
 double measure_tx(std::size_t trees, std::size_t jobs, int ms,
                   synth::SyntheticArray& array, std::size_t txlen,
-                  std::uint64_t iter) {
+                  std::uint64_t iter, ReadPathTally* reads = nullptr) {
   Config cfg;
   cfg.pool_threads = trees * (jobs > 1 ? jobs - 1 : 1);
   Runtime rt(cfg);
@@ -50,6 +72,7 @@ double measure_tx(std::size_t trees, std::size_t jobs, int ms,
           ++m.transactions;
         }
       });
+  if (reads != nullptr) reads->absorb(rt.env().read_stats());
   return r.throughput();
 }
 
@@ -84,6 +107,7 @@ int main(int argc, char** argv) {
   const int ms = static_cast<int>(args.get_int("ms", 300));
   const auto txlens = parse_u64_list("txlens", args.get_str("txlens", "10,100,1000,10000"));
   const auto iters = parse_u64_list("iters", args.get_str("iters", "0,100,1000"));
+  const std::string json_path = args.get_str("json", "");
 
   std::printf(
       "# Fig 5a: read-only synthetic — normalized throughput vs baseline\n"
@@ -97,16 +121,53 @@ int main(int argc, char** argv) {
 
   print_header({"txlen", "iter", "base_tx/s", "jtf_norm", "plain_norm",
                 "jtf_vs_plain"});
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fig5a_readonly\",\n"
+       << "  \"trees\": " << trees << ", \"jobs\": " << jobs
+       << ", \"array\": " << array_size << ", \"ms\": " << ms
+       << ",\n  \"rows\": [";
+  bool first_row = true;
+  ReadPathTally total_reads;
   for (const auto txlen : txlens) {
     for (const auto iter : iters) {
+      ReadPathTally reads;
       const double base =
-          measure_tx(trees, 1, ms, array, txlen, iter);  // no futures
-      const double jtf = measure_tx(trees, jobs, ms, array, txlen, iter);
+          measure_tx(trees, 1, ms, array, txlen, iter, &reads);  // no futures
+      const double jtf = measure_tx(trees, jobs, ms, array, txlen, iter, &reads);
       const double plain = measure_plain(trees, jobs, ms, array, txlen, iter);
       print_row({std::to_string(txlen), std::to_string(iter),
                  fmt(base, 1), fmt(base > 0 ? jtf / base : 0, 3),
                  fmt(base > 0 ? plain / base : 0, 3),
                  fmt(plain > 0 ? jtf / plain : 0, 3)});
+      std::printf("#   read path: home_hits=%llu list_walks=%llu hit_rate=%.4f\n",
+                  static_cast<unsigned long long>(reads.home_hits),
+                  static_cast<unsigned long long>(reads.list_walks),
+                  reads.hit_rate());
+      json << (first_row ? "" : ",") << "\n    {\"txlen\": " << txlen
+           << ", \"iter\": " << iter << ", \"base_tput\": " << fmt(base, 1)
+           << ", \"jtf_tput\": " << fmt(jtf, 1)
+           << ", \"plain_tput\": " << fmt(plain, 1)
+           << ", \"read_path\": {\"home_hits\": " << reads.home_hits
+           << ", \"list_walks\": " << reads.list_walks
+           << ", \"hit_rate\": " << fmt(reads.hit_rate(), 4) << "}}";
+      first_row = false;
+      total_reads.home_hits += reads.home_hits;
+      total_reads.list_walks += reads.list_walks;
+    }
+  }
+  json << "\n  ],\n  \"read_path_total\": {\"home_hits\": "
+       << total_reads.home_hits
+       << ", \"list_walks\": " << total_reads.list_walks
+       << ", \"hit_rate\": " << fmt(total_reads.hit_rate(), 4) << "}\n}\n";
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      const std::string s = json.str();
+      std::fwrite(s.data(), 1, s.size(), f);
+      std::fclose(f);
+      std::printf("# json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
     }
   }
   std::printf(

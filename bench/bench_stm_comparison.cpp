@@ -12,6 +12,7 @@
 // count and mean size, and the mean enqueue->done dwell per request.
 //
 // Flags: --threads N --ms N --vars N --read-pct a,b,c --json FILE
+#include <array>
 #include <cstdio>
 #include <deque>
 #include <sstream>
@@ -40,10 +41,34 @@ struct PipelineStats {
   double avg_dwell_ns = 0;
 };
 
+struct ReadPathSnapshot {
+  std::uint64_t home_hits = 0;
+  std::uint64_t list_walks = 0;
+  double hit_rate = 0;
+  double avg_walk = 0;
+  std::array<std::uint64_t, txf::stm::ReadPathStats::kWalkBuckets> hist{};
+};
+
+ReadPathSnapshot snapshot_read_path(const txf::stm::ReadPathStats& s) {
+  ReadPathSnapshot out;
+  out.home_hits = s.home_hits.load(std::memory_order_relaxed);
+  out.list_walks = s.list_walks.load(std::memory_order_relaxed);
+  out.hit_rate = s.hit_rate();
+  out.avg_walk =
+      out.list_walks
+          ? static_cast<double>(s.walk_steps.load(std::memory_order_relaxed)) /
+                static_cast<double>(out.list_walks)
+          : 0;
+  for (std::size_t i = 0; i < out.hist.size(); ++i)
+    out.hist[i] = s.walk_hist[i].load(std::memory_order_relaxed);
+  return out;
+}
+
 struct Outcome {
   double tput;
   double abort_rate;
-  PipelineStats pipe;  // MVCC only
+  PipelineStats pipe;       // MVCC only
+  ReadPathSnapshot reads;   // MVCC only
 };
 
 constexpr int kReadsPerTxn = 32;
@@ -98,6 +123,7 @@ Outcome run_mvcc(std::size_t threads, int ms, std::size_t n_vars,
 
   Outcome out{static_cast<double>(c) / secs,
               c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0,
+              {},
               {}};
   const txf::stm::CommitQueue& q = env.queue();
   out.pipe.sheds = q.prevalidation_sheds();
@@ -113,6 +139,7 @@ Outcome run_mvcc(std::size_t threads, int ms, std::size_t n_vars,
           ? static_cast<double>(q.queue_dwell_ns()) /
                 static_cast<double>(q.queue_dwell_samples())
           : 0;
+  out.reads = snapshot_read_path(env.read_stats());
   return out;
 }
 
@@ -153,6 +180,7 @@ Outcome run_tl2(std::size_t threads, int ms, std::size_t n_vars,
   const auto a = env.aborts();
   return {static_cast<double>(committed.load()) / secs,
           c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0,
+          {},
           {}};
 }
 
@@ -191,6 +219,12 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(m.pipe.batches), m.pipe.avg_batch,
           m.pipe.avg_dwell_ns);
     }
+    std::printf(
+        "#   read path: home_hits=%llu list_walks=%llu hit_rate=%.4f "
+        "avg_walk=%.2f\n",
+        static_cast<unsigned long long>(m.reads.home_hits),
+        static_cast<unsigned long long>(m.reads.list_walks), m.reads.hit_rate,
+        m.reads.avg_walk);
     json << (first_row ? "" : ",") << "\n    {\"read_pct\": " << pct
          << ", \"mvcc_tput\": " << fmt(m.tput, 1)
          << ", \"mvcc_abort_rate\": " << fmt(m.abort_rate, 4)
@@ -200,7 +234,15 @@ int main(int argc, char** argv) {
          << ", \"batches\": " << m.pipe.batches
          << ", \"batched_requests\": " << m.pipe.batched_requests
          << ", \"avg_batch\": " << fmt(m.pipe.avg_batch, 2)
-         << ", \"avg_dwell_ns\": " << fmt(m.pipe.avg_dwell_ns, 0) << "}}";
+         << ", \"avg_dwell_ns\": " << fmt(m.pipe.avg_dwell_ns, 0) << "}"
+         << ", \"read_path\": {\"home_hits\": " << m.reads.home_hits
+         << ", \"list_walks\": " << m.reads.list_walks
+         << ", \"hit_rate\": " << fmt(m.reads.hit_rate, 4)
+         << ", \"avg_walk\": " << fmt(m.reads.avg_walk, 2)
+         << ", \"walk_hist\": [";
+    for (std::size_t i = 0; i < m.reads.hist.size(); ++i)
+      json << (i ? ", " : "") << m.reads.hist[i];
+    json << "]}}";
     first_row = false;
   }
   json << "\n  ]\n}\n";

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Short read-path bench smoke: runs the Fig. 5a read-only synthetic (which
+# now reports VBox home-slot hits vs permanent-list walks as JSON) and a
+# read-only window of the substrate comparison. This is a smoke check that
+# the read-path counters wire up, throughput is non-zero, and the home slot
+# actually serves a read-only workload (>90% hit rate) — not a performance
+# gate; BENCH_read_path.json in the repo root records the curated
+# before/after measurement for the home-slot PR.
+#
+# Usage: scripts/bench_read_path.sh <build-dir> [out.json]
+set -euo pipefail
+
+build_dir=${1:?usage: $0 <build-dir> [out.json]}
+out=${2:-BENCH_read_path.ci.json}
+
+"${build_dir}/bench/bench_fig5a_readonly" \
+  --trees 4 --jobs 1 --ms 150 --txlens 100 --iters 0 --json "${out}"
+
+"${build_dir}/bench/bench_stm_comparison" \
+  --threads 4 --ms 150 --read-pct 100 --json "${out}.cmp"
+
+echo "--- ${out} ---"
+cat "${out}"
+
+# Both JSONs must parse, carry the read-path counters, and show the home
+# slot serving a read-only workload.
+python3 - "${out}" "${out}.cmp" <<'EOF'
+import json, sys
+
+fig = json.load(open(sys.argv[1]))
+rows = fig["rows"]
+assert rows, "no fig5a rows emitted"
+for row in rows:
+    assert row["base_tput"] > 0, row
+    rp = row["read_path"]
+    for key in ("home_hits", "list_walks", "hit_rate"):
+        assert key in rp, (key, row)
+total = fig["read_path_total"]
+assert total["home_hits"] > 0, total
+assert total["hit_rate"] > 0.90, f"home-slot hit rate too low: {total}"
+
+cmp_ = json.load(open(sys.argv[2]))
+for row in cmp_["rows"]:
+    rp = row["read_path"]
+    assert rp["home_hits"] > 0, row
+    assert rp["hit_rate"] > 0.90, row
+    assert len(rp["walk_hist"]) == 8, row
+print("read-path bench smoke OK:", len(rows), "fig5a rows,",
+      f"hit_rate={total['hit_rate']}")
+EOF

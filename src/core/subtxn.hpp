@@ -15,6 +15,7 @@
 #include "core/fcc.hpp"
 #include "core/future_state.hpp"
 #include "core/orec.hpp"
+#include "stm/read_stats.hpp"
 #include "stm/versions.hpp"
 
 namespace txf::stm {
@@ -31,16 +32,21 @@ enum class SubTxnKind : std::uint8_t { kRoot, kFuture, kContinuation };
 using NodeRunner = std::function<void(std::uint32_t node_idx)>;
 
 /// Where a recorded read was served from; validation re-resolves the read
-/// and compares provenance pointers (DESIGN.md §2).
+/// and compares provenance (DESIGN.md §2). Tentative and root-write-set
+/// reads compare the provenance pointer; permanent reads compare the
+/// committed VERSION NUMBER instead — versions are unique per box, and the
+/// home-slot fast path serves permanent reads without ever materializing a
+/// node pointer.
 enum class ReadProvenance : std::uint8_t {
   kTentative,     // a TentativeVersion (in-box or tree-private chain)
   kRootWriteSet,  // the top-level transaction's private write set (Alg. 2)
-  kPermanent,     // a committed PermanentVersion at the tree snapshot
+  kPermanent,     // a committed version at the tree snapshot (home or list)
 };
 
 struct ReadEntry {
   stm::VBoxImpl* box;
-  const void* provenance;
+  const void* provenance;        // kTentative only; null for home-slot reads
+  stm::Version perm_version;     // kPermanent only
   ReadProvenance kind;
 };
 
@@ -73,6 +79,10 @@ struct SubTxn {
 
   std::vector<ReadEntry> reads;
   std::vector<stm::VBoxImpl*> written_boxes;
+  /// Home-hit / list-walk tallies for this node's data reads (each node's
+  /// body is single-threaded); flushed into the env's ReadPathStats by the
+  /// tree at commit/teardown.
+  stm::ReadPathCounters read_path;
   /// Orecs this node currently controls: its own plus everything absorbed
   /// from committed children. Re-owned upward wholesale on commit.
   std::vector<Orec*> owned_orecs;

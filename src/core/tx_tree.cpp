@@ -52,7 +52,13 @@ TxTree::TxTree(Runtime& runtime, bool fallback)
   root_ = root.idx;
 }
 
-TxTree::~TxTree() { release_registry(); }
+TxTree::~TxTree() {
+  release_registry();
+  // Residual read-path tallies from nodes that never reached a commit or
+  // abort flush (e.g. a whole-tree failure skips per-node aborts). The tree
+  // is quiescent by now (destroyed after the EBR grace period).
+  for (SubTxn& s : subs_) s.read_path.flush_into(env_.read_stats());
+}
 
 void TxTree::release_registry() {
   if (registry_released_.exchange(true, std::memory_order_acq_rel)) return;
@@ -179,16 +185,48 @@ TxTree::Resolved TxTree::resolve(const SubTxn& t, stm::VBoxImpl& box,
   // 3. Top-level transaction's private write set (Alg. 2 lines 21-22).
   if (const stm::Word* w = root_write_set_.find(&box))
     return {*w, nullptr, ReadProvenance::kRootWriteSet};
-  // 4. Committed snapshot.
-  const stm::PermanentVersion* p = box.read_permanent(snapshot_);
-  assert(p != nullptr && "VBox older than this transaction's snapshot");
-  return {p->value, p, ReadProvenance::kPermanent};
+  // 4. Committed snapshot (Alg. 2 last resort): home slot first — the
+  // newest committed version with zero pointer chases — then the list walk.
+  {
+    stm::Word val;
+    stm::Version ver;
+    if (box.try_read_home(snapshot_, val, ver))
+      return {val, nullptr, ReadProvenance::kPermanent, ver, 0, true};
+  }
+  std::size_t steps = 0;
+  const stm::PermanentVersion* p = box.read_permanent(snapshot_, &steps);
+  if (p == nullptr) {
+    // Snapshot lost a race with trimming (possible only for a slot-less
+    // overflow tree the version GC could not see). Surface a distinguished
+    // marker: read() fails the tree gracefully, validate_locked() treats it
+    // as a mismatch. Never a crash.
+    return {0, nullptr, ReadProvenance::kPermanent, stm::kNoVersion, steps,
+            false};
+  }
+  return {p->value, p, ReadProvenance::kPermanent,
+          p->version.load(std::memory_order_acquire), steps, false};
 }
 
 stm::Word TxTree::read(SubTxn& t, stm::VBoxImpl& box) {
   check_alive(t);
   const Resolved r = resolve(t, box, /*now=*/false);
-  t.reads.push_back(ReadEntry{&box, r.provenance, r.kind});
+  if (r.kind == ReadProvenance::kPermanent) {
+    if (r.perm_version == stm::kNoVersion) {
+      // Trimming outran this tree's snapshot: abort the whole tree and let
+      // the atomically() driver retry at a fresh snapshot.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        mark_tree_failed_locked(TreeFailed::Reason::kStaleSnapshot);
+      }
+      throw TreeFailed{TreeFailed::Reason::kStaleSnapshot};
+    }
+    if (r.home_hit) {
+      t.read_path.note_home();
+    } else {
+      t.read_path.note_walk(r.walk_steps);
+    }
+  }
+  t.reads.push_back(ReadEntry{&box, r.provenance, r.perm_version, r.kind});
   return r.value;
 }
 
@@ -582,12 +620,22 @@ bool TxTree::validate_locked(SubTxn& t) {
     // Re-resolve excluding t's own writes: a read that preceded them must
     // still find the same predecessor/committed version.
     const Resolved r = resolve(t, *e.box, /*now=*/true, /*exclude_self=*/true);
-    if (r.kind != e.kind || r.provenance != e.provenance) return false;
+    if (r.kind != e.kind) return false;
+    if (e.kind == ReadProvenance::kPermanent) {
+      // Committed reads compare by VERSION, not node pointer: the home slot
+      // serves them without materializing a node, and versions are unique
+      // per box so equality means "same committed write". A kNoVersion
+      // re-resolve (trim raced us) can never equal a recorded version.
+      if (r.perm_version != e.perm_version) return false;
+    } else if (r.provenance != e.provenance) {
+      return false;
+    }
   }
   return true;
 }
 
 void TxTree::commit_node_locked(SubTxn& t) {
+  t.read_path.flush_into(env_.read_stats());
   if (t.idx == root_) {
     t.orec.status.store(SubTxnStatus::kCommitted, std::memory_order_release);
     for (const ReadEntry& e : t.reads)
@@ -756,6 +804,7 @@ void TxTree::abort_subtree_locked(SubTxn& t) {
   if (t.child_continuation != kNoNode)
     abort_subtree_locked(node(t.child_continuation));
   t.orec.status.store(SubTxnStatus::kAborted, std::memory_order_release);
+  t.read_path.flush_into(env_.read_stats());
   splice_node_writes(t);
   if (t.future_state) t.future_state->unpublish();
   finished_pending_.erase(

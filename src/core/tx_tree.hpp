@@ -49,6 +49,7 @@ struct TreeFailed {
     kTopLevelConflict,      // commit-queue validation failed
     kUserException,         // user code threw inside a future body
     kStalled,               // stall detector: no tree progress for too long
+    kStaleSnapshot,         // snapshot lost a race with version trimming
   };
   Reason reason;
 };
@@ -227,8 +228,15 @@ class TxTree {
 
   struct Resolved {
     stm::Word value;
-    const void* provenance;
+    const void* provenance;      // kTentative only; null for home-slot reads
     ReadProvenance kind;
+    // kPermanent only: the committed version served (what validation
+    // compares), how many list hops it cost (0 for the home slot), and
+    // whether the home slot served it. perm_version == stm::kNoVersion
+    // marks a read whose snapshot lost a race with trimming.
+    stm::Version perm_version = 0;
+    std::size_t walk_steps = 0;
+    bool home_hit = false;
   };
 
   SubTxn& node(std::uint32_t idx) { return subs_[idx]; }

@@ -381,6 +381,12 @@ void CommitQueue::link_partition(const Plan& plan, std::size_t part) {
     if (p.box->cas_permanent_head(head, node)) break;
     backoff.pause();
   }
+  // Mirror the batch's newest version of this box into its seqlock home
+  // slot (the zero-chase read fast path). Runs on every helper's sweep
+  // pass, so the helper that later advances the clock has personally
+  // ensured the mirror is current — the fast path's safety invariant is
+  // "home published before the clock covers the version" (DESIGN.md).
+  p.box->publish_home(ver, node->value);
 }
 
 void CommitQueue::record_batch_stats(Batch& b) {

@@ -1,0 +1,73 @@
+// Read-path observability: how often transactional reads complete through
+// the VBox home slot (zero pointer chases) versus falling back to the
+// permanent version-list walk, and how long those walks are.
+//
+// Two layers keep the hot path cheap:
+//   * ReadPathStats — shared, atomic, one per StmEnv. Benches and tests
+//     read it; nothing on the per-read path writes it directly.
+//   * ReadPathCounters — plain per-owner accumulator (one per Transaction /
+//     per SubTxn, both single-threaded by construction), flushed into the
+//     env's ReadPathStats at cold points (park, commit cascade, teardown).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace txf::stm {
+
+struct ReadPathStats {
+  /// Walk-length histogram buckets: 0 hops, 1, 2, 3-4, 5-8, ..., 65+.
+  static constexpr std::size_t kWalkBuckets = 8;
+
+  std::atomic<std::uint64_t> home_hits{0};
+  std::atomic<std::uint64_t> list_walks{0};
+  std::atomic<std::uint64_t> walk_steps{0};
+  std::array<std::atomic<std::uint64_t>, kWalkBuckets> walk_hist{};
+
+  /// Bucket index for a walk of `len` next-pointer hops.
+  static std::size_t bucket(std::size_t len) noexcept {
+    if (len == 0) return 0;
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(len - 1)) + 1;
+    return b < kWalkBuckets ? b : kWalkBuckets - 1;
+  }
+
+  /// Fraction of permanent reads served by the home slot (0 when idle).
+  double hit_rate() const noexcept {
+    const double h = static_cast<double>(home_hits.load(std::memory_order_relaxed));
+    const double w = static_cast<double>(list_walks.load(std::memory_order_relaxed));
+    return h + w > 0 ? h / (h + w) : 0.0;
+  }
+};
+
+struct ReadPathCounters {
+  std::uint64_t home_hits = 0;
+  std::uint64_t list_walks = 0;
+  std::uint64_t walk_steps = 0;
+  std::array<std::uint64_t, ReadPathStats::kWalkBuckets> walk_hist{};
+
+  void note_home() noexcept { ++home_hits; }
+  void note_walk(std::size_t len) noexcept {
+    ++list_walks;
+    walk_steps += len;
+    ++walk_hist[ReadPathStats::bucket(len)];
+  }
+
+  /// Add everything into `stats` and zero this accumulator. Cheap when
+  /// nothing accumulated (one branch), so callers can flush eagerly.
+  void flush_into(ReadPathStats& stats) noexcept {
+    if (home_hits == 0 && list_walks == 0) return;
+    stats.home_hits.fetch_add(home_hits, std::memory_order_relaxed);
+    stats.list_walks.fetch_add(list_walks, std::memory_order_relaxed);
+    stats.walk_steps.fetch_add(walk_steps, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < walk_hist.size(); ++i) {
+      if (walk_hist[i] != 0)
+        stats.walk_hist[i].fetch_add(walk_hist[i], std::memory_order_relaxed);
+    }
+    *this = ReadPathCounters{};
+  }
+};
+
+}  // namespace txf::stm

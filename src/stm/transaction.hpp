@@ -15,6 +15,7 @@
 
 #include "stm/commit_queue.hpp"
 #include "stm/global_clock.hpp"
+#include "stm/read_stats.hpp"
 #include "stm/vbox.hpp"
 #include "stm/write_set.hpp"
 #include "util/backoff.hpp"
@@ -39,12 +40,15 @@ class StmEnv {
   CommitQueue& queue() noexcept { return queue_; }
   const CommitQueue& queue() const noexcept { return queue_; }
   util::EpochDomain& epochs() noexcept { return *epochs_; }
+  ReadPathStats& read_stats() noexcept { return read_stats_; }
+  const ReadPathStats& read_stats() const noexcept { return read_stats_; }
 
  private:
   GlobalClock clock_;
   ActiveTxnRegistry registry_;
   util::EpochDomain* epochs_;
   CommitQueue queue_;
+  ReadPathStats read_stats_;
 };
 
 /// Thrown by user code to force an abort-and-retry of the current attempt.
@@ -64,6 +68,7 @@ class Transaction {
   }
 
   ~Transaction() {
+    read_path_.flush_into(env_.read_stats());
     if (slot_ != ActiveTxnRegistry::kNoSlot) {
       env_.registry().release(slot_);
     } else {
@@ -79,13 +84,31 @@ class Transaction {
   StmEnv& env() noexcept { return env_; }
 
   /// Transactional read (paper §III-A: write-set lookup, then the newest
-  /// permanent version committed before this transaction began).
+  /// permanent version committed before this transaction began). The home
+  /// slot serves the dominant case — newest committed version visible at
+  /// this snapshot — with zero pointer chases; only readers overtaken by a
+  /// newer commit (or racing a publication) walk the version list.
   Word read(VBoxImpl& box) {
     if (mode_ == Mode::kReadWrite) {
       if (const Word* w = writes_.find(&box)) return *w;
     }
-    const PermanentVersion* v = box.read_permanent(snapshot_);
-    assert(v != nullptr && "VBox read at a snapshot older than the box");
+    Word value;
+    Version version;
+    if (box.try_read_home(snapshot_, value, version)) {
+      read_path_.note_home();
+      if (mode_ == Mode::kReadWrite) reads_.put(&box, 0);
+      return value;
+    }
+    std::size_t steps = 0;
+    const PermanentVersion* v = box.read_permanent(snapshot_, &steps);
+    if (v == nullptr) {
+      // Our snapshot lost a race with trimming (e.g. a slot-less overflow
+      // transaction whose snapshot the GC could not see). Not a programming
+      // error: abort this attempt and let atomically() retry at a fresh
+      // snapshot instead of crashing a release build.
+      throw RetryTransaction{};
+    }
+    read_path_.note_walk(steps);
     if (mode_ == Mode::kReadWrite) reads_.put(&box, 0);
     return v->value;
   }
@@ -125,6 +148,7 @@ class Transaction {
   /// published snapshot (so the version GC is not held back by a doomed
   /// attempt). The transaction must not be used again until reset().
   void park() {
+    read_path_.flush_into(env_.read_stats());
     guard_.reset();
     if (slot_ != ActiveTxnRegistry::kNoSlot) env_.registry().slot(slot_).clear();
   }
@@ -167,6 +191,7 @@ class Transaction {
   Version snapshot_ = 0;
   WriteSetMap writes_;
   WriteSetMap reads_;  // keys only: the read set
+  ReadPathCounters read_path_;  // flushed into env on park()/destruction
   Mode mode_;
 };
 

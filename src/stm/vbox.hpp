@@ -25,12 +25,24 @@ namespace txf::stm {
 // box must therefore be used with a single StmEnv for its whole life;
 // sharing boxes across envs (or reusing them after the env's clock reset)
 // makes committed versions unreachable.
+//
+// HOME SLOT (read fast path): the newest committed (version, value) pair is
+// mirrored inline, in the box's own cache line, behind a seqlock. A reader
+// whose snapshot covers the mirrored version completes with zero pointer
+// chases — no permanent-list traversal at all. Publication protocol and the
+// proof that a stable `home.version <= snapshot` slot is always the correct
+// visible version live in DESIGN.md ("Read path"); the short form:
+// publish_home() for version V runs (idempotently, by every write-back
+// helper) *before* the batch's single clock advance to >= V, so any reader
+// whose snapshot admits V has already synchronized with the slot store and
+// can never observe a staler pair as stable.
 class VBoxImpl {
  public:
   /// The initial value is committed at version 0, so it is visible to every
   /// transaction from the start.
   explicit VBoxImpl(Word initial)
-      : permanent_(new PermanentVersion(initial, 0, nullptr)) {}
+      : home_value_(initial),
+        permanent_(new PermanentVersion(initial, 0, nullptr)) {}
 
   /// Destruction requires quiescence (no transaction may touch this box).
   ~VBoxImpl() {
@@ -45,15 +57,90 @@ class VBoxImpl {
   VBoxImpl(const VBoxImpl&) = delete;
   VBoxImpl& operator=(const VBoxImpl&) = delete;
 
+  // --- home slot (seqlock mirror of the newest committed version) ---
+
+  /// Read fast path: if the seqlock is stable and the mirrored version is
+  /// visible at `snapshot`, deposit the pair and return true — zero pointer
+  /// chases. Returns false (caller walks the permanent list) when the slot
+  /// is mid-publication, torn, or holds a version newer than the snapshot.
+  bool try_read_home(Version snapshot, Word& value_out,
+                     Version& version_out) const noexcept {
+    const std::uint64_t s1 = home_seq_.load(std::memory_order_acquire);
+    if (s1 & 1) return false;  // publication in flight
+    // Chaos perturbation only (delay/yield): stretches the window between
+    // the two seq loads against concurrent write-back publication and trim.
+    TXF_FP_POINT("stm.read.home");
+    const Version ver = home_version_.load(std::memory_order_relaxed);
+    const Word val = home_value_.load(std::memory_order_relaxed);
+    // The fence orders the data loads before the re-read of the sequence:
+    // if seq is unchanged, the (version, value) pair is the one published
+    // together (Boehm-style seqlock; data is atomic so TSan sees no race).
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (home_seq_.load(std::memory_order_relaxed) != s1) return false;
+    if (ver > snapshot) return false;  // too new for this snapshot
+    value_out = val;
+    version_out = ver;
+    return true;
+  }
+
+  /// Publish the newest committed version into the home slot. Idempotent
+  /// and safe for concurrent helpers: all racers for one box carry the SAME
+  /// (version, value) pair — write-back partitions hold one node per box
+  /// per batch and batches are serialized — so the seq CAS only arbitrates
+  /// who performs the (tiny) two-store critical section. MUST complete, on
+  /// at least one helper, before the batch's clock advance: every helper
+  /// calls this from its idempotent write-back sweep, so the helper that
+  /// advances the clock has itself ensured home_version_ >= version.
+  void publish_home(Version version, Word value) noexcept {
+    std::uint64_t s = home_seq_.load(std::memory_order_acquire);
+    for (;;) {
+      if (home_version_.load(std::memory_order_relaxed) >= version) return;
+      if (s & 1) {
+        // A racer is mid-publication of the same (or a newer) pair; once it
+        // lands, the version check above terminates the loop.
+        s = home_seq_.load(std::memory_order_acquire);
+        continue;
+      }
+      if (home_seq_.compare_exchange_weak(s, s + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        break;
+      }
+    }
+    // Inside the critical section nothing else can write the slot, and the
+    // successful acq_rel CAS synchronized with the previous publication's
+    // closing release — so THIS version check is authoritative. It guards
+    // against a helper that stalled across an entire batch cycle waking up
+    // and regressing the slot to its old batch's (older) version.
+    if (home_version_.load(std::memory_order_relaxed) < version) {
+      home_version_.store(version, std::memory_order_relaxed);
+      home_value_.store(value, std::memory_order_relaxed);
+    }
+    home_seq_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Mirrored newest-committed version (tests/diagnostics; racy by nature).
+  Version home_version() const noexcept {
+    return home_version_.load(std::memory_order_relaxed);
+  }
+
+  /// Pre-publication re-initialization of the version-0 mirror (see
+  /// VBox::unsafe_init): box must still be private to one thread.
+  void unsafe_set_home(Word value) noexcept {
+    home_value_.store(value, std::memory_order_relaxed);
+  }
+
   // --- permanent list ---
 
   const PermanentVersion* permanent_head() const noexcept {
     return permanent_.load(std::memory_order_acquire);
   }
 
-  /// Newest committed version visible at `snapshot`.
-  const PermanentVersion* read_permanent(Version snapshot) const noexcept {
-    return find_visible(permanent_head(), snapshot);
+  /// Newest committed version visible at `snapshot`. `steps`, when
+  /// non-null, receives the walk length (for the read-path histogram).
+  const PermanentVersion* read_permanent(
+      Version snapshot, std::size_t* steps = nullptr) const noexcept {
+    return find_visible(permanent_head(), snapshot, steps);
   }
 
   /// Commit write-back: link `node` in front of `expected`. Idempotence for
@@ -123,6 +210,11 @@ class VBoxImpl {
   }
 
  private:
+  // Home slot first: the dominant read touches only these three words (plus
+  // tentative_ on the tree path), all in the box's first cache line.
+  std::atomic<std::uint64_t> home_seq_{0};   // even = stable, odd = publishing
+  std::atomic<Version> home_version_{0};
+  std::atomic<Word> home_value_;
   std::atomic<PermanentVersion*> permanent_;
   std::atomic<core::TentativeVersion*> tentative_{nullptr};
   std::atomic<bool> trimming_{false};
@@ -176,10 +268,12 @@ class VBox {
 
   /// Overwrite the initial committed value in place. Only safe while the
   /// box is still private to the constructing thread (e.g. wiring up
-  /// container sentinels before publication).
+  /// container sentinels before publication). Keeps the home-slot mirror in
+  /// sync with the version-0 node it shadows.
   void unsafe_init(const T& value) noexcept {
-    const_cast<PermanentVersion*>(impl_.permanent_head())->value =
-        pack_word(value);
+    const Word w = pack_word(value);
+    const_cast<PermanentVersion*>(impl_.permanent_head())->value = w;
+    impl_.unsafe_set_home(w);
   }
 
   VBoxImpl& impl() noexcept { return impl_; }

@@ -49,15 +49,23 @@ inline PermanentVersion* trimmed_tail() noexcept {
 
 /// Newest version with version <= snapshot, or nullptr if the list has no
 /// version old enough (boxes are seeded with a version-0 value, so nullptr
-/// means "snapshot predates the box" and is a programming error).
+/// means the snapshot lost a race with trimming — readers abort-and-retry
+/// with a fresh snapshot rather than crash; see Transaction::read).
+/// `steps`, when non-null, receives the number of next-pointer hops taken
+/// (0 = the head itself was visible) for the read-path walk histogram.
 inline const PermanentVersion* find_visible(const PermanentVersion* head,
-                                            Version snapshot) noexcept {
+                                            Version snapshot,
+                                            std::size_t* steps = nullptr) noexcept {
   // Chaos perturbation only (delay/yield): stretches version-list traversal
   // against concurrent write-back and trimming.
   TXF_FP_POINT("stm.read.version");
+  std::size_t hops = 0;
   while (head != nullptr &&
-         head->version.load(std::memory_order_acquire) > snapshot)
+         head->version.load(std::memory_order_acquire) > snapshot) {
     head = head->next.load(std::memory_order_acquire);
+    ++hops;
+  }
+  if (steps != nullptr) *steps = hops;
   return head;
 }
 

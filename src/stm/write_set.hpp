@@ -2,12 +2,23 @@
 //
 // Top-level (flat) transactions buffer writes here (paper §III-A); the same
 // structure backs the tree-private rootWriteSet used by the inter-tree
-// conflict fallback (§IV-A, ownedByAnotherTree). Hot path is
-// lookup-on-every-read, so this is a flat, allocation-light linear-probing
-// table rather than std::unordered_map.
+// conflict fallback (§IV-A, ownedByAnotherTree) and read-set tracking. Hot
+// path is lookup-on-every-read, so this is a flat, allocation-light table
+// rather than std::unordered_map — with an inline fast path in front:
+//
+//   * The first kInline (8) distinct boxes live in a fixed in-object array
+//     scanned linearly — no hashing, no heap. Short transactions (the
+//     common case in Vacation and the synthetic read-only workload) never
+//     touch the heap table at all; a fresh map performs ZERO allocations
+//     until the 9th distinct box spills.
+//   * The heap table is allocated lazily on first spill and backs entries
+//     9..n with the original linear-probing scheme. Inline entries never
+//     migrate: insertion order guarantees order_[0..inline_count_) are
+//     exactly the inline residents, which clear() exploits.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,31 +31,40 @@ class VBoxImpl;
 
 class WriteSetMap {
  public:
+  /// Inline capacity: one cache line of Entry{box, value} pairs.
+  static constexpr std::size_t kInline = 8;
+
   struct Entry {
     VBoxImpl* box = nullptr;
     Word value = 0;
   };
 
-  WriteSetMap() { reset_table(16); }
+  WriteSetMap() = default;
 
   /// O(size), not O(capacity): the table never shrinks after grow(), so a
   /// pooled/reused map must not pay a full-table fill to drop a tiny write
-  /// set. Each inserted box is walked to its slot and cleared individually;
+  /// set. Each spilled box is walked to its slot and cleared individually;
   /// the probe loop cannot use empty-slot termination (earlier clears punch
   /// holes into probe chains) but every box in order_ is guaranteed present,
   /// so scanning until found always terminates.
   void clear() {
     if (size_ == 0) return;
-    if (size_ * 4 >= table_.size()) {
-      std::fill(table_.begin(), table_.end(), Entry{});
-    } else {
-      for (VBoxImpl* box : order_) {
-        std::size_t i = probe_start(box);
-        while (table_[i].box != box) i = (i + 1) & mask_;
-        table_[i] = Entry{};
+    for (std::size_t i = 0; i < inline_count_; ++i) inline_[i] = Entry{};
+    const std::size_t spilled = size_ - inline_count_;
+    if (spilled > 0) {
+      if (spilled * 4 >= table_.size()) {
+        std::fill(table_.begin(), table_.end(), Entry{});
+      } else {
+        for (std::size_t k = inline_count_; k < order_.size(); ++k) {
+          VBoxImpl* box = order_[k];
+          std::size_t i = probe_start(box);
+          while (table_[i].box != box) i = (i + 1) & mask_;
+          table_[i] = Entry{};
+        }
       }
     }
     order_.clear();
+    inline_count_ = 0;
     size_ = 0;
   }
 
@@ -53,27 +73,36 @@ class WriteSetMap {
 
   /// Insert or overwrite.
   void put(VBoxImpl* box, Word value) {
-    if ((size_ + 1) * 10 >= table_.size() * 7) grow();
-    std::size_t i = probe_start(box);
-    for (;;) {
-      Entry& e = table_[i];
-      if (e.box == box) {
-        e.value = value;
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i].box == box) {
+        inline_[i].value = value;
         return;
       }
-      if (e.box == nullptr) {
-        e.box = box;
-        e.value = value;
-        order_.push_back(box);
-        ++size_;
-        return;
-      }
-      i = (i + 1) & mask_;
     }
+    if (inline_count_ < kInline && size_ == inline_count_) {
+      inline_[inline_count_].box = box;
+      inline_[inline_count_].value = value;
+      ++inline_count_;
+      order_.push_back(box);
+      ++size_;
+      return;
+    }
+    put_spilled(box, value);
+  }
+
+  /// True iff `box` is already tracked — the read path's duplicate-read
+  /// check; for short transactions it is a ≤8-entry linear scan that never
+  /// touches the heap.
+  bool contains(const VBoxImpl* box) const noexcept {
+    return find(box) != nullptr;
   }
 
   /// Returns pointer to the stored value or nullptr.
   const Word* find(const VBoxImpl* box) const noexcept {
+    for (std::size_t i = 0; i < inline_count_; ++i) {
+      if (inline_[i].box == box) return &inline_[i].value;
+    }
+    if (size_ == inline_count_) return nullptr;  // nothing spilled
     std::size_t i = probe_start(box);
     for (;;) {
       const Entry& e = table_[i];
@@ -92,6 +121,31 @@ class WriteSetMap {
   }
 
  private:
+  void put_spilled(VBoxImpl* box, Word value) {
+    const std::size_t spilled = size_ - inline_count_;
+    if (table_.empty()) {
+      reset_table(16);
+    } else if ((spilled + 1) * 10 >= table_.size() * 7) {
+      grow();
+    }
+    std::size_t i = probe_start(box);
+    for (;;) {
+      Entry& e = table_[i];
+      if (e.box == box) {
+        e.value = value;
+        return;
+      }
+      if (e.box == nullptr) {
+        e.box = box;
+        e.value = value;
+        order_.push_back(box);
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
   std::size_t probe_start(const VBoxImpl* box) const noexcept {
     auto h = reinterpret_cast<std::uintptr_t>(box);
     h ^= h >> 33;
@@ -117,6 +171,8 @@ class WriteSetMap {
     }
   }
 
+  std::array<Entry, kInline> inline_{};
+  std::size_t inline_count_ = 0;
   std::vector<Entry> table_;
   std::vector<VBoxImpl*> order_;
   std::size_t mask_ = 0;

@@ -68,6 +68,7 @@ Config acceptance_schedule(std::uint64_t seed) {
   cfg.chaos.add_prob("stm.commit.batch.form", fp::Action::kDelayUs, 0.3, 50);
   cfg.chaos.add_prob("stm.commit.batch.handoff", fp::Action::kYield, 0.3);
   cfg.chaos.add_prob("stm.commit.writeback", fp::Action::kDelayUs, 0.5, 50);
+  cfg.chaos.add_prob("stm.read.home", fp::Action::kDelayUs, 0.3, 30);
   cfg.chaos.add_prob("sched.steal", fp::Action::kDelayUs, 0.5, 50);
   return cfg;
 }
@@ -166,6 +167,7 @@ TEST(Chaos, PerturbationOnlyScheduleStaysExactUnderConcurrency) {
   cfg.chaos.add_prob("sched.deque.steal", fp::Action::kDelayUs, 0.3, 20);
   cfg.chaos.add_prob("sched.submit", fp::Action::kYield, 0.3);
   cfg.chaos.add_prob("stm.read.version", fp::Action::kDelayUs, 0.2, 10);
+  cfg.chaos.add_prob("stm.read.home", fp::Action::kDelayUs, 0.2, 10);
   cfg.chaos.add_prob("stm.commit.writeback", fp::Action::kDelayUs, 0.3, 20);
   Runtime rt(cfg);
   VBox<long> counter(0);

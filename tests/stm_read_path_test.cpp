@@ -1,0 +1,260 @@
+// Read-path tests: the VBox home slot (seqlock mirror of the newest
+// committed version), its interaction with write-back publication and
+// version trimming, the graceful abort-and-retry when a snapshot loses a
+// race with trimming, and the read-set inline fast path as used by
+// Transaction. Run under TSan via -DTXF_SANITIZE=thread (the seqlock is
+// Boehm-style: all data accesses are atomic, so TSan sees no race).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "stm/transaction.hpp"
+#include "stm/vbox.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using txf::stm::StmEnv;
+using txf::stm::Transaction;
+using txf::stm::VBox;
+using txf::stm::VBoxImpl;
+using txf::stm::Version;
+using txf::stm::Word;
+namespace fp = txf::util::fp;
+
+// --- home-slot unit behaviour --------------------------------------------
+
+TEST(HomeSlot, FreshBoxServesVersionZero) {
+  VBoxImpl box(42);
+  Word value = 0;
+  Version version = 99;
+  ASSERT_TRUE(box.try_read_home(0, value, version));
+  EXPECT_EQ(value, 42u);
+  EXPECT_EQ(version, 0u);
+}
+
+TEST(HomeSlot, PublishAdvancesAndOldSnapshotFallsBack) {
+  VBoxImpl box(1);
+  box.publish_home(5, 55);
+  EXPECT_EQ(box.home_version(), 5u);
+  Word value = 0;
+  Version version = 0;
+  // New-enough snapshot: served from the slot.
+  ASSERT_TRUE(box.try_read_home(7, value, version));
+  EXPECT_EQ(value, 55u);
+  EXPECT_EQ(version, 5u);
+  // Snapshot older than the mirrored version: the slot must refuse (the
+  // caller walks the permanent list for the older version).
+  EXPECT_FALSE(box.try_read_home(4, value, version));
+}
+
+TEST(HomeSlot, StaleHelperCannotRegressTheSlot) {
+  VBoxImpl box(1);
+  box.publish_home(9, 90);
+  // A write-back helper that stalled across a whole batch cycle wakes up
+  // and replays an older publication: the slot must keep the newer pair.
+  box.publish_home(3, 30);
+  EXPECT_EQ(box.home_version(), 9u);
+  Word value = 0;
+  Version version = 0;
+  ASSERT_TRUE(box.try_read_home(10, value, version));
+  EXPECT_EQ(value, 90u);
+  EXPECT_EQ(version, 9u);
+}
+
+TEST(HomeSlot, ConcurrentPublishersAndReadersStayConsistent) {
+  // Publishers race monotonically increasing (version, version * 10) pairs;
+  // readers must only ever observe matching pairs at stable seq.
+  VBoxImpl box(0);
+  std::atomic<bool> stop{false};
+  std::atomic<Version> next{1};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 2; ++p) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const Version v = next.fetch_add(1, std::memory_order_relaxed);
+        box.publish_home(v, static_cast<Word>(v) * 10);
+      }
+    });
+  }
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        Word value = 0;
+        Version version = 0;
+        if (box.try_read_home(txf::stm::kNoVersion - 1, value, version)) {
+          ASSERT_EQ(value, static_cast<Word>(version) * 10)
+              << "torn home-slot read at version " << version;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+}
+
+// --- transaction read path -----------------------------------------------
+
+TEST(ReadPath, ReadOnlyWorkloadHitsHomeSlot) {
+  StmEnv env;
+  std::deque<VBox<long>> boxes;
+  for (int i = 0; i < 8; ++i) boxes.emplace_back(static_cast<long>(i));
+  long sum = txf::stm::atomically(
+      env,
+      [&](Transaction& tx) {
+        long s = 0;
+        for (auto& b : boxes) s += b.get(tx);
+        return s;
+      },
+      Transaction::Mode::kReadOnly);
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(env.read_stats().home_hits.load(), 8u);
+  EXPECT_EQ(env.read_stats().list_walks.load(), 0u);
+  EXPECT_EQ(env.read_stats().hit_rate(), 1.0);
+}
+
+TEST(ReadPath, OvertakenSnapshotWalksTheList) {
+  StmEnv env;
+  VBox<long> a(1);
+  VBox<long> b(0);
+  Transaction reader(env, Transaction::Mode::kReadOnly);  // snapshot now
+  // A commit lands after the reader's snapshot: the home slot advances past
+  // it, so the reader must fall back to the version-list walk — and still
+  // see its snapshot's value.
+  txf::stm::atomically(env, [&](Transaction& tx) { a.put(tx, 100); });
+  EXPECT_GT(a.impl().home_version(), reader.snapshot());
+  EXPECT_EQ(txf::stm::unpack_word<long>(reader.read(a.impl())), 1L);
+  // The untouched box still serves from its (version-0) home slot.
+  EXPECT_EQ(txf::stm::unpack_word<long>(reader.read(b.impl())), 0L);
+  reader.park();
+  EXPECT_EQ(env.read_stats().list_walks.load(), 1u);
+  EXPECT_EQ(env.read_stats().home_hits.load(), 1u);
+  EXPECT_GE(env.read_stats().walk_hist[1].load(), 1u);  // 1-hop walk
+}
+
+TEST(ReadPath, TrimmedSnapshotAbortsGracefully) {
+  // Regression: a reader whose snapshot lost the race with version trimming
+  // used to die on assert(v != nullptr); it must now abort-and-retry.
+  StmEnv env;
+  VBox<long> box(1);
+  Transaction reader(env, Transaction::Mode::kReadOnly);
+  const Version stale = reader.snapshot();
+  for (long i = 0; i < 3; ++i)
+    txf::stm::atomically(env, [&](Transaction& tx) { box.put(tx, 100 + i); });
+  // Trim directly past the reader's snapshot, simulating a GC that could
+  // not see it (slot-less overflow transaction). Everything visible at
+  // `stale` is retired; the home slot is too new for the reader.
+  {
+    txf::util::EpochDomain::Guard guard(env.epochs());
+    box.impl().trim(stale + 3, env.epochs());
+  }
+  EXPECT_THROW((void)reader.read(box.impl()), txf::stm::RetryTransaction);
+  reader.park();
+  reader.reset();  // fresh snapshot: the retry succeeds
+  EXPECT_EQ(box.get(reader), 102L);
+}
+
+TEST(ReadPath, DuplicateReadsDedupInReadSet) {
+  StmEnv env;
+  VBox<long> a(7);
+  VBox<long> b(8);
+  txf::stm::atomically(env, [&](Transaction& tx) {
+    for (int i = 0; i < 5; ++i) {
+      (void)a.get(tx);
+      (void)b.get(tx);
+    }
+    EXPECT_EQ(tx.read_count(), 2u);  // one read-set entry per distinct box
+    a.put(tx, 9);
+  });
+  EXPECT_EQ(a.peek_committed(), 9L);
+}
+
+TEST(ReadPath, ReadSetSpillsAndSurvivesParkReset) {
+  StmEnv env;
+  std::deque<VBox<long>> boxes;
+  for (int i = 0; i < 20; ++i) boxes.emplace_back(static_cast<long>(i));
+  Transaction tx(env);
+  // Cross the inline->heap spill boundary (8 inline entries) twice, with a
+  // park()/reset() cycle in between: capacity is reused, contents are not.
+  for (int round = 0; round < 2; ++round) {
+    for (auto& b : boxes) (void)b.get(tx);
+    for (auto& b : boxes) (void)b.get(tx);  // duplicates must not grow it
+    EXPECT_EQ(tx.read_count(), boxes.size());
+    boxes[0].put(tx, 100 + round);
+    ASSERT_TRUE(tx.try_commit());
+    tx.park();
+    tx.reset();
+    EXPECT_EQ(tx.read_count(), 0u);
+  }
+  EXPECT_EQ(boxes[0].peek_committed(), 101L);
+}
+
+// --- chaos: home-slot reads vs concurrent write-back and trimming --------
+
+TEST(ReadPathChaos, HomeSlotRacesWritebackAndTrim) {
+  // Perturbation-only chaos stretches the seqlock read window
+  // (stm.read.home sits between the two seq loads), write-back publication
+  // and the version-list walk, while writers continuously commit (which
+  // also drives version trimming through the commit queue). Readers check a
+  // transfer invariant: any torn or stale home-slot read breaks it.
+  fp::ChaosPlan plan;
+  plan.seed = 0xbeadULL;
+  plan.add_prob("stm.read.home", fp::Action::kDelayUs, 0.4, 20);
+  plan.add_prob("stm.read.home", fp::Action::kYield, 0.3);
+  plan.add_prob("stm.read.version", fp::Action::kDelayUs, 0.3, 10);
+  plan.add_prob("stm.commit.writeback", fp::Action::kDelayUs, 0.4, 20);
+  fp::Controller::instance().arm(plan);
+
+  {
+    StmEnv env;
+    constexpr int kBoxes = 4;
+    std::deque<VBox<long>> boxes;
+    for (int i = 0; i < kBoxes; ++i) boxes.emplace_back(0L);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 2; ++w) {
+      threads.emplace_back([&, w] {
+        long d = 1 + w;
+        while (!stop.load(std::memory_order_acquire)) {
+          txf::stm::atomically(env, [&](Transaction& tx) {
+            // Transfer d between two boxes: the total stays 0.
+            boxes[0].put(tx, boxes[0].get(tx) + d);
+            boxes[1 + (w % (kBoxes - 1))].put(
+                tx, boxes[1 + (w % (kBoxes - 1))].get(tx) - d);
+          });
+        }
+      });
+    }
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          const long total = txf::stm::atomically(
+              env,
+              [&](Transaction& tx) {
+                long s = 0;
+                for (auto& b : boxes) s += b.get(tx);
+                return s;
+              },
+              Transaction::Mode::kReadOnly);
+          ASSERT_EQ(total, 0L) << "snapshot violated under read-path chaos";
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    stop.store(true, std::memory_order_release);
+    for (auto& t : threads) t.join();
+
+    fp::FailPoint* site = fp::Controller::instance().find("stm.read.home");
+    ASSERT_NE(site, nullptr);
+    EXPECT_GT(site->passes(), 0u);
+    const auto& stats = env.read_stats();
+    EXPECT_GT(stats.home_hits.load() + stats.list_walks.load(), 0u);
+  }
+  fp::Controller::instance().disarm();
+}
+
+}  // namespace

@@ -65,6 +65,73 @@ TEST(WriteSetMap, GrowsBeyondInitialCapacity) {
   }
 }
 
+TEST(WriteSetMap, InlineSpillBoundary) {
+  // The 9th distinct box crosses from the inline array to the heap table;
+  // lookups, duplicate detection and insertion order must be seamless
+  // across the boundary.
+  WriteSetMap ws;
+  std::vector<std::unique_ptr<VBoxImpl>> boxes;
+  for (std::size_t i = 0; i < WriteSetMap::kInline + 1; ++i)
+    boxes.push_back(std::make_unique<VBoxImpl>(0));
+  for (std::size_t i = 0; i < WriteSetMap::kInline; ++i)
+    ws.put(boxes[i].get(), static_cast<txf::stm::Word>(i));
+  EXPECT_EQ(ws.size(), WriteSetMap::kInline);
+  ws.put(boxes[WriteSetMap::kInline].get(), 999);  // first spilled entry
+  EXPECT_EQ(ws.size(), WriteSetMap::kInline + 1);
+  for (std::size_t i = 0; i < WriteSetMap::kInline; ++i) {
+    ASSERT_NE(ws.find(boxes[i].get()), nullptr) << i;
+    EXPECT_EQ(*ws.find(boxes[i].get()), static_cast<txf::stm::Word>(i));
+  }
+  EXPECT_EQ(*ws.find(boxes[WriteSetMap::kInline].get()), 999u);
+  // Overwrites on both sides of the boundary keep size stable.
+  ws.put(boxes[0].get(), 100);
+  ws.put(boxes[WriteSetMap::kInline].get(), 1000);
+  EXPECT_EQ(ws.size(), WriteSetMap::kInline + 1);
+  EXPECT_EQ(*ws.find(boxes[0].get()), 100u);
+  EXPECT_EQ(*ws.find(boxes[WriteSetMap::kInline].get()), 1000u);
+  ASSERT_EQ(ws.boxes().size(), WriteSetMap::kInline + 1);
+  for (std::size_t i = 0; i < ws.boxes().size(); ++i)
+    EXPECT_EQ(ws.boxes()[i], boxes[i].get());
+}
+
+TEST(WriteSetMap, ContainsDedupAcrossBoundary) {
+  // contains() backs the read-set duplicate check; it must agree with
+  // put()'s dedup both inline and spilled.
+  WriteSetMap ws;
+  std::vector<std::unique_ptr<VBoxImpl>> boxes;
+  for (int i = 0; i < 12; ++i) boxes.push_back(std::make_unique<VBoxImpl>(0));
+  for (int round = 0; round < 3; ++round) {
+    for (auto& b : boxes) ws.put(b.get(), static_cast<txf::stm::Word>(round));
+  }
+  EXPECT_EQ(ws.size(), 12u);
+  for (auto& b : boxes) EXPECT_TRUE(ws.contains(b.get()));
+  VBoxImpl stranger(0);
+  EXPECT_FALSE(ws.contains(&stranger));
+}
+
+TEST(WriteSetMap, ClearReuseAcrossSpill) {
+  // A reused map (the park()/reset() pattern) must fully forget spilled
+  // entries and re-fill cleanly, shrinking back under the inline capacity.
+  WriteSetMap ws;
+  std::vector<std::unique_ptr<VBoxImpl>> boxes;
+  for (int i = 0; i < 32; ++i) boxes.push_back(std::make_unique<VBoxImpl>(0));
+  for (auto& b : boxes) ws.put(b.get(), 7);
+  EXPECT_EQ(ws.size(), 32u);
+  ws.clear();
+  EXPECT_TRUE(ws.empty());
+  for (auto& b : boxes) EXPECT_FALSE(ws.contains(b.get()));
+  // Refill with a small set: stays inline-only on the fast path.
+  for (int i = 0; i < 3; ++i) ws.put(boxes[i].get(), static_cast<txf::stm::Word>(i));
+  EXPECT_EQ(ws.size(), 3u);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(*ws.find(boxes[i].get()), static_cast<txf::stm::Word>(i));
+  for (int i = 3; i < 32; ++i) EXPECT_FALSE(ws.contains(boxes[i].get()));
+  // And spill again after the clear, exercising the lazily-kept table.
+  for (auto& b : boxes) ws.put(b.get(), 9);
+  EXPECT_EQ(ws.size(), 32u);
+  EXPECT_EQ(*ws.find(boxes[31].get()), 9u);
+}
+
 TEST(WriteSetMap, ClearResets) {
   WriteSetMap ws;
   VBoxImpl a(0), b(0);

@@ -11,12 +11,18 @@
 // transaction's vulnerability window.
 //
 // Flags: --total N (total threads) --array N --ms N --lens a,b,c
-//        --hot N --writes N --iter N
+//        --hot N --writes N --iter N --json FILE
+//
+// --json additionally reports the per-cause abort taxonomy
+// (obs/abort_cause.hpp) for every i*j split, so contention experiments can
+// distinguish read-validation kills from write-write and tree-order kills.
+#include <array>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/abort_cause.hpp"
 #include "workloads/common/driver.hpp"
 #include "workloads/synthetic/synthetic.hpp"
 
@@ -28,9 +34,15 @@ namespace synth = txf::workloads::synthetic;
 
 namespace {
 
+constexpr std::size_t kCauses =
+    static_cast<std::size_t>(txf::obs::AbortCause::kCount);
+
 struct Outcome {
   double tput;
   double abort_rate;
+  std::uint64_t commits = 0;
+  std::uint64_t attempt_aborts = 0;
+  std::array<std::uint64_t, kCauses> causes{};
 };
 
 Outcome measure(std::size_t top_level, std::size_t jobs, int ms,
@@ -53,7 +65,26 @@ Outcome measure(std::size_t top_level, std::size_t jobs, int ms,
           ++m.transactions;
         }
       });
-  return {r.throughput(), r.abort_rate()};
+  Outcome o{r.throughput(), r.abort_rate()};
+  // Fresh runtime per measurement => the accounting is exactly this run's.
+  const txf::obs::AbortAccounting& acc = rt.env().abort_accounting();
+  o.commits = acc.tx_commits.load();
+  o.attempt_aborts = acc.attempt_aborts.load();
+  for (std::size_t c = 0; c < kCauses; ++c) o.causes[c] = acc.cause[c].load();
+  return o;
+}
+
+void append_causes_json(std::ostringstream& json, const Outcome& o) {
+  json << "\"abort_causes\": {";
+  bool first = true;
+  for (std::size_t c = 0; c < kCauses; ++c) {
+    if (o.causes[c] == 0) continue;
+    json << (first ? "" : ", ") << "\""
+         << txf::obs::abort_cause_name(static_cast<txf::obs::AbortCause>(c))
+         << "\": " << o.causes[c];
+    first = false;
+  }
+  json << "}";
 }
 
 }  // namespace
@@ -69,6 +100,7 @@ int main(int argc, char** argv) {
   base.iter = static_cast<std::uint64_t>(args.get_int("iter", 1000));
   base.hot_items = static_cast<std::size_t>(args.get_int("hot", 20));
   base.hot_writes = static_cast<std::size_t>(args.get_int("writes", 10));
+  const std::string json_path = args.get_str("json", "");
 
   std::printf(
       "# Fig 5b: contention-prone synthetic — normalized throughput of i*j\n"
@@ -90,6 +122,12 @@ int main(int argc, char** argv) {
   header.push_back("abort(best)");
   print_header(header);
 
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fig5b_contention\",\n"
+       << "  \"total_threads\": " << total << ", \"array\": " << array_size
+       << ", \"ms\": " << ms << ", \"hot\": " << base.hot_items
+       << ", \"writes\": " << base.hot_writes << ",\n  \"rows\": [";
+  bool first_row = true;
   for (const auto len : lens) {
     synth::UpdateParams p = base;
     p.prefix_len = static_cast<std::size_t>(len);
@@ -109,10 +147,32 @@ int main(int argc, char** argv) {
         best_abort = o.abort_rate;
       }
       row.push_back(fmt(norm, 3));
+      json << (first_row ? "" : ",") << "\n    {\"prefix_len\": " << len
+           << ", \"split\": \"" << i << "*" << j << "\""
+           << ", \"tput\": " << fmt(o.tput, 1)
+           << ", \"norm\": " << fmt(norm, 3)
+           << ", \"abort_rate\": " << fmt(o.abort_rate, 4)
+           << ", \"commits\": " << o.commits
+           << ", \"attempt_aborts\": " << o.attempt_aborts << ", ";
+      append_causes_json(json, o);
+      json << "}";
+      first_row = false;
     }
     row.push_back(fmt(base_abort, 3));
     row.push_back(fmt(best_abort, 3));
     print_row(row);
+  }
+  json << "\n  ]\n}\n";
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      const std::string s = json.str();
+      std::fwrite(s.data(), 1, s.size(), f);
+      std::fclose(f);
+      std::printf("# json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
   }
   std::printf(
       "# Expected shape (paper): with contention, fewer top-level\n"

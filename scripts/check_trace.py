@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate a txtrace Chrome trace_event JSON file (obs/trace.hpp).
+
+Checks, beyond "it parses":
+  - top-level object with a `traceEvents` list
+  - every event is a complete span ("X", with numeric dur) or a thread-scoped
+    instant ("i") -- the writer never emits paired B/E events
+  - event names come from the known Ev set
+  - tx.abort instants carry args.cause from the known AbortCause taxonomy
+  - timestamps are non-negative numbers
+  - at least one transaction event is present (the smoke benches always run
+    transactions, so an empty trace means the runtime gate ate everything)
+
+Usage: check_trace.py TRACE.json [--require-tx]
+Exit code 0 on success; 1 with a message on the first violation.
+"""
+
+import json
+import sys
+
+# Keep in sync with ev_name() in src/obs/trace.hpp.
+KNOWN_EVENTS = {
+    "tx", "tx.commit", "tx.abort",
+    "future.submit", "future.eval", "future.join",
+    "tree.resolve", "read.walk",
+    "commit.prevalidate", "commit.assign", "commit.writeback",
+    "sched.run", "sched.steal", "sched.park",
+    "test",
+}
+
+# Keep in sync with abort_cause_name() in src/obs/abort_cause.hpp.
+KNOWN_CAUSES = {
+    "read_validation", "write_write", "stale_snapshot", "tree_order",
+    "failpoint_injected", "deadline", "serial_preempt", "stalled",
+    "explicit_retry", "user_exception",
+}
+
+TX_EVENTS = {"tx", "tx.commit", "tx.abort"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py TRACE.json [--require-tx]")
+    path = sys.argv[1]
+    require_tx = "--require-tx" in sys.argv[2:]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+
+    counts = {}
+    tx_events = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        name = ev.get("name")
+        if name not in KNOWN_EVENTS:
+            fail(f"{where}: unknown event name {name!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            fail(f"{where} ({name}): ph must be X or i, got {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where} ({name}): bad ts {ts!r}")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            fail(f"{where} ({name}): pid/tid must be integers")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{where} ({name}): span without numeric dur: {dur!r}")
+        if name == "tx.abort":
+            cause = ev.get("args", {}).get("cause")
+            if cause not in KNOWN_CAUSES:
+                fail(f"{where}: tx.abort with unknown cause {cause!r}")
+        counts[name] = counts.get(name, 0) + 1
+        if name in TX_EVENTS:
+            tx_events += 1
+
+    if require_tx and tx_events == 0:
+        fail("no transaction events (tx / tx.commit / tx.abort) in trace")
+
+    total = len(events)
+    top = ", ".join(f"{n}={c}" for n, c in
+                    sorted(counts.items(), key=lambda kv: -kv[1])[:6])
+    print(f"check_trace: OK: {total} events ({top})")
+
+
+if __name__ == "__main__":
+    main()

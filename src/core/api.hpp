@@ -31,6 +31,8 @@
 
 #include "core/runtime.hpp"
 #include "core/tx_tree.hpp"
+#include "obs/abort_cause.hpp"
+#include "obs/trace.hpp"
 #include "stm/vbox.hpp"
 #include "util/backoff.hpp"
 #include "util/xoshiro.hpp"
@@ -137,6 +139,7 @@ class TxFuture {
     TxTree& tree = ctx.tree();
     auto& pool = ctx.runtime().pool();
     StallMonitor stall(tree);
+    obs::trace::Span join_span(obs::trace::Ev::kFutureJoin);
     const bool ok = st->wait_ready([&] {
       ctx.poll();
       if (!tree.help_evaluate(*st) && !TxTree::in_future_body())
@@ -184,6 +187,7 @@ class TxFuture {
 template <typename F>
 auto TxCtx::submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
   using R = std::invoke_result_t<F&, TxCtx&>;
+  obs::trace::instant(obs::trace::Ev::kFutureSubmit);
   auto state = std::make_shared<TxFutureState<R>>();
   if (tree_->serial()) {
     // Serial fallback: run the future synchronously at the submit point in
@@ -288,6 +292,34 @@ inline std::uint64_t backoff_sleep(const Config& cfg, std::uint32_t attempt,
           std::chrono::steady_clock::now() - t0)
           .count());
 }
+
+/// Map a tree failure onto the abort-cause taxonomy (obs/abort_cause.hpp).
+/// A chaos-induced failure wins over its conflict shape so injected aborts
+/// never pollute the organic cause counters; a stall observed while an
+/// escalation was pending is attributed to the serial preemption that
+/// starved it rather than to the stall detector.
+inline obs::AbortCause classify_tree_failure(const TxTree& tree,
+                                             TreeFailed::Reason reason,
+                                             Runtime& rt) {
+  if (tree.chaos_induced()) return obs::AbortCause::kFailpointInjected;
+  switch (reason) {
+    case TreeFailed::Reason::kContinuationConflict:
+      return obs::AbortCause::kTreeOrder;
+    case TreeFailed::Reason::kInterTreeConflict:
+      return obs::AbortCause::kWriteWrite;
+    case TreeFailed::Reason::kTopLevelConflict:
+      return obs::AbortCause::kReadValidation;
+    case TreeFailed::Reason::kStaleSnapshot:
+      return obs::AbortCause::kStaleSnapshot;
+    case TreeFailed::Reason::kStalled:
+      return rt.serial_waiters().load(std::memory_order_acquire) != 0
+                 ? obs::AbortCause::kSerialPreempt
+                 : obs::AbortCause::kStalled;
+    case TreeFailed::Reason::kUserException:
+      return obs::AbortCause::kUserException;
+  }
+  return obs::AbortCause::kReadValidation;
+}
 }  // namespace detail
 
 /// Contention-managed top-level transaction driver.
@@ -305,6 +337,9 @@ auto atomically(Runtime& rt, F&& fn) {
   using Clock = std::chrono::steady_clock;
   const Config& cfg = rt.config();
   auto& rob = rt.robustness();
+  // Abort taxonomy (obs/abort_cause.hpp): causes count once per failed
+  // attempt, tx.commits / tx.aborted once per final outcome of this call.
+  obs::AbortAccounting& acc = rt.env().abort_accounting();
 
   // Per-call jitter stream; a global counter keeps calls decorrelated
   // without any cross-call state.
@@ -334,6 +369,9 @@ auto atomically(Runtime& rt, F&& fn) {
         Clock::now() >= deadline) {
       if (!deadline_counted) {
         rob.deadline_aborts.fetch_add(1, std::memory_order_relaxed);
+        // Marks the escalation event, not a failed attempt — deliberately
+        // not part of tx.attempt_aborts (see the accounting contract).
+        acc.of(obs::AbortCause::kDeadlineExceeded).add();
         deadline_counted = true;
       }
       escalate = true;
@@ -371,6 +409,9 @@ auto atomically(Runtime& rt, F&& fn) {
       }
 
       util::EpochDomain::Guard guard(rt.env().epochs());
+      // One attempt = one tree = one trace span (closed on any exit,
+      // including unwinds; it always contains one tx.commit or tx.abort).
+      obs::trace::Span attempt_span(obs::trace::Ev::kTx);
       auto* tree = new TxTree(rt, fallback);
       if (escalate) tree->set_serial();
       TxCtx ctx(*tree, tree->root());
@@ -391,6 +432,8 @@ auto atomically(Runtime& rt, F&& fn) {
           }
           tree->wait_and_commit_top();
           rt.env().epochs().retire(tree);
+          acc.tx_commits.add();
+          obs::trace::instant(obs::trace::Ev::kTxCommit);
           return;
         } else if (on_fiber) {
           // Fiber-hosted bodies assign the result on (possibly replayed)
@@ -404,12 +447,16 @@ auto atomically(Runtime& rt, F&& fn) {
           });
           tree->wait_and_commit_top();
           rt.env().epochs().retire(tree);
+          acc.tx_commits.add();
+          obs::trace::instant(obs::trace::Ev::kTxCommit);
           return result;
         } else {
           R result = fn(ctx);
           tree->node_finished(*ctx.node());
           tree->wait_and_commit_top();
           rt.env().epochs().retire(tree);
+          acc.tx_commits.add();
+          obs::trace::instant(obs::trace::Ev::kTxCommit);
           return result;
         }
       } catch (const BlockingRetry&) {
@@ -419,6 +466,10 @@ auto atomically(Runtime& rt, F&& fn) {
         tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
         rt.env().epochs().retire(tree);
         wait_clock_change = true;
+        acc.on_attempt_abort(obs::AbortCause::kExplicitRetry);
+        obs::trace::instant(
+            obs::trace::Ev::kTxAbort,
+            static_cast<std::uint32_t>(obs::AbortCause::kExplicitRetry));
       } catch (const TreeFailed& tf) {
         tree->abort_tree(tf.reason);
         if (tf.reason == TreeFailed::Reason::kUserException) {
@@ -430,9 +481,22 @@ auto atomically(Runtime& rt, F&& fn) {
           } catch (const BlockingRetry&) {
             // retry_now() inside a future body: same wait-and-rerun.
             wait_clock_change = true;
+            acc.on_attempt_abort(obs::AbortCause::kExplicitRetry);
+            obs::trace::instant(
+                obs::trace::Ev::kTxAbort,
+                static_cast<std::uint32_t>(obs::AbortCause::kExplicitRetry));
+          } catch (...) {
+            // Any other user exception propagates: final outcome = aborted.
+            acc.on_attempt_abort(obs::AbortCause::kUserException);
+            acc.tx_aborted.add();
+            obs::trace::instant(
+                obs::trace::Ev::kTxAbort,
+                static_cast<std::uint32_t>(obs::AbortCause::kUserException));
+            throw;
           }
-          // Any other user exception propagates (rethrown above).
         } else {
+          const obs::AbortCause cause =
+              detail::classify_tree_failure(*tree, tf.reason, rt);
           fallback = tf.reason == TreeFailed::Reason::kInterTreeConflict;
           if (tf.reason == TreeFailed::Reason::kContinuationConflict)
             ++continuation_conflicts;
@@ -440,11 +504,19 @@ auto atomically(Runtime& rt, F&& fn) {
           ++failed_attempts;
           rob.retries.fetch_add(1, std::memory_order_relaxed);
           do_backoff = !serial_mode;
+          acc.on_attempt_abort(cause);
+          obs::trace::instant(obs::trace::Ev::kTxAbort,
+                              static_cast<std::uint32_t>(cause));
         }
       } catch (...) {
         // User exception: abort the transaction and propagate.
         tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
         rt.env().epochs().retire(tree);
+        acc.on_attempt_abort(obs::AbortCause::kUserException);
+        acc.tx_aborted.add();
+        obs::trace::instant(
+            obs::trace::Ev::kTxAbort,
+            static_cast<std::uint32_t>(obs::AbortCause::kUserException));
         throw;
       }
     }  // token released here

@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "core/runtime.hpp"
+#include "obs/trace.hpp"
 #include "stm/vbox.hpp"
 #include "util/backoff.hpp"
 #include "util/failpoint.hpp"
@@ -224,6 +225,8 @@ stm::Word TxTree::read(SubTxn& t, stm::VBoxImpl& box) {
       t.read_path.note_home();
     } else {
       t.read_path.note_walk(r.walk_steps);
+      obs::trace::instant(obs::trace::Ev::kTreeResolve,
+                          static_cast<std::uint32_t>(r.walk_steps));
     }
   }
   t.reads.push_back(ReadEntry{&box, r.provenance, r.perm_version, r.kind});
@@ -505,10 +508,12 @@ void TxTree::run_future_body(std::uint32_t node_idx,
     runtime_.robustness().failpoint_fires.fetch_add(1,
                                                     std::memory_order_relaxed);
     runtime_.stats().fallback_restarts.fetch_add(1, std::memory_order_relaxed);
+    note_chaos_induced();
     std::lock_guard<std::mutex> lock(mutex_);
     mark_tree_failed_locked(TreeFailed::Reason::kInterTreeConflict);
     return;
   }
+  obs::trace::Span eval_span(obs::trace::Ev::kFutureEval, node_idx);
   if (partial_rollback()) {
     // Host the body on a fiber so continuations created inside it can be
     // rolled back via FCC. The callable moves into fiber-stable storage —
@@ -597,10 +602,16 @@ bool TxTree::validate_locked(SubTxn& t) {
       runtime_.robustness().failpoint_fires.fetch_add(
           1, std::memory_order_relaxed);
       if (mask & util::fp::kAbortTreeBit) {
+        note_chaos_induced();
         mark_tree_failed_locked(TreeFailed::Reason::kInterTreeConflict);
         return false;
       }
-      if (mask & util::fp::kFailBit) return false;
+      if (mask & util::fp::kFailBit) {
+        // The injected failure may cascade into a tree restart (continuation
+        // validation); classify any such abort of THIS attempt as injected.
+        note_chaos_induced();
+        return false;
+      }
     }
   }
   if (runtime_.config().read_only_future_opt && t.written_boxes.empty() &&

@@ -33,6 +33,7 @@
 #include "core/config.hpp"
 #include "core/future_state.hpp"
 #include "core/subtxn.hpp"
+#include "obs/metrics.hpp"
 #include "stm/transaction.hpp"
 #include "util/spin_lock.hpp"
 
@@ -71,6 +72,18 @@ struct TxStats {
   std::atomic<std::uint64_t> serial_fallbacks{0};    // convergence fallback
   std::atomic<std::uint64_t> partial_rollbacks{0};   // FCC continuation rolls
 
+  TxStats() {
+    reg_.atomic("core.top_commits", top_commits)
+        .atomic("core.top_aborts", top_aborts)
+        .atomic("core.tree_restarts", tree_restarts)
+        .atomic("core.fallback_restarts", fallback_restarts)
+        .atomic("core.future_reexecutions", future_reexecutions)
+        .atomic("core.futures_submitted", futures_submitted)
+        .atomic("core.ro_validation_skips", ro_validation_skips)
+        .atomic("core.serial_fallbacks", serial_fallbacks)
+        .atomic("core.partial_rollbacks", partial_rollbacks);
+  }
+
   void reset() {
     top_commits = 0;
     top_aborts = 0;
@@ -82,6 +95,9 @@ struct TxStats {
     serial_fallbacks = 0;
     partial_rollbacks = 0;
   }
+
+ private:
+  obs::Registration reg_;  // "core.*" in the MetricsRegistry
 };
 
 class TxTree {
@@ -214,6 +230,17 @@ class TxTree {
   /// escalates to the serial-irrevocable fallback). Idempotent.
   void fail_stalled();
 
+  /// A chaos failpoint's failure action fired during this attempt (one tree
+  /// = one attempt). The abort-cause taxonomy reports such an attempt as
+  /// kFailpointInjected regardless of which conflict shape the injection
+  /// took, so chaos aborts never pollute the organic cause counters.
+  void note_chaos_induced() noexcept {
+    chaos_induced_.store(true, std::memory_order_relaxed);
+  }
+  bool chaos_induced() const noexcept {
+    return chaos_induced_.load(std::memory_order_relaxed);
+  }
+
   /// Debug: print the node table to stderr (diagnosing stuck cascades).
   void debug_dump();
 
@@ -296,6 +323,7 @@ class TxTree {
   std::atomic<TreeStatus> status_{TreeStatus::kActive};
   bool serial_ = false;
   std::atomic<bool> failed_{false};
+  std::atomic<bool> chaos_induced_{false};
   TreeFailed::Reason fail_reason_ = TreeFailed::Reason::kTopLevelConflict;
   std::exception_ptr user_exception_;  // guarded by mutex_
   std::atomic<bool> fallback_{false};

@@ -1,0 +1,93 @@
+// Abort-cause taxonomy: replaces the flat "aborted" counter with one cause
+// per failed attempt, threaded through Transaction (flat STM), TxTree and
+// the contention manager, counted in the MetricsRegistry and stamped on
+// tx.abort trace events.
+//
+// Accounting contract (the double-count fix):
+//  * `tx.abort.cause.*` and `tx.attempt_aborts` count once per FAILED
+//    ATTEMPT — a transaction that aborts three times and then commits
+//    contributes 3 to its causes and 0 to tx.aborted.
+//  * `tx.commits` / `tx.aborted` count once per FINAL OUTCOME of an
+//    atomically() call: commits on return, aborted only when an exception
+//    propagates to the caller (the only way a call finally aborts).
+//  * `tx.abort.cause.deadline` counts deadline-driven escalations to the
+//    serial-irrevocable path; it marks the abandonment of the parallel
+//    strategy and is deliberately NOT part of tx.attempt_aborts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace txf::obs {
+
+enum class AbortCause : std::uint8_t {
+  kReadValidation = 0,  // read set overtaken by a newer commit
+  kWriteWrite,          // inter-tree write conflict (Alg. 1 owned-by-other)
+  kStaleSnapshot,       // snapshot lost a race with version trimming
+  kTreeOrder,           // strong-order violation: continuation conflict
+  kFailpointInjected,   // a chaos-plan failure action forced the abort
+  kDeadlineExceeded,    // Config::tx_deadline_us expired (escalation)
+  kSerialPreempt,       // stalled while a serial-irrevocable txn was pending
+  kStalled,             // stall detector fired (no pending escalation)
+  kExplicitRetry,       // retry_now() / user RetryTransaction
+  kUserException,       // user code threw out of the transaction
+  kCount
+};
+
+inline const char* abort_cause_name(AbortCause c) noexcept {
+  switch (c) {
+    case AbortCause::kReadValidation: return "read_validation";
+    case AbortCause::kWriteWrite: return "write_write";
+    case AbortCause::kStaleSnapshot: return "stale_snapshot";
+    case AbortCause::kTreeOrder: return "tree_order";
+    case AbortCause::kFailpointInjected: return "failpoint_injected";
+    case AbortCause::kDeadlineExceeded: return "deadline";
+    case AbortCause::kSerialPreempt: return "serial_preempt";
+    case AbortCause::kStalled: return "stalled";
+    case AbortCause::kExplicitRetry: return "explicit_retry";
+    case AbortCause::kUserException: return "user_exception";
+    case AbortCause::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Per-StmEnv abort accounting (one per Runtime via its env). Registered in
+/// the MetricsRegistry; benches and tests may also read an env's instance
+/// directly for per-run isolation.
+struct AbortAccounting {
+  std::array<Counter, static_cast<std::size_t>(AbortCause::kCount)> cause{};
+  Counter attempt_aborts;  // any failed attempt, all causes
+  Counter tx_commits;      // final outcome: committed
+  Counter tx_aborted;      // final outcome: exception propagated
+  Registration reg;
+
+  AbortAccounting() {
+    for (std::size_t i = 0; i < cause.size(); ++i) {
+      reg.counter(std::string("tx.abort.cause.") +
+                      abort_cause_name(static_cast<AbortCause>(i)),
+                  cause[i]);
+    }
+    reg.counter("tx.attempt_aborts", attempt_aborts)
+        .counter("tx.commits", tx_commits)
+        .counter("tx.aborted", tx_aborted);
+  }
+
+  Counter& of(AbortCause c) noexcept {
+    return cause[static_cast<std::size_t>(c)];
+  }
+  const Counter& of(AbortCause c) const noexcept {
+    return cause[static_cast<std::size_t>(c)];
+  }
+
+  /// One failed attempt with cause `c` (see the accounting contract above).
+  void on_attempt_abort(AbortCause c) noexcept {
+    of(c).add();
+    attempt_aborts.add();
+  }
+};
+
+}  // namespace txf::obs

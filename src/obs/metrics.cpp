@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace txf::obs {
+
+namespace {
+
+enum class Kind : std::uint8_t { kCounter, kAtomic, kGauge, kHistogram };
+
+struct Entry {
+  Kind kind;
+  const void* metric;
+};
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map: snapshot_json iterates in sorted name order for free, and
+  // registration is cold (component construction only).
+  std::map<std::string, std::vector<Entry>> by_name;
+
+  void add(const std::string& name, Kind kind, const void* metric) {
+    std::lock_guard<std::mutex> lock(mutex);
+    by_name[name].push_back(Entry{kind, metric});
+  }
+};
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked singleton: components may deregister from static destructors in
+  // any order; the registry must outlive them all.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry::Impl* MetricsRegistry::impl() {
+  static Impl* i = new Impl();
+  return i;
+}
+
+const MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  return const_cast<MetricsRegistry*>(this)->impl();
+}
+
+void MetricsRegistry::add_counter(const std::string& name, const Counter* c) {
+  impl()->add(name, Kind::kCounter, c);
+}
+void MetricsRegistry::add_atomic(const std::string& name,
+                                 const std::atomic<std::uint64_t>* a) {
+  impl()->add(name, Kind::kAtomic, a);
+}
+void MetricsRegistry::add_gauge(const std::string& name, const Gauge* g) {
+  impl()->add(name, Kind::kGauge, g);
+}
+void MetricsRegistry::add_histogram(const std::string& name,
+                                    const Histogram* h) {
+  impl()->add(name, Kind::kHistogram, h);
+}
+
+void MetricsRegistry::remove(const std::string& name, const void* metric) {
+  Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  auto it = i->by_name.find(name);
+  if (it == i->by_name.end()) return;
+  auto& v = it->second;
+  for (auto e = v.begin(); e != v.end(); ++e) {
+    if (e->metric == metric) {
+      v.erase(e);
+      break;
+    }
+  }
+  if (v.empty()) i->by_name.erase(it);
+}
+
+namespace {
+
+std::uint64_t scalar_value(const Entry& e) {
+  switch (e.kind) {
+    case Kind::kCounter:
+      return static_cast<const Counter*>(e.metric)->load();
+    case Kind::kAtomic:
+      return static_cast<const std::atomic<std::uint64_t>*>(e.metric)->load(
+          std::memory_order_relaxed);
+    case Kind::kGauge:
+      return static_cast<std::uint64_t>(
+          static_cast<const Gauge*>(e.metric)->load());
+    case Kind::kHistogram:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  auto it = i->by_name.find(name);
+  if (it == i->by_name.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& e : it->second) total += scalar_value(e);
+  return total;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, entries] : i->by_name) {
+    if (entries.empty()) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << name << "\": ";
+    if (entries.front().kind == Kind::kHistogram) {
+      std::uint64_t count = 0, sum = 0;
+      std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+      for (const auto& e : entries) {
+        const auto* h = static_cast<const Histogram*>(e.metric);
+        count += h->count();
+        sum += h->sum();
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+          buckets[b] += h->bucket_count(b);
+      }
+      out << "{\"count\": " << count << ", \"sum\": " << sum
+          << ", \"buckets\": [";
+      for (std::size_t b = 0; b < buckets.size(); ++b)
+        out << (b ? ", " : "") << buckets[b];
+      out << "]}";
+    } else if (entries.front().kind == Kind::kGauge) {
+      // Gauges are signed; summing through uint64 would wrap negatives.
+      std::int64_t total = 0;
+      for (const auto& e : entries)
+        total += static_cast<const Gauge*>(e.metric)->load();
+      out << total;
+    } else {
+      std::uint64_t total = 0;
+      for (const auto& e : entries) total += scalar_value(e);
+      out << total;
+    }
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace txf::obs

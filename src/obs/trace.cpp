@@ -1,0 +1,252 @@
+#include "obs/trace.hpp"
+
+#if defined(TXF_TRACE_ENABLED)
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/abort_cause.hpp"
+#include "util/cache_line.hpp"
+
+namespace txf::obs::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{true};
+}  // namespace detail
+
+namespace {
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Record packing: word A is the raw start timestamp; word B packs
+//   [63:58] event id   [57] span flag   [55:32] arg (24 bits)
+//   [31:0]  duration in ticks, saturated (~1.4 s at 3 GHz — spans longer
+//           than that clamp; see DESIGN.md).
+std::uint64_t pack(Ev ev, bool span, std::uint32_t arg,
+                   std::uint64_t dur) noexcept {
+  if (dur > 0xFFFFFFFFull) dur = 0xFFFFFFFFull;
+  return (static_cast<std::uint64_t>(ev) << 58) |
+         (static_cast<std::uint64_t>(span ? 1 : 0) << 57) |
+         (static_cast<std::uint64_t>(arg & 0xFFFFFFu) << 32) | dur;
+}
+
+struct Slot {
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+};
+
+/// Single-writer ring. The owner thread stores both words relaxed, then
+/// publishes with a release store of pos_; all stores are atomic, so a
+/// concurrent drainer reading relaxed sees no data race (values from a
+/// lapped slot are discarded by position arithmetic, not by inspection).
+struct alignas(util::kCacheLineSize) TraceBuffer {
+  std::atomic<std::uint64_t> pos{0};  // records ever written
+  std::uint32_t tid = 0;
+  char pad[util::kCacheLineSize - sizeof(std::atomic<std::uint64_t>) -
+           sizeof(std::uint32_t)];
+  Slot slots[kRingCapacity];
+
+  void emit(std::uint64_t a, std::uint64_t b) noexcept {
+    const std::uint64_t i = pos.load(std::memory_order_relaxed);
+    Slot& s = slots[i & (kRingCapacity - 1)];
+    s.a.store(a, std::memory_order_relaxed);
+    s.b.store(b, std::memory_order_relaxed);
+    pos.store(i + 1, std::memory_order_release);
+  }
+};
+
+struct Domain {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;  // never shrinks
+  std::uint64_t tsc0;
+  std::uint64_t ns0;
+  std::string out_path;
+
+  Domain() {
+    tsc0 = tsc_now();
+    ns0 = steady_ns();
+    if (const char* v = std::getenv("TXF_TRACE")) {
+      if (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+          std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0) {
+        detail::g_enabled.store(false, std::memory_order_relaxed);
+      }
+    }
+    if (const char* p = std::getenv("TXF_TRACE_OUT")) {
+      out_path = p;
+      std::atexit([] {
+        Domain& d = Domain::instance();
+        if (d.out_path.empty()) return;
+        if (write_json(d.out_path.c_str())) {
+          std::fprintf(stderr, "txtrace: wrote %s\n", d.out_path.c_str());
+        } else {
+          std::fprintf(stderr, "txtrace: cannot write %s\n",
+                       d.out_path.c_str());
+        }
+      });
+    }
+  }
+
+  static Domain& instance() {
+    // Leaked: buffers are drained from atexit and may be touched by
+    // detached-thread destructors; teardown order must not matter.
+    static Domain* d = new Domain();
+    return *d;
+  }
+
+  TraceBuffer* claim() {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto buf = std::make_unique<TraceBuffer>();
+    buf->tid = static_cast<std::uint32_t>(buffers.size());
+    buffers.push_back(std::move(buf));
+    return buffers.back().get();
+  }
+};
+
+/// Per-thread handle; the buffer stays in the domain (drainable) after the
+/// thread exits.
+struct ThreadHandle {
+  TraceBuffer* buf = nullptr;
+};
+
+TraceBuffer* local_buffer() {
+  static thread_local ThreadHandle handle;
+  if (handle.buf == nullptr) handle.buf = Domain::instance().claim();
+  return handle.buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+void emit(Ev ev, bool span, std::uint32_t arg, std::uint64_t start_tsc,
+          std::uint64_t dur_ticks) noexcept {
+  if (start_tsc == 0) start_tsc = steady_ns();  // no TSC on this target
+  local_buffer()->emit(start_tsc, pack(ev, span, arg, dur_ticks));
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t current_tid() { return local_buffer()->tid; }
+
+std::vector<DrainedRecord> drain_records() {
+  Domain& d = Domain::instance();
+  std::vector<DrainedRecord> out;
+  std::lock_guard<std::mutex> lock(d.mutex);
+  for (const auto& buf : d.buffers) {
+    // Drain protocol: copy the window [first, end), then re-read pos and
+    // discard every index the writer may have lapped meanwhile. The +1
+    // guards the slot the writer may be mid-way through overwriting before
+    // its pos bump is visible.
+    const std::uint64_t end = buf->pos.load(std::memory_order_acquire);
+    const std::uint64_t first = end > kRingCapacity ? end - kRingCapacity : 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> copy;
+    copy.reserve(static_cast<std::size_t>(end - first));
+    for (std::uint64_t i = first; i < end; ++i) {
+      const Slot& s = buf->slots[i & (kRingCapacity - 1)];
+      copy.emplace_back(s.a.load(std::memory_order_relaxed),
+                        s.b.load(std::memory_order_relaxed));
+    }
+    const std::uint64_t after = buf->pos.load(std::memory_order_acquire);
+    const std::uint64_t min_valid =
+        after + 1 > kRingCapacity ? after + 1 - kRingCapacity : 0;
+    for (std::uint64_t i = first; i < end; ++i) {
+      if (i < min_valid) continue;
+      const auto& [a, b] = copy[static_cast<std::size_t>(i - first)];
+      DrainedRecord r;
+      r.tid = buf->tid;
+      r.tsc = a;
+      r.dur_ticks = b & 0xFFFFFFFFull;
+      r.arg = static_cast<std::uint32_t>((b >> 32) & 0xFFFFFFu);
+      r.ev = static_cast<Ev>((b >> 58) & 0x3Fu);
+      r.span = ((b >> 57) & 1u) != 0;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::string drain_json() {
+  Domain& d = Domain::instance();
+  // Calibrate ticks -> microseconds against the wall time elapsed since
+  // domain init; by drain time that window is long enough for a stable
+  // ratio. Falls back to 1 tick = 1 ns when the counters are nanoseconds
+  // already (non-x86 targets) or the window is degenerate.
+  const std::uint64_t tsc1 = tsc_now() != 0 ? tsc_now() : steady_ns();
+  const std::uint64_t ns1 = steady_ns();
+  double ticks_per_us = 1000.0;
+  if (ns1 > d.ns0 && tsc1 > d.tsc0) {
+    ticks_per_us = static_cast<double>(tsc1 - d.tsc0) /
+                   (static_cast<double>(ns1 - d.ns0) / 1000.0);
+    if (ticks_per_us <= 0) ticks_per_us = 1000.0;
+  }
+  const std::uint64_t tsc0 = d.tsc0;
+  auto to_us = [&](std::uint64_t ticks) {
+    return static_cast<double>(ticks) / ticks_per_us;
+  };
+
+  const std::vector<DrainedRecord> records = drain_records();
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& r : records) {
+    if (r.ev == Ev::kNone || r.ev >= Ev::kCount) continue;
+    if (!first) out << ",";
+    first = false;
+    const double ts = r.tsc >= tsc0 ? to_us(r.tsc - tsc0) : 0.0;
+    out << "\n{\"name\": \"" << ev_name(r.ev) << "\", \"ph\": \""
+        << (r.span ? 'X' : 'i') << "\", \"pid\": 1, \"tid\": " << r.tid
+        << ", \"ts\": " << ts;
+    if (r.span) {
+      out << ", \"dur\": " << to_us(r.dur_ticks);
+    } else {
+      out << ", \"s\": \"t\"";
+    }
+    if (r.ev == Ev::kTxAbort) {
+      out << ", \"args\": {\"cause\": \""
+          << abort_cause_name(static_cast<AbortCause>(
+                 r.arg < static_cast<std::uint32_t>(AbortCause::kCount)
+                     ? r.arg
+                     : static_cast<std::uint32_t>(AbortCause::kCount)))
+          << "\"}";
+    } else if (r.arg != 0) {
+      out << ", \"args\": {\"arg\": " << r.arg << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool write_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  const std::string s = drain_json();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace txf::obs::trace
+
+#else  // !TXF_TRACE_ENABLED
+
+// Everything is an inline no-op in the header; nothing to define.
+
+#endif

@@ -1,0 +1,193 @@
+// txtrace: always-on, per-thread, lock-free binary event tracing.
+//
+// Every thread that emits an event owns a cache-line-padded ring buffer of
+// fixed 16-byte records (TSC timestamp + packed event/arg/duration). The
+// owner writes with relaxed stores and publishes with one release store of
+// the position — no CAS, no lock, no branch beyond one relaxed enabled()
+// load. A drainer copies a buffer concurrently and discards any slot the
+// writer may have lapped (see drain protocol in trace.cpp / DESIGN.md).
+//
+// Spans are emitted as single self-contained records at span END (start
+// TSC + duration in ticks), so a wrapped ring never strands an unmatched
+// begin: every retained record is a complete Chrome trace_event "X" (span)
+// or "i" (instant) event.
+//
+// Compile-time gate: building with -DTXF_TRACE=OFF (CMake option, which
+// defines TXF_TRACE_DISABLED) makes every emit below compile to an empty
+// inline — true zero cost. Tracing is otherwise on by default, including
+// for out-of-tree consumers of the umbrella header; a client must never
+// have to define anything to get the always-on behaviour. With tracing
+// compiled in, TXF_TRACE=0/off in the environment disables emission at
+// runtime (one relaxed load per site), and TXF_TRACE_OUT=<path> dumps the
+// drained Chrome trace_event JSON at process exit (loadable in Perfetto /
+// about:tracing).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if !defined(TXF_TRACE_DISABLED) && !defined(TXF_TRACE_ENABLED)
+#define TXF_TRACE_ENABLED 1
+#endif
+
+namespace txf::obs::trace {
+
+enum class Ev : std::uint8_t {
+  kNone = 0,
+  kTx,                 // span: one top-level attempt (flat or tree)
+  kTxCommit,           // instant: the attempt committed
+  kTxAbort,            // instant: attempt aborted; arg = AbortCause
+  kFutureSubmit,       // instant: future submitted; arg = node index
+  kFutureEval,         // span: future body execution; arg = node index
+  kFutureJoin,         // span: TxFuture::get wait
+  kTreeResolve,        // instant: tree read fell back to a list walk; arg = hops
+  kReadWalk,           // instant: flat read fell back to a list walk; arg = hops
+  kCommitPrevalidate,  // span: stage-1 pre-validation
+  kCommitAssign,       // span: stage-2 batched version assignment pass
+  kCommitWriteback,    // span: stage-3 write-back fan-out pass
+  kSchedRun,           // span: one pool task execution
+  kSchedSteal,         // instant: successful steal; arg = victim index
+  kSchedPark,          // instant: worker parked
+  kTest,               // unit tests only
+  kCount
+};
+
+inline const char* ev_name(Ev e) noexcept {
+  switch (e) {
+    case Ev::kTx: return "tx";
+    case Ev::kTxCommit: return "tx.commit";
+    case Ev::kTxAbort: return "tx.abort";
+    case Ev::kFutureSubmit: return "future.submit";
+    case Ev::kFutureEval: return "future.eval";
+    case Ev::kFutureJoin: return "future.join";
+    case Ev::kTreeResolve: return "tree.resolve";
+    case Ev::kReadWalk: return "read.walk";
+    case Ev::kCommitPrevalidate: return "commit.prevalidate";
+    case Ev::kCommitAssign: return "commit.assign";
+    case Ev::kCommitWriteback: return "commit.writeback";
+    case Ev::kSchedRun: return "sched.run";
+    case Ev::kSchedSteal: return "sched.steal";
+    case Ev::kSchedPark: return "sched.park";
+    case Ev::kTest: return "test";
+    default: return "none";
+  }
+}
+
+/// One decoded record (drain output; tests assert on these).
+struct DrainedRecord {
+  std::uint32_t tid;        // per-buffer (per-thread) id
+  std::uint64_t tsc;        // start timestamp, raw ticks
+  std::uint64_t dur_ticks;  // 0 for instants
+  std::uint32_t arg;
+  Ev ev;
+  bool span;
+};
+
+#if defined(TXF_TRACE_ENABLED)
+
+/// Records per thread ring (compile-time; 16 bytes each).
+inline constexpr std::size_t kRingCapacity = std::size_t{1} << 13;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void emit(Ev ev, bool span, std::uint32_t arg, std::uint64_t start_tsc,
+          std::uint64_t dur_ticks) noexcept;
+}  // namespace detail
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Raw per-thread timestamp: invariant TSC on x86-64, the virtual counter
+/// on aarch64, steady_clock ns elsewhere. Monotone per thread; calibrated
+/// against steady_clock at drain time.
+inline std::uint64_t tsc_now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return 0;  // trace.cpp falls back to steady_clock inside emit
+#endif
+}
+
+inline void instant(Ev ev, std::uint32_t arg = 0) noexcept {
+  if (enabled()) detail::emit(ev, false, arg, tsc_now(), 0);
+}
+
+/// Emit a complete span given its start timestamp (from tsc_now()).
+inline void complete(Ev ev, std::uint64_t start_tsc,
+                     std::uint32_t arg = 0) noexcept {
+  if (enabled()) detail::emit(ev, true, arg, start_tsc, tsc_now() - start_tsc);
+}
+
+/// RAII span: stamps start on construction, emits one complete record on
+/// destruction (exception-safe — an unwinding attempt still closes its
+/// span). set_arg() lets the cause/index be decided mid-span.
+class Span {
+ public:
+  explicit Span(Ev ev, std::uint32_t arg = 0) noexcept
+      : ev_(ev), arg_(arg), armed_(enabled()) {
+    if (armed_) t0_ = tsc_now();
+  }
+  ~Span() {
+    if (armed_) detail::emit(ev_, true, arg_, t0_, tsc_now() - t0_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void set_arg(std::uint32_t arg) noexcept { arg_ = arg; }
+
+ private:
+  std::uint64_t t0_ = 0;
+  Ev ev_;
+  std::uint32_t arg_;
+  bool armed_;
+};
+
+/// Runtime toggle (tests; normal control is the TXF_TRACE env var).
+void set_enabled(bool on) noexcept;
+
+/// Ring-buffer id of the calling thread (claims a buffer if needed).
+std::uint32_t current_tid();
+
+/// Copy out every valid record from every buffer (live and retired),
+/// in per-buffer write order. Safe to call while writers are running.
+std::vector<DrainedRecord> drain_records();
+
+/// Drained trace as Chrome trace_event JSON ({"traceEvents": [...]}).
+std::string drain_json();
+
+/// Write drain_json() to `path`. Returns false on I/O error.
+bool write_json(const char* path);
+
+#else  // !TXF_TRACE_ENABLED — every site compiles to nothing.
+
+inline constexpr std::size_t kRingCapacity = 0;
+
+inline bool enabled() noexcept { return false; }
+inline std::uint64_t tsc_now() noexcept { return 0; }
+inline void instant(Ev, std::uint32_t = 0) noexcept {}
+inline void complete(Ev, std::uint64_t, std::uint32_t = 0) noexcept {}
+
+class Span {
+ public:
+  explicit Span(Ev, std::uint32_t = 0) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void set_arg(std::uint32_t) noexcept {}
+};
+
+inline void set_enabled(bool) noexcept {}
+inline std::uint32_t current_tid() { return 0; }
+inline std::vector<DrainedRecord> drain_records() { return {}; }
+inline std::string drain_json() { return "{\"traceEvents\": []}\n"; }
+inline bool write_json(const char*) { return false; }
+
+#endif  // TXF_TRACE_ENABLED
+
+}  // namespace txf::obs::trace

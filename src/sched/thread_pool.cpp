@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "util/failpoint.hpp"
 
 namespace txf::sched {
@@ -21,6 +22,11 @@ ThreadPool::ThreadPool(std::size_t worker_count) {
     w->rng = util::Xoshiro256(0x9e3779b9u * (i + 1));
     workers_.push_back(std::move(w));
   }
+  reg_.counter("sched.steals", steals_)
+      .counter("sched.parks", parks_)
+      .atomic("sched.executed", executed_)
+      .gauge("sched.workers", workers_gauge_);
+  workers_gauge_.set(static_cast<std::int64_t>(worker_count));
   threads_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
     threads_.emplace_back([this, i] { worker_loop(*workers_[i]); });
@@ -95,7 +101,12 @@ Task* ThreadPool::steal_from_others(Worker* self) {
   for (std::size_t k = 0; k < n; ++k) {
     Worker* victim = workers_[(start + k) % n].get();
     if (victim == self) continue;
-    if (Task* t = victim->deque.steal()) return t;
+    if (Task* t = victim->deque.steal()) {
+      steals_.add();
+      obs::trace::instant(obs::trace::Ev::kSchedSteal,
+                          static_cast<std::uint32_t>(victim->index));
+      return t;
+    }
   }
   return nullptr;
 }
@@ -111,8 +122,11 @@ Task* ThreadPool::find_task(Worker* self) {
 bool ThreadPool::try_run_one() {
   Task* t = find_task(current_pool_ == this ? current_worker_ : nullptr);
   if (t == nullptr) return false;
-  // Run with worker identity if we have one; helpers keep their own.
-  (*t)();
+  {
+    // Run with worker identity if we have one; helpers keep their own.
+    obs::trace::Span run_span(obs::trace::Ev::kSchedRun);
+    (*t)();
+  }
   delete t;
   executed_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -124,13 +138,19 @@ void ThreadPool::worker_loop(Worker& self) {
   while (!stopping_.load(std::memory_order_acquire)) {
     Task* t = find_task(&self);
     if (t != nullptr) {
-      (*t)();
+      {
+        obs::trace::Span run_span(obs::trace::Ev::kSchedRun);
+        (*t)();
+      }
       delete t;
       executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     // Nothing runnable: park until the work epoch changes (CP.42 — never
     // wait without a condition).
+    parks_.add();
+    obs::trace::instant(obs::trace::Ev::kSchedPark,
+                        static_cast<std::uint32_t>(self.index));
     const std::uint64_t seen = work_epoch_.load(std::memory_order_seq_cst);
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);

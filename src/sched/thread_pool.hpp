@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/task.hpp"
 #include "sched/ws_deque.hpp"
 #include "util/cache_line.hpp"
@@ -50,6 +51,10 @@ class ThreadPool {
   std::uint64_t executed_count() const noexcept {
     return executed_.load(std::memory_order_relaxed);
   }
+  /// Successful steals / park episodes (also "sched.steals"/"sched.parks"
+  /// in the MetricsRegistry).
+  std::uint64_t steal_count() const noexcept { return steals_.load(); }
+  std::uint64_t park_count() const noexcept { return parks_.load(); }
 
  private:
   struct Worker {
@@ -76,6 +81,10 @@ class ThreadPool {
   std::atomic<std::uint32_t> sleepers_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> executed_{0};
+  obs::Counter steals_;
+  obs::Counter parks_;
+  obs::Gauge workers_gauge_;
+  obs::Registration reg_;  // "sched.*" (see constructor)
 
   static thread_local Worker* current_worker_;
   static thread_local ThreadPool* current_pool_;

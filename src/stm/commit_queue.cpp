@@ -5,12 +5,40 @@
 #include <chrono>
 #include <cstddef>
 
+#include "obs/trace.hpp"
 #include "stm/vbox.hpp"
 #include "stm/write_set.hpp"
 #include "util/backoff.hpp"
 #include "util/failpoint.hpp"
 
 namespace txf::stm {
+
+namespace {
+
+/// Sampled stage timer: cheap thread-local tick decides (1-in-16) whether
+/// this execution pays two steady_clock reads; the histogram reports the
+/// sampled distribution. The txtrace span is independent (TSC, own gate).
+struct SampledTimer {
+  std::chrono::steady_clock::time_point t0;
+  bool armed = false;
+
+  static bool sample() noexcept {
+    thread_local std::uint32_t tick = 0;
+    return (++tick & 15u) == 0;
+  }
+  explicit SampledTimer(bool on) : armed(on) {
+    if (armed) t0 = std::chrono::steady_clock::now();
+  }
+  void finish(obs::Histogram& h) const {
+    if (!armed) return;
+    h.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Thread-local object pools.
@@ -68,6 +96,17 @@ CommitQueue::CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
   sentinel->done_.store(true, std::memory_order_relaxed);
   head_->store(sentinel, std::memory_order_relaxed);
   tail_->store(sentinel, std::memory_order_relaxed);
+  reg_.atomic("stm.commit.committed", committed_)
+      .atomic("stm.commit.aborted", aborted_)
+      .atomic("stm.commit.prevalidation_sheds", sheds_)
+      .atomic("stm.commit.batches", batches_)
+      .atomic("stm.commit.batched_requests", batched_requests_)
+      .atomic("stm.commit.dwell_ns", dwell_ns_)
+      .atomic("stm.commit.dwell_samples", dwell_samples_)
+      .histogram("stm.commit.batch_size", batch_size_h_)
+      .histogram("stm.commit.stage.prevalidate_ns", prevalidate_ns_)
+      .histogram("stm.commit.stage.assign_ns", assign_ns_)
+      .histogram("stm.commit.stage.writeback_ns", writeback_ns_);
 }
 
 CommitQueue::~CommitQueue() {
@@ -191,6 +230,14 @@ bool CommitQueue::prevalidate(const std::vector<VBoxImpl*>& reads,
   // shed decision and enqueue, so a shed raced by a committing writer and a
   // pass raced into a doomed batch slot both get exercised.
   TXF_FP_POINT("stm.commit.prevalidate");
+  obs::trace::Span span(obs::trace::Ev::kCommitPrevalidate,
+                        static_cast<std::uint32_t>(reads.size()));
+  SampledTimer timer(SampledTimer::sample());
+  struct Finish {
+    const SampledTimer& t;
+    obs::Histogram& h;
+    ~Finish() { t.finish(h); }
+  } finish{timer, prevalidate_ns_};
   for (const VBoxImpl* box : reads) {
     // Committed versions only grow, so a head past our snapshot dooms the
     // final validation no matter when this request would reach a batch.
@@ -394,6 +441,7 @@ void CommitQueue::record_batch_stats(Batch& b) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = b.reqs.size();
   batched_requests_.fetch_add(n, std::memory_order_relaxed);
+  batch_size_h_.record(n);
   // Bucket i covers sizes (2^(i-1), 2^i]: 1, 2, 3-4, 5-8, ..., 65+.
   std::size_t bucket =
       n <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(n - 1));
@@ -424,20 +472,32 @@ void CommitQueue::help_batch(Batch* b) {
     // After this returns, *all* verdicts of the batch are decided (the
     // write-back gate the validation determinism argument relies on).
     Plan& plan = local_plan();
-    build_plan(*b, plan);
-
-    // Stage 3: claim distinct partitions first (parallel fan-out)...
-    const std::size_t nparts = plan.partitions.size();
-    for (;;) {
-      const std::uint32_t i =
-          b->next_partition.fetch_add(1, std::memory_order_relaxed);
-      if (i >= nparts) break;
-      link_partition(plan, i);
+    {
+      obs::trace::Span span(obs::trace::Ev::kCommitAssign,
+                            static_cast<std::uint32_t>(b->reqs.size()));
+      SampledTimer timer(SampledTimer::sample());
+      build_plan(*b, plan);
+      timer.finish(assign_ns_);
     }
-    // ...then sweep them all (idempotent), so this helper has personally
-    // verified every box is linked before it publishes the clock. A claimer
-    // that stalled cannot strand its partition.
-    for (std::size_t i = 0; i < nparts; ++i) link_partition(plan, i);
+
+    {
+      // Stage 3: claim distinct partitions first (parallel fan-out)...
+      obs::trace::Span span(obs::trace::Ev::kCommitWriteback,
+                            static_cast<std::uint32_t>(plan.partitions.size()));
+      SampledTimer timer(SampledTimer::sample());
+      const std::size_t nparts = plan.partitions.size();
+      for (;;) {
+        const std::uint32_t i =
+            b->next_partition.fetch_add(1, std::memory_order_relaxed);
+        if (i >= nparts) break;
+        link_partition(plan, i);
+      }
+      // ...then sweep them all (idempotent), so this helper has personally
+      // verified every box is linked before it publishes the clock. A
+      // claimer that stalled cannot strand its partition.
+      for (std::size_t i = 0; i < nparts; ++i) link_partition(plan, i);
+      timer.finish(writeback_ns_);
+    }
 
     // Completion — each step idempotent or CAS-once, any helper can run it:
     // (1) publish the whole batch atomically,

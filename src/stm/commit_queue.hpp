@@ -62,6 +62,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "stm/global_clock.hpp"
 #include "stm/versions.hpp"
 #include "util/epoch.hpp"
@@ -172,6 +173,21 @@ class CommitQueue {
   std::uint64_t queue_dwell_samples() const noexcept {
     return dwell_samples_.load(std::memory_order_relaxed);
   }
+  /// Per-stage duration histograms (sampled, nanoseconds): stage 1
+  /// pre-validation, stage 2 deterministic pass, stage 3 write-back fan-out.
+  /// Registered as "stm.commit.stage.{prevalidate,assign,writeback}_ns".
+  const obs::Histogram& stage_prevalidate_ns() const noexcept {
+    return prevalidate_ns_;
+  }
+  const obs::Histogram& stage_assign_ns() const noexcept { return assign_ns_; }
+  const obs::Histogram& stage_writeback_ns() const noexcept {
+    return writeback_ns_;
+  }
+  /// Registry-backed batch-size distribution ("stm.commit.batch_size",
+  /// full 32-bucket resolution; batch_size_bucket() keeps the coarse view).
+  const obs::Histogram& batch_size_hist() const noexcept {
+    return batch_size_h_;
+  }
 
   /// How often (in committed requests) to trim written boxes. Exposed for
   /// tests; default keeps GC overhead negligible. Atomic: helpers read it
@@ -252,6 +268,12 @@ class CommitQueue {
   std::atomic<std::uint64_t> trim_tick_{0};
   std::atomic<std::uint32_t> trim_period_{32};
   std::atomic<std::uint32_t> batch_limit_{kDefaultBatchLimit};
+
+  obs::Histogram prevalidate_ns_;
+  obs::Histogram assign_ns_;
+  obs::Histogram writeback_ns_;
+  obs::Histogram batch_size_h_;
+  obs::Registration reg_;  // "stm.commit.*" (see constructor)
 };
 
 }  // namespace txf::stm

@@ -2,19 +2,23 @@
 // the VBox home slot (zero pointer chases) versus falling back to the
 // permanent version-list walk, and how long those walks are.
 //
-// Two layers keep the hot path cheap:
-//   * ReadPathStats — shared, atomic, one per StmEnv. Benches and tests
-//     read it; nothing on the per-read path writes it directly.
-//   * ReadPathCounters — plain per-owner accumulator (one per Transaction /
-//     per SubTxn, both single-threaded by construction), flushed into the
-//     env's ReadPathStats at cold points (park, commit cascade, teardown).
+// Backed by the unified MetricsRegistry (obs/metrics.hpp) since the obs
+// layer landed: ReadPathStats is a bundle of registered Counter/Histogram
+// metrics ("stm.read.*"), one instance per StmEnv; `metrics::snapshot_json()`
+// sums every live instance. Two layers keep the hot path cheap:
+//   * ReadPathStats — shared registry metrics, one per StmEnv. Benches and
+//     tests read it; nothing on the per-read path writes it directly.
+//   * ReadPathCounters — plain per-owner shard (one per Transaction / per
+//     SubTxn, both single-threaded by construction), flushed into the env's
+//     ReadPathStats at cold points (park, commit cascade, teardown).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+
+#include "obs/metrics.hpp"
 
 namespace txf::stm {
 
@@ -22,10 +26,17 @@ struct ReadPathStats {
   /// Walk-length histogram buckets: 0 hops, 1, 2, 3-4, 5-8, ..., 65+.
   static constexpr std::size_t kWalkBuckets = 8;
 
-  std::atomic<std::uint64_t> home_hits{0};
-  std::atomic<std::uint64_t> list_walks{0};
-  std::atomic<std::uint64_t> walk_steps{0};
-  std::array<std::atomic<std::uint64_t>, kWalkBuckets> walk_hist{};
+  obs::Counter home_hits;
+  obs::Counter list_walks;
+  obs::Counter walk_steps;
+  obs::Histogram walk_hist;  // only the first kWalkBuckets are populated
+
+  ReadPathStats() {
+    reg_.counter("stm.read.home_hits", home_hits)
+        .counter("stm.read.list_walks", list_walks)
+        .counter("stm.read.walk_steps", walk_steps)
+        .histogram("stm.read.walk_hist", walk_hist);
+  }
 
   /// Bucket index for a walk of `len` next-pointer hops.
   static std::size_t bucket(std::size_t len) noexcept {
@@ -36,10 +47,13 @@ struct ReadPathStats {
 
   /// Fraction of permanent reads served by the home slot (0 when idle).
   double hit_rate() const noexcept {
-    const double h = static_cast<double>(home_hits.load(std::memory_order_relaxed));
-    const double w = static_cast<double>(list_walks.load(std::memory_order_relaxed));
+    const double h = static_cast<double>(home_hits.load());
+    const double w = static_cast<double>(list_walks.load());
     return h + w > 0 ? h / (h + w) : 0.0;
   }
+
+ private:
+  obs::Registration reg_;
 };
 
 struct ReadPathCounters {
@@ -55,16 +69,16 @@ struct ReadPathCounters {
     ++walk_hist[ReadPathStats::bucket(len)];
   }
 
-  /// Add everything into `stats` and zero this accumulator. Cheap when
-  /// nothing accumulated (one branch), so callers can flush eagerly.
+  /// Add everything into the env's registry-backed `stats` and zero this
+  /// shard. Cheap when nothing accumulated (one branch), so callers can
+  /// flush eagerly.
   void flush_into(ReadPathStats& stats) noexcept {
     if (home_hits == 0 && list_walks == 0) return;
-    stats.home_hits.fetch_add(home_hits, std::memory_order_relaxed);
-    stats.list_walks.fetch_add(list_walks, std::memory_order_relaxed);
-    stats.walk_steps.fetch_add(walk_steps, std::memory_order_relaxed);
+    stats.home_hits.add(home_hits);
+    stats.list_walks.add(list_walks);
+    stats.walk_steps.add(walk_steps);
     for (std::size_t i = 0; i < walk_hist.size(); ++i) {
-      if (walk_hist[i] != 0)
-        stats.walk_hist[i].fetch_add(walk_hist[i], std::memory_order_relaxed);
+      if (walk_hist[i] != 0) stats.walk_hist.add_to_bucket(i, walk_hist[i]);
     }
     *this = ReadPathCounters{};
   }

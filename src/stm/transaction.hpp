@@ -13,6 +13,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/abort_cause.hpp"
+#include "obs/trace.hpp"
 #include "stm/commit_queue.hpp"
 #include "stm/global_clock.hpp"
 #include "stm/read_stats.hpp"
@@ -42,6 +44,10 @@ class StmEnv {
   util::EpochDomain& epochs() noexcept { return *epochs_; }
   ReadPathStats& read_stats() noexcept { return read_stats_; }
   const ReadPathStats& read_stats() const noexcept { return read_stats_; }
+  obs::AbortAccounting& abort_accounting() noexcept { return aborts_; }
+  const obs::AbortAccounting& abort_accounting() const noexcept {
+    return aborts_;
+  }
 
  private:
   GlobalClock clock_;
@@ -49,6 +55,7 @@ class StmEnv {
   util::EpochDomain* epochs_;
   CommitQueue queue_;
   ReadPathStats read_stats_;
+  obs::AbortAccounting aborts_;
 };
 
 /// Thrown by user code to force an abort-and-retry of the current attempt.
@@ -106,9 +113,12 @@ class Transaction {
       // transaction whose snapshot the GC could not see). Not a programming
       // error: abort this attempt and let atomically() retry at a fresh
       // snapshot instead of crashing a release build.
+      pending_cause_ = obs::AbortCause::kStaleSnapshot;
       throw RetryTransaction{};
     }
     read_path_.note_walk(steps);
+    obs::trace::instant(obs::trace::Ev::kReadWalk,
+                        static_cast<std::uint32_t>(steps));
     if (mode_ == Mode::kReadWrite) reads_.put(&box, 0);
     return v->value;
   }
@@ -169,6 +179,15 @@ class Transaction {
     reset();
   }
 
+  /// Cause recorded by the engine for the current attempt's failure
+  /// (consumed by atomically(); defaults to `fallback` when the attempt
+  /// failed for a reason the engine did not classify).
+  obs::AbortCause take_abort_cause(obs::AbortCause fallback) noexcept {
+    const obs::AbortCause c = pending_cause_;
+    pending_cause_ = obs::AbortCause::kCount;
+    return c != obs::AbortCause::kCount ? c : fallback;
+  }
+
  private:
   void begin_snapshot() {
     // Publish-then-verify so the version GC can never trim a version this
@@ -192,6 +211,7 @@ class Transaction {
   WriteSetMap writes_;
   WriteSetMap reads_;  // keys only: the read set
   ReadPathCounters read_path_;  // flushed into env on park()/destruction
+  obs::AbortCause pending_cause_ = obs::AbortCause::kCount;  // kCount = none
   Mode mode_;
 };
 
@@ -206,24 +226,47 @@ auto atomically(StmEnv& env, F&& fn,
   using R = std::invoke_result_t<F&, Transaction&>;
   util::Backoff backoff;
   Transaction tx(env, mode);
+  obs::AbortAccounting& acc = env.abort_accounting();
   for (;;) {
-    if constexpr (std::is_void_v<R>) {
-      bool retry = false;
+    // Per-attempt accounting (see obs/abort_cause.hpp): every failed
+    // attempt counts its cause once; tx.commits / tx.aborted reflect only
+    // the call's final outcome. The trace span covers one attempt and
+    // always contains exactly one tx.commit or tx.abort instant.
+    obs::AbortCause cause = obs::AbortCause::kReadValidation;
+    {
+      obs::trace::Span attempt(obs::trace::Ev::kTx);
       try {
-        fn(tx);
+        if constexpr (std::is_void_v<R>) {
+          fn(tx);
+          if (tx.try_commit()) {
+            obs::trace::instant(obs::trace::Ev::kTxCommit);
+            acc.tx_commits.add();
+            return;
+          }
+        } else {
+          R result = fn(tx);
+          if (tx.try_commit()) {
+            obs::trace::instant(obs::trace::Ev::kTxCommit);
+            acc.tx_commits.add();
+            return result;
+          }
+        }
+        // try_commit() refused: the read set was overtaken (stage-1 shed or
+        // batch validation); `cause` keeps its kReadValidation default.
       } catch (const RetryTransaction&) {
-        retry = true;
+        cause = tx.take_abort_cause(obs::AbortCause::kExplicitRetry);
+      } catch (...) {
+        // User exception: the call's final outcome is an abort.
+        acc.on_attempt_abort(obs::AbortCause::kUserException);
+        acc.tx_aborted.add();
+        obs::trace::instant(
+            obs::trace::Ev::kTxAbort,
+            static_cast<std::uint32_t>(obs::AbortCause::kUserException));
+        throw;
       }
-      if (!retry && tx.try_commit()) return;
-    } else {
-      bool retry = false;
-      R result{};
-      try {
-        result = fn(tx);
-      } catch (const RetryTransaction&) {
-        retry = true;
-      }
-      if (!retry && tx.try_commit()) return result;
+      acc.on_attempt_abort(cause);
+      obs::trace::instant(obs::trace::Ev::kTxAbort,
+                          static_cast<std::uint32_t>(cause));
     }
     tx.park();
     backoff.pause();

@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace txf::util {
 
 /// Robustness counters exported by the contention manager and the failpoint
@@ -24,6 +26,15 @@ struct RobustnessCounters {
   std::atomic<std::uint64_t> deadline_aborts{0};    // Config::tx_deadline hit
   std::atomic<std::uint64_t> serial_irrevocable{0}; // token escalations
   std::atomic<std::uint64_t> failpoint_fires{0};    // chaos actions observed
+
+  RobustnessCounters() {
+    reg_.atomic("cm.retries", retries)
+        .atomic("cm.backoff_ns", backoff_ns)
+        .atomic("cm.stall_aborts", stall_aborts)
+        .atomic("cm.deadline_aborts", deadline_aborts)
+        .atomic("cm.serial_irrevocable", serial_irrevocable)
+        .atomic("cm.failpoint_fires", failpoint_fires);
+  }
 
   void reset() noexcept {
     retries = 0;
@@ -46,6 +57,9 @@ struct RobustnessCounters {
         static_cast<unsigned long long>(serial_irrevocable.load()),
         static_cast<unsigned long long>(failpoint_fires.load()));
   }
+
+ private:
+  obs::Registration reg_;  // "cm.*" in the MetricsRegistry
 };
 
 class StreamingStats {

@@ -1,0 +1,226 @@
+// Abort-cause taxonomy and the attempt/outcome accounting contract
+// (obs/abort_cause.hpp): per-cause counters count once per FAILED ATTEMPT,
+// tx.commits / tx.aborted once per FINAL OUTCOME. Companion to
+// stm_tl2_test's Tl2.AbortsAreCounted — same deterministic-conflict
+// pattern, asserted against the taxonomy counters on both the flat STM
+// driver and the tree (futures) driver.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/api.hpp"
+#include "obs/abort_cause.hpp"
+#include "obs/metrics.hpp"
+#include "stm/transaction.hpp"
+#include "stm/vbox.hpp"
+
+namespace {
+
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+using txf::obs::AbortAccounting;
+using txf::obs::AbortCause;
+using txf::stm::VBox;
+
+/// Σ cause == attempt_aborts, except kDeadlineExceeded which marks the
+/// escalation event and is deliberately outside the attempt count.
+void expect_cause_sum_consistent(const AbortAccounting& acc) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < acc.cause.size(); ++i) {
+    if (static_cast<AbortCause>(i) == AbortCause::kDeadlineExceeded) continue;
+    sum += acc.cause[i].load();
+  }
+  EXPECT_EQ(sum, acc.attempt_aborts.load());
+}
+
+TEST(AbortTaxonomyFlat, DeterministicConflictCountsOncePerAttempt) {
+  txf::stm::StmEnv env;
+  const AbortAccounting& acc = env.abort_accounting();
+  VBox<long> hot(0);
+  bool doomed = true;
+  txf::stm::atomically(env, [&](txf::stm::Transaction& tx) {
+    const long v = hot.get(tx);
+    if (doomed) {
+      doomed = false;
+      txf::stm::atomically(env, [&](txf::stm::Transaction& inner) {
+        hot.put(inner, hot.get(inner) + 100);
+      });
+    }
+    hot.put(tx, hot.get(tx) + v + 1);
+  });
+  // One failed attempt (read set overtaken), one cause, zero final aborts;
+  // the interfering txn and the retried outer txn both committed.
+  EXPECT_EQ(acc.attempt_aborts.load(), 1u);
+  EXPECT_EQ(acc.of(AbortCause::kReadValidation).load(), 1u);
+  EXPECT_EQ(acc.tx_commits.load(), 2u);
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  EXPECT_EQ(hot.peek_committed(), 100 + 100 + 1);
+  expect_cause_sum_consistent(acc);
+}
+
+TEST(AbortTaxonomyFlat, ExplicitRetryCause) {
+  txf::stm::StmEnv env;
+  const AbortAccounting& acc = env.abort_accounting();
+  VBox<long> x(0);
+  bool doomed = true;
+  txf::stm::atomically(env, [&](txf::stm::Transaction& tx) {
+    if (doomed) {
+      doomed = false;
+      throw txf::stm::RetryTransaction{};
+    }
+    x.put(tx, x.get(tx) + 1);
+  });
+  EXPECT_EQ(acc.of(AbortCause::kExplicitRetry).load(), 1u);
+  EXPECT_EQ(acc.attempt_aborts.load(), 1u);
+  EXPECT_EQ(acc.tx_commits.load(), 1u);
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  expect_cause_sum_consistent(acc);
+}
+
+TEST(AbortTaxonomyFlat, UserExceptionIsOneFinalAbort) {
+  txf::stm::StmEnv env;
+  const AbortAccounting& acc = env.abort_accounting();
+  VBox<long> x(0);
+  EXPECT_THROW(txf::stm::atomically(env,
+                                    [&](txf::stm::Transaction& tx) {
+                                      x.put(tx, 1);
+                                      throw std::runtime_error("boom");
+                                    }),
+               std::runtime_error);
+  // The double-count fix: exactly one attempt abort AND exactly one final
+  // abort — never two final aborts for one propagated exception.
+  EXPECT_EQ(acc.of(AbortCause::kUserException).load(), 1u);
+  EXPECT_EQ(acc.attempt_aborts.load(), 1u);
+  EXPECT_EQ(acc.tx_aborted.load(), 1u);
+  EXPECT_EQ(acc.tx_commits.load(), 0u);
+  EXPECT_EQ(x.peek_committed(), 0);
+  expect_cause_sum_consistent(acc);
+}
+
+TEST(AbortTaxonomyTree, DeterministicConflictCountsOncePerAttempt) {
+  Config cfg;
+  cfg.pool_threads = 2;
+  Runtime rt(cfg);
+  const AbortAccounting& acc = rt.env().abort_accounting();
+  VBox<long> hot(0);
+  bool doomed = true;
+  atomically(rt, [&](TxCtx& ctx) {
+    const long v = hot.get(ctx);
+    if (doomed) {
+      doomed = false;
+      // Conflicting commit from another thread (its own serial-token
+      // scope), deterministically inside our read/commit window.
+      std::thread interferer([&] {
+        atomically(rt, [&](TxCtx& inner) {
+          hot.put(inner, hot.get(inner) + 100);
+        });
+      });
+      interferer.join();
+    }
+    hot.put(ctx, hot.get(ctx) + v + 1);
+  });
+  EXPECT_EQ(acc.attempt_aborts.load(), 1u);
+  EXPECT_EQ(acc.of(AbortCause::kReadValidation).load(), 1u);
+  EXPECT_EQ(acc.tx_commits.load(), 2u);
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  EXPECT_EQ(hot.peek_committed(), 100 + 100 + 1);
+  expect_cause_sum_consistent(acc);
+}
+
+TEST(AbortTaxonomyTree, UserExceptionFromFutureIsOneFinalAbort) {
+  Config cfg;
+  cfg.pool_threads = 2;
+  Runtime rt(cfg);
+  const AbortAccounting& acc = rt.env().abort_accounting();
+  VBox<long> x(0);
+  EXPECT_THROW(atomically(rt,
+                          [&](TxCtx& ctx) {
+                            auto f = ctx.submit([&](TxCtx& c) {
+                              x.put(c, 1);
+                              throw std::runtime_error("future boom");
+                              return 0;
+                            });
+                            f.get(ctx);
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(acc.of(AbortCause::kUserException).load(), 1u);
+  EXPECT_EQ(acc.attempt_aborts.load(), 1u);
+  EXPECT_EQ(acc.tx_aborted.load(), 1u);
+  EXPECT_EQ(acc.tx_commits.load(), 0u);
+  EXPECT_EQ(x.peek_committed(), 0);
+  expect_cause_sum_consistent(acc);
+}
+
+TEST(AbortTaxonomyTree, InjectedFailuresClassifyAsFailpoint) {
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.inject_validation_failure_every = 1;  // every continuation validation
+  Runtime rt(cfg);
+  const AbortAccounting& acc = rt.env().abort_accounting();
+  VBox<long> counter(0);
+  constexpr int kIter = 30;
+  for (int i = 0; i < kIter; ++i) {
+    atomically(rt, [&](TxCtx& ctx) {
+      auto f = ctx.submit([&](TxCtx& c) { return counter.get(c) + 1; });
+      counter.put(ctx, f.get(ctx));
+    });
+  }
+  EXPECT_EQ(counter.peek_committed(), kIter);
+  EXPECT_EQ(acc.tx_commits.load(), static_cast<std::uint64_t>(kIter));
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  // Single-threaded caller: every failed attempt was chaos-induced, so the
+  // whole attempt-abort count lands on kFailpointInjected — injected aborts
+  // never pollute the organic cause counters.
+  EXPECT_GT(acc.attempt_aborts.load(), 0u);
+  EXPECT_EQ(acc.of(AbortCause::kFailpointInjected).load(),
+            acc.attempt_aborts.load());
+  EXPECT_EQ(acc.of(AbortCause::kTreeOrder).load(), 0u);
+  EXPECT_EQ(acc.of(AbortCause::kWriteWrite).load(), 0u);
+  expect_cause_sum_consistent(acc);
+}
+
+TEST(AbortTaxonomyTree, ContentionProducesConsistentTaxonomy) {
+  Config cfg;
+  cfg.pool_threads = 4;
+  Runtime rt(cfg);
+  const AbortAccounting& acc = rt.env().abort_accounting();
+  VBox<long> hot(0);
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4;
+  constexpr int kIter = 300;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIter; ++i) {
+        atomically(rt, [&](TxCtx& ctx) { hot.put(ctx, hot.get(ctx) + 1); });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(hot.peek_committed(),
+            static_cast<long>(kThreads) * kIter);
+  EXPECT_EQ(acc.tx_commits.load(),
+            static_cast<std::uint64_t>(kThreads) * kIter);
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  expect_cause_sum_consistent(acc);
+  // While the runtime is alive, the process-wide snapshot must report every
+  // abort cause by name plus the commit-pipeline stage histograms.
+  const std::string json = txf::metrics::snapshot_json();
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(AbortCause::kCount); ++i) {
+    const std::string key = std::string("\"tx.abort.cause.") +
+        txf::obs::abort_cause_name(static_cast<AbortCause>(i)) + "\"";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  for (const char* key :
+       {"\"stm.commit.stage.prevalidate_ns\"", "\"stm.commit.stage.assign_ns\"",
+        "\"stm.commit.stage.writeback_ns\"", "\"stm.commit.batch_size\"",
+        "\"tx.attempt_aborts\"", "\"tx.commits\"", "\"tx.aborted\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// txtrace: ring wrap-around, drain-while-writing, per-thread emit-order
+// monotonicity, and a transaction run asserting every tx attempt span
+// carries exactly one matching commit/abort instant.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "stm/transaction.hpp"
+#include "stm/vbox.hpp"
+
+namespace trace = txf::obs::trace;
+
+#if defined(TXF_TRACE_ENABLED)
+
+namespace {
+
+std::vector<trace::DrainedRecord> drain_for(std::uint32_t tid) {
+  std::vector<trace::DrainedRecord> out;
+  for (const auto& r : trace::drain_records()) {
+    if (r.tid == tid) out.push_back(r);
+  }
+  return out;
+}
+
+/// Timestamp at which a record was *written* (spans are emitted at end).
+std::uint64_t emit_time(const trace::DrainedRecord& r) {
+  return r.tsc + r.dur_ticks;
+}
+
+}  // namespace
+
+TEST(TxTrace, RingWrapKeepsNewestRecords) {
+  trace::set_enabled(true);
+  constexpr std::size_t kExtra = 1000;
+  constexpr std::size_t kTotal = trace::kRingCapacity + kExtra;
+  std::uint32_t tid = 0;
+  std::thread writer([&] {
+    tid = trace::current_tid();
+    for (std::size_t i = 0; i < kTotal; ++i) {
+      trace::instant(trace::Ev::kTest, static_cast<std::uint32_t>(i));
+    }
+  });
+  writer.join();
+
+  const auto records = drain_for(tid);
+  // The drain protocol withholds one slot on a wrapped ring: the slot the
+  // writer may be mid-overwriting before its position bump is inside the
+  // copied window, so only kRingCapacity - 1 records are provably intact.
+  ASSERT_EQ(records.size(), trace::kRingCapacity - 1);
+  // Exactly the newest records survive, in write order.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].ev, trace::Ev::kTest);
+    EXPECT_FALSE(records[i].span);
+    EXPECT_EQ(records[i].arg, static_cast<std::uint32_t>(kExtra + 1 + i));
+  }
+}
+
+TEST(TxTrace, EmitOrderIsMonotonePerThread) {
+  trace::set_enabled(true);
+  std::uint32_t tid = 0;
+  std::thread writer([&] {
+    tid = trace::current_tid();
+    for (int i = 0; i < 2000; ++i) {
+      if (i % 3 == 0) {
+        trace::Span span(trace::Ev::kTest, 1);
+        trace::instant(trace::Ev::kTest, 2);  // nested instant inside a span
+      } else {
+        trace::instant(trace::Ev::kTest, 3);
+      }
+    }
+  });
+  writer.join();
+
+  const auto records = drain_for(tid);
+  ASSERT_FALSE(records.empty());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    // Records are written at emit time (span end), so write order implies
+    // non-decreasing emit timestamps; a span's start may precede earlier
+    // instants, its end may not.
+    EXPECT_LE(emit_time(records[i - 1]), emit_time(records[i]))
+        << "at record " << i;
+  }
+}
+
+TEST(TxTrace, DrainWhileWriting) {
+  trace::set_enabled(true);
+  std::atomic<std::uint32_t> tid{0xFFFFFFFFu};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    tid.store(trace::current_tid());
+    for (std::uint32_t i = 0; i < 100000; ++i) {
+      trace::instant(trace::Ev::kTest, i & 0xFFFFFFu);
+    }
+    done.store(true);
+  });
+  while (tid.load() == 0xFFFFFFFFu) std::this_thread::yield();
+
+  int drains = 0;
+  while (!done.load() || drains == 0) {
+    const auto records = drain_for(tid.load());
+    ++drains;
+    // Every drained record is intact (never a torn/partial slot) and the
+    // retained window is contiguous in write order: args strictly increase.
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      ASSERT_EQ(records[i].ev, trace::Ev::kTest);
+      ASSERT_FALSE(records[i].span);
+      if (i > 0) {
+        ASSERT_GT(records[i].arg, records[i - 1].arg);
+      }
+    }
+  }
+  writer.join();
+  EXPECT_GE(drains, 1);
+}
+
+TEST(TxTrace, EveryTxSpanHasExactlyOneOutcomeInstant) {
+  trace::set_enabled(true);
+  txf::stm::StmEnv env;
+  constexpr int kThreads = 4;
+  constexpr int kTxPerThread = 200;
+  txf::stm::VBox<long> boxes[4];
+  std::vector<std::uint32_t> tids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      tids[t] = trace::current_tid();
+      for (int i = 0; i < kTxPerThread; ++i) {
+        txf::stm::atomically(env, [&](txf::stm::Transaction& tx) {
+          const int k = (t + i) % 4;
+          boxes[k].put(tx, boxes[k].get(tx) + 1);
+          boxes[(k + 1) % 4].get(tx);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto all = trace::drain_records();
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<trace::DrainedRecord> records;
+    for (const auto& r : all)
+      if (r.tid == tids[t]) records.push_back(r);
+    int spans = 0;
+    int outcomes = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto& r = records[i];
+      if (r.ev == trace::Ev::kTxCommit || r.ev == trace::Ev::kTxAbort) {
+        ++outcomes;
+        continue;
+      }
+      if (r.ev != trace::Ev::kTx) continue;
+      ++spans;
+      // The outcome instant is emitted inside the attempt span, immediately
+      // before the span record itself; it must be the preceding record and
+      // fall within the span's [start, end] window.
+      ASSERT_GT(i, 0u) << "tx span with no preceding record";
+      const auto& prev = records[i - 1];
+      ASSERT_TRUE(prev.ev == trace::Ev::kTxCommit ||
+                  prev.ev == trace::Ev::kTxAbort)
+          << "record before tx span is " << trace::ev_name(prev.ev);
+      EXPECT_GE(prev.tsc, r.tsc);
+      EXPECT_LE(prev.tsc, r.tsc + r.dur_ticks);
+    }
+    // One outcome per attempt span — commits on the last attempt, aborts on
+    // the failed ones (kTxPerThread transactions => >= kTxPerThread spans;
+    // the ring did not wrap at this volume).
+    EXPECT_EQ(spans, outcomes);
+    EXPECT_GE(spans, kTxPerThread);
+  }
+  // All committed increments arrived despite retries.
+  txf::stm::atomically(env, [&](txf::stm::Transaction& tx) {
+    long total = 0;
+    for (auto& b : boxes) total += b.get(tx);
+    EXPECT_EQ(total, static_cast<long>(kThreads) * kTxPerThread);
+  });
+}
+
+TEST(TxTrace, DrainJsonIsWellFormedChromeTrace) {
+  trace::set_enabled(true);
+  {
+    trace::Span span(trace::Ev::kTest, 5);
+  }
+  const std::string json = trace::drain_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"B\""), std::string::npos)
+      << "spans must be self-contained complete events";
+}
+
+#else  // !TXF_TRACE_ENABLED
+
+TEST(TxTrace, CompiledOutIsInert) {
+  EXPECT_FALSE(trace::enabled());
+  trace::instant(trace::Ev::kTest);
+  { trace::Span span(trace::Ev::kTest); }
+  EXPECT_TRUE(trace::drain_records().empty());
+  EXPECT_NE(trace::drain_json().find("\"traceEvents\": []"),
+            std::string::npos);
+}
+
+#endif  // TXF_TRACE_ENABLED

@@ -1,0 +1,230 @@
+// Ablation — adaptive future scheduling (Config::scheduling): the three
+// SchedulingModes compared on three workload shapes.
+//
+//  * fig5a  — read-only synthetic with substantial future bodies (the
+//             regime where parallel futures pay; Fig. 5a's profitable
+//             corner). Adaptive must track kAlwaysParallel here: fresh
+//             sites start parallel and profitable sites never demote.
+//  * fig5b  — read-prefix + hot-spot-update contention shape (Fig. 5b).
+//  * tiny   — deliberately unprofitable: each future body performs a
+//             single transactional read (txlen == jobs, iter == 0), so
+//             the parallel activation cost (node, pool hop, per-node
+//             validation, join) dwarfs the work. Adaptive must demote to
+//             inline and track kAlwaysInline.
+//
+// Output: one row per (workload, mode) with throughput and the
+// core.adaptive.* decision/transition counters for that run (all zero in
+// the fixed modes, which short-circuit the controller).
+//
+// Flags: --array N --trees N --jobs N --ms N --txlen N --iter N --reps N
+//        --json FILE  (each cell reports the median-throughput run of
+//        --reps repetitions)
+// scripts/bench_adaptive.sh runs this with --json and gates on
+// tiny: adaptive >= 0.9x inline, fig5a: adaptive >= 0.95x parallel.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "obs/metrics.hpp"
+#include "workloads/common/driver.hpp"
+#include "workloads/synthetic/synthetic.hpp"
+
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::SchedulingMode;
+using txf::util::Xoshiro256;
+using namespace txf::workloads;
+namespace synth = txf::workloads::synthetic;
+
+namespace {
+
+const char* mode_name(SchedulingMode m) {
+  switch (m) {
+    case SchedulingMode::kAlwaysParallel: return "parallel";
+    case SchedulingMode::kAlwaysInline: return "inline";
+    case SchedulingMode::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// core.adaptive.* totals of one run (fresh Runtime per measurement, read
+/// through the registry while the runtime is still alive — instances
+/// deregister on destruction, so this is exactly this run's controller).
+struct AdaptiveTally {
+  std::uint64_t parallel_decisions = 0;
+  std::uint64_t inline_decisions = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t promotions = 0;
+
+  static AdaptiveTally snapshot() {
+    const auto& reg = txf::obs::MetricsRegistry::instance();
+    AdaptiveTally t;
+    t.parallel_decisions = reg.counter_value("core.adaptive.parallel_decisions");
+    t.inline_decisions = reg.counter_value("core.adaptive.inline_decisions");
+    t.probes = reg.counter_value("core.adaptive.probes");
+    t.demotions = reg.counter_value("core.adaptive.demotions");
+    t.promotions = reg.counter_value("core.adaptive.promotions");
+    return t;
+  }
+};
+
+struct Measurement {
+  double tput = 0;
+  std::uint64_t futures_submitted = 0;
+  AdaptiveTally adaptive;
+};
+
+using TxBody =
+    std::function<void(Runtime&, synth::SyntheticArray&, Xoshiro256&)>;
+
+Measurement measure(SchedulingMode mode, std::size_t trees, std::size_t jobs,
+                    int ms, std::size_t array_size, const TxBody& body) {
+  Config cfg;
+  cfg.pool_threads = trees * (jobs > 1 ? jobs - 1 : 1);
+  cfg.scheduling = mode;
+  Runtime rt(cfg);
+  // Fresh array per runtime: the update shape writes, and VBox versions are
+  // env-relative (see the lifetime contract in stm/vbox.hpp).
+  synth::SyntheticArray array(array_size);
+  const RunResult r = run_for(
+      rt, trees, ms,
+      [&](std::size_t w, const std::function<bool()>& keep,
+          WorkerMetrics& m) {
+        Xoshiro256 rng(1000 + w);
+        while (keep()) {
+          body(rt, array, rng);
+          ++m.transactions;
+        }
+      });
+  Measurement out;
+  out.tput = r.throughput();
+  out.futures_submitted = r.stats_delta.futures_submitted;
+  out.adaptive = AdaptiveTally::snapshot();  // before ~Runtime deregisters
+  return out;
+}
+
+/// Median-throughput run of `reps` repetitions: single windows on small
+/// shared machines are too noisy for the ratio gates bench_adaptive.sh
+/// applies.
+Measurement measure_median(SchedulingMode mode, std::size_t trees,
+                           std::size_t jobs, int ms, std::size_t array_size,
+                           std::size_t reps, const TxBody& body) {
+  std::vector<Measurement> runs;
+  for (std::size_t i = 0; i < (reps == 0 ? 1 : reps); ++i)
+    runs.push_back(measure(mode, trees, jobs, ms, array_size, body));
+  std::sort(runs.begin(), runs.end(),
+            [](const Measurement& a, const Measurement& b) {
+              return a.tput < b.tput;
+            });
+  return runs[runs.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto array_size =
+      static_cast<std::size_t>(args.get_int("array", 100000));
+  const auto trees = static_cast<std::size_t>(args.get_int("trees", 2));
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 4));
+  const int ms = static_cast<int>(args.get_int("ms", 300));
+  const auto txlen = static_cast<std::size_t>(args.get_int("txlen", 1000));
+  const auto iter = static_cast<std::uint64_t>(args.get_int("iter", 200));
+  const auto reps = static_cast<std::size_t>(args.get_int("reps", 3));
+  const std::string json_path = args.get_str("json", "");
+
+  std::printf(
+      "# Ablation: adaptive future scheduling — %zu trees, %zux jobs, "
+      "array=%zu, window=%dms\n",
+      trees, jobs, array_size, ms);
+
+  const synth::ReadOnlyParams fig5a{.txlen = txlen, .iter = iter,
+                                    .jobs = jobs};
+  const synth::UpdateParams fig5b{.prefix_len = txlen, .iter = iter / 2,
+                                  .jobs = jobs, .hot_items = 64,
+                                  .hot_writes = 4};
+  // One read per future body, zero CPU work: nothing to win by spawning.
+  const synth::ReadOnlyParams tiny{.txlen = jobs, .iter = 0, .jobs = jobs};
+
+  struct Workload {
+    const char* name;
+    TxBody body;
+  };
+  const std::vector<Workload> workloads = {
+      {"fig5a_readonly",
+       [&](Runtime& rt, synth::SyntheticArray& array, Xoshiro256& rng) {
+         (void)synth::run_readonly_tx(rt, array, rng, fig5a);
+       }},
+      {"fig5b_update",
+       [&](Runtime& rt, synth::SyntheticArray& array, Xoshiro256& rng) {
+         synth::run_update_tx(rt, array, rng, fig5b);
+       }},
+      {"tiny_futures",
+       [&](Runtime& rt, synth::SyntheticArray& array, Xoshiro256& rng) {
+         (void)synth::run_readonly_tx(rt, array, rng, tiny);
+       }},
+  };
+  const SchedulingMode modes[] = {SchedulingMode::kAlwaysParallel,
+                                  SchedulingMode::kAlwaysInline,
+                                  SchedulingMode::kAdaptive};
+
+  print_header({"workload", "mode", "tx/s", "futures", "par_dec", "inl_dec",
+                "probes", "demote", "promote"});
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"ablation_adaptive\",\n"
+       << "  \"trees\": " << trees << ", \"jobs\": " << jobs
+       << ", \"array\": " << array_size << ", \"ms\": " << ms
+       << ", \"txlen\": " << txlen << ", \"iter\": " << iter
+       << ",\n  \"workloads\": [";
+  bool first_wl = true;
+  for (const auto& wl : workloads) {
+    json << (first_wl ? "" : ",") << "\n    {\"name\": \"" << wl.name
+         << "\", \"modes\": {";
+    first_wl = false;
+    bool first_mode = true;
+    for (const SchedulingMode mode : modes) {
+      const Measurement m =
+          measure_median(mode, trees, jobs, ms, array_size, reps, wl.body);
+      print_row({wl.name, mode_name(mode), fmt(m.tput, 1),
+                 std::to_string(m.futures_submitted),
+                 std::to_string(m.adaptive.parallel_decisions),
+                 std::to_string(m.adaptive.inline_decisions),
+                 std::to_string(m.adaptive.probes),
+                 std::to_string(m.adaptive.demotions),
+                 std::to_string(m.adaptive.promotions)});
+      json << (first_mode ? "" : ", ") << "\"" << mode_name(mode)
+           << "\": {\"tput\": " << fmt(m.tput, 1)
+           << ", \"futures_submitted\": " << m.futures_submitted
+           << ", \"adaptive\": {\"parallel_decisions\": "
+           << m.adaptive.parallel_decisions
+           << ", \"inline_decisions\": " << m.adaptive.inline_decisions
+           << ", \"probes\": " << m.adaptive.probes
+           << ", \"demotions\": " << m.adaptive.demotions
+           << ", \"promotions\": " << m.adaptive.promotions << "}}";
+      first_mode = false;
+    }
+    json << "}}";
+  }
+  json << "\n  ]\n}\n";
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      const std::string s = json.str();
+      std::fwrite(s.data(), 1, s.size(), f);
+      std::fclose(f);
+      std::printf("# json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "# Expected shape: tiny_futures — adaptive demotes and tracks the\n"
+      "# inline mode; fig5a — adaptive stays parallel (no demotions once\n"
+      "# bodies prove profitable) and tracks the parallel mode.\n");
+  return 0;
+}

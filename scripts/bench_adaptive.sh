@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Adaptive-scheduling acceptance gate: runs bench_ablation_adaptive (the
+# three SchedulingModes over fig5a / fig5b / tiny-future shapes) and
+# asserts the ISSUE acceptance bars on its JSON:
+#
+#   * tiny_futures: kAdaptive >= 0.9x kAlwaysInline throughput — the
+#     controller must claw back (nearly) all of the activation cost that
+#     kAlwaysParallel pays for sub-threshold bodies.
+#   * fig5a_readonly: kAdaptive >= 0.95x kAlwaysParallel — profitable
+#     sites must not demote, so adaptive tracks the parallel mode. The
+#     gate is one-sided: on small CI machines (1-2 CPUs) parallel mode
+#     can itself lose to inline, and adaptive is allowed to beat it.
+#   * The adaptive run on tiny_futures must actually demote (the counters
+#     prove the controller acted rather than throughput luck).
+#
+# Usage: scripts/bench_adaptive.sh <build-dir> [out.json]
+set -euo pipefail
+
+build_dir=${1:?usage: $0 <build-dir> [out.json]}
+out=${2:-BENCH_adaptive.ci.json}
+
+"${build_dir}/bench/bench_ablation_adaptive" \
+  --trees 2 --jobs 4 --ms 250 --txlen 1000 --iter 200 --json "${out}"
+
+echo "--- ${out} ---"
+cat "${out}"
+
+python3 - "${out}" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+wl = {w["name"]: w["modes"] for w in doc["workloads"]}
+for name in ("fig5a_readonly", "fig5b_update", "tiny_futures"):
+    assert name in wl, f"missing workload {name}"
+    for mode in ("parallel", "inline", "adaptive"):
+        assert wl[name][mode]["tput"] > 0, (name, mode, wl[name][mode])
+
+tiny = wl["tiny_futures"]
+ratio_tiny = tiny["adaptive"]["tput"] / tiny["inline"]["tput"]
+assert ratio_tiny >= 0.9, (
+    f"tiny_futures: adaptive {tiny['adaptive']['tput']} < "
+    f"0.9x inline {tiny['inline']['tput']} (ratio {ratio_tiny:.3f})")
+
+fig5a = wl["fig5a_readonly"]
+ratio_5a = fig5a["adaptive"]["tput"] / fig5a["parallel"]["tput"]
+assert ratio_5a >= 0.95, (
+    f"fig5a_readonly: adaptive {fig5a['adaptive']['tput']} < "
+    f"0.95x parallel {fig5a['parallel']['tput']} (ratio {ratio_5a:.3f})")
+
+ad = tiny["adaptive"]["adaptive"]
+assert ad["demotions"] > 0, f"tiny_futures adaptive run never demoted: {ad}"
+assert ad["inline_decisions"] > 0, ad
+# Fixed modes still count their decisions, but must never probe or move
+# the hysteresis machine (they short-circuit the site table).
+for name in ("fig5a_readonly", "tiny_futures"):
+    for mode in ("parallel", "inline"):
+        fixed = wl[name][mode]["adaptive"]
+        for key in ("probes", "demotions", "promotions"):
+            assert fixed[key] == 0, (
+                f"{name}/{mode}: fixed mode touched the controller: {fixed}")
+
+print(f"adaptive bench gate OK: tiny adaptive/inline={ratio_tiny:.3f}, "
+      f"fig5a adaptive/parallel={ratio_5a:.3f}, "
+      f"tiny demotions={ad['demotions']}")
+EOF

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Docs lint: keep docs/OBSERVABILITY.md and markdown links honest.
+
+Two checks, both fast and dependency-free:
+
+1. Metric inventory (bidirectional). Every metric name registered in src/
+   must appear in the table rows between the `<!-- metrics:begin -->` and
+   `<!-- metrics:end -->` markers of docs/OBSERVABILITY.md, and every name
+   documented there must still be registered in the source. Names are
+   extracted from `.counter("x", ...)` / `.gauge(...)` / `.histogram(...)`
+   / `.atomic(...)` registration calls, plus the `tx.abort.cause.*` family
+   composed from the abort_cause_name() switch (they are registered via
+   string concatenation, invisible to the literal scan).
+
+2. Markdown links. Every relative link target in the repo's *.md files
+   must exist on disk (anchors are stripped; http/mailto links skipped).
+
+Exit 0 = clean, 1 = drift. Run from anywhere; paths resolve from the repo
+root (parent of this script's directory).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OBS_DOC = ROOT / "docs" / "OBSERVABILITY.md"
+ABORT_CAUSE_HPP = ROOT / "src" / "obs" / "abort_cause.hpp"
+
+REGISTER_RE = re.compile(r'\.(?:counter|gauge|histogram|atomic)\(\s*"([^"]+)"')
+CAUSE_RE = re.compile(r'case AbortCause::\w+:\s*return "([a-z_]+)";')
+DOC_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def registered_names():
+    names = set()
+    for path in sorted((ROOT / "src").rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        names.update(REGISTER_RE.findall(path.read_text(encoding="utf-8")))
+    # tx.abort.cause.* counters are registered through a loop over the
+    # AbortCause enum; recover them from the name switch instead.
+    causes = CAUSE_RE.findall(ABORT_CAUSE_HPP.read_text(encoding="utf-8"))
+    if not causes:
+        sys.exit(f"error: no abort causes parsed from {ABORT_CAUSE_HPP}")
+    names.update(f"tx.abort.cause.{c}" for c in causes)
+    return names
+
+
+def documented_names():
+    text = OBS_DOC.read_text(encoding="utf-8")
+    begin = text.find("<!-- metrics:begin")
+    end = text.find("<!-- metrics:end")
+    if begin < 0 or end < 0 or end < begin:
+        sys.exit(f"error: metrics:begin/end markers missing in {OBS_DOC}")
+    names = set()
+    for line in text[begin:end].splitlines():
+        m = DOC_ROW_RE.match(line.strip())
+        if m and m.group(1) not in ("name", "---"):
+            names.add(m.group(1))
+    return names
+
+
+def check_metrics():
+    src = registered_names()
+    doc = documented_names()
+    problems = []
+    for name in sorted(src - doc):
+        problems.append(f"registered in src/ but undocumented: {name}")
+    for name in sorted(doc - src):
+        problems.append(f"documented but no longer registered: {name}")
+    return problems
+
+
+def check_links():
+    problems = []
+    # PAPERS.md / SNIPPETS.md are generated retrieval artifacts with
+    # dangling asset links; lint only the maintained docs.
+    skip = {"PAPERS.md", "SNIPPETS.md"}
+    for md in sorted(ROOT.rglob("*.md")):
+        if any(part in (".git", "build") for part in md.parts):
+            continue
+        if md.name in skip:
+            continue
+        for target in LINK_RE.findall(md.read_text(encoding="utf-8")):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target) or target.startswith("#"):
+                continue  # http:, https:, mailto:, in-page anchor
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md.relative_to(ROOT)}: broken link -> {target}")
+    return problems
+
+
+def main():
+    problems = check_metrics() + check_links()
+    for p in problems:
+        print(f"check_docs: {p}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: FAILED ({len(problems)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print("check_docs: OK (metric inventory + markdown links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ KNOWN_EVENTS = {
     "tree.resolve", "read.walk",
     "commit.prevalidate", "commit.assign", "commit.writeback",
     "sched.run", "sched.steal", "sched.park",
+    "adaptive.decide",
     "test",
 }
 

@@ -1,0 +1,135 @@
+#include "core/adaptive.hpp"
+
+#include "obs/trace.hpp"
+#include "util/failpoint.hpp"
+
+namespace txf::core::adaptive {
+
+namespace {
+/// SplitMix64-style pointer mix: submit-site addresses share high bits and
+/// alignment, so spread them before masking to the table size.
+std::size_t mix_key(const void* key) noexcept {
+  std::uint64_t x = static_cast<std::uint64_t>(
+      reinterpret_cast<std::uintptr_t>(key));
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x);
+}
+}  // namespace
+
+AdaptiveScheduler::AdaptiveScheduler(const Config& cfg,
+                                     sched::ThreadPool& pool)
+    : mode_(cfg.scheduling),
+      params_{cfg.adaptive_inline_threshold_ns, cfg.adaptive_min_samples,
+              cfg.adaptive_demote_after, cfg.adaptive_harden_after,
+              cfg.adaptive_promote_after, cfg.adaptive_reprobe_period},
+      pool_(&pool),
+      table_(new SiteStats[kTableSize]) {
+  reg_.counter("core.adaptive.parallel_decisions", parallel_decisions_)
+      .counter("core.adaptive.inline_decisions", inline_decisions_)
+      .counter("core.adaptive.probes", probes_)
+      .counter("core.adaptive.demotions", demotions_)
+      .counter("core.adaptive.promotions", promotions_)
+      .gauge("core.adaptive.sites", sites_);
+}
+
+SiteStats* AdaptiveScheduler::site_for(const void* key) noexcept {
+  const std::size_t mask = kTableSize - 1;
+  const std::size_t home = mix_key(key) & mask;
+  for (std::size_t k = 0; k < kProbeLimit; ++k) {
+    SiteStats& s = table_[(home + k) & mask];
+    const void* cur = s.key.load(std::memory_order_acquire);
+    if (cur == key) return &s;
+    if (cur == nullptr) {
+      const void* expected = nullptr;
+      if (s.key.compare_exchange_strong(expected, key,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        sites_.add(1);
+        return &s;
+      }
+      if (expected == key) return &s;
+    }
+  }
+  // Probe window exhausted (pathological site count): share the home slot.
+  // Blended statistics degrade the heuristic, never correctness.
+  return &table_[home];
+}
+
+std::uint64_t AdaptiveScheduler::effective_threshold() const noexcept {
+  std::uint64_t t = params_.inline_threshold_ns;
+  const std::size_t workers = pool_->worker_count();
+  const std::int64_t depth = pool_->queue_depth();
+  if (depth > 0 && workers > 0) {
+    // Backlogged pool: raise the profitability bar with queue pressure
+    // (each worker-multiple of backlog adds 1x, capped at 4x extra).
+    std::uint64_t factor =
+        static_cast<std::uint64_t>(depth) / static_cast<std::uint64_t>(workers);
+    if (factor > 4) factor = 4;
+    t += t * factor;
+    // No idle worker at all: a spawned body can only queue behind the
+    // backlog, so inline is cheaper still.
+    if (pool_->parked_workers() == 0) t += params_.inline_threshold_ns;
+  }
+  return t;
+}
+
+AdaptiveScheduler::Decision AdaptiveScheduler::decide(
+    const void* site_key) noexcept {
+  Decision d;
+  switch (mode_) {
+    case SchedulingMode::kAlwaysParallel:
+      d.run_inline = false;
+      break;
+    case SchedulingMode::kAlwaysInline:
+      d.run_inline = true;
+      break;
+    case SchedulingMode::kAdaptive: {
+      d.site = site_for(site_key);
+      const DecideResult r = d.site->decide(params_);
+      d.run_inline = r.run_inline;
+      d.probe = r.probe;
+      d.sample = r.sample;
+      break;
+    }
+  }
+  // Chaos: flip the verdict. Strong ordering makes EVERY decision sequence
+  // semantically correct, so a chaos run with this site armed proves the
+  // engine cannot tell the difference (core_adaptive_test).
+  if (TXF_FP_FIRES("core.adaptive.decide")) {
+    d.run_inline = !d.run_inline;
+    d.probe = false;
+    d.sample = true;
+  }
+  if (d.probe) probes_.add();
+  if (d.run_inline) {
+    inline_decisions_.add();
+  } else {
+    parallel_decisions_.add();
+  }
+  obs::trace::instant(obs::trace::Ev::kAdaptiveDecide,
+                      d.run_inline ? 1u : (d.probe ? 2u : 0u));
+  return d;
+}
+
+void AdaptiveScheduler::note_body_ns(SiteStats* site, std::uint64_t ns,
+                                     bool parallel) noexcept {
+  if (site == nullptr) return;
+  const Outcome out =
+      site->note_body_sample(params_, ns, parallel, effective_threshold());
+  if (out.demoted) demotions_.add();
+  if (out.promoted) promotions_.add();
+}
+
+void AdaptiveScheduler::note_abort(SiteStats* site,
+                                   obs::AbortCause c) noexcept {
+  if (site == nullptr) return;
+  const Outcome out = site->note_abort(params_, c);
+  if (out.demoted) demotions_.add();
+  if (out.promoted) promotions_.add();
+}
+
+}  // namespace txf::core::adaptive

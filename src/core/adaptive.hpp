@@ -1,0 +1,329 @@
+// Adaptive future scheduling: per-submit-site profitability control.
+//
+// Strong ordering semantics (paper §II) makes parallel evaluation of a
+// transactional future *purely a scheduling decision*: running the body
+// synchronously at the submit point is, by definition, the sequential
+// execution every parallel run must be equivalent to. So the runtime is
+// free to decide, per submit() call, whether spawning a sibling
+// sub-transaction actually pays for its activation cost (node creation,
+// pool hop, per-node validation, join wait) — and to elide the future
+// inline when it does not. "On the Cost of Concurrency in Transactional
+// Memory" formalizes exactly this regime; the paper itself notes futures
+// only win when the spawned work outweighs the overhead.
+//
+// Mechanism: every submit call site owns a cache-padded SiteStats slot
+// (keyed by the caller's return address, or an explicit TXF_SUBMIT_SITE
+// tag) accumulating an EWMA of body runtime, join-wait time, and per-site
+// abort counts split by AbortCause. A three-state hysteresis machine —
+//
+//      kParallel ──demote──▶ kProbation ──harden──▶ kInline
+//          ▲                     │    ▲                │
+//          └─────promote─────────┘    └──(re-)probe────┘
+//
+// — decides in O(1) on the submit fast path. Parallel sites demote when
+// their EWMA body time stays under a load-scaled profitability threshold
+// (or tree-order aborts pile up); probation runs inline but keeps sampling
+// and either earns parallelism back or hardens to inline; inline sites
+// periodically re-probe with one real parallel run so phase changes are
+// never locked out. Decisions are instrumented with txtrace instants
+// (adaptive.decide) and core.adaptive.* metrics, and the whole controller
+// is the first consumer of the observability layer PR 4 built.
+//
+// Config: Config::scheduling selects kAlwaysParallel (pre-adaptive
+// behaviour) / kAlwaysInline / kAdaptive (default); the adaptive_* knobs
+// tune the thresholds. See docs/ARCHITECTURE.md and DESIGN.md §5e.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "obs/abort_cause.hpp"
+#include "obs/metrics.hpp"
+#include "sched/thread_pool.hpp"
+#include "util/cache_line.hpp"
+
+namespace txf::core::adaptive {
+
+/// Hysteresis state of one submit site (stored as one byte in SiteStats).
+enum class SiteState : std::uint8_t {
+  kParallel = 0,   // futures spawn as parallel sibling sub-transactions
+  kProbation = 1,  // elided inline, still sampling; can promote or harden
+  kInline = 2,     // elided inline; re-probes parallel periodically
+};
+
+/// Tuning derived from Config (one copy per AdaptiveScheduler; SiteStats
+/// methods take it by reference so unit tests can drive the state machine
+/// with synthetic parameters and no Runtime).
+struct Params {
+  std::uint64_t inline_threshold_ns = 4000;
+  std::uint32_t min_samples = 8;
+  std::uint32_t demote_after = 8;
+  std::uint32_t harden_after = 12;
+  std::uint32_t promote_after = 4;
+  std::uint32_t reprobe_period = 256;
+};
+
+/// What decide() told the submit path to do.
+struct DecideResult {
+  bool run_inline = false;
+  bool probe = false;   // a parallel run issued from an elided state
+  bool sample = true;   // time this body and feed the EWMA/score machine
+};
+
+/// State-transition report (feeds the demotion/promotion counters).
+struct Outcome {
+  bool demoted = false;   // moved one step toward inline
+  bool promoted = false;  // moved one step toward parallel
+};
+
+/// Per-submit-site statistics and hysteresis state. All fields are relaxed
+/// atomics: sites are updated from submit paths, pool workers and the
+/// commit cascade concurrently, and the controller is a heuristic — a lost
+/// increment or a stale EWMA read only delays a transition, never breaks
+/// correctness (both decisions are always semantically valid).
+struct alignas(util::kCacheLineSize) SiteStats {
+  /// Timed-sample rate for hardened-inline bodies (power of two; see
+  /// decide()). Probation and parallel runs are always timed.
+  static constexpr std::uint32_t kInlineSamplePeriod = 8;
+
+  /// Slot key (call-site address); claimed by CAS on first touch.
+  std::atomic<const void*> key{nullptr};
+
+  // --- accumulated signals ---
+  std::atomic<std::uint64_t> ewma_body_ns{0};  // EWMA(α=1/8) body runtime
+  std::atomic<std::uint64_t> ewma_join_ns{0};  // EWMA(α=1/8) join-wait time
+  std::atomic<std::uint64_t> submits{0};       // decide() calls
+  std::atomic<std::uint64_t> parallel_runs{0}; // timed sibling bodies
+  std::atomic<std::uint64_t> inline_runs{0};   // timed elided bodies
+                                               // (sampled once hardened)
+  std::atomic<std::uint64_t> body_samples{0};  // timed body completions
+  std::atomic<std::uint64_t> abort_total{0};
+  /// Per-cause abort counts chargeable to this site (indexed by AbortCause).
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(obs::AbortCause::kCount)>
+      aborts{};
+
+  // --- hysteresis state ---
+  std::atomic<std::int32_t> score{0};  // saturating profitability score
+  std::atomic<std::uint8_t> state{static_cast<std::uint8_t>(
+      SiteState::kParallel)};
+  std::atomic<std::uint32_t> probe_clock{0};  // inline decisions since probe
+
+  SiteState site_state() const noexcept {
+    return static_cast<SiteState>(state.load(std::memory_order_relaxed));
+  }
+
+  /// O(1) submit fast path: no loops, no locks, at most three relaxed
+  /// atomic ops. Fresh sites start kParallel, so a program's first
+  /// executions always behave exactly as pre-adaptive builds did.
+  DecideResult decide(const Params& p) noexcept {
+    submits.fetch_add(1, std::memory_order_relaxed);
+    switch (site_state()) {
+      case SiteState::kParallel:
+        return {false, false};
+      case SiteState::kProbation:
+      case SiteState::kInline: {
+        // Periodic re-probe: one real parallel run every reprobe_period
+        // elided decisions, so a site whose bodies grew (phase change) can
+        // earn parallelism back instead of being locked inline forever.
+        const std::uint32_t c =
+            probe_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (p.reprobe_period != 0 && c >= p.reprobe_period) {
+          probe_clock.store(0, std::memory_order_relaxed);
+          return {false, true, true};
+        }
+        // Hardened-inline bodies are timed only 1-in-kInlineSamplePeriod:
+        // per-run clock reads would tax exactly the tiny bodies elision is
+        // meant to rescue, and a sparse sample is plenty for the score to
+        // crawl back up when bodies grow. Probation keeps per-run sampling —
+        // it must decide quickly which way to move.
+        const bool sample = site_state() == SiteState::kProbation ||
+                            (c & (kInlineSamplePeriod - 1)) == 0;
+        return {true, false, sample};
+      }
+    }
+    return {false, false};
+  }
+
+  /// Record one timed body completion (parallel sibling or inline elision)
+  /// and advance the hysteresis machine. `eff_threshold_ns` is the
+  /// load-scaled profitability bar (AdaptiveScheduler::effective_threshold;
+  /// tests pass it directly).
+  Outcome note_body_sample(const Params& p, std::uint64_t ns, bool parallel,
+                           std::uint64_t eff_threshold_ns) noexcept {
+    (parallel ? parallel_runs : inline_runs)
+        .fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t prev = ewma_body_ns.load(std::memory_order_relaxed);
+    ewma_body_ns.store(prev == 0 ? ns : (prev * 7 + ns) / 8,
+                       std::memory_order_relaxed);
+    const std::uint64_t seen =
+        body_samples.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool profitable = ns >= eff_threshold_ns;
+    return apply_signal(p, profitable ? +1 : -1, seen, parallel);
+  }
+
+  /// Record the continuation's wait inside TxFuture::get (EWMA only; the
+  /// wait is informational — a long join means the sibling actually ran
+  /// concurrently, a ~zero join means it was already done or elided).
+  void note_join(std::uint64_t ns) noexcept {
+    const std::uint64_t prev = ewma_join_ns.load(std::memory_order_relaxed);
+    ewma_join_ns.store(prev == 0 ? ns : (prev * 7 + ns) / 8,
+                       std::memory_order_relaxed);
+  }
+
+  /// Attribute one abort to this site. Order conflicts chargeable to
+  /// parallel execution (a future re-executed after validation failure, a
+  /// continuation conflict restarting the tree) carry a double
+  /// unprofitability penalty: the spawned run was not just unhelpful, it
+  /// cost a wasted execution.
+  Outcome note_abort(const Params& p, obs::AbortCause c) noexcept {
+    aborts[static_cast<std::size_t>(c)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    abort_total.fetch_add(1, std::memory_order_relaxed);
+    if (c == obs::AbortCause::kTreeOrder ||
+        c == obs::AbortCause::kReadValidation) {
+      return apply_signal(p, -2, body_samples.load(std::memory_order_relaxed),
+                          true);
+    }
+    return {};
+  }
+
+ private:
+  /// Shared transition logic: clamp the score, then move between states.
+  /// `parallel_sample` marks signals produced by a real parallel run (an
+  /// inline site can only be promoted by a probe that proved itself, or by
+  /// its score crawling back up as inline bodies grow).
+  Outcome apply_signal(const Params& p, int delta, std::uint64_t samples_seen,
+                       bool parallel_sample) noexcept {
+    Outcome out;
+    const int lo = -static_cast<int>(p.harden_after);
+    const int hi = static_cast<int>(p.promote_after);
+    int s = score.load(std::memory_order_relaxed) + delta;
+    if (s < lo) s = lo;
+    if (s > hi) s = hi;
+    switch (site_state()) {
+      case SiteState::kParallel:
+        if (samples_seen >= p.min_samples &&
+            s <= -static_cast<int>(p.demote_after)) {
+          set_state(SiteState::kProbation);
+          s = 0;
+          out.demoted = true;
+        }
+        break;
+      case SiteState::kProbation:
+        if (s >= static_cast<int>(p.promote_after)) {
+          set_state(SiteState::kParallel);
+          s = 0;
+          out.promoted = true;
+        } else if (s <= -static_cast<int>(p.harden_after)) {
+          set_state(SiteState::kInline);
+          s = 0;
+          out.demoted = true;
+        }
+        break;
+      case SiteState::kInline:
+        if ((parallel_sample && delta > 0) ||
+            s >= static_cast<int>(p.promote_after)) {
+          set_state(SiteState::kProbation);
+          s = 0;
+          out.promoted = true;
+        }
+        break;
+    }
+    score.store(s, std::memory_order_relaxed);
+    return out;
+  }
+
+  void set_state(SiteState st) noexcept {
+    state.store(static_cast<std::uint8_t>(st), std::memory_order_relaxed);
+  }
+};
+
+/// The per-Runtime controller: owns the site table, reads scheduler load
+/// from the thread pool, exports core.adaptive.* metrics, and applies
+/// Config::scheduling. Thread-safe; every method is lock-free.
+class AdaptiveScheduler {
+ public:
+  /// Site-table geometry. 256 slots comfortably covers real programs (one
+  /// slot per static submit location); on (unlikely) saturation colliding
+  /// sites share a slot — blended statistics, still-correct decisions.
+  static constexpr std::size_t kTableSize = 256;
+  static constexpr std::size_t kProbeLimit = 8;
+
+  AdaptiveScheduler(const Config& cfg, sched::ThreadPool& pool);
+
+  AdaptiveScheduler(const AdaptiveScheduler&) = delete;
+  AdaptiveScheduler& operator=(const AdaptiveScheduler&) = delete;
+
+  /// What a decide() call told one submit to do.
+  struct Decision {
+    bool run_inline = false;
+    bool probe = false;
+    bool sample = true;         // time the body (see SiteStats::decide)
+    SiteStats* site = nullptr;  // null in the fixed (non-adaptive) modes
+  };
+
+  /// The submit fast path: map the call-site key to its SiteStats slot and
+  /// run the O(1) state machine (fixed modes short-circuit). Emits an
+  /// adaptive.decide trace instant and counts the decision; the
+  /// core.adaptive.decide failpoint, when armed, flips the verdict — any
+  /// decision sequence is semantically valid, which is exactly what the
+  /// chaos tests assert.
+  Decision decide(const void* site_key) noexcept;
+
+  /// Feedback: one timed body completion at `site` (no-op for null).
+  void note_body_ns(SiteStats* site, std::uint64_t ns,
+                    bool parallel) noexcept;
+  /// Feedback: continuation join-wait time (no-op for null).
+  void note_join_ns(SiteStats* site, std::uint64_t ns) noexcept {
+    if (site != nullptr) site->note_join(ns);
+  }
+  /// Feedback: abort chargeable to `site` (called from the commit cascade
+  /// under the tree mutex — O(1), atomics only; no-op for null).
+  void note_abort(SiteStats* site, obs::AbortCause c) noexcept;
+
+  SchedulingMode mode() const noexcept { return mode_; }
+  const Params& params() const noexcept { return params_; }
+
+  /// Profitability bar for this instant: the configured threshold scaled
+  /// up under pool backlog (deep queue / no parked worker means spawning
+  /// buys little and costs contention).
+  std::uint64_t effective_threshold() const noexcept;
+
+  /// Slot lookup (claims on first touch). Exposed for tests.
+  SiteStats* site_for(const void* key) noexcept;
+
+  /// Claimed slots (mirrors the core.adaptive.sites gauge).
+  std::uint64_t site_count() const noexcept {
+    return static_cast<std::uint64_t>(sites_.load());
+  }
+
+ private:
+  SchedulingMode mode_;
+  Params params_;
+  sched::ThreadPool* pool_;
+  std::unique_ptr<SiteStats[]> table_;
+
+  obs::Counter parallel_decisions_;
+  obs::Counter inline_decisions_;
+  obs::Counter probes_;
+  obs::Counter demotions_;
+  obs::Counter promotions_;
+  obs::Gauge sites_;
+  obs::Registration reg_;  // "core.adaptive.*" in the MetricsRegistry
+};
+
+}  // namespace txf::core::adaptive
+
+/// Expands to a stable, unique submit-site key for TxCtx::submit_at —
+/// use when the caller's return address is not a reliable site identity
+/// (e.g. one dispatch helper submitting on behalf of many logical sites).
+#define TXF_SUBMIT_SITE                               \
+  ([]() noexcept -> const void* {                     \
+    static const char txf_submit_site_tag = 0;        \
+    return static_cast<const void*>(&txf_submit_site_tag); \
+  }())

@@ -35,6 +35,7 @@
 #include "obs/trace.hpp"
 #include "stm/vbox.hpp"
 #include "util/backoff.hpp"
+#include "util/timing.hpp"
 #include "util/xoshiro.hpp"
 
 namespace txf::core {
@@ -60,17 +61,34 @@ class TxCtx {
     tree_->write(*node_, box, value);
   }
 
-  /// Submit `fn` as a transactional future. `fn` is invoked as
-  /// `fn(TxCtx&)` on a pool thread inside a child sub-transaction; the
-  /// calling context becomes the continuation sibling. The future is
-  /// serialized at this point — before everything the continuation does.
+  /// Submit `fn` as a transactional future. The future is serialized at
+  /// this point — before everything the continuation does — regardless of
+  /// how it is scheduled. Under Config::scheduling == kAdaptive (the
+  /// default) the runtime decides per submit site whether `fn` runs as a
+  /// parallel child sub-transaction on a pool thread (the calling context
+  /// becomes the continuation sibling) or is elided inline right here;
+  /// both executions are semantically identical (result, exceptions,
+  /// ordering), only the parallelism differs. The site is keyed by this
+  /// call's return address; use submit_at with TXF_SUBMIT_SITE for a
+  /// stable explicit key.
   template <typename F>
-  auto submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>>;
+  auto submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
+    return submit_at(__builtin_return_address(0), std::forward<F>(fn));
+  }
+
+  /// submit() with an explicit site key for the adaptive scheduler's
+  /// per-site statistics (see TXF_SUBMIT_SITE in core/adaptive.hpp).
+  /// Distinct keys get independent inline-vs-parallel decisions.
+  template <typename F>
+  auto submit_at(const void* site_key, F&& fn)
+      -> TxFuture<std::invoke_result_t<F&, TxCtx&>>;
 
   /// Cooperative cancellation / restart check; called implicitly by every
   /// transactional operation, exposed for long CPU-only loops.
   void poll() { tree_->check_alive(*node_); }
 
+  /// Engine escape hatches (stable within one attempt; do not cache across
+  /// retries — the tree and node are rebuilt on every restart).
   TxTree& tree() noexcept { return *tree_; }
   SubTxn* node() noexcept { return node_; }
   Runtime& runtime() noexcept { return tree_->runtime(); }
@@ -140,12 +158,16 @@ class TxFuture {
     auto& pool = ctx.runtime().pool();
     StallMonitor stall(tree);
     obs::trace::Span join_span(obs::trace::Ev::kFutureJoin);
+    adaptive::SiteStats* site = st->site();
+    const std::uint64_t t0 = site != nullptr ? util::now_ns() : 0;
     const bool ok = st->wait_ready([&] {
       ctx.poll();
       if (!tree.help_evaluate(*st) && !TxTree::in_future_body())
         pool.try_run_one();
       stall.tick();
     });
+    if (site != nullptr)
+      ctx.runtime().adaptive().note_join_ns(site, util::now_ns() - t0);
     if (!ok) {
       // If it is our own tree that failed, unwind with the retry protocol;
       // only a foreign tree's abandonment makes the handle stale.
@@ -165,6 +187,8 @@ class TxFuture {
   /// Non-blocking: has the future committed?
   bool ready() const { return ptr()->ready(); }
 
+  /// True while the handle refers to a future (default-constructed and
+  /// moved-from handles are invalid; calling get()/ready() on them is UB).
   bool valid() const noexcept { return state_ != nullptr || raw_ != nullptr; }
 
  private:
@@ -185,14 +209,37 @@ class TxFuture {
 };
 
 template <typename F>
-auto TxCtx::submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
+auto TxCtx::submit_at(const void* site_key, F&& fn)
+    -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
   using R = std::invoke_result_t<F&, TxCtx&>;
   obs::trace::instant(obs::trace::Ev::kFutureSubmit);
+  Runtime& rt = tree_->runtime();
+  // Counted here, once per submit, so serial/elided/parallel runs all show
+  // up identically in core.futures_submitted.
+  rt.stats().futures_submitted.fetch_add(1, std::memory_order_relaxed);
+  bool elide = tree_->serial();
+  bool sample = false;
+  adaptive::SiteStats* site = nullptr;
+  if (!elide) {
+    const adaptive::AdaptiveScheduler::Decision d =
+        rt.adaptive().decide(site_key);
+    elide = d.run_inline;
+    sample = d.sample;
+    site = d.site;  // null in the fixed modes -> zero feedback overhead
+  }
   auto state = std::make_shared<TxFutureState<R>>();
-  if (tree_->serial()) {
-    // Serial fallback: run the future synchronously at the submit point in
-    // the current context — by definition the sequential execution that
-    // strong ordering makes parallel runs equivalent to.
+  state->set_site(site);
+  if (elide) {
+    // Inline elision (and the serial fallback): run the future
+    // synchronously at the submit point in the current context — by
+    // definition the sequential execution that strong ordering makes
+    // parallel runs equivalent to. An exception from `fn` propagates from
+    // right here, exactly as it would resurface from atomically() had the
+    // body run on a pool thread.
+    // Timing is sampled (Decision::sample): clocking every elided run would
+    // tax exactly the tiny bodies elision exists to rescue.
+    const bool timed = site != nullptr && sample;
+    const std::uint64_t t0 = timed ? util::now_ns() : 0;
     if constexpr (std::is_void_v<R>) {
       fn(*this);
       state->stage();
@@ -200,18 +247,29 @@ auto TxCtx::submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
       state->stage(fn(*this));
     }
     state->publish();
+    if (timed) rt.adaptive().note_body_ns(site, util::now_ns() - t0, false);
+    if (tree_->partial_rollback()) {
+      // Same FCC discipline as the parallel branch below: an owning handle
+      // on a fiber stack is re-destroyed by restores, so the tree owns the
+      // state and the caller gets a non-owning handle.
+      auto* raw_state = state.get();
+      tree_->adopt_state(std::move(state));
+      return TxFuture<R>::non_owning(raw_state);
+    }
     return TxFuture<R>(std::move(state));
   }
   auto body = std::make_shared<std::decay_t<F>>(std::forward<F>(fn));
   TxTree* tree = tree_;
   auto runner = std::make_shared<NodeRunner>(
-      [tree, state, body](std::uint32_t node_idx) {
+      [tree, state, body, site](std::uint32_t node_idx) {
         // The inner callable captures by VALUE: in partial-rollback mode it
         // is moved into fiber-stable storage and its captures are read
-        // again on FCC-replayed paths, after this frame is gone.
-        tree->run_future_body(node_idx, [tree, state,
-                                         body](SubTxn& start) -> SubTxn* {
+        // again on FCC-replayed paths, after this frame is gone. `site`
+        // points into Runtime-owned storage and outlives every tree.
+        tree->run_future_body(node_idx, [tree, state, body,
+                                         site](SubTxn& start) -> SubTxn* {
           TxCtx inner(*tree, &start);
+          const std::uint64_t t0 = site != nullptr ? util::now_ns() : 0;
           try {
             if constexpr (std::is_void_v<R>) {
               (*body)(inner);
@@ -229,6 +287,10 @@ auto TxCtx::submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
             tree->fail_with_user_exception(std::current_exception());
             throw TreeFailed{TreeFailed::Reason::kUserException};
           }
+          if (site != nullptr) {
+            tree->runtime().adaptive().note_body_ns(
+                site, util::now_ns() - t0, true);
+          }
           return inner.node();  // innermost continuation if `fn` submitted
         });
       });
@@ -240,12 +302,12 @@ auto TxCtx::submit(F&& fn) -> TxFuture<std::invoke_result_t<F&, TxCtx&>> {
     auto* raw_state = state.get();
     body.reset();  // the runner closure keeps body/state alive
     const TxTree::SplitResult split = tree_->submit_split_checkpointed(
-        *node_, std::move(state), std::move(runner));
+        *node_, std::move(state), std::move(runner), site);
     node_ = split.continuation;
     return TxFuture<R>::non_owning(raw_state);
   }
   auto [future_node, cont_node] =
-      tree_->submit_split(*node_, state, std::move(runner));
+      tree_->submit_split(*node_, state, std::move(runner), site);
   (void)future_node;
   node_ = cont_node;  // the caller continues as the continuation
   return TxFuture<R>(std::move(state));

@@ -46,6 +46,35 @@ enum class RestartPolicy {
   kPartialRollback,
 };
 
+/// How TxCtx::submit runs a transactional future. Strong ordering makes
+/// inline elision (running the body synchronously at the submit point)
+/// always semantically correct — the choice is pure scheduling, and every
+/// mode passes the same ordering-semantics tests (core_adaptive_test).
+enum class SchedulingMode {
+  /// Every future spawns a parallel sibling sub-transaction (the
+  /// pre-adaptive behaviour; kept for the ablation benches).
+  kAlwaysParallel,
+  /// Every future is elided inline at the submit point — the sequential
+  /// execution the paper defines equivalence against.
+  kAlwaysInline,
+  /// Default: a per-submit-site profitability controller
+  /// (core/adaptive.hpp) demotes sites whose bodies are too small — or
+  /// too abort-prone — to pay for parallel activation, and periodically
+  /// re-probes so sites can earn parallelism back. Fresh sites start
+  /// parallel, so first executions behave exactly like kAlwaysParallel.
+  kAdaptive,
+};
+
+/// Engine configuration, fixed for the lifetime of the Runtime constructed
+/// from it. Plain aggregate: set fields, then pass to Runtime's
+/// constructor; a copy is taken, later mutation of the original has no
+/// effect. Every knob is safe to combine with every other unless noted.
+// The pragma scope silences -Wdeprecated-declarations only for Config's
+// implicitly generated special members (which must keep copying the
+// deprecated field); the diagnostic for those is attributed to the struct
+// itself. Explicit member accesses in user code still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct Config {
   std::size_t pool_threads = 0;  // 0 = hardware concurrency
   WriteMode write_mode = WriteMode::kEager;
@@ -54,10 +83,43 @@ struct Config {
   /// §IV-E: skip validation of read-only futures when no read-write
   /// sub-transaction committed before them. Off switch is ablation Abl. C.
   bool read_only_future_opt = true;
-  /// Legacy failure-injection knob, now folded into the failpoint framework:
-  /// Runtime translates it into a `core.subtxn.validate` chaos rule firing
-  /// every Nth validation (0 = off). Prefer `chaos` for new code.
+  /// DEPRECATED legacy failure-injection knob, superseded by the failpoint
+  /// framework (PR "robustness"). Migration: arm an equivalent chaos rule
+  /// instead —
+  ///   cfg.chaos.add("core.subtxn.validate", util::fp::Action::kFail, N);
+  /// For compatibility the Runtime still translates a non-zero value into
+  /// exactly that rule (0 = off); the translation will be removed together
+  /// with this field.
+  [[deprecated(
+      "use Config::chaos with a core.subtxn.validate rule instead")]]
   std::uint32_t inject_validation_failure_every = 0;
+
+  // --- future scheduling (core/adaptive.hpp) ---
+
+  /// Inline-vs-parallel elision policy for TxCtx::submit (see
+  /// SchedulingMode). Default adaptive.
+  SchedulingMode scheduling = SchedulingMode::kAdaptive;
+  /// Profitability bar: a site whose EWMA body runtime stays below this is
+  /// too small to pay for parallel activation (node + pool hop + per-node
+  /// validation) and demotes toward inline. Scaled up automatically under
+  /// pool backlog (see AdaptiveScheduler::effective_threshold).
+  std::uint64_t adaptive_inline_threshold_ns = 4000;
+  /// Timed body samples a site must accumulate before its first demotion
+  /// (guards one-shot call sites from ever leaving kParallel).
+  std::uint32_t adaptive_min_samples = 8;
+  /// Unprofitability score at which a parallel site enters probation.
+  std::uint32_t adaptive_demote_after = 8;
+  /// Score at which a probation site hardens to fully inline.
+  std::uint32_t adaptive_harden_after = 12;
+  /// Profitable-sample score that promotes a probation site back to
+  /// parallel.
+  std::uint32_t adaptive_promote_after = 4;
+  /// Elided decisions between parallel re-probes of an inline site
+  /// (0 = never re-probe; phase changes then cannot earn parallelism back).
+  /// Kept sparse by default: for sub-threshold bodies one probe costs many
+  /// elided runs, so the probe tax is what bounds how closely kAdaptive can
+  /// track kAlwaysInline on unprofitable sites.
+  std::uint32_t adaptive_reprobe_period = 256;
 
   // --- contention manager (bounded retry + graceful degradation) ---
 
@@ -86,5 +148,6 @@ struct Config {
   /// framework; see util/failpoint.hpp). Empty = disarmed.
   util::fp::ChaosPlan chaos;
 };
+#pragma GCC diagnostic pop
 
 }  // namespace txf::core

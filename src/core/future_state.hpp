@@ -18,6 +18,10 @@
 
 namespace txf::core {
 
+namespace adaptive {
+struct SiteStats;  // defined in core/adaptive.hpp
+}
+
 class TxFutureStateBase {
  public:
   virtual ~TxFutureStateBase() = default;
@@ -32,6 +36,15 @@ class TxFutureStateBase {
   std::uint32_t node_idx() const noexcept {
     return node_idx_.load(std::memory_order_acquire);
   }
+
+  /// Adaptive-scheduler stats slot of the submit site that created this
+  /// future (null in fixed modes). Written once, by the submitting thread,
+  /// before the handle or any node can reference this state; read by
+  /// evaluators to record their join-wait time. Slot storage is owned by
+  /// the Runtime's AdaptiveScheduler and outlives every handle that could
+  /// legally be evaluated.
+  void set_site(adaptive::SiteStats* s) noexcept { site_ = s; }
+  adaptive::SiteStats* site() const noexcept { return site_; }
 
   /// Called at subtree commit (under the tree's commit machinery): move the
   /// staged result of the current execution into the visible slot.
@@ -91,6 +104,7 @@ class TxFutureStateBase {
   virtual void move_staged_to_value() = 0;
 
   std::atomic<std::uint32_t> node_idx_{~std::uint32_t{0}};
+  adaptive::SiteStats* site_ = nullptr;  // see set_site()
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool ready_ = false;

@@ -10,6 +10,7 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "core/adaptive.hpp"
 #include "core/config.hpp"
 #include "core/tx_tree.hpp"
 #include "sched/thread_pool.hpp"
@@ -22,13 +23,20 @@ namespace txf::core {
 class Runtime {
  public:
   explicit Runtime(Config config = {})
-      : config_(std::move(config)), pool_(config_.pool_threads) {
+      : config_(std::move(config)),
+        pool_(config_.pool_threads),
+        adaptive_(config_, pool_) {
     // Fold the legacy injection knob into the failpoint framework, then arm
-    // the chaos plan (if any) for the lifetime of this runtime.
+    // the chaos plan (if any) for the lifetime of this runtime. The knob is
+    // deprecated (see Config); this translation is the compatibility shim.
     util::fp::ChaosPlan plan = config_.chaos;
-    if (config_.inject_validation_failure_every != 0) {
-      plan.add("core.subtxn.validate", util::fp::Action::kFail,
-               config_.inject_validation_failure_every);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const std::uint32_t legacy_every =
+        config_.inject_validation_failure_every;
+#pragma GCC diagnostic pop
+    if (legacy_every != 0) {
+      plan.add("core.subtxn.validate", util::fp::Action::kFail, legacy_every);
     }
     if (!plan.rules.empty()) {
       util::fp::Controller::instance().arm(plan);
@@ -46,6 +54,8 @@ class Runtime {
   const Config& config() const noexcept { return config_; }
   stm::StmEnv& env() noexcept { return env_; }
   sched::ThreadPool& pool() noexcept { return pool_; }
+  /// Per-submit-site inline-vs-parallel controller (core/adaptive.hpp).
+  adaptive::AdaptiveScheduler& adaptive() noexcept { return adaptive_; }
   TxStats& stats() noexcept { return stats_; }
   util::RobustnessCounters& robustness() noexcept { return robustness_; }
 
@@ -113,6 +123,7 @@ class Runtime {
   Config config_;
   stm::StmEnv env_;
   sched::ThreadPool pool_;
+  adaptive::AdaptiveScheduler adaptive_;  // must follow config_ and pool_
   TxStats stats_;
   util::RobustnessCounters robustness_;
   std::shared_mutex serial_token_;

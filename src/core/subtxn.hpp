@@ -22,6 +22,10 @@ namespace txf::stm {
 class VBoxImpl;
 }
 
+namespace txf::core::adaptive {
+struct SiteStats;  // defined in core/adaptive.hpp
+}
+
 namespace txf::core {
 
 enum class SubTxnKind : std::uint8_t { kRoot, kFuture, kContinuation };
@@ -91,6 +95,12 @@ struct SubTxn {
   /// type-erased body used for (re-)execution.
   std::shared_ptr<TxFutureStateBase> future_state;
   std::shared_ptr<NodeRunner> runner;
+  /// For futures: the adaptive scheduler's stats slot of the submit site
+  /// that created this node (null in fixed scheduling modes). The commit
+  /// cascade charges re-executions and continuation conflicts to it; copied
+  /// to replacement incarnations. Slot storage outlives every tree (it is
+  /// owned by the Runtime's AdaptiveScheduler).
+  adaptive::SiteStats* site = nullptr;
 
   /// For futures: set by the first thread to start the body (pool task or a
   /// waiter helping inline through TxTree::help_evaluate); every other

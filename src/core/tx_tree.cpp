@@ -406,7 +406,7 @@ void TxTree::write(SubTxn& t, stm::VBoxImpl& box, stm::Word value) {
 
 std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
     SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
-    std::shared_ptr<NodeRunner> runner) {
+    std::shared_ptr<NodeRunner> runner, adaptive::SiteStats* site) {
   check_alive(parent);
   SubTxn* future;
   SubTxn* cont;
@@ -415,6 +415,7 @@ std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
     future = &new_node_locked(parent.idx, SubTxnKind::kFuture);
     future->future_state = std::move(state);
     future->runner = std::move(runner);
+    future->site = site;
     cont = &new_node_locked(parent.idx, SubTxnKind::kContinuation);
     parent.child_future = future->idx;
     parent.child_continuation = cont->idx;
@@ -424,9 +425,15 @@ std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
                              std::memory_order_release);
     finished_pending_.push_back(parent.idx);
   }
-  runtime_.stats().futures_submitted.fetch_add(1, std::memory_order_relaxed);
+  // futures_submitted is counted once per submit() call in api.hpp (it also
+  // covers elided and serial submits, which never reach this function).
   schedule_future(*future);
   return {future, cont};
+}
+
+void TxTree::adopt_state(std::shared_ptr<TxFutureStateBase> state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  adopted_states_.push_back(std::move(state));
 }
 
 namespace {
@@ -687,7 +694,15 @@ SubTxn* TxTree::reincarnate_future_locked(SubTxn& old_future) {
   p.child_future = fresh.idx;
   fresh.future_state = old_future.future_state;
   fresh.runner = old_future.runner;
+  fresh.site = old_future.site;
   fresh.reincarnated = true;
+  // Charge the submit site: a reincarnation means running this future in
+  // parallel lost a read-validation race (O(1) relaxed atomics; safe under
+  // mutex_).
+  if (old_future.site != nullptr) {
+    runtime_.adaptive().note_abort(old_future.site,
+                                   obs::AbortCause::kReadValidation);
+  }
   return &fresh;
 }
 
@@ -774,7 +789,7 @@ void TxTree::run_body_on_fiber(std::function<SubTxn*()> body) {
 
 TxTree::SplitResult TxTree::submit_split_checkpointed(
     SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
-    std::shared_ptr<NodeRunner> runner) {
+    std::shared_ptr<NodeRunner> runner, adaptive::SiteStats* site) {
   check_alive(parent);
   assert(t_current_fiber != nullptr &&
          "partial-rollback submit outside a fiber-hosted body");
@@ -786,6 +801,7 @@ TxTree::SplitResult TxTree::submit_split_checkpointed(
     future = &new_node_locked(parent.idx, SubTxnKind::kFuture);
     future->future_state = std::move(state);
     future->runner = std::move(runner);
+    future->site = site;
     cont = &new_node_locked(parent.idx, SubTxnKind::kContinuation);
     cont->checkpoint = std::make_unique<Checkpoint>();
     cp = cont->checkpoint.get();
@@ -795,7 +811,7 @@ TxTree::SplitResult TxTree::submit_split_checkpointed(
                              std::memory_order_release);
     finished_pending_.push_back(parent.idx);
   }
-  runtime_.stats().futures_submitted.fetch_add(1, std::memory_order_relaxed);
+  // futures_submitted: counted once per submit() call in api.hpp.
   // The capture point: a rolled-back continuation resumes exactly here (on
   // whatever thread performs the restore) and takes the other branch. Note
   // the shared_ptr locals were moved into the tree *before* the capture, so
@@ -885,9 +901,19 @@ void TxTree::mark_tree_failed_locked(TreeFailed::Reason reason) {
 }
 
 void TxTree::fail_continuation_locked(SubTxn& t) {
-  (void)t;
   // RestartPolicy::kTreeRestart — the FCC-free substitute (DESIGN.md,
   // substitution 2): restart the whole top-level transaction.
+  // Charge the continuation conflict to the submit site whose future raced
+  // this continuation (the sibling future of t's parent split): had that
+  // submit been elided, the whole-tree restart could not have happened.
+  if (t.parent != kNoNode) {
+    SubTxn& p = node(t.parent);
+    if (p.child_future != kNoNode) {
+      if (adaptive::SiteStats* site = node(p.child_future).site) {
+        runtime_.adaptive().note_abort(site, obs::AbortCause::kTreeOrder);
+      }
+    }
+  }
   runtime_.stats().tree_restarts.fetch_add(1, std::memory_order_relaxed);
   mark_tree_failed_locked(TreeFailed::Reason::kContinuationConflict);
 }

@@ -144,10 +144,13 @@ class TxTree {
 
   /// Split `parent` at a submit point: creates the future (returned) and
   /// continuation children. `state` and `runner` belong to the future.
+  /// `site`, when non-null, is the adaptive scheduler's stats slot for the
+  /// submit site; the commit cascade charges aborts against it.
   /// Returns {future*, continuation*}.
   std::pair<SubTxn*, SubTxn*> submit_split(
       SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
-      std::shared_ptr<NodeRunner> runner);
+      std::shared_ptr<NodeRunner> runner,
+      adaptive::SiteStats* site = nullptr);
 
   /// Partial-rollback flavour of submit_split: additionally captures an FCC
   /// at the submit point (the calling code must be running on a fiber —
@@ -161,7 +164,14 @@ class TxTree {
   };
   SplitResult submit_split_checkpointed(
       SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
-      std::shared_ptr<NodeRunner> runner);
+      std::shared_ptr<NodeRunner> runner,
+      adaptive::SiteStats* site = nullptr);
+
+  /// Keep `state` alive for the tree's lifetime. Used by inline elision in
+  /// partial-rollback trees: an owning TxFuture handle on a fiber stack is
+  /// unsafe across FCC restores (the restored frame re-destroys it), so the
+  /// elided submit returns a non-owning handle and parks ownership here.
+  void adopt_state(std::shared_ptr<TxFutureStateBase> state);
 
   /// True when this tree runs continuations on fibers with FCC rollback.
   bool partial_rollback() const noexcept;
@@ -350,6 +360,8 @@ class TxTree {
   // Fibers hosting transactional bodies in partial-rollback mode; kept
   // alive for the tree's lifetime (late rollbacks re-enter them).
   std::deque<std::unique_ptr<Fiber>> fibers_;
+  // Future states adopted from inline-elided submits (see adopt_state).
+  std::vector<std::shared_ptr<TxFutureStateBase>> adopted_states_;
 
   // Aggregated at node commits (under mutex_).
   std::vector<stm::VBoxImpl*> merged_permanent_reads_;

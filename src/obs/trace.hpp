@@ -51,6 +51,8 @@ enum class Ev : std::uint8_t {
   kSchedRun,           // span: one pool task execution
   kSchedSteal,         // instant: successful steal; arg = victim index
   kSchedPark,          // instant: worker parked
+  kAdaptiveDecide,     // instant: submit-site scheduling decision;
+                       //   arg: 0 = parallel, 1 = inline, 2 = probe
   kTest,               // unit tests only
   kCount
 };
@@ -71,6 +73,7 @@ inline const char* ev_name(Ev e) noexcept {
     case Ev::kSchedRun: return "sched.run";
     case Ev::kSchedSteal: return "sched.steal";
     case Ev::kSchedPark: return "sched.park";
+    case Ev::kAdaptiveDecide: return "adaptive.decide";
     case Ev::kTest: return "test";
     default: return "none";
   }

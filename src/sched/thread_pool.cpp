@@ -25,7 +25,8 @@ ThreadPool::ThreadPool(std::size_t worker_count) {
   reg_.counter("sched.steals", steals_)
       .counter("sched.parks", parks_)
       .atomic("sched.executed", executed_)
-      .gauge("sched.workers", workers_gauge_);
+      .gauge("sched.workers", workers_gauge_)
+      .gauge("sched.queue_depth", queue_depth_);
   workers_gauge_.set(static_cast<std::int64_t>(worker_count));
   threads_.reserve(worker_count);
   for (std::size_t i = 0; i < worker_count; ++i) {
@@ -54,6 +55,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task task) {
   TXF_FP_POINT("sched.submit");
   auto* heap_task = new Task(std::move(task));
+  queue_depth_.add(1);
   if (current_pool_ == this && current_worker_ != nullptr) {
     current_worker_->deque.push(heap_task);
   } else {
@@ -122,6 +124,7 @@ Task* ThreadPool::find_task(Worker* self) {
 bool ThreadPool::try_run_one() {
   Task* t = find_task(current_pool_ == this ? current_worker_ : nullptr);
   if (t == nullptr) return false;
+  queue_depth_.add(-1);
   {
     // Run with worker identity if we have one; helpers keep their own.
     obs::trace::Span run_span(obs::trace::Ev::kSchedRun);
@@ -138,6 +141,7 @@ void ThreadPool::worker_loop(Worker& self) {
   while (!stopping_.load(std::memory_order_acquire)) {
     Task* t = find_task(&self);
     if (t != nullptr) {
+      queue_depth_.add(-1);
       {
         obs::trace::Span run_span(obs::trace::Ev::kSchedRun);
         (*t)();

@@ -56,6 +56,22 @@ class ThreadPool {
   std::uint64_t steal_count() const noexcept { return steals_.load(); }
   std::uint64_t park_count() const noexcept { return parks_.load(); }
 
+  /// Load signals consumed by the adaptive future scheduler
+  /// (core/adaptive.hpp). Both are instantaneous relaxed reads — racy by
+  /// nature, which is fine for a scheduling heuristic.
+  ///
+  /// Tasks submitted but not yet picked up by any thread (also the
+  /// "sched.queue_depth" gauge). May transiently read negative during a
+  /// submit/execute race; clamped to 0.
+  std::int64_t queue_depth() const noexcept {
+    const std::int64_t d = queue_depth_.load();
+    return d < 0 ? 0 : d;
+  }
+  /// Workers currently parked waiting for work.
+  std::size_t parked_workers() const noexcept {
+    return sleepers_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Worker {
     WsDeque<Task*> deque;
@@ -84,6 +100,7 @@ class ThreadPool {
   obs::Counter steals_;
   obs::Counter parks_;
   obs::Gauge workers_gauge_;
+  obs::Gauge queue_depth_;  // submitted minus picked-up (see queue_depth())
   obs::Registration reg_;  // "sched.*" (see constructor)
 
   static thread_local Worker* current_worker_;

@@ -132,6 +132,8 @@ class VBoxImpl {
 
   // --- permanent list ---
 
+  /// Newest committed version node (acquire; safe to traverse inside an
+  /// EBR guard or while the env is quiescent).
   const PermanentVersion* permanent_head() const noexcept {
     return permanent_.load(std::memory_order_acquire);
   }
@@ -194,10 +196,15 @@ class VBoxImpl {
 
   // --- tentative list (head doubles as the per-tree lock, §IV-A) ---
 
+  /// Head of the tentative (uncommitted, tree-owned) version list; a
+  /// non-null head from another tree is the eager write-write conflict
+  /// signal under WriteMode::kEager (Alg. 1, ownedbyAnotherTree).
   core::TentativeVersion* tentative_head() const noexcept {
     return tentative_.load(std::memory_order_acquire);
   }
 
+  /// Claim/extend the tentative list; failure means another tree owns the
+  /// box (caller applies Config::inter_tree policy).
   bool cas_tentative_head(core::TentativeVersion* expected,
                           core::TentativeVersion* desired) noexcept {
     return tentative_.compare_exchange_strong(expected, desired,
@@ -205,6 +212,8 @@ class VBoxImpl {
                                               std::memory_order_acquire);
   }
 
+  /// Unconditional head store — only valid for the tree that already owns
+  /// the list (abort cleanup, top-commit detach).
   void store_tentative_head(core::TentativeVersion* v) noexcept {
     tentative_.store(v, std::memory_order_release);
   }
@@ -248,13 +257,25 @@ T unpack_word(Word w) noexcept {
 template <typename T>
 class VBox {
  public:
+  /// The initial value is committed at version 0 — visible to every
+  /// transaction from the box's first publication. See the LIFETIME
+  /// CONTRACT above: one StmEnv/Runtime per box, for its whole life.
   explicit VBox(const T& initial = T{}) : impl_(pack_word(initial)) {}
 
+  /// Transactional read. Thread-safe from any number of concurrent
+  /// transactions. May abort the calling attempt (by throwing the
+  /// engine's internal abort exception) when the snapshot is no longer
+  /// serializable — user code must let such exceptions propagate so
+  /// atomically() can retry.
   template <typename Ctx>
   T get(Ctx& ctx) const {
     return unpack_word<T>(ctx.read(impl_));
   }
 
+  /// Transactional write (buffered; nothing is visible outside the
+  /// transaction until its top-level commit). Under WriteMode::kEager a
+  /// write may hit a box owned by another tree and abort/fall back per
+  /// Config::inter_tree; same abort-propagation rule as get().
   template <typename Ctx>
   void put(Ctx& ctx, const T& value) {
     ctx.write(impl_, pack_word(value));

@@ -8,6 +8,19 @@
 //     auto f = ctx.submit([&](txf::core::TxCtx& c) { return x.get(c); });
 //     x.put(ctx, f.get(ctx) + 1);
 //   });
+//
+// Where to look:
+//   core/config.hpp   every engine knob (scheduling modes, write modes,
+//                     restart policies, contention manager, chaos plans)
+//   core/api.hpp      atomically / TxCtx::submit / TxFuture / retry_now
+//   core/runtime.hpp  Runtime: pool + STM env + stats, one per process
+//                     region of shared state
+//   stm/vbox.hpp      VBox<T> and its lifetime contract (one Runtime per
+//                     box, trivially-copyable payloads <= 8 bytes)
+//   containers/       TxMap, TxVector, TxList, TxQueue, TxCounter
+//
+// docs/ARCHITECTURE.md is the module tour; DESIGN.md the algorithm spec;
+// docs/OBSERVABILITY.md the metric/trace inventory.
 #pragma once
 
 #include "containers/tx_counter.hpp"

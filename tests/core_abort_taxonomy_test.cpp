@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "stm/transaction.hpp"
 #include "stm/vbox.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -158,7 +159,10 @@ TEST(AbortTaxonomyTree, UserExceptionFromFutureIsOneFinalAbort) {
 TEST(AbortTaxonomyTree, InjectedFailuresClassifyAsFailpoint) {
   Config cfg;
   cfg.pool_threads = 2;
-  cfg.inject_validation_failure_every = 1;  // every continuation validation
+  // Fail every sub-transaction validation (the old
+  // inject_validation_failure_every=1, expressed as the chaos rule it is
+  // deprecated in favour of).
+  cfg.chaos.add("core.subtxn.validate", txf::util::fp::Action::kFail, 1);
   Runtime rt(cfg);
   const AbortAccounting& acc = rt.env().abort_accounting();
   VBox<long> counter(0);

@@ -1,0 +1,343 @@
+// Adaptive future scheduling (core/adaptive.hpp): hysteresis transitions
+// driven through synthetic SiteStats, inline-elision correctness (results,
+// strong ordering and exception propagation identical across every
+// SchedulingMode x RestartPolicy combination), end-to-end demotion of
+// unprofitable sites, and chaos runs with the core.adaptive.decide
+// failpoint flipping decisions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/api.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::RestartPolicy;
+using txf::core::Runtime;
+using txf::core::SchedulingMode;
+using txf::core::TxCtx;
+using txf::core::adaptive::AdaptiveScheduler;
+using txf::core::adaptive::DecideResult;
+using txf::core::adaptive::Outcome;
+using txf::core::adaptive::Params;
+using txf::core::adaptive::SiteState;
+using txf::core::adaptive::SiteStats;
+using txf::obs::AbortCause;
+using txf::stm::VBox;
+namespace fp = txf::util::fp;
+
+// Small synthetic parameters: transitions happen within a handful of
+// samples so the state machine can be walked exhaustively.
+Params test_params() {
+  Params p;
+  p.inline_threshold_ns = 1000;
+  p.min_samples = 4;
+  p.demote_after = 3;
+  p.harden_after = 4;
+  p.promote_after = 2;
+  p.reprobe_period = 8;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Hysteresis state machine (synthetic SiteStats, no Runtime)
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveHysteresis, FreshSiteRunsParallel) {
+  SiteStats s;
+  const Params p = test_params();
+  EXPECT_EQ(s.site_state(), SiteState::kParallel);
+  const DecideResult d = s.decide(p);
+  EXPECT_FALSE(d.run_inline);
+  EXPECT_FALSE(d.probe);
+}
+
+TEST(AdaptiveHysteresis, MinSamplesGateBlocksEarlyDemotion) {
+  SiteStats s;
+  const Params p = test_params();
+  // Unprofitable (below-threshold) samples, but fewer than min_samples:
+  // the site must stay parallel even though the score is already past the
+  // demotion bar — one-shot sites may *need* real concurrency.
+  for (std::uint32_t i = 0; i < p.min_samples - 1; ++i) {
+    s.note_body_sample(p, 10, /*parallel=*/true, p.inline_threshold_ns);
+    EXPECT_EQ(s.site_state(), SiteState::kParallel);
+  }
+  // The gate lifts with the min_samples-th sample.
+  const Outcome out =
+      s.note_body_sample(p, 10, /*parallel=*/true, p.inline_threshold_ns);
+  EXPECT_TRUE(out.demoted);
+  EXPECT_EQ(s.site_state(), SiteState::kProbation);
+}
+
+void drive_to_probation(SiteStats& s, const Params& p) {
+  for (std::uint32_t i = 0; i < p.min_samples + p.demote_after; ++i) {
+    s.note_body_sample(p, 10, true, p.inline_threshold_ns);
+    if (s.site_state() == SiteState::kProbation) return;
+  }
+  FAIL() << "site never demoted to probation";
+}
+
+TEST(AdaptiveHysteresis, ProbationHardensToInline) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_probation(s, p);
+  for (std::uint32_t i = 0; i < p.harden_after; ++i) {
+    EXPECT_EQ(s.site_state(), SiteState::kProbation);
+    s.note_body_sample(p, 10, /*parallel=*/false, p.inline_threshold_ns);
+  }
+  EXPECT_EQ(s.site_state(), SiteState::kInline);
+}
+
+TEST(AdaptiveHysteresis, ProbationPromotesOnProfitableSamples) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_probation(s, p);
+  for (std::uint32_t i = 0; i < p.promote_after; ++i) {
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, /*parallel=*/false,
+                       p.inline_threshold_ns);
+  }
+  EXPECT_EQ(s.site_state(), SiteState::kParallel);
+}
+
+TEST(AdaptiveHysteresis, InlineSiteReprobesPeriodically) {
+  SiteStats s;
+  const Params p = test_params();
+  s.state.store(static_cast<std::uint8_t>(SiteState::kInline));
+  for (std::uint32_t i = 1; i < p.reprobe_period; ++i) {
+    const DecideResult d = s.decide(p);
+    EXPECT_TRUE(d.run_inline) << "decision " << i;
+    EXPECT_FALSE(d.probe);
+  }
+  const DecideResult probe = s.decide(p);
+  EXPECT_FALSE(probe.run_inline);
+  EXPECT_TRUE(probe.probe);
+  // A probe that proves itself profitable promotes the site to probation.
+  const Outcome out = s.note_body_sample(p, 10 * p.inline_threshold_ns,
+                                         /*parallel=*/true,
+                                         p.inline_threshold_ns);
+  EXPECT_TRUE(out.promoted);
+  EXPECT_EQ(s.site_state(), SiteState::kProbation);
+}
+
+TEST(AdaptiveHysteresis, OrderConflictAbortsCarryDoublePenalty) {
+  SiteStats s;
+  const Params p = test_params();
+  // Saturate the score upward with profitable samples (clamped at
+  // +promote_after; the site is parallel so no promotion happens).
+  for (std::uint32_t i = 0; i < p.min_samples; ++i)
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, true,
+                       p.inline_threshold_ns);
+  EXPECT_EQ(s.site_state(), SiteState::kParallel);
+  // Non-order aborts are recorded but carry no scheduling signal.
+  s.note_abort(p, AbortCause::kWriteWrite);
+  EXPECT_EQ(s.site_state(), SiteState::kParallel);
+  // Order conflicts count -2 each: from the +2 ceiling, three of them
+  // cross the -3 demotion bar.
+  s.note_abort(p, AbortCause::kTreeOrder);
+  s.note_abort(p, AbortCause::kReadValidation);
+  const Outcome out = s.note_abort(p, AbortCause::kTreeOrder);
+  EXPECT_TRUE(out.demoted);
+  EXPECT_EQ(s.site_state(), SiteState::kProbation);
+  EXPECT_EQ(s.aborts[static_cast<std::size_t>(AbortCause::kTreeOrder)].load(),
+            2u);
+  EXPECT_EQ(s.abort_total.load(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveScheduler (site table, fixed modes)
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveScheduler_, SiteTableSeparatesKeys) {
+  txf::sched::ThreadPool pool(1);
+  Config cfg;
+  cfg.scheduling = SchedulingMode::kAdaptive;
+  AdaptiveScheduler sched(cfg, pool);
+  static const char a = 0, b = 0;
+  SiteStats* sa = sched.site_for(&a);
+  SiteStats* sb = sched.site_for(&b);
+  ASSERT_NE(sa, nullptr);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_NE(sa, sb);
+  EXPECT_EQ(sched.site_for(&a), sa);  // stable on re-lookup
+  EXPECT_EQ(sched.site_count(), 2u);
+}
+
+TEST(AdaptiveScheduler_, FixedModesShortCircuit) {
+  txf::sched::ThreadPool pool(1);
+  static const char key = 0;
+  {
+    Config cfg;
+    cfg.scheduling = SchedulingMode::kAlwaysParallel;
+    AdaptiveScheduler sched(cfg, pool);
+    const AdaptiveScheduler::Decision d = sched.decide(&key);
+    EXPECT_FALSE(d.run_inline);
+    EXPECT_EQ(d.site, nullptr);
+    EXPECT_EQ(sched.site_count(), 0u);
+  }
+  {
+    Config cfg;
+    cfg.scheduling = SchedulingMode::kAlwaysInline;
+    AdaptiveScheduler sched(cfg, pool);
+    const AdaptiveScheduler::Decision d = sched.decide(&key);
+    EXPECT_TRUE(d.run_inline);
+    EXPECT_EQ(d.site, nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elision correctness: all modes produce the sequential execution
+// ---------------------------------------------------------------------------
+
+// Strong-ordering oracle (pre-order future1, future2, continuation = 1234),
+// with a nested submit inside the first future (oracle digit order 1-2-5-3-4:
+// f1 runs, its nested future runs before f1's continuation tail).
+long chain_result(Runtime& rt) {
+  VBox<long> acc(1);
+  return atomically(rt, [&](TxCtx& ctx) {
+    auto f1 = ctx.submit([&](TxCtx& c) {
+      acc.put(c, acc.get(c) * 10 + 2);
+      auto nested = c.submit([&](TxCtx& cc) {
+        acc.put(cc, acc.get(cc) * 10 + 5);
+        return 0;
+      });
+      nested.get(c);
+      return 0;
+    });
+    auto f2 = ctx.submit([&](TxCtx& c) {
+      acc.put(c, acc.get(c) * 10 + 3);
+      return 0;
+    });
+    f1.get(ctx);
+    f2.get(ctx);
+    acc.put(ctx, acc.get(ctx) * 10 + 4);
+    return acc.get(ctx);
+  });
+}
+
+constexpr long kChainOracle = 12534;
+
+class SchedulingMatrix
+    : public ::testing::TestWithParam<std::tuple<SchedulingMode,
+                                                 RestartPolicy>> {};
+
+TEST_P(SchedulingMatrix, OrderingSemanticsHold) {
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = std::get<0>(GetParam());
+  cfg.restart = std::get<1>(GetParam());
+  Runtime rt(cfg);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(chain_result(rt), kChainOracle);
+  // Every submit counts, however it was scheduled: 3 per transaction.
+  EXPECT_EQ(rt.stats().futures_submitted.load(), 30u);
+}
+
+TEST_P(SchedulingMatrix, ExceptionPropagationIdentical) {
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = std::get<0>(GetParam());
+  cfg.restart = std::get<1>(GetParam());
+  Runtime rt(cfg);
+  VBox<long> x(0);
+  try {
+    atomically(rt, [&](TxCtx& ctx) {
+      auto f = ctx.submit([&](TxCtx& c) {
+        x.put(c, 99);
+        throw std::runtime_error("future body failed");
+        return 0;  // unreachable
+      });
+      return f.get(ctx);
+    });
+    FAIL() << "exception did not propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "future body failed");
+  }
+  // The aborted transaction left no trace.
+  EXPECT_EQ(x.peek_committed(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SchedulingMatrix,
+    ::testing::Combine(::testing::Values(SchedulingMode::kAlwaysParallel,
+                                         SchedulingMode::kAlwaysInline,
+                                         SchedulingMode::kAdaptive),
+                       ::testing::Values(RestartPolicy::kTreeRestart,
+                                         RestartPolicy::kPartialRollback)));
+
+TEST(AdaptiveElision, InlineModeStillSerializesCrossTreeConflicts) {
+  // Elision changes scheduling, not isolation: concurrent top-level
+  // transactions with all-inline futures still serialize their increments.
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = SchedulingMode::kAlwaysInline;
+  Runtime rt(cfg);
+  VBox<long> counter(0);
+  constexpr int kPerThread = 100;
+  auto worker = [&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      atomically(rt, [&](TxCtx& ctx) {
+        auto f = ctx.submit([&](TxCtx& c) { return counter.get(c) + 1; });
+        counter.put(ctx, f.get(ctx));
+      });
+    }
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(counter.peek_committed(), 2L * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end adaptation
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveElision, UnprofitableSiteDemotesAndStaysCorrect) {
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = SchedulingMode::kAdaptive;
+  // Profitability bar far above anything a trivial body can reach, so
+  // demotion is deterministic regardless of machine speed.
+  cfg.adaptive_inline_threshold_ns = 100'000'000;
+  Runtime rt(cfg);
+  VBox<long> sum(0);
+  static const char site_tag = 0;
+  constexpr int kIter = 100;
+  for (int i = 0; i < kIter; ++i) {
+    atomically(rt, [&](TxCtx& ctx) {
+      auto f = ctx.submit_at(&site_tag,
+                             [&](TxCtx& c) { return sum.get(c) + 1; });
+      sum.put(ctx, f.get(ctx));
+    });
+  }
+  EXPECT_EQ(sum.peek_committed(), kIter);
+  SiteStats* site = rt.adaptive().site_for(&site_tag);
+  ASSERT_NE(site, nullptr);
+  EXPECT_NE(site->site_state(), SiteState::kParallel);
+  EXPECT_GT(site->inline_runs.load(), 0u);
+  EXPECT_GT(site->parallel_runs.load(), 0u);  // the pre-demotion samples
+  EXPECT_EQ(site->submits.load(), static_cast<std::uint64_t>(kIter));
+}
+
+TEST(AdaptiveElision, ChaosDecisionFlipsAreHarmless) {
+  // Strong ordering makes every decision sequence semantically valid; a
+  // chaos schedule that flips every other verdict must be undetectable in
+  // results.
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = SchedulingMode::kAdaptive;
+  cfg.chaos.add("core.adaptive.decide", fp::Action::kFail, 2);
+  Runtime rt(cfg);
+  for (int i = 0; i < 25; ++i) EXPECT_EQ(chain_result(rt), kChainOracle);
+  fp::FailPoint* site = fp::Controller::instance().find("core.adaptive.decide");
+  ASSERT_NE(site, nullptr);
+  EXPECT_GT(site->fires(), 0u);
+}
+
+}  // namespace

@@ -147,7 +147,12 @@ TEST(Chaos, DeadlineEscalatesToSerial) {
 TEST(Chaos, LegacyInjectionKnobFoldsIntoFailpoints) {
   Config cfg;
   cfg.pool_threads = 2;
+  // This test exercises the deprecated knob's compatibility translation on
+  // purpose; everything else uses Config::chaos directly.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   cfg.inject_validation_failure_every = 5;
+#pragma GCC diagnostic pop
   Runtime rt(cfg);
   EXPECT_EQ(counter_result(rt, 30), 30L);
   // The knob must now be served by the failpoint site, not a bespoke path.

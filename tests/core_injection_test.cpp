@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/api.hpp"
+#include "util/failpoint.hpp"
 #include "util/xoshiro.hpp"
 
 namespace {
@@ -22,7 +23,9 @@ Config inject_config(std::uint32_t every, RestartPolicy policy) {
   Config cfg;
   cfg.pool_threads = 2;
   cfg.restart = policy;
-  cfg.inject_validation_failure_every = every;
+  if (every != 0) {
+    cfg.chaos.add("core.subtxn.validate", txf::util::fp::Action::kFail, every);
+  }
   return cfg;
 }
 

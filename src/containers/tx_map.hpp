@@ -139,6 +139,18 @@ class TxMap {
     return n;
   }
 
+  /// NON-transactional visit of every slot's underlying boxes (key box,
+  /// value box), in slot order. Diagnostics/GC only: the soak harness walks
+  /// the keyspace this way to check version-list resource bounds. Caller
+  /// must hold an EBR guard or have quiesced the env.
+  template <typename Fn>
+  void for_each_box(Fn&& fn) const {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      fn(slots_[i].key.impl());
+      fn(slots_[i].value.impl());
+    }
+  }
+
  private:
   static constexpr Key kEmpty = 0;
   static constexpr Value kTombstone = ~Value{0};

@@ -69,12 +69,6 @@ enum class SchedulingMode {
 /// from it. Plain aggregate: set fields, then pass to Runtime's
 /// constructor; a copy is taken, later mutation of the original has no
 /// effect. Every knob is safe to combine with every other unless noted.
-// The pragma scope silences -Wdeprecated-declarations only for Config's
-// implicitly generated special members (which must keep copying the
-// deprecated field); the diagnostic for those is attributed to the struct
-// itself. Explicit member accesses in user code still warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct Config {
   std::size_t pool_threads = 0;  // 0 = hardware concurrency
   WriteMode write_mode = WriteMode::kEager;
@@ -83,17 +77,6 @@ struct Config {
   /// §IV-E: skip validation of read-only futures when no read-write
   /// sub-transaction committed before them. Off switch is ablation Abl. C.
   bool read_only_future_opt = true;
-  /// DEPRECATED legacy failure-injection knob, superseded by the failpoint
-  /// framework (PR "robustness"). Migration: arm an equivalent chaos rule
-  /// instead —
-  ///   cfg.chaos.add("core.subtxn.validate", util::fp::Action::kFail, N);
-  /// For compatibility the Runtime still translates a non-zero value into
-  /// exactly that rule (0 = off); the translation will be removed together
-  /// with this field.
-  [[deprecated(
-      "use Config::chaos with a core.subtxn.validate rule instead")]]
-  std::uint32_t inject_validation_failure_every = 0;
-
   // --- future scheduling (core/adaptive.hpp) ---
 
   /// Inline-vs-parallel elision policy for TxCtx::submit (see
@@ -145,9 +128,11 @@ struct Config {
   std::uint64_t stall_timeout_us = 250000;
 
   /// Chaos schedule armed for the lifetime of the Runtime (failpoint
-  /// framework; see util/failpoint.hpp). Empty = disarmed.
+  /// framework; see util/failpoint.hpp). Empty = disarmed. Failure
+  /// injection goes through chaos rules only — e.g. the old validation
+  /// knob is spelled
+  ///   cfg.chaos.add("core.subtxn.validate", util::fp::Action::kFail, N);
   util::fp::ChaosPlan chaos;
 };
-#pragma GCC diagnostic pop
 
 }  // namespace txf::core

@@ -12,9 +12,17 @@ thread_local Fiber* t_entering = nullptr;
 }  // namespace
 
 Fiber::Fiber(std::size_t stack_size)
-    : stack_(new char[stack_size]), stack_size_(stack_size) {}
+    : stack_(new char[stack_size]), stack_size_(stack_size) {
+#if defined(TXF_TSAN_FIBERS)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
 
-Fiber::~Fiber() = default;
+Fiber::~Fiber() {
+#if defined(TXF_TSAN_FIBERS)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+}
 
 void Fiber::trampoline() {
   Fiber* self = t_entering;
@@ -23,6 +31,13 @@ void Fiber::trampoline() {
   // Returning lets ucontext follow uc_link back to the host, which then
   // marks the fiber finished (host-side, so a concurrent restore can never
   // observe "finished" while the exit path still runs on this stack).
+  // This return is the single exit switch off the fiber stack — both for a
+  // fresh run and for a restored pass unwinding back into this frame — so
+  // TSan's switch-back annotation lives here. tsan_host_ is heap-stable
+  // and re-set by whichever host entered last.
+#if defined(TXF_TSAN_FIBERS)
+  __tsan_switch_to_fiber(self->tsan_host_, 0);
+#endif
 }
 
 void Fiber::run(std::function<void()> fn) {
@@ -34,6 +49,10 @@ void Fiber::run(std::function<void()> fn) {
   fiber_ctx_.uc_link = &host_ctx_;
   makecontext(&fiber_ctx_, &Fiber::trampoline, 0);
   t_entering = this;
+#if defined(TXF_TSAN_FIBERS)
+  tsan_host_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&host_ctx_, &fiber_ctx_);
   finished_.store(true, std::memory_order_release);
 }
@@ -79,6 +98,10 @@ void Fiber::restore(Checkpoint& cp) {
   // Jump into the restored frame; uc_link in the original context still
   // routes the final return through host_ctx_, which we re-arm here by
   // being the swap target.
+#if defined(TXF_TSAN_FIBERS)
+  tsan_host_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&host_ctx_, &cp.regs_);
   finished_.store(true, std::memory_order_release);
 }

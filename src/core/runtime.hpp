@@ -26,20 +26,9 @@ class Runtime {
       : config_(std::move(config)),
         pool_(config_.pool_threads),
         adaptive_(config_, pool_) {
-    // Fold the legacy injection knob into the failpoint framework, then arm
-    // the chaos plan (if any) for the lifetime of this runtime. The knob is
-    // deprecated (see Config); this translation is the compatibility shim.
-    util::fp::ChaosPlan plan = config_.chaos;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const std::uint32_t legacy_every =
-        config_.inject_validation_failure_every;
-#pragma GCC diagnostic pop
-    if (legacy_every != 0) {
-      plan.add("core.subtxn.validate", util::fp::Action::kFail, legacy_every);
-    }
-    if (!plan.rules.empty()) {
-      util::fp::Controller::instance().arm(plan);
+    // Arm the chaos plan (if any) for the lifetime of this runtime.
+    if (!config_.chaos.rules.empty()) {
+      util::fp::Controller::instance().arm(config_.chaos);
       armed_chaos_ = true;
     }
   }

@@ -448,10 +448,13 @@ thread_local int t_future_body_depth = 0;
 bool TxTree::in_future_body() noexcept { return t_future_body_depth > 0; }
 
 void TxTree::task_done() {
-  {
-    std::lock_guard<std::mutex> lock(drain_mutex_);
-    outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
-  }
+  // Notify while holding the mutex. This runs outside run_future_body's
+  // epoch guard, so the drain waiter is free to retire-and-free the tree
+  // the moment it observes zero — and it cannot re-acquire drain_mutex_
+  // (which its predicate check requires) until the broadcast has fully
+  // left the condvar.
+  std::lock_guard<std::mutex> lock(drain_mutex_);
+  outstanding_tasks_.fetch_sub(1, std::memory_order_acq_rel);
   drain_cv_.notify_all();
 }
 
@@ -561,9 +564,12 @@ void TxTree::node_finished(SubTxn& t) {
     t.orec.status.store(SubTxnStatus::kFinished, std::memory_order_release);
     finished_pending_.push_back(t.idx);
     cascade_locked(resubmit, resume);
+    bump_progress();
+    // Notify under the lock: the owner in wait_and_commit_top may observe
+    // top_ready_ and proceed to commit-and-retire the tree; holding mutex_
+    // keeps the broadcast ordered before any destruction.
+    cv_.notify_all();
   }
-  bump_progress();
-  cv_.notify_all();
   for (SubTxn* f : resubmit) schedule_future(*f);
   for (SubTxn* c : resume) schedule_resume(*c);
 }
@@ -601,8 +607,7 @@ bool TxTree::validate_locked(SubTxn& t) {
   // Chaos (tests): spuriously fail some validations; recovery must still
   // produce the sequential result. Never inject into a node that has already
   // been re-executed, and never into a serial-irrevocable tree, so injection
-  // cannot livelock. (Config::inject_validation_failure_every arms this same
-  // site through Runtime.)
+  // cannot livelock.
   if (!t.reincarnated && !serial()) {
     const unsigned mask = TXF_FP_MASK("core.subtxn.validate");
     if (mask != 0) {
@@ -1126,6 +1131,11 @@ void TxTree::drain_tasks() {
       return outstanding_tasks_.load(std::memory_order_acquire) == 0;
     });
   }
+  // The zero may have been observed through the bare atomic above while the
+  // final task_done() is still broadcasting under drain_mutex_. Our caller
+  // is free to retire-and-free the tree the moment we return, so take the
+  // mutex once: task_done() cannot release it mid-broadcast.
+  std::lock_guard<std::mutex> lock(drain_mutex_);
 }
 
 void TxTree::fail_with_user_exception(std::exception_ptr e) {

@@ -139,6 +139,15 @@ void ThreadPool::worker_loop(Worker& self) {
   current_worker_ = &self;
   current_pool_ = this;
   while (!stopping_.load(std::memory_order_acquire)) {
+    // The park baseline must be read BEFORE the work search: a submit that
+    // lands between the two is then guaranteed to either be found by
+    // find_task (push precedes the epoch bump) or flip the wait predicate
+    // (its bump lands after `seen`). Sampling the epoch after an empty
+    // search instead would let that submit's bump be absorbed into `seen`
+    // while its task went unseen — and with its sleepers_ check racing
+    // ahead of our registration, the worker would sleep on a non-empty
+    // queue.
+    const std::uint64_t seen = work_epoch_.load(std::memory_order_seq_cst);
     Task* t = find_task(&self);
     if (t != nullptr) {
       queue_depth_.add(-1);
@@ -155,7 +164,6 @@ void ThreadPool::worker_loop(Worker& self) {
     parks_.add();
     obs::trace::instant(obs::trace::Ev::kSchedPark,
                         static_cast<std::uint32_t>(self.index));
-    const std::uint64_t seen = work_epoch_.load(std::memory_order_seq_cst);
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     sleep_cv_.wait(lock, [&] {

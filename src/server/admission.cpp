@@ -1,0 +1,94 @@
+#include "server/admission.hpp"
+
+namespace txf::server {
+
+bool AdmissionGate::admit(RequestClass cls, std::uint64_t now_ns) {
+  if (!cfg_.enabled) return true;
+  if (class_shed_at(cls, shed_level())) return false;
+  const double per_ns =
+      static_cast<double>(rate_mhz_.load(std::memory_order_relaxed)) / 1e15;
+  if (last_refill_ns_ == 0) {
+    last_refill_ns_ = now_ns;
+    tokens_ = 1.0;  // the first arrival is always admissible
+  } else if (now_ns > last_refill_ns_) {
+    tokens_ += static_cast<double>(now_ns - last_refill_ns_) * per_ns;
+    last_refill_ns_ = now_ns;
+  }
+  const double burst =
+      std::max(8.0, per_ns * 1e9 * cfg_.burst_s);  // >= 8 tokens of burst
+  if (tokens_ > burst) tokens_ = burst;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+OverloadController::OverloadController(const AdmissionConfig& cfg,
+                                       AdmissionGate& gate)
+    : cfg_(cfg), gate_(gate) {
+  reg_.counter("server.controller.overload_ticks", overload_ticks_)
+      .counter("server.controller.healthy_ticks", healthy_ticks_)
+      .gauge("server.rate_limit", rate_gauge_)
+      .gauge("server.shed_level", shed_level_gauge_);
+  rate_gauge_.set(static_cast<std::int64_t>(gate_.rate()));
+}
+
+bool OverloadController::tick(const OverloadSignals& s) {
+  // --- classify the window -------------------------------------------------
+  const double share =
+      s.attempts != 0
+          ? static_cast<double>(s.conflict_aborts + s.deadline_aborts) /
+                static_cast<double>(s.attempts)
+          : 0.0;
+  const bool taxonomy_hot = share > cfg_.abort_share_high;
+  const bool queue_hot = s.commit_queue_depth > cfg_.commit_depth_high;
+  const bool backlog_hot = s.backlog > cfg_.backlog_high;
+  const bool slo_hot = s.window_p99_ns > cfg_.slo_p99_ns;
+  const bool overloaded = taxonomy_hot || queue_hot || backlog_hot || slo_hot;
+
+  const bool recovered =
+      !overloaded && s.window_p99_ns < cfg_.slo_p99_ns / 2 &&
+      s.backlog < cfg_.backlog_high / 4 && share < cfg_.abort_share_high / 2;
+
+  // --- adapt ---------------------------------------------------------------
+  if (overloaded) {
+    healthy_streak_ = 0;
+    ++overload_streak_;
+    overload_ticks_.add();
+    // Clamp toward the service rate the window actually sustained: one tick
+    // of evidence beats many blind multiplicative steps. The plain decrease
+    // still applies when the window completed nothing (a full stall).
+    double next = gate_.rate() * cfg_.decrease;
+    if (s.completed != 0 && s.window_s > 0.0) {
+      const double service_rate =
+          static_cast<double>(s.completed) / s.window_s;
+      next = std::min(next, service_rate * 0.9);
+    }
+    gate_.set_rate(std::max(next, cfg_.min_rate));
+    if (overload_streak_ >= cfg_.escalate_after &&
+        gate_.shed_level() < static_cast<std::uint32_t>(kRequestClassCount)) {
+      gate_.set_shed_level(gate_.shed_level() + 1);
+      overload_streak_ = 0;
+    }
+  } else {
+    overload_streak_ = 0;
+    if (recovered) {
+      healthy_ticks_.add();
+      ++healthy_streak_;
+      gate_.set_rate(
+          std::min(gate_.rate() * cfg_.increase, cfg_.max_rate));
+      if (healthy_streak_ >= cfg_.relax_after && gate_.shed_level() > 0) {
+        gate_.set_shed_level(gate_.shed_level() - 1);
+        healthy_streak_ = 0;
+      }
+    } else {
+      // Neither hot nor provably recovered: hold the line (no rate growth
+      // while the p99 is still digesting a backlog).
+      healthy_streak_ = 0;
+    }
+  }
+  rate_gauge_.set(static_cast<std::int64_t>(gate_.rate()));
+  shed_level_gauge_.set(static_cast<std::int64_t>(gate_.shed_level()));
+  return overloaded;
+}
+
+}  // namespace txf::server

@@ -1,0 +1,169 @@
+// Admission control and overload shedding for the service harness.
+//
+// Two cooperating pieces:
+//
+//  * AdmissionGate — a token bucket consulted by the load generator for
+//    every arrival. Its rate and the current shed level are atomics
+//    written by the controller; the bucket state itself is touched only by
+//    the (single) arrival thread, so admission costs no locks.
+//
+//  * OverloadController — the policy loop (pure logic, threadless: the
+//    server calls tick() periodically, tests drive it directly). It reads
+//    the abort-cause taxonomy (conflict/deadline share of attempts), the
+//    commit-queue depth, the server's dispatch backlog and the windowed
+//    p99, and adapts the gate:
+//
+//      overloaded  => clamp the token rate toward the observed service
+//                     rate (multiplicative decrease, never below the
+//                     floor) and — if overload persists — raise the shed
+//                     level so the lowest-priority class is dropped first
+//                     (kMulti, then kRmw, then kWrite; reads only at the
+//                     extreme).
+//      recovering  => after a streak of healthy ticks (window p99 back
+//                     inside the SLO, backlog drained, abort share low)
+//                     lower the shed level one step and grow the rate
+//                     multiplicatively (AIMD-style probing for capacity).
+//
+//    The rationale is the PAPERS.md line on concurrency cost: past the
+//    contention knee, *adding* offered load only converts throughput into
+//    aborts and queueing — a rising conflict/deadline share is the
+//    taxonomy's way of saying the knee is behind us, and the only winning
+//    move is to admit less, not retry more.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "server/request.hpp"
+
+namespace txf::server {
+
+struct AdmissionConfig {
+  /// Master switch: disabled, the gate admits everything (the ablation the
+  /// bench gate compares against).
+  bool enabled = true;
+  /// Token rate bounds (requests/second). The initial rate is deliberately
+  /// "effectively open": the controller's job is to discover the real
+  /// capacity, not ours to guess it.
+  double initial_rate = 1e6;
+  double min_rate = 200.0;
+  double max_rate = 2e6;
+  /// Multiplicative decrease on an overloaded tick / increase on a healthy
+  /// streak (AIMD with a multiplicative probe up — the service-capacity
+  /// clamp below makes the decrease converge in one tick).
+  double decrease = 0.7;
+  double increase = 1.10;
+  /// Bucket burst: this many seconds worth of tokens may accumulate.
+  double burst_s = 0.05;
+
+  /// SLO on the admitted-traffic p99 (nanoseconds). Overload is declared
+  /// when the *window* p99 exceeds it; recovery needs p99 back under
+  /// half of it (hysteresis).
+  std::uint64_t slo_p99_ns = 100'000'000;  // 100 ms
+  /// Conflict+deadline share of attempts above which the taxonomy alone
+  /// declares overload (abort-retry livelock territory).
+  double abort_share_high = 0.5;
+  /// Commit-queue depth (stm.commit.queue_depth) overload threshold.
+  std::int64_t commit_depth_high = 64;
+  /// Dispatch-backlog overload threshold (requests admitted but not yet
+  /// executing).
+  std::uint64_t backlog_high = 256;
+  /// Consecutive overloaded ticks before the shed level rises another
+  /// step, and consecutive healthy ticks before it drops one.
+  std::uint32_t escalate_after = 2;
+  std::uint32_t relax_after = 6;
+};
+
+/// Token-bucket gate + class shedding mask. Thread contract: admit() is
+/// called by one thread (the load generator); set_rate()/set_shed_level()
+/// by the controller; shed_level()/rate() by anyone.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(const AdmissionConfig& cfg)
+      : cfg_(cfg), rate_mhz_(to_mhz(cfg.initial_rate)) {}
+
+  /// Should this arrival be admitted? `now_ns` is the driver's monotonic
+  /// clock. Refills the bucket, applies the class mask, then spends one
+  /// token. Never blocks: an open-loop generator drops, it does not queue.
+  bool admit(RequestClass cls, std::uint64_t now_ns);
+
+  /// Shed level L drops the L highest-numbered request classes (kMulti
+  /// first). Level 0 admits everything.
+  void set_shed_level(std::uint32_t level) noexcept {
+    shed_level_.store(level, std::memory_order_relaxed);
+  }
+  std::uint32_t shed_level() const noexcept {
+    return shed_level_.load(std::memory_order_relaxed);
+  }
+  static bool class_shed_at(RequestClass cls, std::uint32_t level) noexcept {
+    return static_cast<std::uint32_t>(kRequestClassCount) -
+               static_cast<std::uint32_t>(cls) <=
+           level;
+  }
+
+  void set_rate(double per_s) noexcept {
+    rate_mhz_.store(to_mhz(per_s), std::memory_order_relaxed);
+  }
+  double rate() const noexcept {
+    return static_cast<double>(rate_mhz_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+
+ private:
+  /// Tokens-per-nanosecond needs fractions; store rate as integer
+  /// micro-tokens-per-second so the hot path stays a relaxed atomic load.
+  static std::uint64_t to_mhz(double per_s) noexcept {
+    return static_cast<std::uint64_t>(std::max(per_s, 0.0) * 1e6);
+  }
+
+  const AdmissionConfig cfg_;
+  std::atomic<std::uint64_t> rate_mhz_;
+  std::atomic<std::uint32_t> shed_level_{0};
+  // Bucket state: single-writer (the arrival thread).
+  double tokens_ = 0.0;
+  std::uint64_t last_refill_ns_ = 0;
+};
+
+/// Signals sampled once per controller tick. All deltas are over the tick
+/// window; shares are computed here so tests can feed raw counts.
+struct OverloadSignals {
+  std::uint64_t window_p99_ns = 0;   // 0 = no completions this window
+  std::uint64_t completed = 0;       // requests finished this window
+  double window_s = 0.0;             // tick duration
+  std::uint64_t attempts = 0;        // tx attempts this window (commits+fails)
+  std::uint64_t conflict_aborts = 0; // conflict-shaped causes this window
+  std::uint64_t deadline_aborts = 0; // deadline escalations this window
+  std::int64_t commit_queue_depth = 0;
+  std::uint64_t backlog = 0;         // admitted-but-not-executing requests
+};
+
+/// The policy loop (threadless; see file comment).
+class OverloadController {
+ public:
+  OverloadController(const AdmissionConfig& cfg, AdmissionGate& gate);
+
+  /// One control decision. Returns true when this tick was classified as
+  /// overloaded (the server uses it to trigger backlog revocation).
+  bool tick(const OverloadSignals& s);
+
+  std::uint64_t overload_ticks() const noexcept {
+    return overload_ticks_.load();
+  }
+  std::uint64_t healthy_ticks() const noexcept { return healthy_ticks_.load(); }
+
+ private:
+  const AdmissionConfig cfg_;
+  AdmissionGate& gate_;
+  std::uint32_t overload_streak_ = 0;
+  std::uint32_t healthy_streak_ = 0;
+
+  obs::Counter overload_ticks_;
+  obs::Counter healthy_ticks_;
+  obs::Gauge rate_gauge_;
+  obs::Gauge shed_level_gauge_;
+  obs::Registration reg_;
+};
+
+}  // namespace txf::server

@@ -1,0 +1,65 @@
+// Windowed per-class latency tracking for the service harness.
+//
+// Two horizons per class: a cumulative histogram (the end-of-run report:
+// p50/p99/p99.9 over all admitted traffic) and a *window* histogram the
+// admission controller drains every tick — "recovering p99" is a statement
+// about the last few hundred milliseconds, not the whole run.
+//
+// A mutex per record keeps this trivially correct; the harness completes at
+// most a few hundred thousand requests per second, so an uncontended lock
+// (~20 ns) is noise against a transactional request (microseconds).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "server/request.hpp"
+#include "util/histogram.hpp"
+
+namespace txf::server {
+
+class LatencyTracker {
+ public:
+  void record(RequestClass cls, std::uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = per_class_[static_cast<std::size_t>(cls)];
+    slot.total.record(ns);
+    slot.window.record(ns);
+  }
+
+  /// Merge-and-reset the controller's tick window across all classes.
+  util::LatencyHistogram drain_window() {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::LatencyHistogram merged;
+    for (auto& slot : per_class_) {
+      merged.merge(slot.window);
+      slot.window = util::LatencyHistogram{};
+    }
+    return merged;
+  }
+
+  util::LatencyHistogram total(RequestClass cls) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_class_[static_cast<std::size_t>(cls)].total;
+  }
+
+  /// All classes merged (the admitted-traffic SLO statistic).
+  util::LatencyHistogram total_all() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::LatencyHistogram merged;
+    for (const auto& slot : per_class_) merged.merge(slot.total);
+    return merged;
+  }
+
+ private:
+  struct Slot {
+    util::LatencyHistogram total;
+    util::LatencyHistogram window;
+  };
+
+  mutable std::mutex mu_;
+  std::array<Slot, kRequestClassCount> per_class_{};
+};
+
+}  // namespace txf::server

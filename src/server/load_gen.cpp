@@ -1,0 +1,34 @@
+#include "server/load_gen.hpp"
+
+#include <cmath>
+
+namespace txf::server {
+
+RequestClass LoadGenerator::pick_class() {
+  const std::uint64_t roll = rng_.next_bounded(100);
+  if (roll < cfg_.mix_read) return RequestClass::kRead;
+  if (roll < cfg_.mix_read + cfg_.mix_write) return RequestClass::kWrite;
+  if (roll < cfg_.mix_read + cfg_.mix_write + cfg_.mix_rmw)
+    return RequestClass::kRmw;
+  return RequestClass::kMulti;
+}
+
+Request LoadGenerator::next(std::uint64_t start_ns) {
+  if (next_arrival_ns_ == 0) next_arrival_ns_ = start_ns;
+  const double elapsed_s =
+      static_cast<double>(next_arrival_ns_ - start_ns) / 1e9;
+  const double rate = rate_at(elapsed_s);
+  // Exponential inter-arrival: dt = -ln(U) / rate, U in (0, 1].
+  const double u = 1.0 - rng_.next_double();  // avoid log(0)
+  const double dt_ns = -std::log(u) / rate * 1e9;
+  next_arrival_ns_ += static_cast<std::uint64_t>(dt_ns) + 1;  // strictly after
+
+  Request req;
+  req.scheduled_ns = next_arrival_ns_;
+  req.cls = pick_class();
+  req.key = zipf_.next(rng_);
+  req.aux = rng_.next();
+  return req;
+}
+
+}  // namespace txf::server

@@ -1,0 +1,62 @@
+// Open-loop load generation: Poisson arrivals over Zipf-distributed keys
+// with a mixed request-class profile and an optional rate spike window.
+//
+// The schedule is a pure function of (seed, config, elapsed time) — the
+// generator owns no thread. The server's arrival loop asks for the next
+// arrival, sleeps until its timestamp, and stamps the request with the
+// *scheduled* time, so latency includes any lag the arrival loop itself
+// accumulates (open-loop honesty; see request.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "server/request.hpp"
+#include "util/xoshiro.hpp"
+#include "util/zipf.hpp"
+
+namespace txf::server {
+
+struct LoadGenConfig {
+  double rate_hz = 3000.0;   // base offered load
+  double spike_factor = 1.0; // rate multiplier inside the spike window
+  double spike_start_s = -1.0;
+  double spike_end_s = -1.0;
+  std::uint64_t keyspace = 1u << 16;
+  double zipf_theta = 0.9;   // YCSB-ish skew
+  // Class mix in percent (must sum to 100).
+  std::uint32_t mix_read = 60;
+  std::uint32_t mix_write = 20;
+  std::uint32_t mix_rmw = 15;
+  std::uint32_t mix_multi = 5;
+  std::uint64_t seed = 0x5eedul;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(const LoadGenConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed), zipf_(cfg.keyspace, cfg.zipf_theta) {}
+
+  /// Offered rate at `elapsed_s` (the spike window multiplies the base).
+  double rate_at(double elapsed_s) const noexcept {
+    const bool in_spike = cfg_.spike_factor > 1.0 &&
+                          elapsed_s >= cfg_.spike_start_s &&
+                          elapsed_s < cfg_.spike_end_s;
+    return in_spike ? cfg_.rate_hz * cfg_.spike_factor : cfg_.rate_hz;
+  }
+
+  /// Advance the schedule: returns the next arrival, whose scheduled_ns is
+  /// strictly after the previous one (exponential inter-arrival at the
+  /// rate in force when it was drawn — a Poisson process with a piecewise
+  /// constant rate). `start_ns` anchors elapsed time for the spike window.
+  Request next(std::uint64_t start_ns);
+
+ private:
+  RequestClass pick_class();
+
+  LoadGenConfig cfg_;
+  util::Xoshiro256 rng_;
+  util::ZipfGenerator zipf_;
+  std::uint64_t next_arrival_ns_ = 0;  // 0 = schedule not started
+};
+
+}  // namespace txf::server

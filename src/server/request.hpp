@@ -1,0 +1,50 @@
+// Request model of the long-lived KV/OLTP service harness (src/server/).
+//
+// The server fronts one Runtime + TxMap keyspace with four request classes
+// of increasing weight. Classes double as *shedding priorities*: under
+// overload the admission controller sheds the heaviest/least-critical
+// class first (kMulti), then kRmw, then kWrite; point reads are the last
+// traffic standing. See admission.hpp for the policy.
+#pragma once
+
+#include <cstdint>
+
+namespace txf::server {
+
+/// Request classes, ordered by shedding priority: higher enum value =
+/// shed earlier. (kRead is shed only at the maximum shed level.)
+enum class RequestClass : std::uint8_t {
+  kRead = 0,   // point read of one key
+  kWrite,      // blind point write
+  kRmw,        // read-modify-write of one key
+  kMulti,      // multi-key transaction using transactional futures
+  kCount
+};
+
+inline constexpr std::size_t kRequestClassCount =
+    static_cast<std::size_t>(RequestClass::kCount);
+
+inline const char* request_class_name(RequestClass c) noexcept {
+  switch (c) {
+    case RequestClass::kRead: return "read";
+    case RequestClass::kWrite: return "write";
+    case RequestClass::kRmw: return "rmw";
+    case RequestClass::kMulti: return "multi";
+    case RequestClass::kCount: break;
+  }
+  return "unknown";
+}
+
+/// One open-loop request. `scheduled_ns` is the Poisson arrival time on the
+/// driver's monotonic clock: service latency is measured from here, so time
+/// spent queued behind an overloaded server counts against the SLO — the
+/// property that makes open-loop load honest about overload (closed-loop
+/// generators self-throttle and hide it).
+struct Request {
+  std::uint64_t scheduled_ns = 0;
+  std::uint64_t key = 0;
+  std::uint64_t aux = 0;  // second key base for kMulti; value salt otherwise
+  RequestClass cls = RequestClass::kRead;
+};
+
+}  // namespace txf::server

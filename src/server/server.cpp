@@ -1,0 +1,534 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "containers/tx_map.hpp"
+#include "core/api.hpp"
+#include "obs/trace.hpp"
+#include "server/latency.hpp"
+#include "util/timing.hpp"
+
+namespace txf::server {
+namespace {
+
+/// Values stay clear of TxMap's tombstone sentinel (~0).
+constexpr stm::Word kValueMask = 0x00ff'ffff'ffff'ffffULL;
+
+core::Config make_engine_config(const ServerConfig& cfg) {
+  core::Config ec;
+  ec.pool_threads = cfg.pool_threads;
+  ec.tx_deadline_us = cfg.tx_deadline_us;
+  if (cfg.chaos) {
+    using util::fp::Action;
+    // The soak chaos diet: rare hard failures on tree validation (forcing
+    // the full abort/retry/escalation machinery), plus delays and yields
+    // sprinkled across the commit pipeline, read path and scheduler to
+    // shake out interleavings. Deterministic per seed (failpoint.hpp).
+    // Keep futures genuinely parallel under chaos: adaptive elision would
+    // otherwise demote every site inline (especially on small machines) and
+    // the subtxn validate/start sites would never be exercised.
+    ec.scheduling = core::SchedulingMode::kAlwaysParallel;
+    ec.chaos.seed = cfg.chaos_seed;
+    ec.chaos.add_prob("core.subtxn.validate", Action::kFail, 0.02)
+        .add_prob("core.subtxn.start", Action::kAbortTree, 0.005)
+        .add_prob("core.subtxn.start", Action::kDelayUs, 0.01, 50)
+        .add_prob("stm.commit.prevalidate", Action::kDelayUs, 0.01, 100)
+        .add_prob("stm.commit.batch.form", Action::kYield, 0.02)
+        .add_prob("stm.commit.batch.handoff", Action::kYield, 0.02)
+        .add_prob("stm.commit.writeback", Action::kDelayUs, 0.005, 100)
+        .add_prob("stm.read.version", Action::kDelayUs, 0.002, 20)
+        .add_prob("sched.submit", Action::kYield, 0.01)
+        .add_prob("sched.steal", Action::kYield, 0.01);
+  }
+  return ec;
+}
+
+/// Conflict-shaped abort causes: the taxonomy entries that signal
+/// contention (as opposed to injected chaos, user exceptions or explicit
+/// retries). The controller's "abort share" is these plus deadline
+/// escalations, over all attempts.
+std::uint64_t conflict_cause_total(const obs::AbortAccounting& acc) {
+  using obs::AbortCause;
+  return acc.of(AbortCause::kReadValidation).load() +
+         acc.of(AbortCause::kWriteWrite).load() +
+         acc.of(AbortCause::kStaleSnapshot).load() +
+         acc.of(AbortCause::kTreeOrder).load() +
+         acc.of(AbortCause::kSerialPreempt).load() +
+         acc.of(AbortCause::kStalled).load();
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream os;
+  os << "{\"ok\": " << (ok ? "true" : "false") << ", \"failure\": \""
+     << failure << "\"";
+  os << ", \"duration_s\": " << duration_s;
+  os << ", \"offered\": " << offered << ", \"admitted\": " << admitted
+     << ", \"shed\": " << shed << ", \"completed\": " << completed
+     << ", \"slo_misses\": " << slo_misses
+     << ", \"watchdog_stalls\": " << watchdog_stalls;
+  os << ", \"p50_ns\": " << p50_ns << ", \"p99_ns\": " << p99_ns
+     << ", \"p999_ns\": " << p999_ns;
+  os << ", \"classes\": {";
+  for (std::size_t i = 0; i < kRequestClassCount; ++i) {
+    const ClassStats& c = per_class[i];
+    if (i != 0) os << ", ";
+    os << "\"" << request_class_name(static_cast<RequestClass>(i))
+       << "\": {\"admitted\": " << c.admitted << ", \"shed\": " << c.shed
+       << ", \"completed\": " << c.completed << ", \"p50_ns\": " << c.p50_ns
+       << ", \"p99_ns\": " << c.p99_ns << ", \"p999_ns\": " << c.p999_ns
+       << "}";
+  }
+  os << "}";
+  os << ", \"overload_ticks\": " << overload_ticks
+     << ", \"healthy_ticks\": " << healthy_ticks
+     << ", \"max_shed_level\": " << max_shed_level
+     << ", \"final_rate_limit\": " << final_rate_limit;
+  os << ", \"clock\": " << clock
+     << ", \"committed_count\": " << committed_count
+     << ", \"cause_sum_minus_deadline\": " << cause_sum_minus_deadline
+     << ", \"attempt_aborts\": " << attempt_aborts
+     << ", \"max_version_list\": " << max_version_list
+     << ", \"max_version_list_trimmed\": " << max_version_list_trimmed
+     << ", \"ebr_pending_final\": " << ebr_pending_final
+     << ", \"chaos_fires\": " << chaos_fires;
+  os << "}";
+  return os.str();
+}
+
+Report Server::run() {
+  Report rep;
+  ServerMetrics sm;
+  LatencyTracker tracker;
+  AdmissionGate gate(cfg_.admission);
+  OverloadController controller(cfg_.admission, gate);
+
+  core::Runtime rt(make_engine_config(cfg_));
+  obs::AbortAccounting& acc = rt.env().abort_accounting();
+  containers::TxMap map(cfg_.load.keyspace);
+
+  // Preload every key so steady-state traffic only reads/updates — the map
+  // is a fixed-capacity heap (tx_map.hpp) and must never fill mid-run.
+  for (std::uint64_t base = 0; base < cfg_.load.keyspace; base += 512) {
+    const std::uint64_t hi = std::min<std::uint64_t>(base + 512,
+                                                     cfg_.load.keyspace);
+    core::atomically(rt, [&](core::TxCtx& ctx) {
+      for (std::uint64_t k = base; k < hi; ++k) map.put(ctx, k, k + 1);
+    });
+  }
+
+  // ---- shared run state -----------------------------------------------
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Request> queue;
+    bool stop_workers = false;
+    std::atomic<std::uint64_t> inflight{0};
+    std::atomic<std::uint64_t> exec_errors{0};
+    std::atomic<bool> failed{false};
+    std::atomic<bool> done{false};  // controller/watchdog shutdown flag
+  } sh;
+
+  const std::uint32_t span =
+      cfg_.multi_span < 2 ? 2 : cfg_.multi_span;  // >= 1 future
+  const std::uint64_t keyspace = cfg_.load.keyspace;
+
+  const std::uint32_t op_span = cfg_.op_span < 1 ? 1 : cfg_.op_span;
+  auto execute = [&](const Request& req) {
+    switch (req.cls) {
+      case RequestClass::kRead:
+        core::atomically(rt, [&](core::TxCtx& ctx) {
+          stm::Word sum = 0;
+          for (std::uint32_t j = 0; j < op_span; ++j)
+            sum += map.get(ctx, (req.key + j) % keyspace).value_or(0);
+          return sum;
+        });
+        break;
+      case RequestClass::kWrite:
+        core::atomically(rt, [&](core::TxCtx& ctx) {
+          // Read-mostly span with one blind write at the head: a write
+          // request still carries the request's row-touch weight.
+          stm::Word sum = 0;
+          for (std::uint32_t j = 1; j < op_span; ++j)
+            sum += map.get(ctx, (req.key + j) % keyspace).value_or(0);
+          map.put(ctx, req.key, ((req.aux + sum) | 1) & kValueMask);
+        });
+        break;
+      case RequestClass::kRmw:
+        core::atomically(rt, [&](core::TxCtx& ctx) {
+          stm::Word sum = 0;
+          for (std::uint32_t j = 0; j < op_span; ++j)
+            sum += map.get(ctx, (req.key + j) % keyspace).value_or(0);
+          map.put(ctx, req.key, (sum + 1) & kValueMask);
+        });
+        break;
+      case RequestClass::kMulti:
+        // The paper's workload shape: sibling reads as transactional
+        // futures, joined by the continuation, one summarizing write.
+        core::atomically(rt, [&](core::TxCtx& ctx) {
+          std::vector<core::TxFuture<stm::Word>> reads;
+          reads.reserve(span - 1);
+          for (std::uint32_t i = 1; i < span; ++i) {
+            const std::uint64_t ki =
+                (req.key + 1 + ((req.aux >> (8 * (i & 7))) & 0xff) + i) %
+                keyspace;
+            reads.push_back(ctx.submit([&map, ki](core::TxCtx& c) {
+              return map.get(c, ki).value_or(0);
+            }));
+          }
+          stm::Word sum = map.get(ctx, req.key).value_or(0);
+          for (auto& f : reads) sum += f.get(ctx);
+          map.put(ctx, req.key, sum & kValueMask);
+          return sum;
+        });
+        break;
+      case RequestClass::kCount:
+        break;
+    }
+  };
+
+  auto worker_fn = [&] {
+    for (;;) {
+      Request req;
+      {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        sh.cv.wait(lk, [&] { return sh.stop_workers || !sh.queue.empty(); });
+        if (sh.queue.empty()) {
+          if (sh.stop_workers) return;
+          continue;
+        }
+        req = sh.queue.front();
+        sh.queue.pop_front();
+      }
+      sm.backlog.add(-1);
+      sh.inflight.fetch_add(1, std::memory_order_relaxed);
+      try {
+        execute(req);
+      } catch (...) {
+        sh.exec_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::uint64_t now = util::now_ns();
+      const std::uint64_t lat =
+          now > req.scheduled_ns ? now - req.scheduled_ns : 0;
+      tracker.record(req.cls, lat);
+      sm.latency[static_cast<std::size_t>(req.cls)].record(lat);
+      sm.completed.add();
+      if (lat > cfg_.admission.slo_p99_ns) sm.slo_misses.add();
+      sh.inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Revoke queued requests of currently-shed classes: admission decisions
+  // are made at arrival time, so a spike's worth of low-priority work can
+  // already be sitting in the backlog when the shed level rises — dropping
+  // it there is what actually rescues the p99 (every queued request is
+  // latency already accruing against its scheduled time).
+  auto revoke_backlog = [&] {
+    const std::uint32_t level = gate.shed_level();
+    if (level == 0) return;
+    std::uint64_t dropped_by_class[kRequestClassCount] = {};
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      auto keep_end = std::remove_if(
+          sh.queue.begin(), sh.queue.end(), [&](const Request& r) {
+            if (!AdmissionGate::class_shed_at(r.cls, level)) return false;
+            ++dropped_by_class[static_cast<std::size_t>(r.cls)];
+            return true;
+          });
+      sh.queue.erase(keep_end, sh.queue.end());
+    }
+    std::uint64_t dropped = 0;
+    for (std::size_t i = 0; i < kRequestClassCount; ++i) {
+      if (dropped_by_class[i] == 0) continue;
+      dropped += dropped_by_class[i];
+      sm.shed_by_class[i].add(dropped_by_class[i]);
+    }
+    if (dropped != 0) {
+      sm.shed.add(dropped);
+      sm.backlog.add(-static_cast<std::int64_t>(dropped));
+    }
+  };
+
+  const std::uint64_t start_ns = util::now_ns();
+
+  auto controller_fn = [&] {
+    std::uint64_t prev_commits = acc.tx_commits.load();
+    std::uint64_t prev_attempt_aborts = acc.attempt_aborts.load();
+    std::uint64_t prev_conflict = conflict_cause_total(acc);
+    std::uint64_t prev_deadline =
+        acc.of(obs::AbortCause::kDeadlineExceeded).load();
+    std::uint64_t last_tick_ns = util::now_ns();
+    std::uint64_t last_status_ns = last_tick_ns;
+    const auto interval =
+        std::chrono::duration<double>(cfg_.controller_interval_s);
+    while (!sh.done.load(std::memory_order_acquire)) {
+      // Sleep in small slices so shutdown is prompt.
+      const auto wake = std::chrono::steady_clock::now() + interval;
+      while (std::chrono::steady_clock::now() < wake &&
+             !sh.done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      const std::uint64_t now = util::now_ns();
+      const double window_s =
+          static_cast<double>(now - last_tick_ns) / 1e9;
+      last_tick_ns = now;
+
+      const std::uint64_t commits = acc.tx_commits.load();
+      const std::uint64_t attempt_aborts = acc.attempt_aborts.load();
+      const std::uint64_t conflict = conflict_cause_total(acc);
+      const std::uint64_t deadline =
+          acc.of(obs::AbortCause::kDeadlineExceeded).load();
+
+      OverloadSignals sig;
+      const util::LatencyHistogram window = tracker.drain_window();
+      sig.window_p99_ns = window.count() != 0 ? window.p99() : 0;
+      sig.completed = window.count();
+      sig.window_s = window_s;
+      sig.attempts =
+          (commits - prev_commits) + (attempt_aborts - prev_attempt_aborts);
+      sig.conflict_aborts = conflict - prev_conflict;
+      sig.deadline_aborts = deadline - prev_deadline;
+      sig.commit_queue_depth = rt.env().queue().queue_depth();
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sig.backlog = sh.queue.size();
+      }
+      prev_commits = commits;
+      prev_attempt_aborts = attempt_aborts;
+      prev_conflict = conflict;
+      prev_deadline = deadline;
+
+      // The ablation (--no-shed) keeps the controller silent: no rate
+      // adaptation, no shed-level escalation, no backlog revocation.
+      bool overloaded = false;
+      if (cfg_.admission.enabled) {
+        overloaded = controller.tick(sig);
+        if (overloaded) revoke_backlog();
+        rep.max_shed_level = std::max(rep.max_shed_level, gate.shed_level());
+      }
+
+      if (cfg_.status_interval_s > 0.0 &&
+          static_cast<double>(now - last_status_ns) / 1e9 >=
+              cfg_.status_interval_s) {
+        last_status_ns = now;
+        std::fprintf(
+            stderr,
+            "{\"server_status\": {\"t_s\": %.1f, \"admitted\": %llu, "
+            "\"shed\": %llu, \"completed\": %llu, \"backlog\": %llu, "
+            "\"window_p99_ms\": %.2f, \"rate_limit\": %.0f, "
+            "\"shed_level\": %u, \"overloaded\": %s}}\n",
+            static_cast<double>(now - start_ns) / 1e9,
+            static_cast<unsigned long long>(sm.admitted.load()),
+            static_cast<unsigned long long>(sm.shed.load()),
+            static_cast<unsigned long long>(sm.completed.load()),
+            static_cast<unsigned long long>(sig.backlog),
+            static_cast<double>(sig.window_p99_ns) / 1e6, gate.rate(),
+            gate.shed_level(), overloaded ? "true" : "false");
+      }
+    }
+  };
+
+  auto watchdog_fn = [&] {
+    std::uint64_t last_completed = sm.completed.load();
+    std::uint64_t last_progress_ns = util::now_ns();
+    const std::uint64_t stall_ns = cfg_.watchdog_stall_ms * 1'000'000ULL;
+    while (!sh.done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      const std::uint64_t completed = sm.completed.load();
+      const std::uint64_t now = util::now_ns();
+      std::uint64_t pending = sh.inflight.load(std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        pending += sh.queue.size();
+      }
+      if (completed != last_completed || pending == 0) {
+        // Progress, or legitimately idle (an idle server is not stalled).
+        last_completed = completed;
+        last_progress_ns = now;
+        continue;
+      }
+      if (now - last_progress_ns >= stall_ns) {
+        sm.watchdog_stalls.add();
+        sh.failed.store(true, std::memory_order_release);
+        std::fprintf(stderr,
+                     "server watchdog: NO COMPLETIONS for %llu ms with %llu "
+                     "requests pending — dumping metrics and trace ring\n",
+                     static_cast<unsigned long long>(cfg_.watchdog_stall_ms),
+                     static_cast<unsigned long long>(pending));
+        std::fputs(metrics::snapshot_json().c_str(), stderr);
+        std::fputs("\n", stderr);
+        std::fputs(obs::trace::drain_json().c_str(), stderr);
+        std::fputs("\n", stderr);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(cfg_.workers);
+  for (std::uint32_t i = 0; i < cfg_.workers; ++i)
+    workers.emplace_back(worker_fn);
+  std::thread controller_thread(controller_fn);
+  std::thread watchdog_thread(watchdog_fn);
+
+  // ---- arrival loop (open loop: this thread) --------------------------
+  LoadGenerator gen(cfg_.load);
+  const std::uint64_t end_ns =
+      start_ns + static_cast<std::uint64_t>(cfg_.duration_s * 1e9);
+  std::uint64_t offered = 0;
+  std::uint64_t admitted_by_class[kRequestClassCount] = {};
+  while (!sh.failed.load(std::memory_order_acquire)) {
+    Request req = gen.next(start_ns);
+    if (req.scheduled_ns >= end_ns) break;
+    const std::uint64_t now = util::now_ns();
+    if (req.scheduled_ns > now + 50'000) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(req.scheduled_ns - now));
+    }
+    ++offered;
+    bool admit = gate.admit(req.cls, req.scheduled_ns);
+    if (admit) {
+      std::size_t backlog;
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        backlog = sh.queue.size();
+        if (backlog < cfg_.max_backlog) sh.queue.push_back(req);
+      }
+      if (backlog >= cfg_.max_backlog) {
+        admit = false;  // hard cap: shed at the door
+      } else {
+        sm.backlog.add(1);
+        sm.admitted.add();
+        ++admitted_by_class[static_cast<std::size_t>(req.cls)];
+        sh.cv.notify_one();
+      }
+    }
+    if (!admit) {
+      sm.shed.add();
+      sm.shed_by_class[static_cast<std::size_t>(req.cls)].add();
+    }
+  }
+
+  // ---- drain and shutdown ---------------------------------------------
+  while (!sh.failed.load(std::memory_order_acquire)) {
+    std::size_t backlog;
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      backlog = sh.queue.size();
+    }
+    if (backlog == 0 && sh.inflight.load(std::memory_order_relaxed) == 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.stop_workers = true;
+    if (sh.failed.load(std::memory_order_acquire)) sh.queue.clear();
+  }
+  sh.cv.notify_all();
+  for (auto& w : workers) w.join();
+  sh.done.store(true, std::memory_order_release);
+  controller_thread.join();
+  watchdog_thread.join();
+
+  // ---- report ----------------------------------------------------------
+  rep.duration_s = static_cast<double>(util::now_ns() - start_ns) / 1e9;
+  rep.offered = offered;
+  rep.admitted = sm.admitted.load();
+  rep.shed = sm.shed.load();
+  rep.completed = sm.completed.load();
+  rep.slo_misses = sm.slo_misses.load();
+  rep.watchdog_stalls = sm.watchdog_stalls.load();
+  rep.overload_ticks = controller.overload_ticks();
+  rep.healthy_ticks = controller.healthy_ticks();
+  rep.final_rate_limit = gate.rate();
+  {
+    const util::LatencyHistogram all = tracker.total_all();
+    rep.p50_ns = all.p50();
+    rep.p99_ns = all.p99();
+    rep.p999_ns = all.quantile(0.999);
+  }
+  for (std::size_t i = 0; i < kRequestClassCount; ++i) {
+    const util::LatencyHistogram h =
+        tracker.total(static_cast<RequestClass>(i));
+    Report::ClassStats& c = rep.per_class[i];
+    c.admitted = admitted_by_class[i];
+    c.shed = sm.shed_by_class[i].load();
+    c.completed = h.count();
+    c.p50_ns = h.p50();
+    c.p99_ns = h.p99();
+    c.p999_ns = h.quantile(0.999);
+  }
+
+  // ---- end-of-soak invariants -----------------------------------------
+  stm::StmEnv& env = rt.env();
+  rep.clock = env.clock().current();
+  rep.committed_count = env.queue().committed_count();
+  {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(obs::AbortCause::kCount); ++i) {
+      sum += acc.of(static_cast<obs::AbortCause>(i)).load();
+    }
+    rep.cause_sum_minus_deadline =
+        sum - acc.of(obs::AbortCause::kDeadlineExceeded).load();
+  }
+  rep.attempt_aborts = acc.attempt_aborts.load();
+  {
+    util::EpochDomain::Guard guard(env.epochs());
+    map.for_each_box([&](stm::VBoxImpl& b) {
+      rep.max_version_list =
+          std::max<std::uint64_t>(rep.max_version_list, b.permanent_length());
+    });
+  }
+  // Quiescent trim: all traffic has stopped, so min_active == clock and
+  // every box must compress to a single permanent version.
+  const stm::Version min_snapshot =
+      env.registry().min_active(env.clock().current());
+  map.for_each_box(
+      [&](stm::VBoxImpl& b) { b.trim(min_snapshot, env.epochs()); });
+  {
+    util::EpochDomain::Guard guard(env.epochs());
+    map.for_each_box([&](stm::VBoxImpl& b) {
+      rep.max_version_list_trimmed = std::max<std::uint64_t>(
+          rep.max_version_list_trimmed, b.permanent_length());
+    });
+  }
+  env.epochs().drain_for_shutdown();
+  rep.ebr_pending_final = env.epochs().pending_count();
+  rep.chaos_fires =
+      cfg_.chaos ? util::fp::Controller::instance().total_fires() : 0;
+
+  auto fail = [&](const char* what) {
+    if (rep.failure.empty()) rep.failure = what;
+  };
+  if (rep.watchdog_stalls != 0) fail("watchdog stall");
+  if (sh.exec_errors.load() != 0) fail("request execution threw");
+  if (cfg_.check_invariants) {
+    if (rep.clock != rep.committed_count)
+      fail("clock != committed count (gap in version assignment)");
+    if (rep.cause_sum_minus_deadline != rep.attempt_aborts)
+      fail("abort-cause accounting identity violated");
+    if (rep.max_version_list > 1024)
+      fail("version-list leak: untrimmed chain beyond bound");
+    if (rep.max_version_list_trimmed > 2)
+      fail("version-list leak: chain survived quiescent trim");
+    if (rep.ebr_pending_final > 256) fail("EBR backlog not drained");
+    if (cfg_.chaos && rep.chaos_fires == 0)
+      fail("chaos armed but no failpoint ever fired");
+  }
+  rep.ok = rep.failure.empty();
+  return rep;
+}
+
+}  // namespace txf::server

@@ -1,0 +1,171 @@
+// Long-lived KV/OLTP service harness (ROADMAP item: robustness under
+// sustained load).
+//
+// One Server fronts a TxMap keyspace on one Runtime and is driven by an
+// open-loop Poisson/Zipf load (load_gen.hpp) through a token-bucket
+// admission gate adapted by the abort-taxonomy-driven overload controller
+// (admission.hpp). The harness exists to answer the operational question
+// the micro-benches cannot: does the engine *stay up* — p99 inside the
+// SLO, no stalls, no resource leaks — over minutes of mixed traffic,
+// load spikes, and injected chaos?
+//
+// Threads while running:
+//   caller        — arrival loop: generates the open-loop schedule, admits
+//                   or sheds each arrival, enqueues admitted requests
+//   workers (N)   — dequeue requests, execute them transactionally,
+//                   record per-class latency from the *scheduled* time
+//   controller    — periodic tick: drains the latency window, samples
+//                   taxonomy/queue-depth deltas, adapts the gate, revokes
+//                   shed-class backlog on overload, emits a JSON status line
+//   watchdog      — declares a stall when no request completes for
+//                   `watchdog_stall_ms` while backlog is pending; dumps the
+//                   metrics snapshot and the trace ring before failing
+//
+// After the run the harness checks the end-of-soak invariants (clock ==
+// committed count, abort-cause accounting identity, version-list trim
+// bound, EBR backlog drained, chaos actually fired when armed) and folds
+// everything into a Report. docs/ROBUSTNESS.md documents the policies.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "server/admission.hpp"
+#include "server/load_gen.hpp"
+#include "server/request.hpp"
+
+namespace txf::server {
+
+struct ServerConfig {
+  LoadGenConfig load;
+  AdmissionConfig admission;
+  double duration_s = 5.0;
+  std::uint32_t workers = 2;
+  std::uint32_t pool_threads = 2;  // Runtime future-execution pool
+  /// Multi-key transactions touch this many keys via futures.
+  std::uint32_t multi_span = 4;
+  /// Point requests (read/write/rmw) touch this many consecutive keys —
+  /// the per-request work knob that sizes the workload to the machine
+  /// (real OLTP requests touch rows, not words).
+  std::uint32_t op_span = 1;
+  /// Per-call transaction deadline handed to the contention manager
+  /// (0 = none). Soak mode sets one so livelocks degrade, not hang.
+  std::uint64_t tx_deadline_us = 0;
+
+  /// Arm the chaos plan (soak mode): probabilistic failures on validation
+  /// plus delays/yields across the commit pipeline, read path and
+  /// scheduler. Deterministic per chaos_seed.
+  bool chaos = false;
+  std::uint64_t chaos_seed = 42;
+
+  double controller_interval_s = 0.10;
+  double status_interval_s = 1.0;  // 0 = no status lines
+  std::uint64_t watchdog_stall_ms = 3000;
+  /// Absolute dispatch-queue cap: arrivals beyond it are shed outright
+  /// (the gate's job is to keep the queue far below this).
+  std::uint64_t max_backlog = 8192;
+
+  /// End-of-run invariant checks (disable only for micro-runs that tear
+  /// down mid-traffic on purpose).
+  bool check_invariants = true;
+};
+
+/// Everything a run learned, one struct. `ok` is the soak verdict:
+/// no watchdog stall and every invariant held.
+struct Report {
+  bool ok = false;
+  std::string failure;  // first failed check, empty when ok
+
+  double duration_s = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t slo_misses = 0;
+  std::uint64_t watchdog_stalls = 0;
+
+  struct ClassStats {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+  };
+  std::array<ClassStats, kRequestClassCount> per_class{};
+  std::uint64_t p50_ns = 0;   // all admitted traffic
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+
+  std::uint64_t overload_ticks = 0;
+  std::uint64_t healthy_ticks = 0;
+  std::uint32_t max_shed_level = 0;
+  double final_rate_limit = 0.0;
+
+  // End-of-soak invariant evidence.
+  std::uint64_t clock = 0;
+  std::uint64_t committed_count = 0;
+  std::uint64_t cause_sum_minus_deadline = 0;
+  std::uint64_t attempt_aborts = 0;
+  std::uint64_t max_version_list = 0;       // before the final trim
+  std::uint64_t max_version_list_trimmed = 0;  // after quiescent trim
+  std::uint64_t ebr_pending_final = 0;
+  std::uint64_t chaos_fires = 0;
+
+  std::string to_json() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Run the full lifecycle (preload, traffic, drain, invariant checks) and
+  /// return the report. Blocking; the calling thread runs the arrival loop.
+  Report run();
+
+ private:
+  ServerConfig cfg_;
+};
+
+/// The server's metric surface (names documented in docs/OBSERVABILITY.md;
+/// scripts/check_docs.py cross-checks them).
+struct ServerMetrics {
+  obs::Counter admitted;
+  obs::Counter shed;
+  std::array<obs::Counter, kRequestClassCount> shed_by_class{};
+  obs::Counter completed;
+  obs::Counter slo_misses;
+  obs::Counter watchdog_stalls;
+  obs::Gauge backlog;
+  std::array<obs::Histogram, kRequestClassCount> latency{};
+  obs::Registration reg;
+
+  ServerMetrics() {
+    reg.counter("server.admitted", admitted)
+        .counter("server.shed", shed)
+        .counter("server.completed", completed)
+        .counter("server.slo_misses", slo_misses)
+        .counter("server.watchdog.stalls", watchdog_stalls)
+        .gauge("server.backlog", backlog)
+        .counter("server.shed.read",
+                 shed_by_class[static_cast<std::size_t>(RequestClass::kRead)])
+        .counter("server.shed.write",
+                 shed_by_class[static_cast<std::size_t>(RequestClass::kWrite)])
+        .counter("server.shed.rmw",
+                 shed_by_class[static_cast<std::size_t>(RequestClass::kRmw)])
+        .counter("server.shed.multi",
+                 shed_by_class[static_cast<std::size_t>(RequestClass::kMulti)])
+        .histogram("server.latency.read",
+                   latency[static_cast<std::size_t>(RequestClass::kRead)])
+        .histogram("server.latency.write",
+                   latency[static_cast<std::size_t>(RequestClass::kWrite)])
+        .histogram("server.latency.rmw",
+                   latency[static_cast<std::size_t>(RequestClass::kRmw)])
+        .histogram("server.latency.multi",
+                   latency[static_cast<std::size_t>(RequestClass::kMulti)]);
+  }
+};
+
+}  // namespace txf::server

@@ -106,7 +106,8 @@ CommitQueue::CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
       .histogram("stm.commit.batch_size", batch_size_h_)
       .histogram("stm.commit.stage.prevalidate_ns", prevalidate_ns_)
       .histogram("stm.commit.stage.assign_ns", assign_ns_)
-      .histogram("stm.commit.stage.writeback_ns", writeback_ns_);
+      .histogram("stm.commit.stage.writeback_ns", writeback_ns_)
+      .gauge("stm.commit.queue_depth", queue_depth_);
 }
 
 CommitQueue::~CommitQueue() {
@@ -260,6 +261,7 @@ void CommitQueue::enqueue(CommitRequest* req) {
   // Chaos perturbation only (delay/yield): stretches the window between
   // linking and batching so combiner/helper interleavings get exercised.
   TXF_FP_POINT("stm.commit.enqueue");
+  queue_depth_.add(1);
   util::Backoff backoff;
   for (;;) {
     CommitRequest* t = tail_->load(std::memory_order_acquire);
@@ -568,6 +570,7 @@ bool CommitQueue::commit(CommitRequest* req) {
                         : std::chrono::steady_clock::time_point{};
   enqueue(req);
   help_until_done(req);
+  queue_depth_.add(-1);
   if (timed) {
     dwell_ns_.fetch_add(
         static_cast<std::uint64_t>(

@@ -165,6 +165,13 @@ class CommitQueue {
     return batch_size_hist_[i < kBatchSizeBuckets ? i : kBatchSizeBuckets - 1]
         .load(std::memory_order_relaxed);
   }
+  /// Requests currently between enqueue and completion (instantaneous,
+  /// relaxed — a load-shedding signal, not an exact census). Also the
+  /// "stm.commit.queue_depth" gauge.
+  std::int64_t queue_depth() const noexcept {
+    const std::int64_t d = queue_depth_.load();
+    return d < 0 ? 0 : d;
+  }
   /// Total nanoseconds requests spent between enqueue and done, and the
   /// number of requests measured (dwell = queue latency of stage 2+3).
   std::uint64_t queue_dwell_ns() const noexcept {
@@ -265,6 +272,7 @@ class CommitQueue {
   std::array<std::atomic<std::uint64_t>, kBatchSizeBuckets> batch_size_hist_{};
   std::atomic<std::uint64_t> dwell_ns_{0};
   std::atomic<std::uint64_t> dwell_samples_{0};
+  obs::Gauge queue_depth_;  // enqueued minus completed (see queue_depth())
   std::atomic<std::uint64_t> trim_tick_{0};
   std::atomic<std::uint32_t> trim_period_{32};
   std::atomic<std::uint32_t> batch_limit_{kDefaultBatchLimit};

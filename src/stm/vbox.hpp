@@ -145,6 +145,21 @@ class VBoxImpl {
     return find_visible(permanent_head(), snapshot, steps);
   }
 
+  /// Number of committed versions currently reachable from the head
+  /// (diagnostics: the resource-bound invariant the soak harness checks).
+  /// Racy against concurrent write-back/trim by nature; call inside an EBR
+  /// guard, or while the env is quiescent for an exact answer. The
+  /// trimmed_tail() sentinel is not counted.
+  std::size_t permanent_length() const noexcept {
+    std::size_t n = 0;
+    const PermanentVersion* p = permanent_head();
+    while (p != nullptr && p != trimmed_tail()) {
+      ++n;
+      p = p->next.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
   /// Commit write-back: link `node` in front of `expected`. Idempotence for
   /// helped commits comes from helpers sharing one pre-allocated node: the
   /// first CAS wins and later helpers observe head->version >= node->version.

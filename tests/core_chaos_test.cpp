@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "core/fcc.hpp"
 #include "util/failpoint.hpp"
 
 namespace {
@@ -97,6 +98,12 @@ TEST(Chaos, SameSeedThreeRunsIdenticalCommittedResults) {
 TEST(Chaos, BothRestartPoliciesSurviveTheSchedule) {
   for (const auto policy :
        {RestartPolicy::kTreeRestart, RestartPolicy::kPartialRollback}) {
+    // TSan cannot follow the fiber stack restore (see tests/CMakeLists.txt
+    // quarantine note); the tree-restart half still runs sanitized.
+    if (policy == RestartPolicy::kPartialRollback &&
+        txf::core::kFibersUnsafeUnderTsan) {
+      continue;
+    }
     Config cfg = acceptance_schedule(0x5eedULL);
     cfg.restart = policy;
     Runtime rt(cfg);
@@ -144,18 +151,17 @@ TEST(Chaos, DeadlineEscalatesToSerial) {
   EXPECT_GT(rt.robustness().serial_irrevocable.load(), 0u);
 }
 
-TEST(Chaos, LegacyInjectionKnobFoldsIntoFailpoints) {
+TEST(Chaos, ValidationFailureRuleDrivesTheFailpointSite) {
+  // The chaos-rule spelling of the removed
+  // Config::inject_validation_failure_every knob: every 5th validation
+  // fails through the core.subtxn.validate site, and the engine still
+  // converges to the exact result.
   Config cfg;
   cfg.pool_threads = 2;
-  // This test exercises the deprecated knob's compatibility translation on
-  // purpose; everything else uses Config::chaos directly.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  cfg.inject_validation_failure_every = 5;
-#pragma GCC diagnostic pop
+  cfg.chaos.seed = 5;
+  cfg.chaos.add("core.subtxn.validate", fp::Action::kFail, 5);
   Runtime rt(cfg);
   EXPECT_EQ(counter_result(rt, 30), 30L);
-  // The knob must now be served by the failpoint site, not a bespoke path.
   fp::FailPoint* site =
       fp::Controller::instance().find("core.subtxn.validate");
   ASSERT_NE(site, nullptr);

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/api.hpp"
+#include "core/fcc.hpp"
 #include "util/failpoint.hpp"
 #include "util/xoshiro.hpp"
 
@@ -31,7 +32,18 @@ Config inject_config(std::uint32_t every, RestartPolicy policy) {
 
 class InjectionSweep
     : public ::testing::TestWithParam<std::tuple<std::uint32_t,
-                                                 RestartPolicy>> {};
+                                                 RestartPolicy>> {
+ protected:
+  // TSan cannot follow the fiber stack restore that kPartialRollback runs
+  // on (see the quarantine note in tests/CMakeLists.txt); the tree-restart
+  // half of the sweep still runs sanitized.
+  void SetUp() override {
+    if (std::get<1>(GetParam()) == RestartPolicy::kPartialRollback &&
+        txf::core::kFibersUnsafeUnderTsan) {
+      GTEST_SKIP() << "fiber restore is incompatible with TSan";
+    }
+  }
+};
 
 TEST_P(InjectionSweep, FutureChainStillSequential) {
   const auto [every, policy] = GetParam();

@@ -1,0 +1,161 @@
+// Contention-manager behavior under sustained overload: every
+// atomically() call must terminate (backoff + bounded retry + serial
+// escalation), the deadline cause must be charged exactly once per final
+// outcome, and the abort-cause accounting identity
+//   sum(causes) - deadline == attempt_aborts
+// must survive arbitrary amounts of retry traffic. These are the
+// unit-level contracts behind the service harness's taxonomy-driven
+// overload controller (src/server/admission.cpp).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/api.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using txf::core::atomically;
+using txf::core::Config;
+using txf::core::Runtime;
+using txf::core::TxCtx;
+using txf::obs::AbortAccounting;
+using txf::obs::AbortCause;
+using txf::stm::VBox;
+namespace fp = txf::util::fp;
+
+std::uint64_t cause_sum(const AbortAccounting& acc) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(AbortCause::kCount);
+       ++i)
+    sum += acc.of(static_cast<AbortCause>(i)).load();
+  return sum;
+}
+
+void expect_identity(const AbortAccounting& acc) {
+  // kDeadlineExceeded marks the escalation event, not a failed attempt, so
+  // it is the one cause deliberately outside attempt_aborts.
+  EXPECT_EQ(cause_sum(acc) - acc.of(AbortCause::kDeadlineExceeded).load(),
+            acc.attempt_aborts.load());
+}
+
+TEST(Overload, DeadlineChargedExactlyOncePerCall) {
+  // Every parallel attempt is killed outright (abort-tree on each
+  // validation — a kFail would recover intra-tree and escalate through the
+  // continuation-conflict path instead), and attempt-count escalation is
+  // disabled — the deadline is the only route to the serial fallback. Each
+  // call must therefore charge kDeadlineExceeded exactly once, then commit
+  // serially.
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = txf::core::SchedulingMode::kAlwaysParallel;
+  cfg.max_attempts = 0;  // retry forever; only the deadline can escalate
+  cfg.tx_deadline_us = 5000;
+  cfg.backoff_base_us = 1;
+  cfg.backoff_cap_us = 50;
+  cfg.chaos.seed = 21;
+  cfg.chaos.add("core.subtxn.validate", fp::Action::kAbortTree, 1);
+  Runtime rt(cfg);
+  AbortAccounting& acc = rt.env().abort_accounting();
+
+  VBox<long> counter(0);
+  constexpr int kCalls = 6;
+  for (int i = 0; i < kCalls; ++i) {
+    atomically(rt, [&](TxCtx& ctx) {
+      auto f = ctx.submit([&](TxCtx& c) { return counter.get(c) + 1; });
+      counter.put(ctx, f.get(ctx));
+    });
+  }
+
+  EXPECT_EQ(counter.peek_committed(), kCalls);
+  EXPECT_EQ(acc.of(AbortCause::kDeadlineExceeded).load(),
+            static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(rt.robustness().deadline_aborts.load(),
+            static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(acc.tx_commits.load(), static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  EXPECT_EQ(rt.robustness().serial_irrevocable.load(),
+            static_cast<std::uint64_t>(kCalls));
+  // Every pre-escalation attempt failed and was charged to a cause.
+  EXPECT_GT(acc.attempt_aborts.load(), 0u);
+  expect_identity(acc);
+}
+
+TEST(Overload, AttemptBudgetEscalationLeavesDeadlineUncharged) {
+  // Same doomed-attempt schedule, but with a retry budget and no deadline:
+  // escalation must come from max_attempts, and the deadline cause stays
+  // exactly zero (no spurious charges from the escalation path).
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = txf::core::SchedulingMode::kAlwaysParallel;
+  cfg.max_attempts = 3;
+  cfg.tx_deadline_us = 0;
+  cfg.backoff_base_us = 1;
+  cfg.backoff_cap_us = 50;
+  cfg.chaos.seed = 22;
+  cfg.chaos.add("core.subtxn.validate", fp::Action::kAbortTree, 1);
+  Runtime rt(cfg);
+  AbortAccounting& acc = rt.env().abort_accounting();
+
+  VBox<long> counter(0);
+  constexpr int kCalls = 5;
+  for (int i = 0; i < kCalls; ++i) {
+    atomically(rt, [&](TxCtx& ctx) {
+      auto f = ctx.submit([&](TxCtx& c) { return counter.get(c) + 1; });
+      counter.put(ctx, f.get(ctx));
+    });
+  }
+
+  EXPECT_EQ(counter.peek_committed(), kCalls);
+  EXPECT_EQ(acc.of(AbortCause::kDeadlineExceeded).load(), 0u);
+  EXPECT_EQ(acc.tx_commits.load(), static_cast<std::uint64_t>(kCalls));
+  // The budget was consumed before each escalation: exactly max_attempts
+  // failed attempts per call, all of them charged to a cause.
+  EXPECT_EQ(acc.attempt_aborts.load(),
+            static_cast<std::uint64_t>(kCalls) * cfg.max_attempts);
+  EXPECT_GT(rt.robustness().backoff_ns.load(), 0u);
+  expect_identity(acc);
+}
+
+TEST(Overload, SustainedContentionTerminatesWithExactAccounting) {
+  // Real contention, no chaos: several threads hammer one box through
+  // future-carried RMWs with a tight retry budget and a deadline armed.
+  // Termination is the headline contract (the test finishing at all);
+  // the accounting contracts are the rest: one final outcome per call,
+  // deadline charged at most once per call, identity intact.
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.max_attempts = 2;
+  cfg.tx_deadline_us = 20'000;
+  cfg.backoff_base_us = 1;
+  cfg.backoff_cap_us = 100;
+  Runtime rt(cfg);
+  AbortAccounting& acc = rt.env().abort_accounting();
+
+  VBox<long> counter(0);
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        atomically(rt, [&](TxCtx& ctx) {
+          auto f = ctx.submit([&](TxCtx& c) { return counter.get(c) + 1; });
+          counter.put(ctx, f.get(ctx));
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  constexpr long kTotal = static_cast<long>(kThreads) * kCallsPerThread;
+  EXPECT_EQ(counter.peek_committed(), kTotal);
+  EXPECT_EQ(acc.tx_commits.load(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(acc.tx_aborted.load(), 0u);
+  EXPECT_LE(acc.of(AbortCause::kDeadlineExceeded).load(),
+            static_cast<std::uint64_t>(kTotal));
+  expect_identity(acc);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Unit tests for the service harness's admission control: token-bucket
+// gate semantics, the class-shedding priority order, and the overload
+// controller's escalate/hold/relax policy (driven tick-by-tick with
+// synthetic signals — the controller is deliberately threadless).
+#include <gtest/gtest.h>
+
+#include "server/admission.hpp"
+
+namespace {
+
+using txf::server::AdmissionConfig;
+using txf::server::AdmissionGate;
+using txf::server::kRequestClassCount;
+using txf::server::OverloadController;
+using txf::server::OverloadSignals;
+using txf::server::RequestClass;
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+TEST(AdmissionGate, DisabledGateAdmitsEverything) {
+  AdmissionConfig cfg;
+  cfg.enabled = false;
+  AdmissionGate gate(cfg);
+  gate.set_shed_level(4);  // even a full shed mask is ignored when disabled
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(gate.admit(RequestClass::kMulti, 1));
+  }
+}
+
+TEST(AdmissionGate, TokenBucketPacesAdmissionToTheRate) {
+  AdmissionConfig cfg;
+  cfg.initial_rate = 1000.0;  // 1 token per ms
+  AdmissionGate gate(cfg);
+  EXPECT_TRUE(gate.admit(RequestClass::kRead, 1));  // first arrival is free
+  // Immediately after, the bucket is empty.
+  EXPECT_FALSE(gate.admit(RequestClass::kRead, 2));
+  // One millisecond later exactly one token has accrued.
+  EXPECT_TRUE(gate.admit(RequestClass::kRead, 1 + kMs));
+  EXPECT_FALSE(gate.admit(RequestClass::kRead, 1 + kMs));
+  // Over a 100 ms window, ~100 of 1000 offered arrivals get through.
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t t = 1 + kMs + static_cast<std::uint64_t>(i) * 100'000;
+    if (gate.admit(RequestClass::kRead, t)) ++admitted;
+  }
+  EXPECT_GE(admitted, 95u);
+  EXPECT_LE(admitted, 105u);
+}
+
+TEST(AdmissionGate, BurstIsCapped) {
+  AdmissionConfig cfg;
+  cfg.initial_rate = 1000.0;
+  cfg.burst_s = 0.05;  // at most 50 tokens bank up
+  AdmissionGate gate(cfg);
+  EXPECT_TRUE(gate.admit(RequestClass::kRead, 1));
+  // A long idle gap banks only burst_s worth of tokens, not ten seconds.
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (gate.admit(RequestClass::kRead, 10'000 * kMs + i)) ++admitted;
+  }
+  EXPECT_LE(admitted, 51u);
+  EXPECT_GE(admitted, 40u);
+}
+
+TEST(AdmissionGate, ShedOrderDropsLowestPriorityClassFirst) {
+  // Level L sheds the L highest-numbered classes: multi first, reads last.
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kMulti, 0));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kMulti, 1));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kRmw, 1));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kRmw, 2));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kWrite, 2));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kWrite, 3));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kRead, 3));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kRead, 4));
+}
+
+TEST(AdmissionGate, ShedClassRejectedEvenWithTokens) {
+  AdmissionConfig cfg;
+  cfg.initial_rate = 1e6;
+  AdmissionGate gate(cfg);
+  gate.set_shed_level(1);
+  EXPECT_FALSE(gate.admit(RequestClass::kMulti, 1));
+  EXPECT_TRUE(gate.admit(RequestClass::kRmw, 1));
+  EXPECT_TRUE(gate.admit(RequestClass::kRead, 2001));  // 2 us = 2 tokens
+}
+
+// ---- controller policy ----------------------------------------------------
+
+AdmissionConfig controller_config() {
+  AdmissionConfig cfg;
+  cfg.initial_rate = 10'000.0;
+  cfg.min_rate = 100.0;
+  cfg.max_rate = 20'000.0;
+  cfg.slo_p99_ns = 100 * kMs;
+  cfg.escalate_after = 2;
+  cfg.relax_after = 3;
+  return cfg;
+}
+
+OverloadSignals healthy_window() {
+  OverloadSignals s;
+  s.window_p99_ns = 10 * kMs;  // far inside the SLO
+  s.completed = 500;
+  s.window_s = 0.1;
+  s.attempts = 500;
+  return s;
+}
+
+OverloadSignals overloaded_window() {
+  OverloadSignals s;
+  s.window_p99_ns = 400 * kMs;  // 4x the SLO
+  s.completed = 200;
+  s.window_s = 0.1;
+  s.attempts = 400;
+  s.conflict_aborts = 150;
+  s.backlog = 1000;
+  return s;
+}
+
+TEST(OverloadController, EscalatesShedLevelAfterSustainedOverload) {
+  const AdmissionConfig cfg = controller_config();
+  AdmissionGate gate(cfg);
+  OverloadController ctl(cfg, gate);
+  EXPECT_TRUE(ctl.tick(overloaded_window()));
+  EXPECT_EQ(gate.shed_level(), 0u);  // one hot tick is not yet a regime
+  EXPECT_TRUE(ctl.tick(overloaded_window()));
+  EXPECT_EQ(gate.shed_level(), 1u);
+  ctl.tick(overloaded_window());
+  ctl.tick(overloaded_window());
+  EXPECT_EQ(gate.shed_level(), 2u);
+  EXPECT_EQ(ctl.overload_ticks(), 4u);
+}
+
+TEST(OverloadController, ClampsRateTowardObservedServiceRate) {
+  const AdmissionConfig cfg = controller_config();
+  AdmissionGate gate(cfg);
+  OverloadController ctl(cfg, gate);
+  // The window completed 200 requests in 0.1 s => service rate 2000/s; one
+  // overloaded tick must clamp the 10k token rate to at most 0.9 * 2000.
+  ctl.tick(overloaded_window());
+  EXPECT_LE(gate.rate(), 1800.0 + 1.0);
+  EXPECT_GE(gate.rate(), cfg.min_rate);
+}
+
+TEST(OverloadController, RateNeverDropsBelowFloor) {
+  const AdmissionConfig cfg = controller_config();
+  AdmissionGate gate(cfg);
+  OverloadController ctl(cfg, gate);
+  OverloadSignals stall = overloaded_window();
+  stall.completed = 0;  // full stall: no service-rate evidence
+  for (int i = 0; i < 50; ++i) ctl.tick(stall);
+  EXPECT_GE(gate.rate(), cfg.min_rate);
+}
+
+TEST(OverloadController, RelaxesShedLevelAndProbesRateAfterRecovery) {
+  const AdmissionConfig cfg = controller_config();
+  AdmissionGate gate(cfg);
+  OverloadController ctl(cfg, gate);
+  ctl.tick(overloaded_window());
+  ctl.tick(overloaded_window());
+  ASSERT_EQ(gate.shed_level(), 1u);
+  const double depressed = gate.rate();
+  // relax_after consecutive healthy windows lower the level one step and
+  // grow the rate multiplicatively.
+  ctl.tick(healthy_window());
+  ctl.tick(healthy_window());
+  EXPECT_EQ(gate.shed_level(), 1u);  // not yet
+  ctl.tick(healthy_window());
+  EXPECT_EQ(gate.shed_level(), 0u);
+  EXPECT_GT(gate.rate(), depressed);
+  EXPECT_GT(ctl.healthy_ticks(), 0u);
+}
+
+TEST(OverloadController, BorderlineWindowHoldsTheLine) {
+  const AdmissionConfig cfg = controller_config();
+  AdmissionGate gate(cfg);
+  OverloadController ctl(cfg, gate);
+  ctl.tick(overloaded_window());
+  ctl.tick(overloaded_window());
+  ASSERT_EQ(gate.shed_level(), 1u);
+  const double rate = gate.rate();
+  // p99 back under the SLO but not under half of it: neither overloaded
+  // nor provably recovered — rate and shed level must not move.
+  OverloadSignals borderline = healthy_window();
+  borderline.window_p99_ns = 80 * kMs;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(ctl.tick(borderline));
+  EXPECT_EQ(gate.shed_level(), 1u);
+  EXPECT_DOUBLE_EQ(gate.rate(), rate);
+}
+
+TEST(OverloadController, TaxonomyAloneCanDeclareOverload) {
+  const AdmissionConfig cfg = controller_config();
+  AdmissionGate gate(cfg);
+  OverloadController ctl(cfg, gate);
+  // p99 fine, queue fine — but more than half of all attempts are dying of
+  // conflicts: abort-retry livelock territory, the taxonomy's overload.
+  OverloadSignals s = healthy_window();
+  s.attempts = 1000;
+  s.conflict_aborts = 550;
+  s.deadline_aborts = 60;
+  EXPECT_TRUE(ctl.tick(s));
+}
+
+}  // namespace

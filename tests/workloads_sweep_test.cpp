@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "core/fcc.hpp"
 #include "workloads/tpcc/tpcc.hpp"
 #include "workloads/vacation/vacation.hpp"
 
@@ -45,7 +46,20 @@ Config make_config(const EngineParam& p) {
   return cfg;
 }
 
-class VacationSweep : public ::testing::TestWithParam<EngineParam> {};
+// TSan cannot follow the fiber stack restore that kPartialRollback runs on
+// (see the quarantine note in tests/CMakeLists.txt); the tree-restart rows
+// of the sweep still run sanitized.
+class EngineSweep : public ::testing::TestWithParam<EngineParam> {
+ protected:
+  void SetUp() override {
+    if (GetParam().restart == RestartPolicy::kPartialRollback &&
+        txf::core::kFibersUnsafeUnderTsan) {
+      GTEST_SKIP() << "fiber restore is incompatible with TSan";
+    }
+  }
+};
+
+class VacationSweep : public EngineSweep {};
 
 TEST_P(VacationSweep, ConcurrentMixPassesAudit) {
   Runtime rt(make_config(GetParam()));
@@ -77,7 +91,7 @@ TEST_P(VacationSweep, ConcurrentMixPassesAudit) {
   EXPECT_TRUE(db.audit(rt));
 }
 
-class TpccSweep : public ::testing::TestWithParam<EngineParam> {};
+class TpccSweep : public EngineSweep {};
 
 TEST_P(TpccSweep, ConcurrentMixPassesAudit) {
   Runtime rt(make_config(GetParam()));

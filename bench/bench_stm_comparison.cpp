@@ -125,7 +125,7 @@ Outcome run_mvcc(std::size_t threads, int ms, std::size_t n_vars,
               c + a ? static_cast<double>(a) / static_cast<double>(c + a) : 0,
               {},
               {}};
-  const txf::stm::CommitQueue& q = env.queue();
+  const txf::stm::CommitSpine& q = env.queue();
   out.pipe.sheds = q.prevalidation_sheds();
   out.pipe.batches = q.batch_count();
   out.pipe.batched_requests = q.batched_requests();

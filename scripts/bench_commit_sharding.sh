@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Commit-sharding bench smoke: sweeps the commit spine over a stripes x
+# threads grid and sanity-checks the output — counters wired, per-stripe
+# sequences gap-free (the bench binary exits nonzero on a gap), the
+# multi-stripe path actually exercised, and the stripes=1 row present for
+# the parity comparison. This is a smoke check, not a performance gate;
+# BENCH_commit_sharding.json in the repo root records the curated
+# measurement (including the stripes=1 ±5% parity row against the pre-PR
+# pipeline).
+#
+# Usage: scripts/bench_commit_sharding.sh <build-dir> [out.json]
+set -euo pipefail
+
+build_dir=${1:?usage: $0 <build-dir> [out.json]}
+out=${2:-BENCH_commit_sharding.ci.json}
+
+"${build_dir}/bench/bench_commit_sharding" \
+  --threads 1,2,4 --stripes 1,4,8 --ms 120 --multi-pct 10 --json "${out}"
+
+echo "--- ${out} ---"
+cat "${out}"
+
+python3 - "${out}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+rows = data["rows"]
+assert rows, "no bench rows emitted"
+by_stripes = {}
+for row in rows:
+    assert row["tput"] > 0, row
+    assert len(row["stripe_committed"]) == row["stripes"], row
+    by_stripes.setdefault(row["stripes"], []).append(row)
+assert 1 in by_stripes, "stripes=1 parity row missing"
+# The sharded sweep must exercise the multi-stripe two-phase path.
+sharded = [r for r in rows if r["stripes"] > 1]
+assert sharded and any(r["multi_commits"] > 0 for r in sharded), \
+    "multi-stripe commit path never ran"
+# And single-stripe spines must never take it.
+assert all(r["multi_commits"] == 0 for r in by_stripes[1])
+print("bench smoke OK:", len(rows), "rows,",
+      sum(r["multi_commits"] for r in sharded), "multi-stripe commits")
+EOF

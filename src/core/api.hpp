@@ -317,7 +317,9 @@ auto TxCtx::submit_at(const void* site_key, F&& fn)
 /// support, retrying on conflicts. Restarts triggered by inter-tree
 /// conflicts re-run in fallback mode (Alg. 1's ownedbyAnotherTree).
 namespace detail {
-/// Park until some read-write transaction commits after `snapshot`.
+/// Park until some read-write transaction commits after `snapshot` (the
+/// parked tree's snapshot_total(): the striped clock's component sum is
+/// monotonic and advances on every committed writer, whichever stripe).
 /// Polling (escalating to 2 ms) rather than a condition variable keeps the
 /// commit hot path free of wakeup bookkeeping; a parked retry wakes at
 /// most ~500 times/s once the wait is long.
@@ -325,7 +327,7 @@ inline void wait_for_clock_change(Runtime& rt, stm::Version snapshot) {
   util::Backoff backoff;
   std::chrono::microseconds nap(50);
   int step = 0;
-  while (rt.env().clock().current() == snapshot) {
+  while (rt.env().clock().total() == snapshot) {
     if (step < 16) {
       backoff.pause();
       ++step;
@@ -524,7 +526,7 @@ auto atomically(Runtime& rt, F&& fn) {
       } catch (const BlockingRetry&) {
         // retry_now() from the body thread: wait for the world to change —
         // after releasing the token, or nothing could ever commit.
-        retry_snapshot = tree->snapshot();
+        retry_snapshot = tree->snapshot_total();
         tree->abort_tree(TreeFailed::Reason::kTopLevelConflict);
         rt.env().epochs().retire(tree);
         wait_clock_change = true;
@@ -535,7 +537,7 @@ auto atomically(Runtime& rt, F&& fn) {
       } catch (const TreeFailed& tf) {
         tree->abort_tree(tf.reason);
         if (tf.reason == TreeFailed::Reason::kUserException) {
-          retry_snapshot = tree->snapshot();
+          retry_snapshot = tree->snapshot_total();
           std::exception_ptr e = tree->user_exception();
           rt.env().epochs().retire(tree);
           try {

@@ -71,6 +71,12 @@ enum class SchedulingMode {
 /// effect. Every knob is safe to combine with every other unless noted.
 struct Config {
   std::size_t pool_threads = 0;  // 0 = hardware concurrency
+  /// Commit-spine stripes (stm/commit_spine.hpp): each VBox hashes to one
+  /// of `commit_stripes` independent commit pipelines with its own clock
+  /// component. Must be a power of two in [1, stm::kMaxStripes] — Runtime's
+  /// constructor throws std::invalid_argument otherwise. 1 reproduces the
+  /// unsharded single-pipeline engine exactly.
+  unsigned commit_stripes = 8;
   WriteMode write_mode = WriteMode::kEager;
   InterTreePolicy inter_tree = InterTreePolicy::kAbortToRoot;
   RestartPolicy restart = RestartPolicy::kTreeRestart;

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <memory>
 #include <shared_mutex>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "core/adaptive.hpp"
@@ -24,6 +26,7 @@ class Runtime {
  public:
   explicit Runtime(Config config = {})
       : config_(std::move(config)),
+        env_(validated_stripes(config_)),
         pool_(config_.pool_threads),
         adaptive_(config_, pool_) {
     // Arm the chaos plan (if any) for the lifetime of this runtime.
@@ -81,10 +84,11 @@ class Runtime {
     print_commit_pipeline(out);
   }
 
-  /// Commit-pipeline breakdown (group-commit queue; see stm/commit_queue.hpp):
-  /// stage-1 sheds, batch count and mean size, and mean queue dwell time.
+  /// Commit-pipeline breakdown (sharded spine; see stm/commit_spine.hpp):
+  /// stage-1 sheds, batch count and mean size, mean queue dwell time, and —
+  /// when sharded — the per-stripe committed-writer split.
   void print_commit_pipeline(std::FILE* out = stderr) const {
-    const stm::CommitQueue& q = env_.queue();
+    const stm::CommitSpine& q = env_.queue();
     const unsigned long long batches = q.batch_count();
     const unsigned long long batched = q.batched_requests();
     const unsigned long long samples = q.queue_dwell_samples();
@@ -106,9 +110,35 @@ class Runtime {
                    static_cast<unsigned long long>(q.batch_size_bucket(i)));
     }
     std::fprintf(out, "\n");
+    if (q.stripes() > 1) {
+      std::fprintf(out, "commit stripes (committed per stripe, %u stripes):",
+                   q.stripes());
+      for (unsigned s = 0; s < q.stripes(); ++s) {
+        std::fprintf(out, " %llu",
+                     static_cast<unsigned long long>(q.stripe_committed(s)));
+      }
+      std::fprintf(
+          out, "  multi_commits=%llu multi_aborts=%llu\n",
+          static_cast<unsigned long long>(q.multi_commits()),
+          static_cast<unsigned long long>(q.multi_aborts()));
+    }
   }
 
  private:
+  /// Reject a malformed stripe count before the StmEnv is built: the stripe
+  /// router masks with (stripes - 1), so anything that is not a power of
+  /// two would silently alias stripes rather than misbehave loudly.
+  static unsigned validated_stripes(const Config& config) {
+    const unsigned n = config.commit_stripes;
+    if (n == 0 || (n & (n - 1)) != 0 || n > stm::kMaxStripes) {
+      throw std::invalid_argument(
+          "Config::commit_stripes must be a power of two in [1, " +
+          std::to_string(stm::kMaxStripes) +
+          "], got " + std::to_string(n));
+    }
+    return n;
+  }
+
   Config config_;
   stm::StmEnv env_;
   sched::ThreadPool pool_;

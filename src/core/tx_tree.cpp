@@ -30,22 +30,33 @@ thread_local Fiber* t_current_fiber = nullptr;
 }  // namespace
 
 TxTree::TxTree(Runtime& runtime, bool fallback)
-    : runtime_(runtime), env_(runtime.env()) {
+    : runtime_(runtime),
+      env_(runtime.env()),
+      nstripes_(runtime.env().stripes()),
+      stripe_mask_(runtime.env().stripes() - 1) {
   fallback_.store(fallback || runtime.config().write_mode == WriteMode::kLazy,
                   std::memory_order_relaxed);
   const std::size_t hint =
       std::hash<std::thread::id>{}(std::this_thread::get_id());
   registry_slot_ = env_.registry().claim(hint);
-  // Publish-then-verify snapshot acquisition (same rationale as flat
-  // transactions: the GC must never trim a version we can still read).
-  for (;;) {
-    const stm::Version s = env_.clock().current();
-    if (registry_slot_ != stm::ActiveTxnRegistry::kNoSlot)
-      env_.registry().slot(registry_slot_).publish(s);
-    if (env_.clock().current() == s ||
-        registry_slot_ == stm::ActiveTxnRegistry::kNoSlot) {
-      snapshot_ = s;
-      break;
+  // Publish-then-verify snapshot acquisition, per clock component (same
+  // rationale as flat transactions: the GC must never trim a version we can
+  // still read; see Transaction::begin_snapshot).
+  if (registry_slot_ == stm::ActiveTxnRegistry::kNoSlot) {
+    env_.clock().snapshot(snapshot_);
+  } else {
+    stm::ActiveTxnRegistry::Slot& sl = env_.registry().slot(registry_slot_);
+    for (;;) {
+      env_.clock().snapshot(snapshot_);
+      for (unsigned s = 0; s < nstripes_; ++s) sl.publish(s, snapshot_.seq[s]);
+      bool stable = true;
+      for (unsigned s = 0; s < nstripes_; ++s) {
+        if (env_.clock().current(s) != snapshot_.seq[s]) {
+          stable = false;
+          break;
+        }
+      }
+      if (stable) break;
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -188,14 +199,17 @@ TxTree::Resolved TxTree::resolve(const SubTxn& t, stm::VBoxImpl& box,
     return {*w, nullptr, ReadProvenance::kRootWriteSet};
   // 4. Committed snapshot (Alg. 2 last resort): home slot first — the
   // newest committed version with zero pointer chases — then the list walk.
+  // Versions are stripe-local: compare only against the component of this
+  // box's stripe (global_clock.hpp).
+  const stm::Version snap = snapshot_.seq[stm::stripe_of(&box, stripe_mask_)];
   {
     stm::Word val;
     stm::Version ver;
-    if (box.try_read_home(snapshot_, val, ver))
+    if (box.try_read_home(snap, val, ver))
       return {val, nullptr, ReadProvenance::kPermanent, ver, 0, true};
   }
   std::size_t steps = 0;
-  const stm::PermanentVersion* p = box.read_permanent(snapshot_, &steps);
+  const stm::PermanentVersion* p = box.read_permanent(snap, &steps);
   if (p == nullptr) {
     // Snapshot lost a race with trimming (possible only for a slot-less
     // overflow tree the version GC could not see). Surface a distinguished
@@ -1078,14 +1092,15 @@ void TxTree::do_top_commit() {
       ok = false;
     } else {
       stm::CommitRequest* req = stm::CommitQueue::acquire_request();
-      req->snapshot = snapshot_;
       req->reads = merged_permanent_reads_;
       req->writes.reserve(final_writes.size());
       for (stm::VBoxImpl* box : final_writes.boxes()) {
         req->writes.push_back(stm::WriteBackEntry{
             box, stm::CommitQueue::acquire_node(final_writes.value_of(box))});
       }
-      ok = env_.queue().commit(req);
+      // The spine stamps req->snapshot with the footprint stripe's component
+      // (or runs the synchronous multi-stripe protocol).
+      ok = env_.queue().commit(req, snapshot_);
     }
   }
 

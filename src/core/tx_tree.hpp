@@ -114,7 +114,13 @@ class TxTree {
   TxTree& operator=(const TxTree&) = delete;
 
   Runtime& runtime() noexcept { return runtime_; }
-  stm::Version snapshot() const noexcept { return snapshot_; }
+  /// The per-stripe snapshot vector this tree reads at.
+  const stm::SnapshotVec& snapshot_vec() const noexcept { return snapshot_; }
+  /// Sum of the snapshot components: a monotonic progress stamp used by
+  /// retry_now() to park until any later commit (api.hpp).
+  stm::Version snapshot_total() const noexcept {
+    return snapshot_.total(nstripes_);
+  }
   SubTxn* root() noexcept { return &node(root_); }
   TreeStatus status() const noexcept {
     return status_.load(std::memory_order_acquire);
@@ -328,7 +334,9 @@ class TxTree {
   // Transaction-wide snapshot state (same role as a flat Transaction's).
   std::size_t registry_slot_;
   std::atomic<bool> registry_released_{false};
-  stm::Version snapshot_ = 0;
+  stm::SnapshotVec snapshot_{};
+  unsigned nstripes_ = 1;
+  unsigned stripe_mask_ = 0;
 
   std::atomic<TreeStatus> status_{TreeStatus::kActive};
   bool serial_ = false;

@@ -40,7 +40,9 @@ bool OverloadController::tick(const OverloadSignals& s) {
                 static_cast<double>(s.attempts)
           : 0.0;
   const bool taxonomy_hot = share > cfg_.abort_share_high;
-  const bool queue_hot = s.commit_queue_depth > cfg_.commit_depth_high;
+  const bool queue_hot =
+      s.commit_queue_depth > cfg_.commit_depth_high ||
+      s.commit_queue_depth_max > cfg_.commit_stripe_depth_high;
   const bool backlog_hot = s.backlog > cfg_.backlog_high;
   const bool slo_hot = s.window_p99_ns > cfg_.slo_p99_ns;
   const bool overloaded = taxonomy_hot || queue_hot || backlog_hot || slo_hot;

@@ -65,8 +65,14 @@ struct AdmissionConfig {
   /// Conflict+deadline share of attempts above which the taxonomy alone
   /// declares overload (abort-retry livelock territory).
   double abort_share_high = 0.5;
-  /// Commit-queue depth (stm.commit.queue_depth) overload threshold.
+  /// Commit-spine depth overload thresholds. The spine is sharded
+  /// (stm/commit_spine.hpp), so the controller reads TWO depths: the sum
+  /// across stripes (stm.commit.queue_depth — total commit work in flight)
+  /// and the hottest single stripe. A skewed keyspace can pile one stripe
+  /// to a harmful depth while the sum still looks comfortable, so either
+  /// bound tripping declares overload.
   std::int64_t commit_depth_high = 64;
+  std::int64_t commit_stripe_depth_high = 48;
   /// Dispatch-backlog overload threshold (requests admitted but not yet
   /// executing).
   std::uint64_t backlog_high = 256;
@@ -135,7 +141,8 @@ struct OverloadSignals {
   std::uint64_t attempts = 0;        // tx attempts this window (commits+fails)
   std::uint64_t conflict_aborts = 0; // conflict-shaped causes this window
   std::uint64_t deadline_aborts = 0; // deadline escalations this window
-  std::int64_t commit_queue_depth = 0;
+  std::int64_t commit_queue_depth = 0;      // sum across stripes
+  std::int64_t commit_queue_depth_max = 0;  // hottest single stripe
   std::uint64_t backlog = 0;         // admitted-but-not-executing requests
 };
 

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "server/server.hpp"
@@ -54,6 +55,7 @@ void usage() {
       "  --multi-span N       keys per multi-key transaction (default 4)\n"
       "  --workers N          executor threads (default 2)\n"
       "  --pool-threads N     runtime future pool threads (default 2)\n"
+      "  --stripes N          commit-spine stripes, power of two (default 8)\n"
       "  --slo-ms MS          p99 SLO in milliseconds (default 100)\n"
       "  --no-shed            disable admission control (ablation)\n"
       "  --chaos              arm the soak chaos plan\n"
@@ -115,6 +117,8 @@ int main(int argc, char** argv) {
       cfg.workers = static_cast<std::uint32_t>(parse_u64(next(), a));
     } else if (std::strcmp(a, "--pool-threads") == 0) {
       cfg.pool_threads = static_cast<std::uint32_t>(parse_u64(next(), a));
+    } else if (std::strcmp(a, "--stripes") == 0) {
+      cfg.commit_stripes = static_cast<unsigned>(parse_u64(next(), a));
     } else if (std::strcmp(a, "--slo-ms") == 0) {
       cfg.admission.slo_p99_ns = parse_u64(next(), a) * 1'000'000ULL;
     } else if (std::strcmp(a, "--no-shed") == 0) {
@@ -144,7 +148,14 @@ int main(int argc, char** argv) {
   }
 
   txf::server::Server server(cfg);
-  const txf::server::Report rep = server.run();
+  txf::server::Report rep;
+  try {
+    rep = server.run();
+  } catch (const std::invalid_argument& e) {
+    // e.g. --stripes 3: Runtime validates Config::commit_stripes.
+    std::fprintf(stderr, "txf_server: %s\n", e.what());
+    return 2;
+  }
   std::printf("%s\n", rep.to_json().c_str());
   if (!rep.ok) {
     std::fprintf(stderr, "txf_server: FAILED: %s\n", rep.failure.c_str());

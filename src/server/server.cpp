@@ -1,6 +1,7 @@
 #include "server/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -26,6 +27,7 @@ constexpr stm::Word kValueMask = 0x00ff'ffff'ffff'ffffULL;
 core::Config make_engine_config(const ServerConfig& cfg) {
   core::Config ec;
   ec.pool_threads = cfg.pool_threads;
+  ec.commit_stripes = cfg.commit_stripes;
   ec.tx_deadline_us = cfg.tx_deadline_us;
   if (cfg.chaos) {
     using util::fp::Action;
@@ -96,6 +98,14 @@ std::string Report::to_json() const {
      << ", \"final_rate_limit\": " << final_rate_limit;
   os << ", \"clock\": " << clock
      << ", \"committed_count\": " << committed_count
+     << ", \"multi_commits\": " << multi_commits;
+  os << ", \"stripe_clock\": [";
+  for (std::size_t s = 0; s < stripe_clock.size(); ++s)
+    os << (s != 0 ? ", " : "") << stripe_clock[s];
+  os << "], \"stripe_committed\": [";
+  for (std::size_t s = 0; s < stripe_committed.size(); ++s)
+    os << (s != 0 ? ", " : "") << stripe_committed[s];
+  os << "]"
      << ", \"cause_sum_minus_deadline\": " << cause_sum_minus_deadline
      << ", \"attempt_aborts\": " << attempt_aborts
      << ", \"max_version_list\": " << max_version_list
@@ -299,6 +309,7 @@ Report Server::run() {
       sig.conflict_aborts = conflict - prev_conflict;
       sig.deadline_aborts = deadline - prev_deadline;
       sig.commit_queue_depth = rt.env().queue().queue_depth();
+      sig.commit_queue_depth_max = rt.env().queue().queue_depth_max();
       {
         std::lock_guard<std::mutex> lk(sh.mu);
         sig.backlog = sh.queue.size();
@@ -472,8 +483,13 @@ Report Server::run() {
 
   // ---- end-of-soak invariants -----------------------------------------
   stm::StmEnv& env = rt.env();
-  rep.clock = env.clock().current();
+  rep.clock = env.clock().total();
   rep.committed_count = env.queue().committed_count();
+  rep.multi_commits = env.queue().multi_commits();
+  for (unsigned s = 0; s < env.stripes(); ++s) {
+    rep.stripe_clock.push_back(env.clock().current(s));
+    rep.stripe_committed.push_back(env.queue().stripe_committed(s));
+  }
   {
     std::uint64_t sum = 0;
     for (std::size_t i = 0;
@@ -491,12 +507,16 @@ Report Server::run() {
           std::max<std::uint64_t>(rep.max_version_list, b.permanent_length());
     });
   }
-  // Quiescent trim: all traffic has stopped, so min_active == clock and
-  // every box must compress to a single permanent version.
-  const stm::Version min_snapshot =
-      env.registry().min_active(env.clock().current());
-  map.for_each_box(
-      [&](stm::VBoxImpl& b) { b.trim(min_snapshot, env.epochs()); });
+  // Quiescent trim: all traffic has stopped, so min_active == clock per
+  // stripe and every box must compress to a single permanent version.
+  // Versions are stripe-local, so each box trims against its own stripe's
+  // bound.
+  std::array<stm::Version, stm::kMaxStripes> min_snapshot;
+  for (unsigned s = 0; s < env.stripes(); ++s)
+    min_snapshot[s] = env.registry().min_active(s, env.clock().current(s));
+  map.for_each_box([&](stm::VBoxImpl& b) {
+    b.trim(min_snapshot[env.queue().stripe_of_box(&b)], env.epochs());
+  });
   {
     util::EpochDomain::Guard guard(env.epochs());
     map.for_each_box([&](stm::VBoxImpl& b) {
@@ -515,7 +535,19 @@ Report Server::run() {
   if (rep.watchdog_stalls != 0) fail("watchdog stall");
   if (sh.exec_errors.load() != 0) fail("request execution threw");
   if (cfg_.check_invariants) {
-    if (rep.clock != rep.committed_count)
+    // Per-stripe sequences are gap-free: every clock component equals the
+    // number of committed writers that advanced it (single-stripe batches
+    // plus multi-stripe commits touching the stripe). The component sum
+    // equals the same identity in aggregate — a multi-stripe commit counts
+    // once per write stripe on both sides.
+    std::uint64_t stripe_sum = 0;
+    for (unsigned s = 0; s < rep.stripe_clock.size(); ++s) {
+      stripe_sum += rep.stripe_committed[s];
+      if (rep.stripe_clock[s] != rep.stripe_committed[s])
+        fail("stripe clock != stripe committed count (gap in stripe "
+             "sequence)");
+    }
+    if (rep.clock != stripe_sum)
       fail("clock != committed count (gap in version assignment)");
     if (rep.cause_sum_minus_deadline != rep.attempt_aborts)
       fail("abort-cause accounting identity violated");

@@ -30,6 +30,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "server/admission.hpp"
@@ -70,6 +71,10 @@ struct ServerConfig {
   /// End-of-run invariant checks (disable only for micro-runs that tear
   /// down mid-traffic on purpose).
   bool check_invariants = true;
+
+  /// Commit-spine stripes handed to the engine (Config::commit_stripes;
+  /// power of two, validated by the Runtime constructor).
+  unsigned commit_stripes = 8;
 };
 
 /// Everything a run learned, one struct. `ok` is the soak verdict:
@@ -104,9 +109,14 @@ struct Report {
   std::uint32_t max_shed_level = 0;
   double final_rate_limit = 0.0;
 
-  // End-of-soak invariant evidence.
+  // End-of-soak invariant evidence. `clock` is the striped clock's
+  // component sum; the per-stripe vectors pin the sharded identity
+  // component(s) == committed-writers(s) stripe by stripe.
   std::uint64_t clock = 0;
   std::uint64_t committed_count = 0;
+  std::vector<std::uint64_t> stripe_clock;
+  std::vector<std::uint64_t> stripe_committed;
+  std::uint64_t multi_commits = 0;
   std::uint64_t cause_sum_minus_deadline = 0;
   std::uint64_t attempt_aborts = 0;
   std::uint64_t max_version_list = 0;       // before the final trim

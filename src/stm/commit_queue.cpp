@@ -85,8 +85,8 @@ LocalPools* pools_for_acquire() {
 // ---------------------------------------------------------------------------
 
 CommitQueue::CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
-                         util::EpochDomain& epochs)
-    : clock_(clock), registry_(registry), epochs_(epochs) {
+                         util::EpochDomain& epochs, unsigned stripe)
+    : clock_(clock), registry_(registry), epochs_(epochs), stripe_(stripe) {
   // Sentinel: a done request at version 0 so the boundary (head_) always
   // points at a processed request and the first batch starts after it.
   auto* sentinel = new CommitRequest();
@@ -185,6 +185,11 @@ void VBoxImpl::retire_node(PermanentVersion* node, util::EpochDomain& domain) {
   domain.retire(static_cast<void*>(node), &CommitQueue::recycle_node);
 }
 
+void CommitQueue::retire_request(CommitRequest* req,
+                                 util::EpochDomain& epochs) {
+  epochs.retire(static_cast<void*>(req), &CommitQueue::recycle_request);
+}
+
 CommitQueue::Batch* CommitQueue::acquire_batch() {
   if (LocalPools* p = pools_for_acquire(); p != nullptr && !p->batches.empty()) {
     auto* b = static_cast<Batch*>(p->batches.back());
@@ -232,7 +237,7 @@ bool CommitQueue::prevalidate(const std::vector<VBoxImpl*>& reads,
   // pass raced into a doomed batch slot both get exercised.
   TXF_FP_POINT("stm.commit.prevalidate");
   obs::trace::Span span(obs::trace::Ev::kCommitPrevalidate,
-                        static_cast<std::uint32_t>(reads.size()));
+                        span_arg(reads.size()));
   SampledTimer timer(SampledTimer::sample());
   struct Finish {
     const SampledTimer& t;
@@ -476,7 +481,7 @@ void CommitQueue::help_batch(Batch* b) {
     Plan& plan = local_plan();
     {
       obs::trace::Span span(obs::trace::Ev::kCommitAssign,
-                            static_cast<std::uint32_t>(b->reqs.size()));
+                            span_arg(b->reqs.size()));
       SampledTimer timer(SampledTimer::sample());
       build_plan(*b, plan);
       timer.finish(assign_ns_);
@@ -485,7 +490,7 @@ void CommitQueue::help_batch(Batch* b) {
     {
       // Stage 3: claim distinct partitions first (parallel fan-out)...
       obs::trace::Span span(obs::trace::Ev::kCommitWriteback,
-                            static_cast<std::uint32_t>(plan.partitions.size()));
+                            span_arg(plan.partitions.size()));
       SampledTimer timer(SampledTimer::sample());
       const std::size_t nparts = plan.partitions.size();
       for (;;) {
@@ -541,12 +546,56 @@ void CommitQueue::help_batch(Batch* b) {
 void CommitQueue::help_until_done(CommitRequest* target) {
   while (!target->done()) {
     Batch* b = batch_->load(std::memory_order_acquire);
-    if (b != nullptr) {
+    if (b == frozen_sentinel()) {
+      // A multi-stripe committer owns the stripe; nothing to help — its
+      // critical section is short, but on an oversubscribed host it may
+      // need our core to finish.
+      std::this_thread::yield();
+    } else if (b != nullptr) {
       help_batch(b);
     } else {
       try_form_batch();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Stripe freeze (multi-stripe commit protocol; see commit_spine.cpp)
+// ---------------------------------------------------------------------------
+
+CommitQueue::Batch* CommitQueue::frozen_sentinel() {
+  static Batch sentinel;
+  return &sentinel;
+}
+
+void CommitQueue::freeze() {
+  // Occupying the batch slot with a batch nobody helps IS the freeze:
+  // try_form_batch refuses while the slot is non-null, so winning the CAS
+  // from nullptr means no batch is in flight and none can form. Competing
+  // multi-stripe committers serialize on the same CAS.
+  util::Backoff backoff;
+  for (;;) {
+    Batch* cur = batch_->load(std::memory_order_acquire);
+    if (cur == nullptr) {
+      if (batch_->compare_exchange_weak(cur, frozen_sentinel(),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+    } else if (cur == frozen_sentinel()) {
+      backoff.pause();  // another multi-stripe committer owns the stripe
+    } else {
+      help_batch(cur);  // drain the in-flight batch instead of waiting on it
+    }
+  }
+}
+
+void CommitQueue::unfreeze() {
+  Batch* cur = frozen_sentinel();
+  const bool released = batch_->compare_exchange_strong(
+      cur, nullptr, std::memory_order_acq_rel, std::memory_order_relaxed);
+  assert(released && "unfreeze without owning the freeze");
+  (void)released;
 }
 
 // ---------------------------------------------------------------------------
@@ -557,7 +606,7 @@ void CommitQueue::maybe_trim(CommitRequest& req) {
   const std::uint64_t tick = trim_tick_.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t period = trim_period_.load(std::memory_order_relaxed);
   if (period == 0 || tick % period != 0) return;
-  const Version min = registry_.min_active(clock_.current());
+  const Version min = registry_.min_active(stripe_, clock_.current());
   for (auto& wb : req.writes) wb.box->trim(min, epochs_);
 }
 

@@ -96,6 +96,7 @@ class CommitRequest {
 
  private:
   friend class CommitQueue;
+  friend class CommitSpine;  // multi-stripe path stores the verdict itself
   std::atomic<Version> commit_version_{0};
   std::atomic<Verdict> verdict_{Verdict::kUnknown};
   std::atomic<bool> done_{false};
@@ -110,8 +111,11 @@ class CommitQueue {
   /// Power-of-two batch-size histogram buckets: 1, 2, 3-4, 5-8, ..., 65+.
   static constexpr std::size_t kBatchSizeBuckets = 8;
 
+  /// `stripe` is this pipeline's index in the commit spine (0 for the
+  /// single-stripe configuration): it selects the registry component the
+  /// version GC consults and tags this queue's trace spans.
   CommitQueue(GlobalClock& clock, ActiveTxnRegistry& registry,
-              util::EpochDomain& epochs);
+              util::EpochDomain& epochs, unsigned stripe = 0);
   ~CommitQueue();
 
   CommitQueue(const CommitQueue&) = delete;
@@ -138,6 +142,31 @@ class CommitQueue {
 
   /// Acquire a write-back node from the thread-local pool.
   static PermanentVersion* acquire_node(Word value);
+
+  /// Retire a request back into the pools through EBR (the multi-stripe
+  /// commit path owns its request end-to-end instead of handing it to a
+  /// queue, so it needs the recycler the head-swing winner normally runs).
+  static void retire_request(CommitRequest* req, util::EpochDomain& epochs);
+
+  /// Account a stage-1 shed decided outside this queue (the commit spine
+  /// prevalidates sharded read sets box-by-box and attributes the shed to
+  /// the failing box's stripe).
+  void note_shed() noexcept {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- stripe freeze (multi-stripe commit protocol; see commit_spine.hpp) --
+
+  /// Block batch formation on this stripe and drain the in-flight batch.
+  /// On return the caller exclusively owns this stripe's clock component and
+  /// permanent-list heads: no batch is active, none can form, and any other
+  /// multi-stripe committer is excluded until unfreeze(). The freezer helps
+  /// the current batch to completion rather than waiting on it (liveness on
+  /// oversubscribed hosts). Committers meanwhile keep enqueueing; their
+  /// requests wait for unfreeze().
+  void freeze();
+  void unfreeze();
 
   std::uint64_t committed_count() const noexcept {
     return committed_.load(std::memory_order_relaxed);
@@ -231,6 +260,16 @@ class CommitQueue {
   struct Plan;
 
   static Plan& local_plan();
+  /// Sentinel stored in batch_ while the stripe is frozen: batch formation
+  /// already refuses when the slot is occupied, so freezing is just keeping
+  /// it occupied by a batch nobody can help.
+  static Batch* frozen_sentinel();
+  /// Trace span argument: stripe id in the high byte, size capped below it.
+  std::uint32_t span_arg(std::size_t n) const noexcept {
+    const auto capped =
+        n > 0xffffffu ? 0xffffffu : static_cast<std::uint32_t>(n);
+    return (static_cast<std::uint32_t>(stripe_) << 24) | capped;
+  }
   /// EBR deleters that recycle into the thread-local pools backing
   /// acquire_request()/acquire_node() (overflow falls back to delete).
   static void recycle_request(void* p);
@@ -255,6 +294,7 @@ class CommitQueue {
   GlobalClock& clock_;
   ActiveTxnRegistry& registry_;
   util::EpochDomain& epochs_;
+  unsigned stripe_;
 
   // head_ = boundary: the last retired-or-sentinel request; its successors
   // are the unclaimed segment. tail_ = last enqueued (MS-queue style).

@@ -1,26 +1,71 @@
-// Global version clock and active-transaction registry.
+// Version clocks and the active-transaction registry.
 //
 // The clock is the JVSTM-style "version number of the latest read-write
-// transaction that successfully committed" (paper §III-A). The registry
-// tracks the snapshot of every live transaction so the version GC can
-// compute the oldest snapshot still in use and trim permanent version lists
-// behind it.
+// transaction that successfully committed" (paper §III-A) — sharded. The
+// commit spine partitions VBoxes into power-of-two *stripes* (hash of box
+// address, see stripe_of()) and gives every stripe its own clock component
+// (`GlobalClock`, unchanged from the single-spine design) driven by its own
+// commit pipeline. A transaction's snapshot is the *vector* of components
+// (`SnapshotVec`), and each box's versions are compared only against the
+// component of the box's own stripe — versions are stripe-local sequence
+// numbers, not globally ordered.
+//
+// Hybrid-epoch snapshot protocol (StripedClock::snapshot):
+//  * Single-stripe commits advance only their own component, with zero
+//    cross-stripe coordination. A snapshot that straddles such an advance is
+//    still a valid serialization point: the two transactions are
+//    independent, and each component read is individually monotone.
+//  * Multi-stripe commits must appear in a snapshot all-or-nothing (a
+//    snapshot must never observe stripe B's write without stripe A's write
+//    from the same transaction). They publish all their component advances
+//    inside one epoch-seqlock critical section: epoch goes odd, components
+//    advance, epoch goes even. Snapshot readers retry while the epoch is odd
+//    or changed across their component reads, so every snapshot is a
+//    consistent cut with respect to multi-stripe publication instants.
+//  * What is deliberately NOT guaranteed: real-time order between two
+//    *independent* single-stripe commits in different stripes. A snapshot
+//    may include the later one and miss the earlier one; since no
+//    transaction (and no happens-before edge through the STM) connects
+//    them, this is serializable — see DESIGN.md "Sharded commit spine".
+//
+// The registry tracks the snapshot vector of every live transaction so the
+// version GC can compute, per stripe, the oldest component still in use and
+// trim permanent version lists behind it.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
 #include "util/cache_line.hpp"
+#include "util/spin_lock.hpp"
 
 namespace txf::stm {
 
 using Version = std::uint64_t;
 inline constexpr Version kNoVersion = std::numeric_limits<Version>::max();
 
+/// Hard cap on commit stripes (Config::commit_stripes); keeps SnapshotVec a
+/// fixed-size value type and the registry slots statically sized.
+inline constexpr unsigned kMaxStripes = 32;
+
+/// Stripe of a VBox: a multiplicative hash of the box address (low 6 bits
+/// dropped — boxes are at least a cache line apart in arrays) masked to the
+/// power-of-two stripe count. `mask` is stripe_count - 1; callers with one
+/// stripe pass 0 and pay nothing.
+inline unsigned stripe_of(const void* box, unsigned mask) noexcept {
+  if (mask == 0) return 0;
+  const auto p = reinterpret_cast<std::uintptr_t>(box);
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(p >> 6) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<unsigned>(h >> 58) & mask;
+}
+
 class GlobalClock {
  public:
-  /// Snapshot for a starting transaction.
+  /// Snapshot component for a starting transaction.
   Version current() const noexcept {
     return clock_->load(std::memory_order_acquire);
   }
@@ -47,30 +92,140 @@ class GlobalClock {
   util::CacheAligned<std::atomic<Version>> clock_{0};
 };
 
-/// Lock-free registry of snapshots held by live transactions. Each thread
-/// claims a slot on first use and publishes its current snapshot there;
-/// `min_active()` is a conservative lower bound used by the version GC.
+/// A transaction's snapshot: one component per stripe. Only the first
+/// `stripes()` entries of the env's StripedClock are meaningful; helpers
+/// take the count explicitly so the type stays a trivial value.
+struct SnapshotVec {
+  std::array<Version, kMaxStripes> seq;
+
+  Version operator[](unsigned s) const noexcept { return seq[s]; }
+  Version& operator[](unsigned s) noexcept { return seq[s]; }
+
+  bool equals(const SnapshotVec& other, unsigned n) const noexcept {
+    for (unsigned s = 0; s < n; ++s) {
+      if (seq[s] != other.seq[s]) return false;
+    }
+    return true;
+  }
+  Version total(unsigned n) const noexcept {
+    Version t = 0;
+    for (unsigned s = 0; s < n; ++s) t += seq[s];
+    return t;
+  }
+};
+
+/// The sharded clock: N independent GlobalClock components plus the epoch
+/// seqlock that makes multi-stripe publication atomic to snapshot readers.
+class StripedClock {
+ public:
+  explicit StripedClock(unsigned stripes = 1) noexcept
+      : n_(stripes == 0 ? 1 : (stripes > kMaxStripes ? kMaxStripes : stripes)) {}
+
+  StripedClock(const StripedClock&) = delete;
+  StripedClock& operator=(const StripedClock&) = delete;
+
+  unsigned stripes() const noexcept { return n_; }
+  unsigned stripe_mask() const noexcept { return n_ - 1; }
+
+  GlobalClock& component(unsigned s) noexcept { return comps_[s]; }
+  const GlobalClock& component(unsigned s) const noexcept { return comps_[s]; }
+
+  /// Component value (the per-stripe sequence). Single-stripe callers use
+  /// current(0), which is exactly the old scalar clock.
+  Version current(unsigned s = 0) const noexcept {
+    return comps_[s].current();
+  }
+
+  /// Sum of all components: a cheap monotone progress indicator ("has any
+  /// commit happened anywhere since I looked?"), NOT a serialization point.
+  Version total() const noexcept {
+    Version t = 0;
+    for (unsigned s = 0; s < n_; ++s) t += comps_[s].current();
+    return t;
+  }
+
+  /// Acquire a consistent snapshot cut (see file header for what
+  /// "consistent" means here). Retries while a multi-stripe publication is
+  /// in flight or completed mid-read.
+  void snapshot(SnapshotVec& out) const noexcept {
+    if (n_ == 1) {
+      out.seq[0] = comps_[0].current();
+      return;
+    }
+    for (;;) {
+      const std::uint64_t e0 = epoch_->load(std::memory_order_acquire);
+      if (e0 & 1u) continue;  // multi-stripe publish in flight
+      for (unsigned s = 0; s < n_; ++s) out.seq[s] = comps_[s].current();
+      if (epoch_->load(std::memory_order_acquire) == e0) return;
+    }
+  }
+
+  /// Publish a multi-stripe commit's component advances atomically with
+  /// respect to snapshot(). `apply` runs with the epoch odd and the publish
+  /// lock held; it must only call component(s).advance_to(...). The spin
+  /// lock serializes concurrent multi-stripe publishers (two disjoint multi
+  /// commits would otherwise interleave their epoch flips and break the
+  /// odd/even parity the readers rely on).
+  template <typename Fn>
+  void publish_multi(Fn&& apply) noexcept {
+    publish_lock_.lock();
+    epoch_->fetch_add(1, std::memory_order_acq_rel);  // odd: publish begins
+    apply();
+    epoch_->fetch_add(1, std::memory_order_acq_rel);  // even: cut complete
+    publish_lock_.unlock();
+  }
+
+ private:
+  unsigned n_;
+  std::array<GlobalClock, kMaxStripes> comps_;
+  util::CacheAligned<std::atomic<std::uint64_t>> epoch_{0};
+  util::SpinLock publish_lock_;
+};
+
+/// Lock-free registry of snapshot vectors held by live transactions. Each
+/// thread claims a slot on first use and publishes its current snapshot
+/// there, one component per stripe; `min_active(stripe, upper)` is the
+/// conservative per-stripe lower bound used by the version GC. The scalar
+/// publish/get/min_active overloads operate on component 0 and keep the
+/// single-stripe call sites (and tests) unchanged.
 class ActiveTxnRegistry {
  public:
   static constexpr std::size_t kMaxSlots = 256;
 
   class Slot {
    public:
-    void publish(Version snapshot) noexcept {
-      value_.store(snapshot, std::memory_order_seq_cst);
+    Slot() noexcept {
+      // All components start at kNoVersion ("not reading anything").
+      for (auto& v : value_) v.store(kNoVersion, std::memory_order_relaxed);
     }
-    void clear() noexcept {
-      value_.store(kNoVersion, std::memory_order_release);
+
+    void publish(unsigned stripe, Version snapshot) noexcept {
+      value_[stripe].store(snapshot, std::memory_order_seq_cst);
     }
-    Version get() const noexcept {
-      return value_.load(std::memory_order_seq_cst);
+    void publish(Version snapshot) noexcept { publish(0, snapshot); }
+    void clear(unsigned stripes) noexcept {
+      for (unsigned s = 0; s < stripes; ++s) {
+        value_[s].store(kNoVersion, std::memory_order_release);
+      }
+    }
+    void clear() noexcept { clear(1); }
+    Version get(unsigned stripe = 0) const noexcept {
+      return value_[stripe].load(std::memory_order_seq_cst);
     }
 
    private:
-    std::atomic<Version> value_{kNoVersion};
+    std::atomic<Version> value_[kMaxStripes];
   };
 
   static constexpr std::size_t kNoSlot = ~std::size_t{0};
+
+  /// Number of clock stripes whose components get published into slots.
+  /// Set once by the owning StmEnv before any transaction runs; release()
+  /// uses it to clear every published component.
+  void set_stripes(unsigned stripes) noexcept {
+    stripes_ = stripes == 0 ? 1 : stripes;
+  }
+  unsigned stripes() const noexcept { return stripes_; }
 
   /// Claim a slot, scanning from `hint` (pass a per-thread hash so threads
   /// keep re-claiming "their" slot without contention). Returns the slot
@@ -100,28 +255,33 @@ class ActiveTxnRegistry {
 
   void release(std::size_t index) noexcept {
     if (index == kNoSlot) return;
-    slots_[index]->clear();
+    slots_[index]->clear(stripes_);
     claimed_[index]->store(false, std::memory_order_release);
   }
 
-  /// Oldest snapshot any live transaction may be using, bounded by `upper`
-  /// (pass the current clock). Conservative: empty registry returns
-  /// `upper`; any slotless transaction in flight forces 0 (no trimming).
-  Version min_active(Version upper) const noexcept {
+  /// Oldest component of `stripe` any live transaction may be using, bounded
+  /// by `upper` (pass the stripe's current clock component). Conservative:
+  /// empty registry returns `upper`; any slotless transaction in flight
+  /// forces 0 (no trimming).
+  Version min_active(unsigned stripe, Version upper) const noexcept {
     if (unregistered_->load(std::memory_order_seq_cst) != 0) return 0;
     Version min = upper;
     for (std::size_t i = 0; i < kMaxSlots; ++i) {
       if (!claimed_[i]->load(std::memory_order_acquire)) continue;
-      const Version v = slots_[i]->get();
+      const Version v = slots_[i]->get(stripe);
       if (v < min) min = v;
     }
     return min;
+  }
+  Version min_active(Version upper) const noexcept {
+    return min_active(0, upper);
   }
 
  private:
   util::CacheAligned<Slot> slots_[kMaxSlots];
   util::CacheAligned<std::atomic<bool>> claimed_[kMaxSlots];
   util::CacheAligned<std::atomic<std::uint64_t>> unregistered_{0};
+  unsigned stripes_ = 1;
 };
 
 }  // namespace txf::stm

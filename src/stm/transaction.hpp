@@ -16,6 +16,7 @@
 #include "obs/abort_cause.hpp"
 #include "obs/trace.hpp"
 #include "stm/commit_queue.hpp"
+#include "stm/commit_spine.hpp"
 #include "stm/global_clock.hpp"
 #include "stm/read_stats.hpp"
 #include "stm/vbox.hpp"
@@ -25,22 +26,33 @@
 
 namespace txf::stm {
 
-/// Shared state of one STM instance: the clock, the live-snapshot registry,
-/// the commit queue and the reclamation domain. Library users normally hold
-/// exactly one (via core::Runtime); tests create private ones freely.
+/// Shared state of one STM instance: the striped clock, the live-snapshot
+/// registry, the sharded commit spine and the reclamation domain. Library
+/// users normally hold exactly one (via core::Runtime, which passes
+/// Config::commit_stripes); tests create private ones freely — the default
+/// single stripe reproduces the pre-sharding pipeline exactly.
 class StmEnv {
  public:
-  StmEnv() : epochs_(&util::global_epoch_domain()), queue_(clock_, registry_, *epochs_) {}
-  explicit StmEnv(util::EpochDomain& domain)
-      : epochs_(&domain), queue_(clock_, registry_, domain) {}
+  explicit StmEnv(unsigned stripes = 1)
+      : clock_(stripes),
+        epochs_(&util::global_epoch_domain()),
+        queue_(clock_, registry_, *epochs_) {
+    registry_.set_stripes(clock_.stripes());
+  }
+  explicit StmEnv(util::EpochDomain& domain, unsigned stripes = 1)
+      : clock_(stripes), epochs_(&domain), queue_(clock_, registry_, domain) {
+    registry_.set_stripes(clock_.stripes());
+  }
 
   StmEnv(const StmEnv&) = delete;
   StmEnv& operator=(const StmEnv&) = delete;
 
-  GlobalClock& clock() noexcept { return clock_; }
+  unsigned stripes() const noexcept { return clock_.stripes(); }
+  StripedClock& clock() noexcept { return clock_; }
+  const StripedClock& clock() const noexcept { return clock_; }
   ActiveTxnRegistry& registry() noexcept { return registry_; }
-  CommitQueue& queue() noexcept { return queue_; }
-  const CommitQueue& queue() const noexcept { return queue_; }
+  CommitSpine& queue() noexcept { return queue_; }
+  const CommitSpine& queue() const noexcept { return queue_; }
   util::EpochDomain& epochs() noexcept { return *epochs_; }
   ReadPathStats& read_stats() noexcept { return read_stats_; }
   const ReadPathStats& read_stats() const noexcept { return read_stats_; }
@@ -50,10 +62,10 @@ class StmEnv {
   }
 
  private:
-  GlobalClock clock_;
+  StripedClock clock_;
   ActiveTxnRegistry registry_;
   util::EpochDomain* epochs_;
-  CommitQueue queue_;
+  CommitSpine queue_;
   ReadPathStats read_stats_;
   obs::AbortAccounting aborts_;
 };
@@ -66,7 +78,10 @@ class Transaction {
   enum class Mode { kReadWrite, kReadOnly };
 
   explicit Transaction(StmEnv& env, Mode mode = Mode::kReadWrite)
-      : env_(env), mode_(mode) {
+      : env_(env),
+        nstripes_(env.stripes()),
+        stripe_mask_(env.stripes() - 1),
+        mode_(mode) {
     guard_.emplace(env.epochs());
     const std::size_t hint =
         std::hash<std::thread::id>{}(std::this_thread::get_id());
@@ -86,7 +101,15 @@ class Transaction {
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
 
-  Version snapshot() const noexcept { return snapshot_; }
+  /// Snapshot component for stripe 0 (exact scalar snapshot on
+  /// single-stripe envs; tests and diagnostics).
+  Version snapshot() const noexcept { return snapshot_.seq[0]; }
+  /// The full per-stripe snapshot vector.
+  const SnapshotVec& snapshot_vec() const noexcept { return snapshot_; }
+  /// Snapshot component governing `box`.
+  Version snapshot_of(const VBoxImpl& box) const noexcept {
+    return snapshot_.seq[stripe_of(&box, stripe_mask_)];
+  }
   Mode mode() const noexcept { return mode_; }
   StmEnv& env() noexcept { return env_; }
 
@@ -99,15 +122,18 @@ class Transaction {
     if (mode_ == Mode::kReadWrite) {
       if (const Word* w = writes_.find(&box)) return *w;
     }
+    // Versions are stripe-local: compare only against the component of this
+    // box's stripe (global_clock.hpp).
+    const Version snap = snapshot_.seq[stripe_of(&box, stripe_mask_)];
     Word value;
     Version version;
-    if (box.try_read_home(snapshot_, value, version)) {
+    if (box.try_read_home(snap, value, version)) {
       read_path_.note_home();
       if (mode_ == Mode::kReadWrite) reads_.put(&box, 0);
       return value;
     }
     std::size_t steps = 0;
-    const PermanentVersion* v = box.read_permanent(snapshot_, &steps);
+    const PermanentVersion* v = box.read_permanent(snap, &steps);
     if (v == nullptr) {
       // Our snapshot lost a race with trimming (e.g. a slot-less overflow
       // transaction whose snapshot the GC could not see). Not a programming
@@ -143,14 +169,15 @@ class Transaction {
     // here, before the queue is touched or any write-back state allocated.
     if (!env_.queue().prevalidate(reads_.boxes(), snapshot_)) return false;
     CommitRequest* req = CommitQueue::acquire_request();
-    req->snapshot = snapshot_;
     req->reads = reads_.boxes();
     req->writes.reserve(writes_.size());
     for (VBoxImpl* box : writes_.boxes()) {
       req->writes.push_back(
           WriteBackEntry{box, CommitQueue::acquire_node(writes_.value_of(box))});
     }
-    return env_.queue().commit(req);
+    // The spine routes by stripe footprint and fills req->snapshot with the
+    // right component on the single-stripe path (commit_spine.hpp).
+    return env_.queue().commit(req, snapshot_);
   }
 
   /// Make this transaction invisible between retry attempts: unpin the EBR
@@ -160,7 +187,9 @@ class Transaction {
   void park() {
     read_path_.flush_into(env_.read_stats());
     guard_.reset();
-    if (slot_ != ActiveTxnRegistry::kNoSlot) env_.registry().slot(slot_).clear();
+    if (slot_ != ActiveTxnRegistry::kNoSlot) {
+      env_.registry().slot(slot_).clear(nstripes_);
+    }
   }
 
   /// Re-arm a parked transaction for the next attempt. Keeps the registry
@@ -190,24 +219,36 @@ class Transaction {
 
  private:
   void begin_snapshot() {
-    // Publish-then-verify so the version GC can never trim a version this
-    // snapshot still needs (see ActiveTxnRegistry).
+    // Publish-then-verify, per component, so the version GC can never trim
+    // a version this snapshot still needs (see ActiveTxnRegistry): if a
+    // component is unchanged after we published it, any trimmer that missed
+    // our slot used an upper bound no newer than our component.
+    StripedClock& clock = env_.clock();
+    if (slot_ == ActiveTxnRegistry::kNoSlot) {
+      clock.snapshot(snapshot_);
+      return;
+    }
+    ActiveTxnRegistry::Slot& sl = env_.registry().slot(slot_);
     for (;;) {
-      const Version s = env_.clock().current();
-      if (slot_ != ActiveTxnRegistry::kNoSlot)
-        env_.registry().slot(slot_).publish(s);
-      if (env_.clock().current() == s ||
-          slot_ == ActiveTxnRegistry::kNoSlot) {
-        snapshot_ = s;
-        return;
+      clock.snapshot(snapshot_);
+      for (unsigned s = 0; s < nstripes_; ++s) sl.publish(s, snapshot_.seq[s]);
+      bool stable = true;
+      for (unsigned s = 0; s < nstripes_; ++s) {
+        if (clock.current(s) != snapshot_.seq[s]) {
+          stable = false;
+          break;
+        }
       }
+      if (stable) return;
     }
   }
 
   StmEnv& env_;
   std::optional<util::EpochDomain::Guard> guard_;
   std::size_t slot_ = ActiveTxnRegistry::kNoSlot;
-  Version snapshot_ = 0;
+  SnapshotVec snapshot_{};
+  unsigned nstripes_;
+  unsigned stripe_mask_;
   WriteSetMap writes_;
   WriteSetMap reads_;  // keys only: the read set
   ReadPathCounters read_path_;  // flushed into env on park()/destruction

@@ -28,6 +28,22 @@ std::uint64_t completed_sum(const Report& rep) {
   return sum;
 }
 
+/// The sharded gap-free identity: every stripe's clock component equals its
+/// committed writers, and the component sum matches. (A multi-stripe commit
+/// counts once per write stripe on both sides, so the flat
+/// clock == committed_count identity holds only at stripes == 1.)
+void expect_gap_free_stripes(const Report& rep) {
+  ASSERT_EQ(rep.stripe_clock.size(), rep.stripe_committed.size());
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < rep.stripe_clock.size(); ++s) {
+    EXPECT_EQ(rep.stripe_clock[s], rep.stripe_committed[s])
+        << "stripe " << s << " out of step\n" << rep.to_json();
+    sum += rep.stripe_committed[s];
+  }
+  EXPECT_EQ(rep.clock, sum);
+  EXPECT_GE(rep.clock, rep.committed_count);
+}
+
 TEST(ServerHarness, SteadyLoadRunsCleanAndDrainsEverything) {
   ServerConfig cfg = base_config();
   cfg.duration_s = 1.5;
@@ -45,7 +61,7 @@ TEST(ServerHarness, SteadyLoadRunsCleanAndDrainsEverything) {
   EXPECT_EQ(rep.watchdog_stalls, 0u);
   EXPECT_EQ(rep.max_shed_level, 0u);
   // End-of-soak evidence is reported even on clean runs.
-  EXPECT_EQ(rep.clock, rep.committed_count);
+  expect_gap_free_stripes(rep);
   EXPECT_EQ(rep.cause_sum_minus_deadline, rep.attempt_aborts);
   EXPECT_LE(rep.max_version_list_trimmed, 2u);
 }
@@ -124,9 +140,10 @@ TEST(ServerHarness, ChaosSoakFiresInjectionsAndKeepsInvariants) {
   EXPECT_TRUE(rep.ok) << rep.failure << "\n" << rep.to_json();
   EXPECT_GT(rep.chaos_fires, 0u);
   EXPECT_GT(rep.completed, 0u);
-  // The taxonomy identity and the gap-free clock survived the injections
-  // (run() fails the report otherwise; assert the evidence anyway).
-  EXPECT_EQ(rep.clock, rep.committed_count);
+  // The taxonomy identity and the gap-free per-stripe clocks survived the
+  // injections (run() fails the report otherwise; assert the evidence
+  // anyway).
+  expect_gap_free_stripes(rep);
   EXPECT_EQ(rep.cause_sum_minus_deadline, rep.attempt_aborts);
   EXPECT_LE(rep.max_version_list_trimmed, 2u);
   EXPECT_EQ(rep.watchdog_stalls, 0u);

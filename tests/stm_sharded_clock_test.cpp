@@ -1,0 +1,256 @@
+// Sharded commit spine tests (stm/commit_spine.hpp, stm/global_clock.hpp):
+// per-stripe sequences must stay gap-free (each clock component == the
+// committed writers that advanced it) including under chaos on the
+// multi-stripe reserve/publish sites; coherent snapshots must observe a
+// multi-stripe transaction atomically (never stripe B's write without
+// stripe A's same-transaction write); and a deterministic program must
+// produce the identical final state at stripes 1 and 4 (strong-ordering
+// equivalence of the sharded engine). Also covers the Config validation
+// satellite: Runtime rejects malformed stripe counts loudly.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "stm/transaction.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using txf::stm::SnapshotVec;
+using txf::stm::StmEnv;
+using txf::stm::stripe_of;
+using txf::stm::Transaction;
+using txf::stm::VBox;
+namespace fp = txf::util::fp;
+
+/// Allocate boxes until every one of `stripes` stripes owns at least
+/// `per_stripe` of them. The pool is a deque so addresses are stable.
+struct StripedBoxes {
+  std::deque<VBox<long>> pool;
+  std::vector<std::vector<VBox<long>*>> by_stripe;
+
+  StripedBoxes(unsigned stripes, std::size_t per_stripe)
+      : by_stripe(stripes) {
+    const unsigned mask = stripes - 1;
+    for (;;) {
+      bool done = true;
+      for (auto& v : by_stripe) done = done && v.size() >= per_stripe;
+      if (done) break;
+      pool.emplace_back(0L);
+      by_stripe[stripe_of(&pool.back().impl(), mask)].push_back(&pool.back());
+    }
+  }
+};
+
+/// Each clock component must equal the committed writers that advanced it:
+/// single-stripe batch commits plus multi-stripe commits touching the
+/// stripe. Aborts on either path must consume no sequence number.
+void expect_gap_free_per_stripe(StmEnv& env) {
+  for (unsigned s = 0; s < env.stripes(); ++s) {
+    EXPECT_EQ(env.clock().current(s), env.queue().stripe_committed(s))
+        << "stripe " << s << " clock component out of step";
+  }
+  std::uint64_t total = 0;
+  for (unsigned s = 0; s < env.stripes(); ++s)
+    total += env.queue().stripe_committed(s);
+  EXPECT_EQ(env.clock().total(), total);
+}
+
+TEST(ShardedClock, SingleStripeFootprintsAdvanceOnlyTheirComponent) {
+  StmEnv env(4);
+  ASSERT_EQ(env.stripes(), 4u);
+  StripedBoxes boxes(4, 1);
+
+  // One transaction per stripe, each writing only that stripe's box.
+  for (unsigned s = 0; s < 4; ++s) {
+    txf::stm::atomically(env, [&](Transaction& tx) {
+      boxes.by_stripe[s][0]->put(tx, static_cast<long>(s) + 1);
+    });
+    for (unsigned t = 0; t < 4; ++t) {
+      EXPECT_EQ(env.clock().current(t), t <= s ? 1u : 0u)
+          << "stripe " << t << " after committing into stripe " << s;
+    }
+  }
+  EXPECT_EQ(env.queue().multi_commits(), 0u);
+  expect_gap_free_per_stripe(env);
+}
+
+TEST(ShardedClock, MultiStripeCommitAdvancesEveryWriteStripe) {
+  StmEnv env(4);
+  StripedBoxes boxes(4, 1);
+
+  txf::stm::atomically(env, [&](Transaction& tx) {
+    for (unsigned s = 0; s < 4; ++s) boxes.by_stripe[s][0]->put(tx, 7);
+  });
+  EXPECT_EQ(env.queue().multi_commits(), 1u);
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_EQ(env.clock().current(s), 1u);
+    EXPECT_EQ(boxes.by_stripe[s][0]->peek_committed(), 7L);
+  }
+  expect_gap_free_per_stripe(env);
+}
+
+TEST(ShardedClock, SnapshotNeverObservesTornMultiStripeCommit) {
+  // A writer keeps both counters equal inside one transaction; the boxes
+  // live in different stripes, so every commit takes the multi-stripe
+  // two-phase path. Readers snapshot both: any coherent cut must see the
+  // counters equal — observing stripe B's write without stripe A's from the
+  // same transaction is exactly the epoch seqlock's job to prevent.
+  StmEnv env(4);
+  StripedBoxes boxes(4, 1);
+  VBox<long>& a = *boxes.by_stripe[0][0];
+  VBox<long>& b = *boxes.by_stripe[3][0];
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        long va = 0, vb = 0;
+        txf::stm::atomically(env, [&](Transaction& tx) {
+          va = a.get(tx);
+          vb = b.get(tx);
+        });
+        if (va != vb) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int i = 0; i < 400; ++i) {
+    txf::stm::atomically(env, [&](Transaction& tx) {
+      const long v = a.get(tx);
+      a.put(tx, v + 1);
+      b.put(tx, v + 1);
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0u) << "snapshot observed a torn multi-stripe commit";
+  EXPECT_EQ(a.peek_committed(), 400L);
+  EXPECT_EQ(b.peek_committed(), 400L);
+  EXPECT_GE(env.queue().multi_commits(), 400u);
+  expect_gap_free_per_stripe(env);
+}
+
+/// Mixed storm: single-stripe RMWs plus cross-stripe RMWs, all increments.
+/// Returns the number of committed increments (atomically() retries until
+/// one attempt commits, so each iteration lands exactly once).
+std::uint64_t run_sharded_storm(StmEnv& env, StripedBoxes& boxes, int threads,
+                                int txns_per_thread) {
+  const unsigned n = env.stripes();
+  std::atomic<std::uint64_t> increments{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < txns_per_thread; ++i) {
+        const unsigned s1 = static_cast<unsigned>(i) % n;
+        const unsigned s2 = static_cast<unsigned>(i + w + 1) % n;
+        VBox<long>& x = *boxes.by_stripe[s1][static_cast<std::size_t>(w) %
+                                             boxes.by_stripe[s1].size()];
+        VBox<long>& y = *boxes.by_stripe[s2][static_cast<std::size_t>(i) %
+                                             boxes.by_stripe[s2].size()];
+        txf::stm::atomically(env, [&](Transaction& tx) {
+          const long vx = x.get(tx);
+          const long vy = y.get(tx);
+          x.put(tx, vx + 1);
+          if (&x != &y) y.put(tx, vy + 1);
+        });
+        increments.fetch_add(&x != &y ? 2 : 1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  return increments.load();
+}
+
+TEST(ShardedClockChaos, GapFreeUnderReserveFailuresAndPublishStalls) {
+  // Inject hard failures at the multi-stripe reserve point (the freeze is
+  // held, nothing irreversible has happened: the commit must abort cleanly
+  // and consume no sequence number on any stripe) and stalls at the publish
+  // point (stretching the window in which readers must not observe a
+  // partial component advance), plus the pre-existing pipeline sites.
+  fp::ChaosPlan plan;
+  plan.seed = 0x5a7dedULL;
+  plan.add_prob("stm.commit.multi.reserve", fp::Action::kFail, 0.15, 0);
+  plan.add_prob("stm.commit.multi.publish", fp::Action::kDelayUs, 0.3, 50);
+  plan.add_prob("stm.commit.multi.publish", fp::Action::kYield, 0.3, 0);
+  plan.add_prob("stm.commit.batch.form", fp::Action::kDelayUs, 0.2, 30);
+  plan.add_prob("stm.commit.writeback", fp::Action::kDelayUs, 0.2, 30);
+  fp::Controller::instance().arm(plan);
+
+  {
+    StmEnv env(4);
+    StripedBoxes boxes(4, 2);
+    const std::uint64_t increments = run_sharded_storm(env, boxes, 4, 150);
+    expect_gap_free_per_stripe(env);
+    EXPECT_GT(env.queue().multi_commits(), 0u);
+    EXPECT_GT(env.queue().multi_aborts(), 0u)
+        << "chaos on stm.commit.multi.reserve never fired an abort";
+    // Conservation: the boxes carry exactly the committed increments —
+    // aborted attempts (including the injected reserve failures) left no
+    // partial writes behind and lost none of the retried work.
+    long total = 0;
+    for (auto& b : boxes.pool) total += b.peek_committed();
+    EXPECT_EQ(static_cast<std::uint64_t>(total), increments);
+  }
+
+  EXPECT_GT(fp::Controller::instance().total_fires(), 0u);
+  fp::Controller::instance().disarm();
+}
+
+TEST(ShardedClock, DeterministicProgramEquivalentAtOneAndFourStripes) {
+  // Strong-ordering equivalence: the same single-threaded program (no
+  // aborts, fully deterministic) must leave the identical final state
+  // whether the spine is unsharded or sharded — sharding may only change
+  // the schedule, never the result.
+  auto run = [](unsigned stripes) {
+    StmEnv env(stripes);
+    StripedBoxes boxes(4, 1);  // stripe ids computed at mask 3 either way
+    for (int i = 0; i < 64; ++i) {
+      const unsigned s1 = static_cast<unsigned>(i) % 4;
+      const unsigned s2 = static_cast<unsigned>(i / 4) % 4;
+      txf::stm::atomically(env, [&](Transaction& tx) {
+        VBox<long>& x = *boxes.by_stripe[s1][0];
+        VBox<long>& y = *boxes.by_stripe[s2][0];
+        x.put(tx, x.get(tx) + i);
+        y.put(tx, y.get(tx) * 2 + 1);
+      });
+    }
+    std::array<long, 4> out{};
+    for (unsigned s = 0; s < 4; ++s)
+      out[s] = boxes.by_stripe[s][0]->peek_committed();
+    return out;
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  EXPECT_EQ(one, four);
+}
+
+TEST(ShardedClock, RuntimeRejectsMalformedStripeCounts) {
+  using txf::core::Config;
+  using txf::core::Runtime;
+  auto with_stripes = [](unsigned n) {
+    Config c;
+    c.pool_threads = 1;
+    c.commit_stripes = n;
+    return c;
+  };
+  EXPECT_THROW(Runtime rt(with_stripes(0)), std::invalid_argument);
+  EXPECT_THROW(Runtime rt(with_stripes(3)), std::invalid_argument);
+  EXPECT_THROW(Runtime rt(with_stripes(12)), std::invalid_argument);
+  EXPECT_THROW(Runtime rt(with_stripes(64)), std::invalid_argument);
+  // Valid power-of-two counts construct (and the env reports them).
+  for (unsigned n : {1u, 2u, 8u, 32u}) {
+    Runtime rt(with_stripes(n));
+    EXPECT_EQ(rt.env().stripes(), n);
+  }
+}
+
+}  // namespace

@@ -1,26 +1,36 @@
-// Ablation — adaptive future scheduling (Config::scheduling): the three
-// SchedulingModes compared on three workload shapes.
+// Ablation — adaptive future scheduling (Config::scheduling): the four
+// SchedulingModes compared on four workload shapes.
 //
-//  * fig5a  — read-only synthetic with substantial future bodies (the
-//             regime where parallel futures pay; Fig. 5a's profitable
-//             corner). Adaptive must track kAlwaysParallel here: fresh
-//             sites start parallel and profitable sites never demote.
-//  * fig5b  — read-prefix + hot-spot-update contention shape (Fig. 5b).
-//  * tiny   — deliberately unprofitable: each future body performs a
-//             single transactional read (txlen == jobs, iter == 0), so
-//             the parallel activation cost (node, pool hop, per-node
-//             validation, join) dwarfs the work. Adaptive must demote to
-//             inline and track kAlwaysInline.
+//  * fig5a    — read-only synthetic with substantial future bodies (the
+//               regime where parallel futures pay; Fig. 5a's profitable
+//               corner). Adaptive must track kAlwaysParallel here: fresh
+//               sites start parallel and profitable sites never demote.
+//  * fig5b    — read-prefix + hot-spot-update contention shape (Fig. 5b).
+//               Conflict-aware demotion (ISSUE 8) must move the hot sites
+//               off pure-parallel, so adaptive tracks the inline mode
+//               instead of losing to it.
+//  * siblings — siblings-collide: every sibling RMWs the same hot set with
+//               CPU padding, so bodies look profitable but racing siblings
+//               die to tree-order conflicts. Isolates the ordered lane's
+//               win over parallel abort-retry churn.
+//  * tiny     — deliberately unprofitable: each future body performs a
+//               single transactional read (txlen == jobs, iter == 0), so
+//               the parallel activation cost (node, pool hop, per-node
+//               validation, join) dwarfs the work. Adaptive must demote to
+//               inline and track kAlwaysInline.
 //
-// Output: one row per (workload, mode) with throughput and the
+// Output: one row per (workload, mode) with throughput, the
 // core.adaptive.* decision/transition counters for that run (all zero in
-// the fixed modes, which short-circuit the controller).
+// the fixed modes, which short-circuit the controller), and the per-run
+// abort-cause breakdown (tx.abort.cause.{tree_order,read_validation,
+// write_write}) — the conflict signal the controller feeds on.
 //
 // Flags: --array N --trees N --jobs N --ms N --txlen N --iter N --reps N
 //        --json FILE  (each cell reports the median-throughput run of
 //        --reps repetitions)
 // scripts/bench_adaptive.sh runs this with --json and gates on
-// tiny: adaptive >= 0.9x inline, fig5a: adaptive >= 0.95x parallel.
+// tiny: adaptive >= 0.9x inline, fig5a: adaptive >= 0.95x parallel,
+// fig5b: adaptive >= 0.95x inline with conflict demotions > 0.
 #include <algorithm>
 #include <cstdio>
 #include <functional>
@@ -46,6 +56,7 @@ const char* mode_name(SchedulingMode m) {
   switch (m) {
     case SchedulingMode::kAlwaysParallel: return "parallel";
     case SchedulingMode::kAlwaysInline: return "inline";
+    case SchedulingMode::kAlwaysOrdered: return "ordered";
     case SchedulingMode::kAdaptive: return "adaptive";
   }
   return "?";
@@ -57,8 +68,10 @@ const char* mode_name(SchedulingMode m) {
 struct AdaptiveTally {
   std::uint64_t parallel_decisions = 0;
   std::uint64_t inline_decisions = 0;
+  std::uint64_t ordered_decisions = 0;
   std::uint64_t probes = 0;
   std::uint64_t demotions = 0;
+  std::uint64_t conflict_demotions = 0;
   std::uint64_t promotions = 0;
 
   static AdaptiveTally snapshot() {
@@ -66,9 +79,31 @@ struct AdaptiveTally {
     AdaptiveTally t;
     t.parallel_decisions = reg.counter_value("core.adaptive.parallel_decisions");
     t.inline_decisions = reg.counter_value("core.adaptive.inline_decisions");
+    t.ordered_decisions = reg.counter_value("core.adaptive.ordered_decisions");
     t.probes = reg.counter_value("core.adaptive.probes");
     t.demotions = reg.counter_value("core.adaptive.demotions");
+    t.conflict_demotions =
+        reg.counter_value("core.adaptive.conflict_demotions");
     t.promotions = reg.counter_value("core.adaptive.promotions");
+    return t;
+  }
+};
+
+/// Per-run abort-cause breakdown (the conflict classes the controller's
+/// EWMA feeds on, plus the attempt total for context).
+struct AbortTally {
+  std::uint64_t tree_order = 0;
+  std::uint64_t read_validation = 0;
+  std::uint64_t write_write = 0;
+  std::uint64_t attempt_aborts = 0;
+
+  static AbortTally snapshot() {
+    const auto& reg = txf::obs::MetricsRegistry::instance();
+    AbortTally t;
+    t.tree_order = reg.counter_value("tx.abort.cause.tree_order");
+    t.read_validation = reg.counter_value("tx.abort.cause.read_validation");
+    t.write_write = reg.counter_value("tx.abort.cause.write_write");
+    t.attempt_aborts = reg.counter_value("tx.attempt_aborts");
     return t;
   }
 };
@@ -77,6 +112,7 @@ struct Measurement {
   double tput = 0;
   std::uint64_t futures_submitted = 0;
   AdaptiveTally adaptive;
+  AbortTally aborts;
 };
 
 using TxBody =
@@ -105,6 +141,7 @@ Measurement measure(SchedulingMode mode, std::size_t trees, std::size_t jobs,
   out.tput = r.throughput();
   out.futures_submitted = r.stats_delta.futures_submitted;
   out.adaptive = AdaptiveTally::snapshot();  // before ~Runtime deregisters
+  out.aborts = AbortTally::snapshot();
   return out;
 }
 
@@ -150,6 +187,10 @@ int main(int argc, char** argv) {
                                   .hot_writes = 4};
   // One read per future body, zero CPU work: nothing to win by spawning.
   const synth::ReadOnlyParams tiny{.txlen = jobs, .iter = 0, .jobs = jobs};
+  // Every sibling RMWs the same hot set: bodies big enough to look
+  // profitable, conflicts near-certain when siblings race.
+  const synth::SiblingsCollideParams siblings{
+      .jobs = jobs, .hot_items = 8, .writes = 4, .iter = iter * 10};
 
   struct Workload {
     const char* name;
@@ -164,6 +205,10 @@ int main(int argc, char** argv) {
        [&](Runtime& rt, synth::SyntheticArray& array, Xoshiro256& rng) {
          synth::run_update_tx(rt, array, rng, fig5b);
        }},
+      {"siblings_collide",
+       [&](Runtime& rt, synth::SyntheticArray& array, Xoshiro256& rng) {
+         synth::run_siblings_collide_tx(rt, array, rng, siblings);
+       }},
       {"tiny_futures",
        [&](Runtime& rt, synth::SyntheticArray& array, Xoshiro256& rng) {
          (void)synth::run_readonly_tx(rt, array, rng, tiny);
@@ -171,10 +216,12 @@ int main(int argc, char** argv) {
   };
   const SchedulingMode modes[] = {SchedulingMode::kAlwaysParallel,
                                   SchedulingMode::kAlwaysInline,
+                                  SchedulingMode::kAlwaysOrdered,
                                   SchedulingMode::kAdaptive};
 
   print_header({"workload", "mode", "tx/s", "futures", "par_dec", "inl_dec",
-                "probes", "demote", "promote"});
+                "ord_dec", "probes", "demote", "cfl_dem", "promote",
+                "ab_ord", "ab_rv", "ab_ww"});
   std::ostringstream json;
   json << "{\n  \"bench\": \"ablation_adaptive\",\n"
        << "  \"trees\": " << trees << ", \"jobs\": " << jobs
@@ -194,18 +241,29 @@ int main(int argc, char** argv) {
                  std::to_string(m.futures_submitted),
                  std::to_string(m.adaptive.parallel_decisions),
                  std::to_string(m.adaptive.inline_decisions),
+                 std::to_string(m.adaptive.ordered_decisions),
                  std::to_string(m.adaptive.probes),
                  std::to_string(m.adaptive.demotions),
-                 std::to_string(m.adaptive.promotions)});
+                 std::to_string(m.adaptive.conflict_demotions),
+                 std::to_string(m.adaptive.promotions),
+                 std::to_string(m.aborts.tree_order),
+                 std::to_string(m.aborts.read_validation),
+                 std::to_string(m.aborts.write_write)});
       json << (first_mode ? "" : ", ") << "\"" << mode_name(mode)
            << "\": {\"tput\": " << fmt(m.tput, 1)
            << ", \"futures_submitted\": " << m.futures_submitted
            << ", \"adaptive\": {\"parallel_decisions\": "
            << m.adaptive.parallel_decisions
            << ", \"inline_decisions\": " << m.adaptive.inline_decisions
+           << ", \"ordered_decisions\": " << m.adaptive.ordered_decisions
            << ", \"probes\": " << m.adaptive.probes
            << ", \"demotions\": " << m.adaptive.demotions
-           << ", \"promotions\": " << m.adaptive.promotions << "}}";
+           << ", \"conflict_demotions\": " << m.adaptive.conflict_demotions
+           << ", \"promotions\": " << m.adaptive.promotions
+           << "}, \"aborts\": {\"tree_order\": " << m.aborts.tree_order
+           << ", \"read_validation\": " << m.aborts.read_validation
+           << ", \"write_write\": " << m.aborts.write_write
+           << ", \"attempts\": " << m.aborts.attempt_aborts << "}}";
       first_mode = false;
     }
     json << "}}";
@@ -225,6 +283,9 @@ int main(int argc, char** argv) {
   std::printf(
       "# Expected shape: tiny_futures — adaptive demotes and tracks the\n"
       "# inline mode; fig5a — adaptive stays parallel (no demotions once\n"
-      "# bodies prove profitable) and tracks the parallel mode.\n");
+      "# bodies prove profitable) and tracks the parallel mode; fig5b and\n"
+      "# siblings_collide — conflict demotions move hot sites off\n"
+      "# pure-parallel, so adaptive tracks inline/ordered instead of\n"
+      "# burning throughput on abort-retry.\n");
   return 0;
 }

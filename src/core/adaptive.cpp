@@ -20,19 +20,39 @@ std::size_t mix_key(const void* key) noexcept {
 }
 }  // namespace
 
+namespace {
+/// Config knobs are permille (0..1000); the EWMA runs in x1024 fixed point.
+std::uint32_t permille_to_x1024(std::uint32_t pm) noexcept {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(pm) * 1024) / 1000);
+}
+}  // namespace
+
 AdaptiveScheduler::AdaptiveScheduler(const Config& cfg,
                                      sched::ThreadPool& pool)
     : mode_(cfg.scheduling),
-      params_{cfg.adaptive_inline_threshold_ns, cfg.adaptive_min_samples,
-              cfg.adaptive_demote_after, cfg.adaptive_harden_after,
-              cfg.adaptive_promote_after, cfg.adaptive_reprobe_period},
+      params_{cfg.adaptive_inline_threshold_ns,
+              cfg.adaptive_min_samples,
+              cfg.adaptive_demote_after,
+              cfg.adaptive_harden_after,
+              cfg.adaptive_promote_after,
+              cfg.adaptive_reprobe_period,
+              permille_to_x1024(cfg.adaptive_conflict_demote_permille),
+              permille_to_x1024(cfg.adaptive_conflict_promote_permille),
+              cfg.adaptive_ordered_reprobe_period,
+              cfg.adaptive_ordered_harden_after},
       pool_(&pool),
       table_(new SiteStats[kTableSize]) {
   reg_.counter("core.adaptive.parallel_decisions", parallel_decisions_)
       .counter("core.adaptive.inline_decisions", inline_decisions_)
+      .counter("core.adaptive.ordered_decisions", ordered_decisions_)
       .counter("core.adaptive.probes", probes_)
       .counter("core.adaptive.demotions", demotions_)
+      .counter("core.adaptive.conflict_demotions", conflict_demotions_)
       .counter("core.adaptive.promotions", promotions_)
+      .counter("core.adaptive.footprint_single_stripe", footprint_single_)
+      .counter("core.adaptive.footprint_multi_stripe", footprint_multi_)
+      .histogram("core.adaptive.footprint_width", footprint_width_)
       .gauge("core.adaptive.sites", sites_);
 }
 
@@ -61,18 +81,29 @@ SiteStats* AdaptiveScheduler::site_for(const void* key) noexcept {
 
 std::uint64_t AdaptiveScheduler::effective_threshold() const noexcept {
   std::uint64_t t = params_.inline_threshold_ns;
-  const std::size_t workers = pool_->worker_count();
-  const std::int64_t depth = pool_->queue_depth();
-  if (depth > 0 && workers > 0) {
+  if (pool_->queue_depth() > 0) {
     // Backlogged pool: raise the profitability bar with queue pressure
     // (each worker-multiple of backlog adds 1x, capped at 4x extra).
-    std::uint64_t factor =
-        static_cast<std::uint64_t>(depth) / static_cast<std::uint64_t>(workers);
-    if (factor > 4) factor = 4;
-    t += t * factor;
+    t += t * pool_->backlog_factor(4);
     // No idle worker at all: a spawned body can only queue behind the
     // backlog, so inline is cheaper still.
     if (pool_->parked_workers() == 0) t += params_.inline_threshold_ns;
+  }
+  return t;
+}
+
+std::uint64_t AdaptiveScheduler::effective_threshold_for(
+    const SiteStats* site) const noexcept {
+  std::uint64_t t = effective_threshold();
+  if (site != nullptr) {
+    // Footprint bias: a W-stripe footprint serializes its commit through
+    // the spine's multi-stripe path, so the site's bodies must be ~W times
+    // bigger before parallel activation pays (x8 fixed point, capped 4x).
+    std::uint64_t w8 = site->ewma_footprint_x8.load(std::memory_order_relaxed);
+    if (w8 > 8) {
+      if (w8 > 32) w8 = 32;
+      t = t * w8 / 8;
+    }
   }
   return t;
 }
@@ -87,49 +118,63 @@ AdaptiveScheduler::Decision AdaptiveScheduler::decide(
     case SchedulingMode::kAlwaysInline:
       d.run_inline = true;
       break;
+    case SchedulingMode::kAlwaysOrdered:
+      d.ordered = true;
+      break;
     case SchedulingMode::kAdaptive: {
       d.site = site_for(site_key);
       const DecideResult r = d.site->decide(params_);
       d.run_inline = r.run_inline;
       d.probe = r.probe;
       d.sample = r.sample;
+      d.ordered = r.ordered;
       break;
     }
   }
-  // Chaos: flip the verdict. Strong ordering makes EVERY decision sequence
+  // Chaos: flip the verdict (inline -> parallel, parallel -> inline,
+  // ordered -> parallel). Strong ordering makes EVERY decision sequence
   // semantically correct, so a chaos run with this site armed proves the
   // engine cannot tell the difference (core_adaptive_test).
   if (TXF_FP_FIRES("core.adaptive.decide")) {
-    d.run_inline = !d.run_inline;
+    d.run_inline = !(d.run_inline || d.ordered);
+    d.ordered = false;
     d.probe = false;
     d.sample = true;
   }
   if (d.probe) probes_.add();
   if (d.run_inline) {
     inline_decisions_.add();
+  } else if (d.ordered) {
+    ordered_decisions_.add();
   } else {
     parallel_decisions_.add();
   }
-  obs::trace::instant(obs::trace::Ev::kAdaptiveDecide,
-                      d.run_inline ? 1u : (d.probe ? 2u : 0u));
+  obs::trace::instant(
+      obs::trace::Ev::kAdaptiveDecide,
+      d.run_inline ? 1u : (d.probe ? 2u : (d.ordered ? 3u : 0u)));
   return d;
 }
 
 void AdaptiveScheduler::note_body_ns(SiteStats* site, std::uint64_t ns,
-                                     bool parallel) noexcept {
+                                     RunKind kind) noexcept {
   if (site == nullptr) return;
-  const Outcome out =
-      site->note_body_sample(params_, ns, parallel, effective_threshold());
-  if (out.demoted) demotions_.add();
-  if (out.promoted) promotions_.add();
+  const Outcome out = site->note_body_sample(params_, ns, kind,
+                                             effective_threshold_for(site));
+  count_outcome(out);
 }
 
 void AdaptiveScheduler::note_abort(SiteStats* site,
                                    obs::AbortCause c) noexcept {
   if (site == nullptr) return;
-  const Outcome out = site->note_abort(params_, c);
-  if (out.demoted) demotions_.add();
-  if (out.promoted) promotions_.add();
+  count_outcome(site->note_abort(params_, c));
+}
+
+void AdaptiveScheduler::note_commit_footprint(
+    const std::vector<SiteStats*>& sites, unsigned width) noexcept {
+  if (sites.empty()) return;
+  footprint_width_.record(width);
+  (width <= 1 ? footprint_single_ : footprint_multi_).add();
+  for (SiteStats* s : sites) s->note_footprint(width);
 }
 
 }  // namespace txf::core::adaptive

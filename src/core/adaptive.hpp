@@ -13,21 +13,46 @@
 //
 // Mechanism: every submit call site owns a cache-padded SiteStats slot
 // (keyed by the caller's return address, or an explicit TXF_SUBMIT_SITE
-// tag) accumulating an EWMA of body runtime, join-wait time, and per-site
-// abort counts split by AbortCause. A three-state hysteresis machine —
+// tag) accumulating an EWMA of body runtime, join-wait time, a conflict-
+// rate EWMA, a commit-footprint-width EWMA, and per-site abort counts
+// split by AbortCause. A four-state hysteresis machine —
 //
 //      kParallel ──demote──▶ kProbation ──harden──▶ kInline
-//          ▲                     │    ▲                │
-//          └─────promote─────────┘    └──(re-)probe────┘
+//        ▲   │ ▲                  │    ▲               ▲ │
+//        │   │ └────promote───────┘    └──(re-)probe───┼─┘
+//        │   └conflict▶ kOrdered ──conflict persists───┘
+//        └──clean probes───┘
 //
-// — decides in O(1) on the submit fast path. Parallel sites demote when
-// their EWMA body time stays under a load-scaled profitability threshold
-// (or tree-order aborts pile up); probation runs inline but keeps sampling
-// and either earns parallelism back or hardens to inline; inline sites
-// periodically re-probe with one real parallel run so phase changes are
-// never locked out. Decisions are instrumented with txtrace instants
-// (adaptive.decide) and core.adaptive.* metrics, and the whole controller
-// is the first consumer of the observability layer PR 4 built.
+// — decides in O(1) on the submit fast path. Two independent inputs drive
+// it:
+//  * PROFITABILITY (body size vs spawn cost): parallel sites demote when
+//    their EWMA body time stays under a load-scaled threshold; probation
+//    runs inline but keeps sampling and either earns parallelism back or
+//    hardens to inline; inline sites periodically re-probe so phase
+//    changes are never locked out.
+//  * CONFLICT RATE: a per-site EWMA of "parallel run ended in a
+//    chargeable conflict abort" — pumped by tree_order / read-validation /
+//    inter-tree charges, decayed by clean parallel completions; ONLY
+//    parallel-lane runs move it, so it estimates what parallel execution
+//    would cost right now. A site above the demote bar moves to kOrdered
+//    regardless of how profitable its bodies look ("On the Cost of
+//    Concurrency in TM": speculation under high conflict is a net loss).
+//    kOrdered keeps the split structure but runs sibling bodies in
+//    submission (pre-order) order on the submitting thread — predefined-
+//    order serialization instead of abort-retry churn. Conflicts that
+//    survive ordering are inter-tree, so persistent charges harden the
+//    site to kInline; sparse parallel probes (their own, denser cadence)
+//    decay the EWMA and promote the site back once the burst is over.
+//
+// The footprint EWMA (stripe width of top-level commits this site's
+// futures participate in, attributed by TxTree::do_top_commit) scales the
+// profitability bar: a wide-footprint site commits through the spine's
+// serializing multi-stripe path, so parallel speculation buys less and the
+// site is biased toward co-located execution (commit_spine.hpp).
+//
+// Decisions are instrumented with txtrace instants (adaptive.decide) and
+// core.adaptive.* metrics, and the whole controller is the first consumer
+// of the observability layer PR 4 built.
 //
 // Config: Config::scheduling selects kAlwaysParallel (pre-adaptive
 // behaviour) / kAlwaysInline / kAdaptive (default); the adaptive_* knobs
@@ -39,6 +64,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/config.hpp"
 #include "obs/abort_cause.hpp"
@@ -53,6 +79,18 @@ enum class SiteState : std::uint8_t {
   kParallel = 0,   // futures spawn as parallel sibling sub-transactions
   kProbation = 1,  // elided inline, still sampling; can promote or harden
   kInline = 2,     // elided inline; re-probes parallel periodically
+  kOrdered = 3,    // ordered lane: real split, body run in pre-order on the
+                   // submitting thread (conflict-demoted; between kParallel
+                   // and kInline)
+};
+
+/// Which lane a timed body completion ran on (feeds note_body_sample —
+/// only kParallel runs move the conflict-rate EWMA, because only they
+/// measure what parallel execution costs).
+enum class RunKind : std::uint8_t {
+  kInline = 0,    // elided at the submit point, no node
+  kParallel = 1,  // sibling sub-transaction racing on a pool thread
+  kOrdered = 2,   // sibling sub-transaction, run synchronously in pre-order
 };
 
 /// Tuning derived from Config (one copy per AdaptiveScheduler; SiteStats
@@ -65,19 +103,33 @@ struct Params {
   std::uint32_t harden_after = 12;
   std::uint32_t promote_after = 4;
   std::uint32_t reprobe_period = 256;
+  /// Conflict-rate EWMA bars in x1024 fixed point (Config knobs are
+  /// permille; AdaptiveScheduler converts). Demote kParallel -> kOrdered at
+  /// or above `conflict_demote_x1024`; promote kOrdered -> kParallel at or
+  /// below `conflict_promote_x1024`.
+  std::uint32_t conflict_demote_x1024 = 154;  // ~150 permille
+  std::uint32_t conflict_promote_x1024 = 61;  // ~60 permille
+  /// Re-probe cadence for conflict-demoted states (kOrdered, and kInline
+  /// reached via the conflict path). 0 = never.
+  std::uint32_t ordered_reprobe_period = 64;
+  /// Chargeable conflicts observed while kOrdered before hardening to
+  /// kInline (ordering did not eliminate them => they are inter-tree).
+  std::uint32_t ordered_harden_after = 8;
 };
 
 /// What decide() told the submit path to do.
 struct DecideResult {
   bool run_inline = false;
-  bool probe = false;   // a parallel run issued from an elided state
-  bool sample = true;   // time this body and feed the EWMA/score machine
+  bool probe = false;    // a parallel run issued from an elided state
+  bool sample = true;    // time this body and feed the EWMA/score machine
+  bool ordered = false;  // take the ordered-execution lane
 };
 
 /// State-transition report (feeds the demotion/promotion counters).
 struct Outcome {
   bool demoted = false;   // moved one step toward inline
   bool promoted = false;  // moved one step toward parallel
+  bool conflict = false;  // the transition was conflict-driven
 };
 
 /// Per-submit-site statistics and hysteresis state. All fields are relaxed
@@ -100,24 +152,49 @@ struct alignas(util::kCacheLineSize) SiteStats {
   std::atomic<std::uint64_t> parallel_runs{0}; // timed sibling bodies
   std::atomic<std::uint64_t> inline_runs{0};   // timed elided bodies
                                                // (sampled once hardened)
+  std::atomic<std::uint64_t> ordered_runs{0};  // timed ordered-lane bodies
   std::atomic<std::uint64_t> body_samples{0};  // timed body completions
   std::atomic<std::uint64_t> abort_total{0};
   /// Per-cause abort counts chargeable to this site (indexed by AbortCause).
   std::array<std::atomic<std::uint64_t>,
              static_cast<std::size_t>(obs::AbortCause::kCount)>
       aborts{};
+  /// EWMA(α=1/8) of "a parallel run of this site ended in a chargeable
+  /// conflict abort", in x1024 fixed point (0 = never, 1024 = always).
+  /// Pumped by note_abort, decayed by clean parallel completions — ordered
+  /// and inline runs never touch it (they are conflict-free by
+  /// construction, so letting them decay it would insta-promote).
+  std::atomic<std::uint32_t> conflict_ewma_x1024{0};
+  /// Parallel-lane observations feeding the conflict EWMA (clean
+  /// completions + chargeable aborts); gates conflict demotion the way
+  /// min_samples gates profitability demotion.
+  std::atomic<std::uint64_t> conflict_obs{0};
+  /// EWMA(α=1/8) of the stripe width of top-level commits this site's
+  /// futures rode in, x8 fixed point (8 = single-stripe). Scales the
+  /// profitability bar: wide footprints serialize through the spine's
+  /// multi-stripe path, so parallelism buys less.
+  std::atomic<std::uint32_t> ewma_footprint_x8{0};
 
   // --- hysteresis state ---
   std::atomic<std::int32_t> score{0};  // saturating profitability score
   std::atomic<std::uint8_t> state{static_cast<std::uint8_t>(
       SiteState::kParallel)};
   std::atomic<std::uint32_t> probe_clock{0};  // inline decisions since probe
+  std::atomic<std::uint32_t> ordered_conflicts{0};  // charges while kOrdered
+  /// The site's current non-parallel residence was reached through the
+  /// conflict path: re-probe on the denser ordered_reprobe_period cadence
+  /// so a bursty-contention demotion is not a permanent blacklist.
+  std::atomic<bool> conflict_demoted{false};
 
   SiteState site_state() const noexcept {
     return static_cast<SiteState>(state.load(std::memory_order_relaxed));
   }
+  /// Conflict-rate estimate in x1024 fixed point (see conflict_ewma_x1024).
+  std::uint32_t conflict_rate_x1024() const noexcept {
+    return conflict_ewma_x1024.load(std::memory_order_relaxed);
+  }
 
-  /// O(1) submit fast path: no loops, no locks, at most three relaxed
+  /// O(1) submit fast path: no loops, no locks, a handful of relaxed
   /// atomic ops. Fresh sites start kParallel, so a program's first
   /// executions always behave exactly as pre-adaptive builds did.
   DecideResult decide(const Params& p) noexcept {
@@ -125,14 +202,35 @@ struct alignas(util::kCacheLineSize) SiteStats {
     switch (site_state()) {
       case SiteState::kParallel:
         return {false, false};
+      case SiteState::kOrdered: {
+        // Ordered lane, with its own (denser) re-probe cadence: ordered
+        // runs are sibling-conflict-free by construction, so only real
+        // parallel probes can decay the conflict EWMA and prove a
+        // contention burst over.
+        const std::uint32_t c =
+            probe_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (p.ordered_reprobe_period != 0 && c >= p.ordered_reprobe_period) {
+          probe_clock.store(0, std::memory_order_relaxed);
+          return {false, true, true};
+        }
+        return {false, false, true, true};
+      }
       case SiteState::kProbation:
       case SiteState::kInline: {
         // Periodic re-probe: one real parallel run every reprobe_period
         // elided decisions, so a site whose bodies grew (phase change) can
         // earn parallelism back instead of being locked inline forever.
+        // Conflict-demoted residents use the denser ordered cadence — each
+        // clean probe decays the conflict EWMA, so bursty contention cannot
+        // blacklist a site for reprobe_period-scale stretches.
+        const std::uint32_t period =
+            conflict_demoted.load(std::memory_order_relaxed) &&
+                    p.ordered_reprobe_period != 0
+                ? p.ordered_reprobe_period
+                : p.reprobe_period;
         const std::uint32_t c =
             probe_clock.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (p.reprobe_period != 0 && c >= p.reprobe_period) {
+        if (period != 0 && c >= period) {
           probe_clock.store(0, std::memory_order_relaxed);
           return {false, true, true};
         }
@@ -149,21 +247,46 @@ struct alignas(util::kCacheLineSize) SiteStats {
     return {false, false};
   }
 
-  /// Record one timed body completion (parallel sibling or inline elision)
-  /// and advance the hysteresis machine. `eff_threshold_ns` is the
-  /// load-scaled profitability bar (AdaptiveScheduler::effective_threshold;
-  /// tests pass it directly).
-  Outcome note_body_sample(const Params& p, std::uint64_t ns, bool parallel,
+  /// Record one timed body completion (parallel sibling, ordered-lane, or
+  /// inline elision) and advance the hysteresis machine. `eff_threshold_ns`
+  /// is the load-scaled (and footprint-scaled) profitability bar
+  /// (AdaptiveScheduler::effective_threshold_for; tests pass it directly).
+  Outcome note_body_sample(const Params& p, std::uint64_t ns, RunKind kind,
                            std::uint64_t eff_threshold_ns) noexcept {
-    (parallel ? parallel_runs : inline_runs)
+    (kind == RunKind::kParallel
+         ? parallel_runs
+         : kind == RunKind::kOrdered ? ordered_runs : inline_runs)
         .fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t prev = ewma_body_ns.load(std::memory_order_relaxed);
     ewma_body_ns.store(prev == 0 ? ns : (prev * 7 + ns) / 8,
                        std::memory_order_relaxed);
     const std::uint64_t seen =
         body_samples.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (kind == RunKind::kParallel) {
+      // Clean parallel completion: decay the conflict-rate estimate. An
+      // ordered site promotes back to kParallel once its probes have
+      // decayed the estimate under the promote bar (burst over).
+      const std::uint32_t e0 =
+          conflict_ewma_x1024.load(std::memory_order_relaxed);
+      const std::uint32_t e = e0 - e0 / 8;
+      conflict_ewma_x1024.store(e, std::memory_order_relaxed);
+      conflict_obs.fetch_add(1, std::memory_order_relaxed);
+      if (site_state() == SiteState::kOrdered &&
+          e <= p.conflict_promote_x1024) {
+        set_state(SiteState::kParallel);
+        score.store(0, std::memory_order_relaxed);
+        probe_clock.store(0, std::memory_order_relaxed);
+        ordered_conflicts.store(0, std::memory_order_relaxed);
+        conflict_demoted.store(false, std::memory_order_relaxed);
+        Outcome out;
+        out.promoted = true;
+        out.conflict = true;
+        return out;
+      }
+    }
     const bool profitable = ns >= eff_threshold_ns;
-    return apply_signal(p, profitable ? +1 : -1, seen, parallel);
+    return apply_signal(p, profitable ? +1 : -1, seen,
+                        kind == RunKind::kParallel);
   }
 
   /// Record the continuation's wait inside TxFuture::get (EWMA only; the
@@ -175,21 +298,79 @@ struct alignas(util::kCacheLineSize) SiteStats {
                        std::memory_order_relaxed);
   }
 
-  /// Attribute one abort to this site. Order conflicts chargeable to
-  /// parallel execution (a future re-executed after validation failure, a
-  /// continuation conflict restarting the tree) carry a double
-  /// unprofitability penalty: the spawned run was not just unhelpful, it
-  /// cost a wasted execution.
+  /// Conflict-shaped causes chargeable to parallel execution: strong-order
+  /// violations and read-validation races between siblings, and inter-tree
+  /// write-write / top-level validation conflicts whose whole-tree restart
+  /// threw away every speculated body.
+  static bool conflict_cause(obs::AbortCause c) noexcept {
+    return c == obs::AbortCause::kTreeOrder ||
+           c == obs::AbortCause::kReadValidation ||
+           c == obs::AbortCause::kWriteWrite;
+  }
+
+  /// Attribute one abort to this site. Conflict-shaped causes pump the
+  /// conflict-rate EWMA and can demote on that signal ALONE — independent
+  /// of the profitability score, which a stream of big-body "+1" samples
+  /// would otherwise cancel (the fig5b zero-demotion bug): a site whose
+  /// parallel futures mostly die to conflicts moves to the ordered lane
+  /// even when every body looks profitable, and an ordered site whose
+  /// charges persist (= inter-tree contention that ordering cannot fix)
+  /// hardens to kInline. Conflict charges also carry the original double
+  /// unprofitability penalty on the score (a wasted execution).
   Outcome note_abort(const Params& p, obs::AbortCause c) noexcept {
     aborts[static_cast<std::size_t>(c)].fetch_add(1,
                                                   std::memory_order_relaxed);
     abort_total.fetch_add(1, std::memory_order_relaxed);
-    if (c == obs::AbortCause::kTreeOrder ||
-        c == obs::AbortCause::kReadValidation) {
-      return apply_signal(p, -2, body_samples.load(std::memory_order_relaxed),
-                          true);
+    if (!conflict_cause(c)) return {};
+    const std::uint32_t e0 =
+        conflict_ewma_x1024.load(std::memory_order_relaxed);
+    const std::uint32_t e = e0 + (1024 - e0) / 8;
+    conflict_ewma_x1024.store(e, std::memory_order_relaxed);
+    const std::uint64_t seen =
+        conflict_obs.fetch_add(1, std::memory_order_relaxed) + 1;
+    Outcome out;
+    switch (site_state()) {
+      case SiteState::kParallel:
+        if (seen >= p.min_samples && e >= p.conflict_demote_x1024) {
+          set_state(SiteState::kOrdered);
+          score.store(0, std::memory_order_relaxed);
+          probe_clock.store(0, std::memory_order_relaxed);
+          ordered_conflicts.store(0, std::memory_order_relaxed);
+          conflict_demoted.store(true, std::memory_order_relaxed);
+          out.demoted = true;
+          out.conflict = true;
+          return out;
+        }
+        break;
+      case SiteState::kOrdered: {
+        const std::uint32_t n =
+            ordered_conflicts.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (p.ordered_harden_after != 0 && n >= p.ordered_harden_after) {
+          set_state(SiteState::kInline);
+          score.store(0, std::memory_order_relaxed);
+          probe_clock.store(0, std::memory_order_relaxed);
+          out.demoted = true;
+          out.conflict = true;
+        }
+        return out;
+      }
+      case SiteState::kProbation:
+      case SiteState::kInline:
+        break;
     }
-    return {};
+    return apply_signal(p, -2, body_samples.load(std::memory_order_relaxed),
+                        true);
+  }
+
+  /// Attribute the stripe width of one top-level commit this site's
+  /// futures rode in (TxTree::do_top_commit). EWMA only — consumed by
+  /// AdaptiveScheduler::effective_threshold_for.
+  void note_footprint(unsigned width) noexcept {
+    const std::uint32_t w8 = static_cast<std::uint32_t>(width) * 8;
+    const std::uint32_t prev =
+        ewma_footprint_x8.load(std::memory_order_relaxed);
+    ewma_footprint_x8.store(prev == 0 ? w8 : (prev * 7 + w8) / 8,
+                            std::memory_order_relaxed);
   }
 
  private:
@@ -219,15 +400,32 @@ struct alignas(util::kCacheLineSize) SiteStats {
           set_state(SiteState::kParallel);
           s = 0;
           out.promoted = true;
+          conflict_demoted.store(false, std::memory_order_relaxed);
         } else if (s <= -static_cast<int>(p.harden_after)) {
           set_state(SiteState::kInline);
           s = 0;
           out.demoted = true;
         }
         break;
+      case SiteState::kOrdered:
+        // Profitability can still push an ordered site the rest of the way
+        // inline (bodies shrank under the bar); promotion out of kOrdered
+        // is conflict-governed (note_body_sample's clean-probe path).
+        if (s <= -static_cast<int>(p.harden_after)) {
+          set_state(SiteState::kInline);
+          s = 0;
+          out.demoted = true;
+        }
+        break;
       case SiteState::kInline:
-        if ((parallel_sample && delta > 0) ||
-            s >= static_cast<int>(p.promote_after)) {
+        // A contended site stays put even when its probe looked profitable:
+        // promotion is gated on the conflict estimate having decayed under
+        // the demote bar, or re-promoting would just re-enter the
+        // demote-on-first-charge cycle.
+        if (((parallel_sample && delta > 0) ||
+             s >= static_cast<int>(p.promote_after)) &&
+            conflict_ewma_x1024.load(std::memory_order_relaxed) <
+                p.conflict_demote_x1024) {
           set_state(SiteState::kProbation);
           s = 0;
           out.promoted = true;
@@ -264,6 +462,8 @@ class AdaptiveScheduler {
     bool run_inline = false;
     bool probe = false;
     bool sample = true;         // time the body (see SiteStats::decide)
+    bool ordered = false;       // ordered-execution lane (kOrdered /
+                                // SchedulingMode::kAlwaysOrdered)
     SiteStats* site = nullptr;  // null in the fixed (non-adaptive) modes
   };
 
@@ -276,15 +476,20 @@ class AdaptiveScheduler {
   Decision decide(const void* site_key) noexcept;
 
   /// Feedback: one timed body completion at `site` (no-op for null).
-  void note_body_ns(SiteStats* site, std::uint64_t ns,
-                    bool parallel) noexcept;
+  void note_body_ns(SiteStats* site, std::uint64_t ns, RunKind kind) noexcept;
   /// Feedback: continuation join-wait time (no-op for null).
   void note_join_ns(SiteStats* site, std::uint64_t ns) noexcept {
     if (site != nullptr) site->note_join(ns);
   }
   /// Feedback: abort chargeable to `site` (called from the commit cascade
-  /// under the tree mutex — O(1), atomics only; no-op for null).
+  /// under the tree mutex and from the atomically() driver after a
+  /// conflict-shaped tree failure — O(1), atomics only; no-op for null).
   void note_abort(SiteStats* site, obs::AbortCause c) noexcept;
+  /// Feedback: one top-level commit with stripe footprint `width` whose
+  /// tree contained futures from `sites` (TxTree::do_top_commit). Records
+  /// the core.adaptive.footprint_* metrics and each site's footprint EWMA.
+  void note_commit_footprint(const std::vector<SiteStats*>& sites,
+                             unsigned width) noexcept;
 
   SchedulingMode mode() const noexcept { return mode_; }
   const Params& params() const noexcept { return params_; }
@@ -293,6 +498,30 @@ class AdaptiveScheduler {
   /// up under pool backlog (deep queue / no parked worker means spawning
   /// buys little and costs contention).
   std::uint64_t effective_threshold() const noexcept;
+  /// effective_threshold() additionally scaled by `site`'s commit-footprint
+  /// EWMA (capped at 4x): a site whose commits span W stripes serializes
+  /// through the multi-stripe path, so its bodies must be ~W times bigger
+  /// to justify parallel activation — the footprint-narrowing bias.
+  std::uint64_t effective_threshold_for(const SiteStats* site) const noexcept;
+
+  /// Footprint-attribution aggregates (mirrors core.adaptive.footprint_*;
+  /// read by txf_server's periodic status so soak runs show footprint
+  /// drift).
+  std::uint64_t footprint_commits() const noexcept {
+    return footprint_width_.count();
+  }
+  std::uint64_t footprint_width_sum() const noexcept {
+    return footprint_width_.sum();
+  }
+  std::uint64_t footprint_width_bucket(std::size_t i) const noexcept {
+    return footprint_width_.bucket_count(i);
+  }
+  std::uint64_t footprint_single() const noexcept {
+    return footprint_single_.value();
+  }
+  std::uint64_t footprint_multi() const noexcept {
+    return footprint_multi_.value();
+  }
 
   /// Slot lookup (claims on first touch). Exposed for tests.
   SiteStats* site_for(const void* key) noexcept;
@@ -308,11 +537,24 @@ class AdaptiveScheduler {
   sched::ThreadPool* pool_;
   std::unique_ptr<SiteStats[]> table_;
 
+  void count_outcome(const Outcome& out) noexcept {
+    if (out.demoted) {
+      demotions_.add();
+      if (out.conflict) conflict_demotions_.add();
+    }
+    if (out.promoted) promotions_.add();
+  }
+
   obs::Counter parallel_decisions_;
   obs::Counter inline_decisions_;
+  obs::Counter ordered_decisions_;
   obs::Counter probes_;
   obs::Counter demotions_;
+  obs::Counter conflict_demotions_;  // subset of demotions_ (conflict path)
   obs::Counter promotions_;
+  obs::Counter footprint_single_;    // attributed single-stripe commits
+  obs::Counter footprint_multi_;     // attributed multi-stripe commits
+  obs::Histogram footprint_width_;   // stripe width per attributed commit
   obs::Gauge sites_;
   obs::Registration reg_;  // "core.adaptive.*" in the MetricsRegistry
 };

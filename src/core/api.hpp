@@ -218,12 +218,14 @@ auto TxCtx::submit_at(const void* site_key, F&& fn)
   // up identically in core.futures_submitted.
   rt.stats().futures_submitted.fetch_add(1, std::memory_order_relaxed);
   bool elide = tree_->serial();
+  bool ordered = false;
   bool sample = false;
   adaptive::SiteStats* site = nullptr;
   if (!elide) {
     const adaptive::AdaptiveScheduler::Decision d =
         rt.adaptive().decide(site_key);
     elide = d.run_inline;
+    ordered = d.ordered;
     sample = d.sample;
     site = d.site;  // null in the fixed modes -> zero feedback overhead
   }
@@ -247,7 +249,10 @@ auto TxCtx::submit_at(const void* site_key, F&& fn)
       state->stage(fn(*this));
     }
     state->publish();
-    if (timed) rt.adaptive().note_body_ns(site, util::now_ns() - t0, false);
+    if (timed) {
+      rt.adaptive().note_body_ns(site, util::now_ns() - t0,
+                                 adaptive::RunKind::kInline);
+    }
     if (tree_->partial_rollback()) {
       // Same FCC discipline as the parallel branch below: an owning handle
       // on a fiber stack is re-destroyed by restores, so the tree owns the
@@ -260,14 +265,19 @@ auto TxCtx::submit_at(const void* site_key, F&& fn)
   }
   auto body = std::make_shared<std::decay_t<F>>(std::forward<F>(fn));
   TxTree* tree = tree_;
+  // kOrdered keeps the full split (per-node validation, reincarnation,
+  // strong-order commit cascade) but runs the body synchronously on this
+  // thread right after the split, so siblings execute in submission order.
+  const adaptive::RunKind kind =
+      ordered ? adaptive::RunKind::kOrdered : adaptive::RunKind::kParallel;
   auto runner = std::make_shared<NodeRunner>(
-      [tree, state, body, site](std::uint32_t node_idx) {
+      [tree, state, body, site, kind](std::uint32_t node_idx) {
         // The inner callable captures by VALUE: in partial-rollback mode it
         // is moved into fiber-stable storage and its captures are read
         // again on FCC-replayed paths, after this frame is gone. `site`
         // points into Runtime-owned storage and outlives every tree.
-        tree->run_future_body(node_idx, [tree, state, body,
-                                         site](SubTxn& start) -> SubTxn* {
+        tree->run_future_body(node_idx, [tree, state, body, site,
+                                         kind](SubTxn& start) -> SubTxn* {
           TxCtx inner(*tree, &start);
           const std::uint64_t t0 = site != nullptr ? util::now_ns() : 0;
           try {
@@ -288,8 +298,8 @@ auto TxCtx::submit_at(const void* site_key, F&& fn)
             throw TreeFailed{TreeFailed::Reason::kUserException};
           }
           if (site != nullptr) {
-            tree->runtime().adaptive().note_body_ns(
-                site, util::now_ns() - t0, true);
+            tree->runtime().adaptive().note_body_ns(site, util::now_ns() - t0,
+                                                    kind);
           }
           return inner.node();  // innermost continuation if `fn` submitted
         });
@@ -302,12 +312,16 @@ auto TxCtx::submit_at(const void* site_key, F&& fn)
     auto* raw_state = state.get();
     body.reset();  // the runner closure keeps body/state alive
     const TxTree::SplitResult split = tree_->submit_split_checkpointed(
-        *node_, std::move(state), std::move(runner), site);
+        *node_, std::move(state), std::move(runner), site, !ordered);
     node_ = split.continuation;
+    // A restored continuation's future already ran its incarnation; only a
+    // fresh split needs the ordered synchronous run.
+    if (ordered && !split.restored) tree_->run_future_now(*split.future);
     return TxFuture<R>::non_owning(raw_state);
   }
   auto [future_node, cont_node] =
-      tree_->submit_split(*node_, state, std::move(runner), site);
+      tree_->submit_split(*node_, state, std::move(runner), site, !ordered);
+  if (ordered) tree_->run_future_now(*future_node);
   (void)future_node;
   node_ = cont_node;  // the caller continues as the continuation
   return TxFuture<R>(std::move(state));
@@ -561,6 +575,13 @@ auto atomically(Runtime& rt, F&& fn) {
         } else {
           const obs::AbortCause cause =
               detail::classify_tree_failure(*tree, tf.reason, rt);
+          // Whole-tree conflict failures never reach the per-node abort
+          // charging, yet they ARE the price of speculative parallel
+          // execution (fig5b: mostly inter-tree / top-level restarts) —
+          // charge them to the tree's submit sites so the controller's
+          // conflict EWMA sees them. Chaos-induced failures classify as
+          // kFailpointInjected and are filtered inside.
+          tree->charge_conflict_aborts(cause);
           fallback = tf.reason == TreeFailed::Reason::kInterTreeConflict;
           if (tf.reason == TreeFailed::Reason::kContinuationConflict)
             ++continuation_conflicts;

@@ -57,6 +57,13 @@ enum class SchedulingMode {
   /// Every future is elided inline at the submit point — the sequential
   /// execution the paper defines equivalence against.
   kAlwaysInline,
+  /// Every future takes the ordered-execution lane: a real sibling
+  /// sub-transaction (split structure, per-node validation, strong-order
+  /// commit cascade all preserved) whose body runs synchronously on the
+  /// submitting thread, in submission (pre-order) order — "Processing
+  /// Transactions in a Predefined Order" applied to sibling subtrees.
+  /// Siblings never race, so intra-tree conflict abort-retry vanishes.
+  kAlwaysOrdered,
   /// Default: a per-submit-site profitability controller
   /// (core/adaptive.hpp) demotes sites whose bodies are too small — or
   /// too abort-prone — to pay for parallel activation, and periodically
@@ -109,6 +116,24 @@ struct Config {
   /// elided runs, so the probe tax is what bounds how closely kAdaptive can
   /// track kAlwaysInline on unprofitable sites.
   std::uint32_t adaptive_reprobe_period = 256;
+  /// Conflict-rate bar (permille of parallel runs ending in a chargeable
+  /// conflict abort) at which a parallel site demotes to the ordered lane
+  /// (SiteState::kOrdered) even when its body looks profitable — the
+  /// conflict-aware half of the decision function (DESIGN.md §5e).
+  std::uint32_t adaptive_conflict_demote_permille = 150;
+  /// Conflict-rate floor below which an ordered site's parallel probes have
+  /// proved the contention burst over and the site promotes back to
+  /// kParallel. Must be below the demote bar (hysteresis).
+  std::uint32_t adaptive_conflict_promote_permille = 60;
+  /// Decision period between parallel re-probes for conflict-demoted sites
+  /// (kOrdered, and kInline reached through the conflict path). Denser than
+  /// adaptive_reprobe_period so a bursty-contention demotion is not a
+  /// permanent blacklist: each clean probe decays the conflict EWMA.
+  std::uint32_t adaptive_ordered_reprobe_period = 64;
+  /// Chargeable conflict aborts observed while a site is kOrdered before it
+  /// hardens to kInline — conflicts that survive sibling serialization are
+  /// inter-tree, so ordering buys nothing and full co-location is cheaper.
+  std::uint32_t adaptive_ordered_harden_after = 8;
 
   // --- contention manager (bounded retry + graceful degradation) ---
 

@@ -6,7 +6,12 @@
 // plus a copy of the live stack region. Restoring a checkpoint (from the
 // host side) rewrites the fiber stack and jumps back to the capture point,
 // which then reports kRestored — i.e. execution resumes "just after the
-// submit", exactly what Alg. 4's continuation abort needs.
+// submit", exactly what Alg. 4's continuation abort needs. Hosting is
+// nestable: the adaptive controller's ordered lane runs a future body
+// synchronously on the submitting thread, which may itself be executing a
+// continuation fiber — the runner saves and restores the thread's current
+// fiber around the nested body, so checkpoints captured on either side
+// keep addressing their own stacks.
 //
 // RESTRICTIONS (documented in DESIGN.md substitution 2, mirroring what FCC
 // rollback can and cannot undo in JTF): code between a checkpoint and a

@@ -420,7 +420,8 @@ void TxTree::write(SubTxn& t, stm::VBoxImpl& box, stm::Word value) {
 
 std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
     SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
-    std::shared_ptr<NodeRunner> runner, adaptive::SiteStats* site) {
+    std::shared_ptr<NodeRunner> runner, adaptive::SiteStats* site,
+    bool schedule) {
   check_alive(parent);
   SubTxn* future;
   SubTxn* cont;
@@ -441,7 +442,7 @@ std::pair<SubTxn*, SubTxn*> TxTree::submit_split(
   }
   // futures_submitted is counted once per submit() call in api.hpp (it also
   // covers elided and serial submits, which never reach this function).
-  schedule_future(*future);
+  if (schedule) schedule_future(*future);
   return {future, cont};
 }
 
@@ -483,6 +484,41 @@ void TxTree::schedule_future(SubTxn& f) {
     (*runner)(idx);
     task_done();
   });
+}
+
+void TxTree::run_future_now(SubTxn& f) {
+  // Ordered lane: the submitting thread runs the body itself, so no
+  // outstanding-task accounting — there is no pool task to balance.
+  // run_future_body's claim still guards the incarnation (a get() helper
+  // racing us backs off), and reincarnations go back through the pool via
+  // reincarnate_future_locked -> schedule_future as usual.
+  std::shared_ptr<NodeRunner> runner;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (f.future_state) f.future_state->set_node_idx(f.idx);
+    runner = f.runner;
+  }
+  bump_progress();
+  if (runner) (*runner)(f.idx);
+}
+
+void TxTree::charge_conflict_aborts(obs::AbortCause cause) {
+  // Only whole-tree conflict classes that bypass the per-node charging
+  // paths: write-write (eager tentative-lock collisions) and top-level
+  // read-validation failures. kTreeOrder is already charged precisely to
+  // the offending sibling's site in fail_continuation_locked, and
+  // chaos/user-abort causes are not conflicts at all.
+  if (cause != obs::AbortCause::kWriteWrite &&
+      cause != obs::AbortCause::kReadValidation) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (SubTxn& s : subs_) {
+    if (s.kind == SubTxnKind::kFuture && s.site != nullptr &&
+        s.claimed.load(std::memory_order_acquire)) {
+      runtime_.adaptive().note_abort(s.site, cause);
+    }
+  }
 }
 
 bool TxTree::help_evaluate(const TxFutureStateBase& state) {
@@ -808,7 +844,8 @@ void TxTree::run_body_on_fiber(std::function<SubTxn*()> body) {
 
 TxTree::SplitResult TxTree::submit_split_checkpointed(
     SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
-    std::shared_ptr<NodeRunner> runner, adaptive::SiteStats* site) {
+    std::shared_ptr<NodeRunner> runner, adaptive::SiteStats* site,
+    bool schedule) {
   check_alive(parent);
   assert(t_current_fiber != nullptr &&
          "partial-rollback submit outside a fiber-hosted body");
@@ -841,7 +878,7 @@ TxTree::SplitResult TxTree::submit_split_checkpointed(
     SubTxn& c2 = node(parent.child_continuation);
     return SplitResult{&f2, &c2, true};
   }
-  schedule_future(*future);
+  if (schedule) schedule_future(*future);
   return SplitResult{future, cont, false};
 }
 
@@ -1087,6 +1124,27 @@ void TxTree::do_top_commit() {
   // through as a batch of one — no special-casing needed.
   bool ok = true;
   if (!final_writes.empty()) {
+    // Footprint attribution: tell every submit site in this tree how many
+    // spine stripes the commit touches, so the adaptive controller can bias
+    // wide-footprint sites toward co-located (single-stripe) execution.
+    // Read-only trees skip this — they never enter the commit pipeline.
+    {
+      std::vector<adaptive::SiteStats*> sites;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (SubTxn& s : subs_) {
+          if (s.kind == SubTxnKind::kFuture && s.site != nullptr &&
+              std::find(sites.begin(), sites.end(), s.site) == sites.end()) {
+            sites.push_back(s.site);
+          }
+        }
+      }
+      if (!sites.empty()) {
+        const unsigned width = env_.queue().footprint_width(
+            merged_permanent_reads_, final_writes.boxes());
+        runtime_.adaptive().note_commit_footprint(sites, width);
+      }
+    }
     util::EpochDomain::Guard guard(env_.epochs());
     if (!env_.queue().prevalidate(merged_permanent_reads_, snapshot_)) {
       ok = false;

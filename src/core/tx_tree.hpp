@@ -33,6 +33,7 @@
 #include "core/config.hpp"
 #include "core/future_state.hpp"
 #include "core/subtxn.hpp"
+#include "obs/abort_cause.hpp"
 #include "obs/metrics.hpp"
 #include "stm/transaction.hpp"
 #include "util/spin_lock.hpp"
@@ -152,11 +153,13 @@ class TxTree {
   /// continuation children. `state` and `runner` belong to the future.
   /// `site`, when non-null, is the adaptive scheduler's stats slot for the
   /// submit site; the commit cascade charges aborts against it.
+  /// `schedule` = false skips the pool hand-off (the ordered-execution
+  /// lane runs the body itself via run_future_now).
   /// Returns {future*, continuation*}.
   std::pair<SubTxn*, SubTxn*> submit_split(
       SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
       std::shared_ptr<NodeRunner> runner,
-      adaptive::SiteStats* site = nullptr);
+      adaptive::SiteStats* site = nullptr, bool schedule = true);
 
   /// Partial-rollback flavour of submit_split: additionally captures an FCC
   /// at the submit point (the calling code must be running on a fiber —
@@ -171,7 +174,7 @@ class TxTree {
   SplitResult submit_split_checkpointed(
       SubTxn& parent, std::shared_ptr<TxFutureStateBase> state,
       std::shared_ptr<NodeRunner> runner,
-      adaptive::SiteStats* site = nullptr);
+      adaptive::SiteStats* site = nullptr, bool schedule = true);
 
   /// Keep `state` alive for the tree's lifetime. Used by inline elision in
   /// partial-rollback trees: an owning TxFuture handle on a fiber stack is
@@ -191,6 +194,22 @@ class TxTree {
 
   /// Schedule the future body of `f` on the pool.
   void schedule_future(SubTxn& f);
+
+  /// Ordered-execution lane: run `f`'s body synchronously on the calling
+  /// thread instead of handing it to the pool. The split structure —
+  /// per-node validation, reincarnation, strong-order commit cascade — is
+  /// identical to the scheduled path; only the racing is gone, so siblings
+  /// execute in submission (pre-order) order. Pair with
+  /// submit_split(..., /*schedule=*/false).
+  void run_future_now(SubTxn& f);
+
+  /// Charge a whole-tree conflict failure (`cause` kWriteWrite or
+  /// kReadValidation) to the submit sites of every claimed parallel future
+  /// in this tree, so the adaptive controller's conflict EWMA sees
+  /// inter-tree conflicts that never surface as per-node aborts. Other
+  /// causes (incl. kTreeOrder, already charged per-sibling at the
+  /// fail-continuation site) are ignored.
+  void charge_conflict_aborts(obs::AbortCause cause);
 
   /// Run one future body invocation on the current (pool) thread. `body`
   /// executes the user code starting at the given node and returns the node

@@ -72,6 +72,21 @@ class ThreadPool {
     return sleepers_.load(std::memory_order_relaxed);
   }
 
+  /// Consolidated load signal for scheduling heuristics: whole
+  /// worker-multiples of backlog, capped at `cap`. 0 means the pool keeps
+  /// up (spawning is cheap); k means every worker already has ~k queued
+  /// tasks ahead of any new submission. Same racy-relaxed contract as
+  /// queue_depth().
+  std::uint64_t backlog_factor(std::uint64_t cap = 4) const noexcept {
+    const std::int64_t d = queue_depth();
+    const std::size_t w = worker_count();
+    if (d <= 0 || w == 0) return 0;
+    std::uint64_t f =
+        static_cast<std::uint64_t>(d) / static_cast<std::uint64_t>(w);
+    if (f > cap) f = cap;
+    return f;
+  }
+
  private:
   struct Worker {
     WsDeque<Task*> deque;

@@ -332,19 +332,42 @@ Report Server::run() {
           static_cast<double>(now - last_status_ns) / 1e9 >=
               cfg_.status_interval_s) {
         last_status_ns = now;
+        // Commit-footprint drift (ISSUE 8): stripe widths attributed to
+        // submit sites since start. Buckets are power-of-two width bins
+        // (1, 2, 3-4, 5-8, 9-16, 17-32) — enough for any stripe count the
+        // sharded spine supports. Soak runs diff consecutive lines to see
+        // whether hot sites are narrowing toward the single-stripe path.
+        const core::adaptive::AdaptiveScheduler& ad = rt.adaptive();
+        const std::uint64_t fp_commits = ad.footprint_commits();
+        const double fp_mean =
+            fp_commits != 0 ? static_cast<double>(ad.footprint_width_sum()) /
+                                  static_cast<double>(fp_commits)
+                            : 0.0;
         std::fprintf(
             stderr,
             "{\"server_status\": {\"t_s\": %.1f, \"admitted\": %llu, "
             "\"shed\": %llu, \"completed\": %llu, \"backlog\": %llu, "
             "\"window_p99_ms\": %.2f, \"rate_limit\": %.0f, "
-            "\"shed_level\": %u, \"overloaded\": %s}}\n",
+            "\"shed_level\": %u, \"overloaded\": %s, "
+            "\"footprint\": {\"commits\": %llu, \"mean_width\": %.2f, "
+            "\"single_stripe\": %llu, \"multi_stripe\": %llu, "
+            "\"width_hist\": [%llu, %llu, %llu, %llu, %llu, %llu]}}}\n",
             static_cast<double>(now - start_ns) / 1e9,
             static_cast<unsigned long long>(sm.admitted.load()),
             static_cast<unsigned long long>(sm.shed.load()),
             static_cast<unsigned long long>(sm.completed.load()),
             static_cast<unsigned long long>(sig.backlog),
             static_cast<double>(sig.window_p99_ns) / 1e6, gate.rate(),
-            gate.shed_level(), overloaded ? "true" : "false");
+            gate.shed_level(), overloaded ? "true" : "false",
+            static_cast<unsigned long long>(fp_commits), fp_mean,
+            static_cast<unsigned long long>(ad.footprint_single()),
+            static_cast<unsigned long long>(ad.footprint_multi()),
+            static_cast<unsigned long long>(ad.footprint_width_bucket(0)),
+            static_cast<unsigned long long>(ad.footprint_width_bucket(1)),
+            static_cast<unsigned long long>(ad.footprint_width_bucket(2)),
+            static_cast<unsigned long long>(ad.footprint_width_bucket(3)),
+            static_cast<unsigned long long>(ad.footprint_width_bucket(4)),
+            static_cast<unsigned long long>(ad.footprint_width_bucket(5)));
       }
     }
   };

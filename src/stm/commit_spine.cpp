@@ -74,6 +74,17 @@ bool CommitSpine::prevalidate(const std::vector<VBoxImpl*>& reads,
   return true;
 }
 
+unsigned CommitSpine::footprint_width(
+    const std::vector<VBoxImpl*>& reads,
+    const std::vector<VBoxImpl*>& writes) const noexcept {
+  if (n_ == 1) return 1;
+  std::uint32_t mask = 0;
+  for (const VBoxImpl* box : writes) mask |= 1u << stripe_of(box, n_ - 1);
+  for (const VBoxImpl* box : reads) mask |= 1u << stripe_of(box, n_ - 1);
+  const int w = std::popcount(mask);
+  return w > 0 ? static_cast<unsigned>(w) : 1u;
+}
+
 bool CommitSpine::commit(CommitRequest* req) {
   assert(n_ == 1 &&
          "scalar commit() is only valid on a single-stripe spine; use "

@@ -83,6 +83,15 @@ class CommitSpine {
     return stripe_of(box, n_ - 1);
   }
 
+  /// Width (stripe count) of the footprint a commit with these reads and
+  /// writes would route on — the same reads ∪ writes mask commit() builds.
+  /// 1 means the zero-coordination single-stripe path; >1 means the
+  /// serializing multi-stripe protocol. Used by the adaptive scheduler's
+  /// footprint-narrowing bias (core/adaptive.hpp); pure function of the
+  /// box addresses, no stripe state touched.
+  unsigned footprint_width(const std::vector<VBoxImpl*>& reads,
+                           const std::vector<VBoxImpl*>& writes) const noexcept;
+
   /// Stage-1 pre-validation against a snapshot vector: each read box is
   /// checked against its own stripe's component. Sheds are attributed to
   /// the failing box's stripe queue.

@@ -104,6 +104,45 @@ void run_update_tx(core::Runtime& rt, SyntheticArray& array,
   });
 }
 
+void run_siblings_collide_tx(core::Runtime& rt, SyntheticArray& array,
+                             util::Xoshiro256& rng,
+                             const SiblingsCollideParams& p) {
+  const std::size_t jobs = p.jobs < 2 ? 2 : p.jobs;
+  std::vector<std::uint64_t> seeds(jobs);
+  for (auto& s : seeds) s = rng.next();
+
+  // Every sibling's RMW slice over the shared hot set. Strong ordering
+  // forces sibling i+1 to observe sibling i's writes, so letting them race
+  // is almost guaranteed tree-order abort-retry; running them in pre-order
+  // (or inline) makes the same accesses conflict-free.
+  auto rmw_slice = [&array, hot = p.hot_items, writes = p.writes,
+                    iter = p.iter](auto& ctx, std::uint64_t seed) {
+    util::Xoshiro256 r(seed);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < writes; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(r.next_bounded(hot));
+      const std::uint64_t v = array.box(idx).get(ctx);
+      sum += cpu_work(iter, v ^ seed);
+      array.box(idx).put(ctx, v + (sum | 1));
+    }
+    return sum;
+  };
+
+  core::atomically(rt, [&](core::TxCtx& ctx) {
+    std::vector<core::TxFuture<std::uint64_t>> futs;
+    futs.reserve(jobs - 1);
+    for (std::size_t j = 0; j + 1 < jobs; ++j) {
+      futs.push_back(ctx.submit(
+          [&rmw_slice, seed = seeds[j]](core::TxCtx& c) {
+            return rmw_slice(c, seed);
+          }));
+    }
+    std::uint64_t sum = rmw_slice(ctx, seeds[jobs - 1]);
+    for (auto& f : futs) sum += f.get(ctx);
+    (void)sum;
+  });
+}
+
 std::uint64_t run_readonly_plain(sched::ThreadPool& pool,
                                  SyntheticArray& array,
                                  util::Xoshiro256& rng,

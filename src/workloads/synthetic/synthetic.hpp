@@ -75,6 +75,23 @@ std::uint64_t run_readonly_tx(core::Runtime& rt, SyntheticArray& array,
 void run_update_tx(core::Runtime& rt, SyntheticArray& array,
                    util::Xoshiro256& rng, const UpdateParams& p);
 
+/// Siblings-collide workload: every sibling future (and the continuation)
+/// read-modify-writes the same small hot set, with `iter` CPU steps of
+/// padding, so parallel siblings conflict with near-certainty while the
+/// bodies still look "profitable" to a body-size-only controller. This is
+/// the shape where predefined-order serialization (the adaptive
+/// controller's kOrdered lane) beats parallel abort-retry churn — and the
+/// isolation bench for ISSUE 8's conflict-aware demotion.
+struct SiblingsCollideParams {
+  std::size_t jobs = 4;        // jobs-1 futures + continuation, all colliding
+  std::size_t hot_items = 8;   // shared read-modify-write set
+  std::size_t writes = 4;      // RMWs per sibling
+  std::uint64_t iter = 2000;   // CPU padding between RMWs (body "size")
+};
+void run_siblings_collide_tx(core::Runtime& rt, SyntheticArray& array,
+                             util::Xoshiro256& rng,
+                             const SiblingsCollideParams& p);
+
 /// One "transaction" using plain (non-transactional) futures over the raw
 /// array — the Fig. 5a comparator that isolates inherent future overheads.
 std::uint64_t run_readonly_plain(sched::ThreadPool& pool,

@@ -29,6 +29,7 @@ using txf::core::adaptive::AdaptiveScheduler;
 using txf::core::adaptive::DecideResult;
 using txf::core::adaptive::Outcome;
 using txf::core::adaptive::Params;
+using txf::core::adaptive::RunKind;
 using txf::core::adaptive::SiteState;
 using txf::core::adaptive::SiteStats;
 using txf::obs::AbortCause;
@@ -45,6 +46,10 @@ Params test_params() {
   p.harden_after = 4;
   p.promote_after = 2;
   p.reprobe_period = 8;
+  p.conflict_demote_x1024 = 154;  // ~15% conflict rate
+  p.conflict_promote_x1024 = 61;  // ~6%
+  p.ordered_reprobe_period = 4;
+  p.ordered_harden_after = 3;
   return p;
 }
 
@@ -68,19 +73,19 @@ TEST(AdaptiveHysteresis, MinSamplesGateBlocksEarlyDemotion) {
   // the site must stay parallel even though the score is already past the
   // demotion bar — one-shot sites may *need* real concurrency.
   for (std::uint32_t i = 0; i < p.min_samples - 1; ++i) {
-    s.note_body_sample(p, 10, /*parallel=*/true, p.inline_threshold_ns);
+    s.note_body_sample(p, 10, RunKind::kParallel, p.inline_threshold_ns);
     EXPECT_EQ(s.site_state(), SiteState::kParallel);
   }
   // The gate lifts with the min_samples-th sample.
   const Outcome out =
-      s.note_body_sample(p, 10, /*parallel=*/true, p.inline_threshold_ns);
+      s.note_body_sample(p, 10, RunKind::kParallel, p.inline_threshold_ns);
   EXPECT_TRUE(out.demoted);
   EXPECT_EQ(s.site_state(), SiteState::kProbation);
 }
 
 void drive_to_probation(SiteStats& s, const Params& p) {
   for (std::uint32_t i = 0; i < p.min_samples + p.demote_after; ++i) {
-    s.note_body_sample(p, 10, true, p.inline_threshold_ns);
+    s.note_body_sample(p, 10, RunKind::kParallel, p.inline_threshold_ns);
     if (s.site_state() == SiteState::kProbation) return;
   }
   FAIL() << "site never demoted to probation";
@@ -92,7 +97,7 @@ TEST(AdaptiveHysteresis, ProbationHardensToInline) {
   drive_to_probation(s, p);
   for (std::uint32_t i = 0; i < p.harden_after; ++i) {
     EXPECT_EQ(s.site_state(), SiteState::kProbation);
-    s.note_body_sample(p, 10, /*parallel=*/false, p.inline_threshold_ns);
+    s.note_body_sample(p, 10, RunKind::kInline, p.inline_threshold_ns);
   }
   EXPECT_EQ(s.site_state(), SiteState::kInline);
 }
@@ -102,7 +107,7 @@ TEST(AdaptiveHysteresis, ProbationPromotesOnProfitableSamples) {
   const Params p = test_params();
   drive_to_probation(s, p);
   for (std::uint32_t i = 0; i < p.promote_after; ++i) {
-    s.note_body_sample(p, 10 * p.inline_threshold_ns, /*parallel=*/false,
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kInline,
                        p.inline_threshold_ns);
   }
   EXPECT_EQ(s.site_state(), SiteState::kParallel);
@@ -122,34 +127,154 @@ TEST(AdaptiveHysteresis, InlineSiteReprobesPeriodically) {
   EXPECT_TRUE(probe.probe);
   // A probe that proves itself profitable promotes the site to probation.
   const Outcome out = s.note_body_sample(p, 10 * p.inline_threshold_ns,
-                                         /*parallel=*/true,
+                                         RunKind::kParallel,
                                          p.inline_threshold_ns);
   EXPECT_TRUE(out.promoted);
   EXPECT_EQ(s.site_state(), SiteState::kProbation);
 }
 
-TEST(AdaptiveHysteresis, OrderConflictAbortsCarryDoublePenalty) {
+// The fig5b regression (ISSUE 8 satellite 1): a site whose bodies look
+// thoroughly profitable — every sample lands a +1, keeping the score
+// pinned at its ceiling where conflict "-2"s can never drag it to the
+// demotion bar — must STILL demote when its parallel runs keep dying to
+// conflicts. The conflict EWMA is an independent input: chargeable aborts
+// pump it past the demote bar within a handful of windows, and the site
+// moves to the ordered lane regardless of the score.
+TEST(AdaptiveHysteresis, ConflictChargesDemoteProfitableSiteToOrdered) {
   SiteStats s;
   const Params p = test_params();
-  // Saturate the score upward with profitable samples (clamped at
-  // +promote_after; the site is parallel so no promotion happens).
+  // Profitable parallel samples: score saturates at +promote_after and
+  // conflict_obs clears the min_samples gate (each clean run is an
+  // observation of "parallel did NOT conflict").
   for (std::uint32_t i = 0; i < p.min_samples; ++i)
-    s.note_body_sample(p, 10 * p.inline_threshold_ns, true,
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kParallel,
                        p.inline_threshold_ns);
   EXPECT_EQ(s.site_state(), SiteState::kParallel);
-  // Non-order aborts are recorded but carry no scheduling signal.
-  s.note_abort(p, AbortCause::kWriteWrite);
+  // Non-conflict aborts are recorded but carry no scheduling signal.
+  s.note_abort(p, AbortCause::kStalled);
   EXPECT_EQ(s.site_state(), SiteState::kParallel);
-  // Order conflicts count -2 each: from the +2 ceiling, three of them
-  // cross the -3 demotion bar.
-  s.note_abort(p, AbortCause::kTreeOrder);
-  s.note_abort(p, AbortCause::kReadValidation);
-  const Outcome out = s.note_abort(p, AbortCause::kTreeOrder);
+  EXPECT_EQ(s.conflict_rate_x1024(), 0u);
+  // Chargeable conflicts pump the EWMA ~alpha=1/8 toward 1024: from zero,
+  // the second charge (e = 240) crosses the ~15% demote bar. N = 2 windows,
+  // far inside the "within N windows" regression bound.
+  Outcome out = s.note_abort(p, AbortCause::kTreeOrder);
+  EXPECT_FALSE(out.demoted);
+  EXPECT_EQ(s.site_state(), SiteState::kParallel);
+  out = s.note_abort(p, AbortCause::kWriteWrite);
   EXPECT_TRUE(out.demoted);
-  EXPECT_EQ(s.site_state(), SiteState::kProbation);
+  EXPECT_TRUE(out.conflict);
+  EXPECT_EQ(s.site_state(), SiteState::kOrdered);
+  EXPECT_TRUE(s.conflict_demoted.load());
+  EXPECT_GE(s.conflict_rate_x1024(), p.conflict_demote_x1024);
   EXPECT_EQ(s.aborts[static_cast<std::size_t>(AbortCause::kTreeOrder)].load(),
-            2u);
-  EXPECT_EQ(s.abort_total.load(), 4u);
+            1u);
+  EXPECT_EQ(s.abort_total.load(), 3u);
+}
+
+void drive_to_ordered(SiteStats& s, const Params& p) {
+  for (std::uint32_t i = 0; i < p.min_samples; ++i)
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kParallel,
+                       p.inline_threshold_ns);
+  for (std::uint32_t i = 0; i < p.min_samples; ++i) {
+    s.note_abort(p, AbortCause::kTreeOrder);
+    if (s.site_state() == SiteState::kOrdered) return;
+  }
+  FAIL() << "site never demoted to ordered";
+}
+
+TEST(AdaptiveHysteresis, OrderedLaneDecidesOrderedWithSparseProbes) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_ordered(s, p);
+  // Ordered decisions until the (denser) re-probe cadence fires a real
+  // parallel probe to re-measure the conflict rate.
+  for (std::uint32_t i = 1; i < p.ordered_reprobe_period; ++i) {
+    const DecideResult d = s.decide(p);
+    EXPECT_FALSE(d.run_inline);
+    EXPECT_TRUE(d.ordered) << "decision " << i;
+    EXPECT_FALSE(d.probe);
+  }
+  const DecideResult probe = s.decide(p);
+  EXPECT_FALSE(probe.run_inline);
+  EXPECT_FALSE(probe.ordered);
+  EXPECT_TRUE(probe.probe);
+}
+
+TEST(AdaptiveHysteresis, OrderedHardensToInlineOnPersistentConflicts) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_ordered(s, p);
+  // Conflicts that survive sibling serialization are inter-tree; after
+  // ordered_harden_after of them the ordered lane buys nothing and the
+  // site hardens to fully-inline co-location.
+  Outcome out;
+  for (std::uint32_t i = 0; i < p.ordered_harden_after; ++i) {
+    EXPECT_EQ(s.site_state(), SiteState::kOrdered);
+    out = s.note_abort(p, AbortCause::kReadValidation);
+  }
+  EXPECT_TRUE(out.demoted);
+  EXPECT_TRUE(out.conflict);
+  EXPECT_EQ(s.site_state(), SiteState::kInline);
+  // Still conflict-demoted: the denser re-probe cadence applies.
+  EXPECT_TRUE(s.conflict_demoted.load());
+}
+
+TEST(AdaptiveHysteresis, OrderedRecoversToParallelAfterCleanProbes) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_ordered(s, p);
+  // Clean parallel probes decay the conflict EWMA ~12% per probe; once it
+  // falls to the promote bar the burst is declared over and the site gets
+  // its parallelism back. Bursty contention is not a permanent blacklist.
+  Outcome out;
+  for (int i = 0; i < 64 && s.site_state() == SiteState::kOrdered; ++i) {
+    out = s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kParallel,
+                             p.inline_threshold_ns);
+  }
+  EXPECT_TRUE(out.promoted);
+  EXPECT_TRUE(out.conflict);
+  EXPECT_EQ(s.site_state(), SiteState::kParallel);
+  EXPECT_FALSE(s.conflict_demoted.load());
+  EXPECT_LE(s.conflict_rate_x1024(), p.conflict_promote_x1024);
+}
+
+TEST(AdaptiveHysteresis, OrderedRunsNeverMoveTheConflictEwma) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_ordered(s, p);
+  const std::uint32_t e = s.conflict_rate_x1024();
+  // Ordered (and inline) completions are sibling-conflict-free by
+  // construction; only parallel-lane evidence may decay the estimate,
+  // else the ordered lane would insta-promote itself.
+  for (int i = 0; i < 32; ++i)
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kOrdered,
+                       p.inline_threshold_ns);
+  EXPECT_EQ(s.conflict_rate_x1024(), e);
+  EXPECT_EQ(s.site_state(), SiteState::kOrdered);
+  EXPECT_EQ(s.ordered_runs.load(), 32u);
+}
+
+TEST(AdaptiveHysteresis, InlinePromotionGatedOnConflictDecay) {
+  SiteStats s;
+  const Params p = test_params();
+  drive_to_ordered(s, p);
+  while (s.site_state() == SiteState::kOrdered)
+    s.note_abort(p, AbortCause::kTreeOrder);
+  EXPECT_EQ(s.site_state(), SiteState::kInline);
+  // A profitable probe alone must NOT promote while the conflict estimate
+  // still sits above the demote bar — re-promoting would just re-enter the
+  // demote-on-first-charge cycle.
+  s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kParallel,
+                     p.inline_threshold_ns);
+  if (s.conflict_rate_x1024() >= p.conflict_demote_x1024) {
+    EXPECT_EQ(s.site_state(), SiteState::kInline);
+  }
+  // Once enough clean probes decay the estimate under the bar, the next
+  // profitable probe promotes.
+  for (int i = 0; i < 64 && s.site_state() == SiteState::kInline; ++i)
+    s.note_body_sample(p, 10 * p.inline_threshold_ns, RunKind::kParallel,
+                       p.inline_threshold_ns);
+  EXPECT_EQ(s.site_state(), SiteState::kProbation);
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +316,40 @@ TEST(AdaptiveScheduler_, FixedModesShortCircuit) {
     EXPECT_TRUE(d.run_inline);
     EXPECT_EQ(d.site, nullptr);
   }
+  {
+    Config cfg;
+    cfg.scheduling = SchedulingMode::kAlwaysOrdered;
+    AdaptiveScheduler sched(cfg, pool);
+    const AdaptiveScheduler::Decision d = sched.decide(&key);
+    EXPECT_FALSE(d.run_inline);
+    EXPECT_TRUE(d.ordered);
+    EXPECT_EQ(d.site, nullptr);
+  }
+}
+
+TEST(AdaptiveScheduler_, FootprintBiasScalesThreshold) {
+  txf::sched::ThreadPool pool(1);
+  Config cfg;
+  cfg.scheduling = SchedulingMode::kAdaptive;
+  AdaptiveScheduler sched(cfg, pool);
+  static const char key = 0;
+  SiteStats* site = sched.site_for(&key);
+  const std::uint64_t base = sched.effective_threshold_for(site);
+  EXPECT_EQ(base, sched.effective_threshold());  // no footprint yet
+  // Steady 4-stripe commits converge the width EWMA to 4 and scale the
+  // profitability bar 4x (the cap): wide-footprint sites must prove much
+  // bigger bodies before parallel speculation pays.
+  for (int i = 0; i < 64; ++i) sched.note_commit_footprint({site}, 4);
+  EXPECT_EQ(sched.effective_threshold_for(site), 4 * base);
+  EXPECT_EQ(sched.footprint_commits(), 64u);
+  EXPECT_EQ(sched.footprint_multi(), 64u);
+  EXPECT_EQ(sched.footprint_single(), 0u);
+  // A single-stripe site keeps the unscaled bar.
+  static const char key2 = 0;
+  SiteStats* narrow = sched.site_for(&key2);
+  sched.note_commit_footprint({narrow}, 1);
+  EXPECT_EQ(sched.effective_threshold_for(narrow), base);
+  EXPECT_EQ(sched.footprint_single(), 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -279,6 +438,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllModes, SchedulingMatrix,
     ::testing::Combine(::testing::Values(SchedulingMode::kAlwaysParallel,
                                          SchedulingMode::kAlwaysInline,
+                                         SchedulingMode::kAlwaysOrdered,
                                          SchedulingMode::kAdaptive),
                        ::testing::Values(RestartPolicy::kTreeRestart,
                                          RestartPolicy::kPartialRollback)));
@@ -289,6 +449,30 @@ TEST(AdaptiveElision, InlineModeStillSerializesCrossTreeConflicts) {
   Config cfg;
   cfg.pool_threads = 2;
   cfg.scheduling = SchedulingMode::kAlwaysInline;
+  Runtime rt(cfg);
+  VBox<long> counter(0);
+  constexpr int kPerThread = 100;
+  auto worker = [&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      atomically(rt, [&](TxCtx& ctx) {
+        auto f = ctx.submit([&](TxCtx& c) { return counter.get(c) + 1; });
+        counter.put(ctx, f.get(ctx));
+      });
+    }
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(counter.peek_committed(), 2L * kPerThread);
+}
+
+TEST(AdaptiveElision, OrderedModeStillSerializesCrossTreeConflicts) {
+  // The ordered lane changes scheduling, not isolation: a real split whose
+  // body runs synchronously still conflicts (and serializes) against
+  // concurrent top-level trees exactly like the parallel lane.
+  Config cfg;
+  cfg.pool_threads = 2;
+  cfg.scheduling = SchedulingMode::kAlwaysOrdered;
   Runtime rt(cfg);
   VBox<long> counter(0);
   constexpr int kPerThread = 100;
@@ -339,17 +523,66 @@ TEST(AdaptiveElision, UnprofitableSiteDemotesAndStaysCorrect) {
 
 TEST(AdaptiveElision, ChaosDecisionFlipsAreHarmless) {
   // Strong ordering makes every decision sequence semantically valid; a
-  // chaos schedule that flips every other verdict must be undetectable in
-  // results.
+  // chaos schedule that flips every other verdict (parallel and ordered ->
+  // inline, inline -> parallel) must be undetectable in results —
+  // whichever mode the flip perturbs.
+  for (const SchedulingMode mode :
+       {SchedulingMode::kAdaptive, SchedulingMode::kAlwaysOrdered}) {
+    Config cfg;
+    cfg.pool_threads = 2;
+    cfg.scheduling = mode;
+    cfg.chaos.add("core.adaptive.decide", fp::Action::kFail, 2);
+    Runtime rt(cfg);
+    for (int i = 0; i < 25; ++i) EXPECT_EQ(chain_result(rt), kChainOracle);
+    fp::FailPoint* site =
+        fp::Controller::instance().find("core.adaptive.decide");
+    ASSERT_NE(site, nullptr);
+    EXPECT_GT(site->fires(), 0u);
+  }
+}
+
+TEST(AdaptiveElision, ContendedSiteDemotesEndToEnd) {
+  // End-to-end version of the fig5b regression: two threads hammer
+  // transactions whose sibling futures read-modify-write the same boxes
+  // through one submit site. The site's parallel runs keep dying to
+  // conflicts, so the conflict EWMA must demote it (kOrdered or beyond)
+  // even though the controller's profitability bar is set to zero — i.e.
+  // every body "looks profitable" and the score alone would never demote.
   Config cfg;
-  cfg.pool_threads = 2;
+  cfg.pool_threads = 4;
   cfg.scheduling = SchedulingMode::kAdaptive;
-  cfg.chaos.add("core.adaptive.decide", fp::Action::kFail, 2);
+  cfg.adaptive_inline_threshold_ns = 0;  // profitability signal: all +1
+  cfg.adaptive_min_samples = 4;
   Runtime rt(cfg);
-  for (int i = 0; i < 25; ++i) EXPECT_EQ(chain_result(rt), kChainOracle);
-  fp::FailPoint* site = fp::Controller::instance().find("core.adaptive.decide");
+  VBox<long> hot_a(0);
+  VBox<long> hot_b(0);
+  static const char site_tag = 0;
+  constexpr int kPerThread = 150;
+  auto worker = [&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      atomically(rt, [&](TxCtx& ctx) {
+        auto f = ctx.submit_at(&site_tag, [&](TxCtx& c) {
+          hot_a.put(c, hot_a.get(c) + 1);
+          return 0;
+        });
+        // The continuation races the sibling on the same hot boxes.
+        hot_b.put(ctx, hot_a.get(ctx) + hot_b.get(ctx));
+        f.get(ctx);
+      });
+    }
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(hot_a.peek_committed(), 2L * kPerThread);
+  SiteStats* site = rt.adaptive().site_for(&site_tag);
   ASSERT_NE(site, nullptr);
-  EXPECT_GT(site->fires(), 0u);
+  // The site must have left pure-parallel on the conflict signal. (It may
+  // sit in kOrdered, or have hardened further, or be mid-recovery in
+  // kProbation — what it must NOT be is "still kParallel with a pinned
+  // profitable score", the fig5b failure mode.)
+  EXPECT_GT(site->conflict_rate_x1024(), 0u);
+  EXPECT_GT(site->abort_total.load(), 0u);
 }
 
 }  // namespace

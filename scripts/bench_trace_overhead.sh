@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # txtrace overhead A/B on the Fig. 5a read-only synthetic (base_tput column).
 #
-# Three configurations of the same workload:
+# Four configurations of the same workload:
 #   runtime_off  — default build, TXF_TRACE=0  (tracing compiled in, gated off)
 #   runtime_on   — default build, TXF_TRACE=1  (ring writes on every event)
+#   timeline_on  — default build, TXF_TRACE=0 TXF_TIMELINE=1 (tracing off, the
+#                  250 ms metrics-timeline sampler thread running; measures the
+#                  cost of the drift-observability plane on the hot path)
 #   compiled_off — a -DTXF_TRACE=OFF build dir, if one is supplied
 #                  (trace calls are inline no-ops; measures the compiled cost
 #                  of carrying the instrumentation at all)
@@ -13,6 +16,8 @@
 # down — medians of few reps flap by >10% on a 1-CPU container), medians are
 # recorded alongside. Gates:
 #   runtime_on  must keep >= ON_GATE (default 0.90) of runtime_off throughput
+#   timeline_on must keep >= ON_GATE of runtime_off throughput (same bar:
+#   a registry snapshot every 250 ms must be invisible at this granularity)
 #   compiled_off vs runtime_off must be within OFF_TOL (default 0.02) — only
 #   enforced when STRICT=1, because +/-2% is below run-to-run noise on shared
 #   CI runners; the curated measurement lives in BENCH_trace_overhead.json.
@@ -30,36 +35,39 @@ strict=${STRICT:-0}
 
 bench_args=(--trees 4 --jobs 1 --ms "${MS:-500}" --txlens 100 --iters 0)
 
-run_one() {  # $1 = build dir, $2 = TXF_TRACE value
+run_one() {  # $1 = build dir, $2 = TXF_TRACE value, $3 = TXF_TIMELINE value
   local tmp
   tmp=$(mktemp)
-  TXF_TRACE=$2 TXF_TRACE_OUT= "$1/bench/bench_fig5a_readonly" \
+  TXF_TRACE=$2 TXF_TRACE_OUT= TXF_TIMELINE=${3:-0} \
+    "$1/bench/bench_fig5a_readonly" \
     "${bench_args[@]}" --json "${tmp}" >/dev/null
   python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['rows'][0]['base_tput'])" "${tmp}"
   rm -f "${tmp}"
 }
 
-declare -a off_runs on_runs coff_runs
+declare -a off_runs on_runs tl_runs coff_runs
 for ((i = 0; i < reps; ++i)); do
-  off_runs+=("$(run_one "${on_build}" 0)")
-  on_runs+=("$(run_one "${on_build}" 1)")
+  off_runs+=("$(run_one "${on_build}" 0 0)")
+  on_runs+=("$(run_one "${on_build}" 1 0)")
+  tl_runs+=("$(run_one "${on_build}" 0 1)")
   if [[ -n "${off_build}" ]]; then
-    coff_runs+=("$(run_one "${off_build}" 0)")
+    coff_runs+=("$(run_one "${off_build}" 0 0)")
   fi
 done
 
 python3 - "${out}" "${on_gate}" "${off_tol}" "${strict}" \
-  "${off_runs[*]}" "${on_runs[*]}" "${coff_runs[*]:-}" <<'EOF'
+  "${off_runs[*]}" "${on_runs[*]}" "${tl_runs[*]}" "${coff_runs[*]:-}" <<'EOF'
 import json
 import statistics
 import sys
 
 out, on_gate, off_tol, strict = sys.argv[1], float(sys.argv[2]), float(sys.argv[3]), sys.argv[4] == "1"
-runs = [sorted(float(x) for x in arg.split()) for arg in sys.argv[5:8]]
-off, on = runs[0], runs[1]
-coff = runs[2] if len(runs) > 2 and runs[2] else None
+runs = [sorted(float(x) for x in arg.split()) for arg in sys.argv[5:9]]
+off, on, tl = runs[0], runs[1], runs[2]
+coff = runs[3] if len(runs) > 3 and runs[3] else None
 
 on_ratio = max(on) / max(off)
+tl_ratio = max(tl) / max(off)
 doc = {
     "bench": "trace_overhead_fig5a",
     "workload": "bench_fig5a_readonly --trees 4 --jobs 1 --txlens 100 --iters 0 (base_tx/s)",
@@ -67,12 +75,16 @@ doc = {
                  "statistic": "best-of-N (medians recorded for reference)"},
     "runtime_off_tx_per_s": off,
     "runtime_on_tx_per_s": on,
+    "timeline_on_tx_per_s": tl,
     "runtime_off_best": max(off),
     "runtime_on_best": max(on),
+    "timeline_on_best": max(tl),
     "runtime_off_median": statistics.median(off),
     "runtime_on_median": statistics.median(on),
+    "timeline_on_median": statistics.median(tl),
     "on_over_off_ratio": round(on_ratio, 4),
-    "on_gate": f">= {on_gate} (tracing-on keeps >= {100 * on_gate:.0f}% of gated-off throughput)",
+    "timeline_over_off_ratio": round(tl_ratio, 4),
+    "on_gate": f">= {on_gate} (tracing-on and timeline-on each keep >= {100 * on_gate:.0f}% of gated-off throughput)",
 }
 if coff:
     doc["compiled_off_tx_per_s"] = coff
@@ -87,9 +99,12 @@ print(json.dumps(doc, indent=2))
 
 assert on_ratio >= on_gate, (
     f"tracing-on overhead too high: on/off = {on_ratio:.3f} < {on_gate}")
+assert tl_ratio >= on_gate, (
+    f"timeline-on overhead too high: timeline/off = {tl_ratio:.3f} < {on_gate}")
 if coff and strict:
     r = max(coff) / max(off)
     assert abs(r - 1.0) <= off_tol, (
         f"compiled-off build outside +/-{off_tol:.0%} of default build: {r:.4f}")
-print(f"trace overhead OK: on/off = {on_ratio:.3f}")
+print(f"trace overhead OK: on/off = {on_ratio:.3f}, "
+      f"timeline/off = {tl_ratio:.3f}")
 EOF

@@ -8,9 +8,10 @@ Two checks, both fast and dependency-free:
    `<!-- metrics:end -->` markers of docs/OBSERVABILITY.md, and every name
    documented there must still be registered in the source. Names are
    extracted from `.counter("x", ...)` / `.gauge(...)` / `.histogram(...)`
-   / `.atomic(...)` registration calls, plus the `tx.abort.cause.*` family
-   composed from the abort_cause_name() switch (they are registered via
-   string concatenation, invisible to the literal scan).
+   / `.atomic(...)` registration calls, plus two families registered via
+   string concatenation and therefore invisible to the literal scan:
+   `tx.abort.cause.*` composed from the abort_cause_name() switch and
+   `obs.drift.*` per-detector counters composed from drift_kind_name().
 
 2. Markdown links. Every relative link target in the repo's *.md files
    must exist on disk (anchors are stripped; http/mailto links skipped).
@@ -26,9 +27,11 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OBS_DOC = ROOT / "docs" / "OBSERVABILITY.md"
 ABORT_CAUSE_HPP = ROOT / "src" / "obs" / "abort_cause.hpp"
+DRIFT_CPP = ROOT / "src" / "obs" / "drift.cpp"
 
 REGISTER_RE = re.compile(r'\.(?:counter|gauge|histogram|atomic)\(\s*"([^"]+)"')
 CAUSE_RE = re.compile(r'case AbortCause::\w+:\s*return "([a-z_]+)";')
+DRIFT_RE = re.compile(r'case DriftKind::\w+:\s*return "([a-z_]+)";')
 DOC_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
@@ -45,6 +48,12 @@ def registered_names():
     if not causes:
         sys.exit(f"error: no abort causes parsed from {ABORT_CAUSE_HPP}")
     names.update(f"tx.abort.cause.{c}" for c in causes)
+    # obs.drift.<detector> counters are likewise registered through a loop
+    # over the DriftKind enum.
+    drifts = DRIFT_RE.findall(DRIFT_CPP.read_text(encoding="utf-8"))
+    if not drifts:
+        sys.exit(f"error: no drift detectors parsed from {DRIFT_CPP}")
+    names.update(f"obs.drift.{d}" for d in drifts)
     return names
 
 

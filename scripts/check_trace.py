@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Validate a txtrace Chrome trace_event JSON file (obs/trace.hpp).
+"""Validate a txtrace Chrome trace_event JSON file (obs/trace.hpp), or a
+whole flight-recorder bundle (obs/flight_recorder.hpp).
 
-Checks, beyond "it parses":
+Trace checks, beyond "it parses":
   - top-level object with a `traceEvents` list
   - every event is a complete span ("X", with numeric dur) or a thread-scoped
     instant ("i") -- the writer never emits paired B/E events
@@ -11,11 +12,24 @@ Checks, beyond "it parses":
   - at least one transaction event is present (the smoke benches always run
     transactions, so an empty trace means the runtime gate ate everything)
 
+Bundle mode (--bundle DIR) validates one flight-<seq>-<reason> directory:
+  - manifest.json names the reason and inventories the bundle's files,
+    and every inventoried file exists
+  - trace.json passes all of the trace checks above
+  - timeline.json has a coherent series table (known kinds) and frames with
+    monotonically increasing, gap-free seq, strictly increasing t_ns, and
+    value rows no wider than the series table
+  - verdicts.json carries one verdict per known drift detector with the
+    expected field types
+  - metrics.json and config.json parse as objects
+
 Usage: check_trace.py TRACE.json [--require-tx]
+       check_trace.py --bundle DIR [--require-tx] [--require-fired]
 Exit code 0 on success; 1 with a message on the first violation.
 """
 
 import json
+import os
 import sys
 
 # Keep in sync with ev_name() in src/obs/trace.hpp.
@@ -25,7 +39,7 @@ KNOWN_EVENTS = {
     "tree.resolve", "read.walk",
     "commit.prevalidate", "commit.assign", "commit.writeback",
     "sched.run", "sched.steal", "sched.park",
-    "adaptive.decide",
+    "adaptive.decide", "drift.trigger",
     "test",
 }
 
@@ -36,6 +50,12 @@ KNOWN_CAUSES = {
     "explicit_retry", "user_exception",
 }
 
+# Keep in sync with drift_kind_name() in src/obs/drift.cpp.
+KNOWN_DETECTORS = {
+    "site_churn", "conflict_trend", "ebr_backlog", "stripe_skew",
+    "home_hit_rate",
+}
+
 TX_EVENTS = {"tx", "tx.commit", "tx.abort"}
 
 
@@ -44,17 +64,16 @@ def fail(msg):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) < 2:
-        fail("usage: check_trace.py TRACE.json [--require-tx]")
-    path = sys.argv[1]
-    require_tx = "--require-tx" in sys.argv[2:]
-
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
+
+
+def check_trace(path, require_tx):
+    doc = load_json(path)
 
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         fail("top level must be an object with a traceEvents list")
@@ -92,6 +111,155 @@ def main():
     if require_tx and tx_events == 0:
         fail("no transaction events (tx / tx.commit / tx.abort) in trace")
 
+    return events, counts
+
+
+def check_timeline(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    for key in ("interval_ms", "capacity", "dropped"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            fail(f"{path}: bad {key}: {doc.get(key)!r}")
+    series = doc.get("series")
+    if not isinstance(series, list):
+        fail(f"{path}: series must be a list")
+    for i, s in enumerate(series):
+        if not isinstance(s, dict) or not isinstance(s.get("name"), str):
+            fail(f"{path}: series[{i}]: missing name")
+        if s.get("kind") not in ("delta", "level"):
+            fail(f"{path}: series[{i}] ({s.get('name')}): bad kind "
+                 f"{s.get('kind')!r}")
+    frames = doc.get("frames")
+    if not isinstance(frames, list):
+        fail(f"{path}: frames must be a list")
+    prev_seq = prev_t = None
+    for i, fr in enumerate(frames):
+        where = f"{path}: frames[{i}]"
+        if not isinstance(fr, dict):
+            fail(f"{where}: not an object")
+        seq, t_ns, values = fr.get("seq"), fr.get("t_ns"), fr.get("values")
+        if not isinstance(seq, int) or seq < 0:
+            fail(f"{where}: bad seq {seq!r}")
+        if prev_seq is not None and seq != prev_seq + 1:
+            fail(f"{where}: seq gap: {prev_seq} -> {seq} "
+                 "(retained frames must be contiguous)")
+        if not isinstance(t_ns, int) or (prev_t is not None and t_ns <= prev_t):
+            fail(f"{where}: t_ns not strictly increasing: {prev_t} -> {t_ns}")
+        if not isinstance(values, list) or len(values) > len(series):
+            fail(f"{where}: values row wider than the series table "
+                 f"({len(values) if isinstance(values, list) else '?'} > "
+                 f"{len(series)})")
+        for v in values:
+            if v is not None and not isinstance(v, (int, float)):
+                fail(f"{where}: non-numeric value {v!r}")
+        prev_seq, prev_t = seq, t_ns
+    return len(frames), len(series)
+
+
+def check_verdicts(path):
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    for key in ("evaluations", "triggers", "window_frames"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            fail(f"{path}: bad {key}: {doc.get(key)!r}")
+    verdicts = doc.get("verdicts")
+    if not isinstance(verdicts, list):
+        fail(f"{path}: verdicts must be a list")
+    seen = set()
+    for group in ("verdicts", "fired_history"):
+        entries = doc.get(group)
+        if not isinstance(entries, list):
+            fail(f"{path}: {group} must be a list")
+        for i, v in enumerate(entries):
+            where = f"{path}: {group}[{i}]"
+            if not isinstance(v, dict):
+                fail(f"{where}: not an object")
+            name = v.get("name")
+            if name not in KNOWN_DETECTORS:
+                fail(f"{where}: unknown detector {name!r}")
+            for flag in ("fired", "enough_data"):
+                if not isinstance(v.get(flag), bool):
+                    fail(f"{where} ({name}): {flag} must be a bool")
+            for num in ("value", "threshold"):
+                if not isinstance(v.get(num), (int, float)):
+                    fail(f"{where} ({name}): {num} must be numeric")
+            for seq_key in ("first_seq", "last_seq"):
+                if not isinstance(v.get(seq_key), int) or v[seq_key] < 0:
+                    fail(f"{where} ({name}): bad {seq_key}")
+            if not isinstance(v.get("detail"), str):
+                fail(f"{where} ({name}): detail must be a string")
+            if group == "verdicts":
+                seen.add(name)
+            if group == "fired_history" and not v.get("fired"):
+                fail(f"{where} ({name}): history entry with fired=false")
+    missing = KNOWN_DETECTORS - seen
+    if verdicts and missing:
+        fail(f"{path}: verdicts missing detectors: {sorted(missing)}")
+    return doc["triggers"]
+
+
+def check_bundle(bundle, require_tx, require_fired):
+    manifest_path = os.path.join(bundle, "manifest.json")
+    manifest = load_json(manifest_path)
+    if not isinstance(manifest, dict):
+        fail(f"{manifest_path}: top level must be an object")
+    if not isinstance(manifest.get("reason"), str) or not manifest["reason"]:
+        fail(f"{manifest_path}: missing reason")
+    files = manifest.get("files")
+    if not isinstance(files, list) or not files:
+        fail(f"{manifest_path}: missing files inventory")
+    for name in files:
+        if not os.path.isfile(os.path.join(bundle, name)):
+            fail(f"{bundle}: manifest lists {name} but it does not exist")
+
+    for required in ("metrics.json", "trace.json"):
+        if required not in files:
+            fail(f"{bundle}: bundle without {required}")
+
+    metrics = load_json(os.path.join(bundle, "metrics.json"))
+    if not isinstance(metrics, dict):
+        fail(f"{bundle}/metrics.json: top level must be an object")
+    if "config.json" in files:
+        config = load_json(os.path.join(bundle, "config.json"))
+        if not isinstance(config, dict):
+            fail(f"{bundle}/config.json: top level must be an object")
+
+    _, counts = check_trace(os.path.join(bundle, "trace.json"), require_tx)
+
+    frames = n_series = 0
+    if "timeline.json" in files:
+        frames, n_series = check_timeline(os.path.join(bundle, "timeline.json"))
+
+    triggers = 0
+    if "verdicts.json" in files:
+        triggers = check_verdicts(os.path.join(bundle, "verdicts.json"))
+    if require_fired and triggers == 0:
+        fail(f"{bundle}: --require-fired but no drift detector ever triggered")
+
+    print(f"check_trace: OK: bundle {bundle} (reason={manifest['reason']!r}, "
+          f"{sum(counts.values())} trace events, {frames} timeline frames x "
+          f"{n_series} series, {triggers} drift triggers)")
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        fail("usage: check_trace.py TRACE.json [--require-tx] | "
+             "check_trace.py --bundle DIR [--require-tx] [--require-fired]")
+    require_tx = "--require-tx" in args
+    require_fired = "--require-fired" in args
+
+    if "--bundle" in args:
+        idx = args.index("--bundle")
+        if idx + 1 >= len(args):
+            fail("--bundle needs a directory")
+        check_bundle(args[idx + 1], require_tx, require_fired)
+        return
+
+    path = args[0]
+    events, counts = check_trace(path, require_tx)
     total = len(events)
     top = ", ".join(f"{n}={c}" for n, c in
                     sorted(counts.items(), key=lambda kv: -kv[1])[:6])

@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/drift.hpp"
+#include "obs/timeline.hpp"
 #include "util/failpoint.hpp"
 
 namespace txf::core {
@@ -164,6 +166,18 @@ struct Config {
   /// knob is spelled
   ///   cfg.chaos.add("core.subtxn.validate", util::fp::Action::kFail, N);
   util::fp::ChaosPlan chaos;
+
+  // --- drift observability (obs/timeline.hpp, obs/drift.hpp) ---
+
+  /// Periodic metrics-timeline sampler owned by the Runtime. Disabled by
+  /// default; txf_server enables it, and TXF_TIMELINE=1 in the environment
+  /// (with optional TXF_TIMELINE_MS) overrides for any Runtime — that is
+  /// how the trace-overhead bench turns it on without a code path.
+  obs::TimelineConfig timeline;
+  /// Thresholds for the drift detectors evaluated over the timeline.
+  /// Consumed by whoever owns a DriftMonitor (txf_server's controller);
+  /// carried here so one Config describes the whole soak.
+  obs::DriftConfig drift;
 };
 
 }  // namespace txf::core

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <shared_mutex>
 #include <stdexcept>
@@ -34,6 +35,7 @@ class Runtime {
       util::fp::Controller::instance().arm(config_.chaos);
       armed_chaos_ = true;
     }
+    maybe_start_timeline();
   }
 
   ~Runtime() {
@@ -50,6 +52,10 @@ class Runtime {
   adaptive::AdaptiveScheduler& adaptive() noexcept { return adaptive_; }
   TxStats& stats() noexcept { return stats_; }
   util::RobustnessCounters& robustness() noexcept { return robustness_; }
+
+  /// The periodic metrics timeline, or null when not enabled
+  /// (Config::timeline.enabled, or TXF_TIMELINE=1 in the environment).
+  obs::MetricsTimeline* timeline() noexcept { return timeline_.get(); }
 
   /// Serial-irrevocable token. Every top-level attempt holds it shared; an
   /// escalated attempt takes it exclusive, so while the escalated transaction
@@ -139,6 +145,38 @@ class Runtime {
     return n;
   }
 
+  /// Start the timeline sampler when asked for by the config or the
+  /// TXF_TIMELINE=1 / TXF_TIMELINE_MS environment overrides. Providers
+  /// cover the drift signals that are deliberately not registry metrics:
+  /// the EBR pending count (an accessor, sampled as a level) and the
+  /// per-stripe committed splits (the registry sums the per-stripe
+  /// `stm.commit.*` instances by design; skew needs them apart).
+  void maybe_start_timeline() {
+    obs::TimelineConfig tl = config_.timeline;
+    if (const char* env = std::getenv("TXF_TIMELINE")) {
+      tl.enabled = !(env[0] == '0' || env[0] == '\0');
+    }
+    if (const char* ms = std::getenv("TXF_TIMELINE_MS")) {
+      const long v = std::strtol(ms, nullptr, 10);
+      if (v > 0) tl.interval_ms = static_cast<std::uint32_t>(v);
+    }
+    if (!tl.enabled) return;
+    timeline_ = std::make_unique<obs::MetricsTimeline>(tl);
+    timeline_->add_provider("ebr.pending", obs::SeriesKind::kLevel, [this] {
+      return static_cast<double>(env_.epochs().pending_count());
+    });
+    const stm::CommitSpine& q = env_.queue();
+    if (q.stripes() > 1) {
+      for (unsigned s = 0; s < q.stripes(); ++s) {
+        timeline_->add_provider(
+            "stm.commit.stripe." + std::to_string(s) + ".committed",
+            obs::SeriesKind::kDelta,
+            [&q, s] { return static_cast<double>(q.stripe_committed(s)); });
+      }
+    }
+    timeline_->start();
+  }
+
   Config config_;
   stm::StmEnv env_;
   sched::ThreadPool pool_;
@@ -148,6 +186,9 @@ class Runtime {
   std::shared_mutex serial_token_;
   std::atomic<int> serial_waiters_{0};
   bool armed_chaos_ = false;
+  /// Declared last: destroyed first, so the sampler thread (which reads
+  /// env_ through the providers above) is joined before env_ goes away.
+  std::unique_ptr<obs::MetricsTimeline> timeline_;
 };
 
 }  // namespace txf::core

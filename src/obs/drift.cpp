@@ -1,0 +1,316 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace txf::obs {
+
+namespace {
+
+// Volume floors: below these a "share" or "skew" is mostly sampling noise,
+// so the detector reports enough_data=false instead of a verdict.
+constexpr double kMinConflictVolume = 50.0;   // commits + conflicts in window
+constexpr double kMinStripeCommits = 64.0;    // commits across all stripes
+constexpr double kMinHomeReadsPerHalf = 64.0; // reads per half-window
+
+double window_seconds(const std::vector<TimelineFrame>& w) {
+  double ns = 0.0;
+  for (const TimelineFrame& f : w) ns += static_cast<double>(f.dt_ns);
+  return ns / 1e9;
+}
+
+/// Sum of a delta series over the window (NaN slots — frames that predate
+/// the series — contribute nothing).
+double sum_series(const std::vector<TimelineFrame>& w, int idx) {
+  double total = 0.0;
+  for (const TimelineFrame& f : w) {
+    const double v = MetricsTimeline::value(f, idx);
+    if (!std::isnan(v)) total += v;
+  }
+  return total;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+const char* drift_kind_name(DriftKind k) noexcept {
+  switch (k) {
+    case DriftKind::kSiteChurn: return "site_churn";
+    case DriftKind::kConflictTrend: return "conflict_trend";
+    case DriftKind::kEbrBacklog: return "ebr_backlog";
+    case DriftKind::kStripeSkew: return "stripe_skew";
+    case DriftKind::kHomeHitRate: return "home_hit_rate";
+    case DriftKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string DriftVerdict::to_json() const {
+  std::ostringstream os;
+  os << "{\"name\": \"" << drift_kind_name(kind) << "\", \"fired\": "
+     << (fired ? "true" : "false")
+     << ", \"enough_data\": " << (enough_data ? "true" : "false")
+     << ", \"value\": " << value << ", \"threshold\": " << threshold
+     << ", \"first_seq\": " << first_seq << ", \"last_seq\": " << last_seq
+     << ", \"detail\": \"" << detail << "\"}";
+  return os.str();
+}
+
+DriftMonitor::DriftMonitor(const DriftConfig& cfg,
+                           const MetricsTimeline& timeline)
+    : cfg_(cfg), timeline_(&timeline) {
+  if (cfg_.window_frames < 2) cfg_.window_frames = 2;
+  latest_.resize(static_cast<std::size_t>(DriftKind::kCount));
+  for (std::size_t k = 0; k < latest_.size(); ++k)
+    latest_[k].kind = static_cast<DriftKind>(k);
+  reg_.counter("obs.drift.evaluations", evaluations_metric_)
+      .counter("obs.drift.triggers", triggers_metric_);
+  for (std::size_t k = 0; k < per_detector_.size(); ++k) {
+    reg_.counter(std::string("obs.drift.") +
+                     drift_kind_name(static_cast<DriftKind>(k)),
+                 per_detector_[k]);
+  }
+}
+
+std::vector<DriftVerdict> DriftMonitor::evaluate() {
+  const std::vector<TimelineFrame> w = timeline_->last(cfg_.window_frames);
+
+  std::vector<DriftVerdict> verdicts;
+  verdicts.reserve(static_cast<std::size_t>(DriftKind::kCount));
+  verdicts.push_back(detect_site_churn(w));
+  verdicts.push_back(detect_conflict_trend(w));
+  verdicts.push_back(detect_ebr_backlog(w));
+  verdicts.push_back(detect_stripe_skew(w));
+  verdicts.push_back(detect_home_hit_rate(w));
+  if (!w.empty()) {
+    for (DriftVerdict& v : verdicts) {
+      v.first_seq = w.front().seq;
+      v.last_seq = w.back().seq;
+    }
+  }
+
+  evaluations_metric_.add();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const DriftVerdict& v : verdicts) {
+    const std::size_t k = static_cast<std::size_t>(v.kind);
+    if (v.fired && !latched_[k]) {
+      // Rising edge: one trigger per excursion, not one per tick it lasts.
+      triggers_metric_.add();
+      per_detector_[k].add();
+      trace::instant(trace::Ev::kDriftTrigger, static_cast<std::uint32_t>(k));
+      if (history_.size() < kMaxHistory) history_.push_back(v);
+    }
+    latched_[k] = v.fired;
+  }
+  latest_ = verdicts;
+  return verdicts;
+}
+
+std::vector<std::string> DriftMonitor::fired_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const DriftVerdict& v : latest_)
+    if (v.fired) out.emplace_back(drift_kind_name(v.kind));
+  return out;
+}
+
+std::vector<std::string> DriftMonitor::fired_ever_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const DriftVerdict& v : history_) {
+    const std::string name = drift_kind_name(v.kind);
+    if (std::find(out.begin(), out.end(), name) == out.end())
+      out.push_back(name);
+  }
+  return out;
+}
+
+std::string DriftMonitor::verdicts_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"evaluations\": " << evaluations_metric_.value()
+     << ", \"triggers\": " << triggers_metric_.value()
+     << ", \"window_frames\": " << cfg_.window_frames << ",\n \"verdicts\": [";
+  for (std::size_t i = 0; i < latest_.size(); ++i)
+    os << (i ? ",\n  " : "\n  ") << latest_[i].to_json();
+  os << "\n ],\n \"fired_history\": [";
+  for (std::size_t i = 0; i < history_.size(); ++i)
+    os << (i ? ",\n  " : "\n  ") << history_[i].to_json();
+  os << "\n ]}\n";
+  return os.str();
+}
+
+DriftVerdict DriftMonitor::detect_site_churn(
+    const std::vector<TimelineFrame>& w) const {
+  DriftVerdict v;
+  v.kind = DriftKind::kSiteChurn;
+  v.threshold = cfg_.churn_per_s;
+  const int promos = timeline_->series_index("core.adaptive.promotions");
+  const int demos = timeline_->series_index("core.adaptive.demotions");
+  const double dur_s = window_seconds(w);
+  if (w.size() < cfg_.window_frames || dur_s <= 0.0 || promos < 0 ||
+      demos < 0) {
+    v.detail = "window not full";
+    return v;
+  }
+  const double transitions = sum_series(w, promos) + sum_series(w, demos);
+  v.enough_data = true;
+  v.value = transitions / dur_s;
+  v.fired = v.value >= v.threshold;
+  v.detail = "transitions=" + fmt(transitions) + " window_s=" + fmt(dur_s);
+  return v;
+}
+
+DriftVerdict DriftMonitor::detect_conflict_trend(
+    const std::vector<TimelineFrame>& w) const {
+  DriftVerdict v;
+  v.kind = DriftKind::kConflictTrend;
+  v.threshold = cfg_.conflict_share;
+  const int rv = timeline_->series_index("tx.abort.cause.read_validation");
+  const int ww = timeline_->series_index("tx.abort.cause.write_write");
+  const int to = timeline_->series_index("tx.abort.cause.tree_order");
+  const int cm = timeline_->series_index("tx.commits");
+  if (w.size() < cfg_.window_frames || cm < 0) {
+    v.detail = "window not full";
+    return v;
+  }
+  auto conflicts_of = [&](const std::vector<TimelineFrame>& part) {
+    return sum_series(part, rv) + sum_series(part, ww) + sum_series(part, to);
+  };
+  const double conflicts = conflicts_of(w);
+  const double attempts = conflicts + sum_series(w, cm);
+  if (attempts < kMinConflictVolume) {
+    v.detail = "low volume: attempts=" + fmt(attempts);
+    return v;
+  }
+  v.enough_data = true;
+  v.value = conflicts / attempts;
+  v.fired = v.value >= v.threshold;
+  // Direction for the log reader: share in each half of the window.
+  const std::size_t half = w.size() / 2;
+  const std::vector<TimelineFrame> h1(w.begin(), w.begin() + half);
+  const std::vector<TimelineFrame> h2(w.begin() + half, w.end());
+  const double c1 = conflicts_of(h1), a1 = c1 + sum_series(h1, cm);
+  const double c2 = conflicts_of(h2), a2 = c2 + sum_series(h2, cm);
+  v.detail = "share_first_half=" + fmt(a1 > 0 ? c1 / a1 : 0.0) +
+             " share_second_half=" + fmt(a2 > 0 ? c2 / a2 : 0.0) +
+             " attempts=" + fmt(attempts);
+  return v;
+}
+
+DriftVerdict DriftMonitor::detect_ebr_backlog(
+    const std::vector<TimelineFrame>& w) const {
+  DriftVerdict v;
+  v.kind = DriftKind::kEbrBacklog;
+  v.threshold = cfg_.ebr_slope_per_s;
+  const int idx = timeline_->series_index("ebr.pending");
+  if (w.size() < cfg_.window_frames || idx < 0) {
+    v.detail = idx < 0 ? "no ebr.pending provider" : "window not full";
+    return v;
+  }
+  // Least-squares slope of the pending level against time: a sustained
+  // positive slope is growth, where a single spike (which a last-minus-first
+  // difference would over-weight) mostly cancels.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  const double t0 = static_cast<double>(w.front().t_ns);
+  for (const TimelineFrame& f : w) {
+    const double y = MetricsTimeline::value(f, idx);
+    if (std::isnan(y)) continue;
+    const double x = (static_cast<double>(f.t_ns) - t0) / 1e9;
+    sx += x; sy += y; sxx += x * x; sxy += x * y;
+    ++n;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (n < 2 || denom <= 0.0) {
+    v.detail = "too few points: n=" + fmt(static_cast<double>(n));
+    return v;
+  }
+  v.enough_data = true;
+  v.value = (n * sxy - sx * sy) / denom;
+  v.fired = v.value >= v.threshold;
+  v.detail = "first=" + fmt(MetricsTimeline::value(w.front(), idx)) +
+             " last=" + fmt(MetricsTimeline::value(w.back(), idx)) +
+             " points=" + fmt(static_cast<double>(n));
+  return v;
+}
+
+DriftVerdict DriftMonitor::detect_stripe_skew(
+    const std::vector<TimelineFrame>& w) const {
+  DriftVerdict v;
+  v.kind = DriftKind::kStripeSkew;
+  v.threshold = cfg_.stripe_skew;
+  const std::vector<std::string> names = timeline_->series_names();
+  std::vector<std::pair<std::string, double>> stripes;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i].rfind("stm.commit.stripe.", 0) == 0)
+      stripes.emplace_back(names[i], sum_series(w, static_cast<int>(i)));
+  }
+  if (w.size() < cfg_.window_frames || stripes.size() < 2) {
+    v.detail = stripes.size() < 2 ? "fewer than 2 stripe series"
+                                  : "window not full";
+    return v;
+  }
+  double total = 0.0, hottest = 0.0;
+  std::string hottest_name;
+  for (const auto& [name, commits] : stripes) {
+    total += commits;
+    if (commits > hottest) {
+      hottest = commits;
+      hottest_name = name;
+    }
+  }
+  if (total < kMinStripeCommits) {
+    v.detail = "low volume: commits=" + fmt(total);
+    return v;
+  }
+  const double mean = total / static_cast<double>(stripes.size());
+  v.enough_data = true;
+  v.value = hottest / mean;
+  v.fired = v.value >= v.threshold;
+  v.detail = "hottest=" + hottest_name + " hottest_commits=" + fmt(hottest) +
+             " mean=" + fmt(mean) +
+             " stripes=" + fmt(static_cast<double>(stripes.size()));
+  return v;
+}
+
+DriftVerdict DriftMonitor::detect_home_hit_rate(
+    const std::vector<TimelineFrame>& w) const {
+  DriftVerdict v;
+  v.kind = DriftKind::kHomeHitRate;
+  v.threshold = cfg_.home_hit_drop;
+  const int hits = timeline_->series_index("stm.read.home_hits");
+  const int walks = timeline_->series_index("stm.read.list_walks");
+  if (w.size() < cfg_.window_frames || hits < 0 || walks < 0) {
+    v.detail = "window not full";
+    return v;
+  }
+  const std::size_t half = w.size() / 2;
+  const std::vector<TimelineFrame> h1(w.begin(), w.begin() + half);
+  const std::vector<TimelineFrame> h2(w.begin() + half, w.end());
+  const double hits1 = sum_series(h1, hits), walks1 = sum_series(h1, walks);
+  const double hits2 = sum_series(h2, hits), walks2 = sum_series(h2, walks);
+  const double reads1 = hits1 + walks1, reads2 = hits2 + walks2;
+  if (reads1 < kMinHomeReadsPerHalf || reads2 < kMinHomeReadsPerHalf) {
+    v.detail = "low volume: reads_first_half=" + fmt(reads1) +
+               " reads_second_half=" + fmt(reads2);
+    return v;
+  }
+  const double rate1 = hits1 / reads1, rate2 = hits2 / reads2;
+  v.enough_data = true;
+  v.value = rate1 - rate2;  // positive = regression
+  v.fired = v.value >= v.threshold;
+  v.detail = "hit_rate_first_half=" + fmt(rate1) +
+             " hit_rate_second_half=" + fmt(rate2);
+  return v;
+}
+
+}  // namespace txf::obs

@@ -1,0 +1,145 @@
+// Windowed drift detectors over the metrics timeline.
+//
+// The behaviors that decide whether the engine is healthy over minutes —
+// adaptive site-state churn, conflict-share creep, EBR backlog pacing,
+// per-stripe commit skew, home-slot hit-rate regression — are invisible to
+// a point snapshot and to a 30 s CI smoke. Each detector here is a pure
+// function of the last `window_frames` timeline frames: it computes one
+// windowed statistic, compares it to its configured bar, and emits a
+// structured DriftVerdict. Trigger edges (healthy -> fired) bump the
+// `obs.drift.*` counters and emit a `drift.trigger` trace instant, so a
+// postmortem trace shows *when* the drift began, and the flight recorder
+// (obs/flight_recorder.hpp) embeds the full verdict history in its bundle.
+//
+// Detectors (names are the stable schema validated by
+// scripts/check_trace.py --bundle):
+//   site_churn     adaptive promotions+demotions per second. A converged
+//                  controller is quiet; sustained churn means the
+//                  hysteresis is thrashing between lanes.
+//   conflict_trend chargeable-conflict aborts (read_validation +
+//                  write_write + tree_order) as a share of window attempts
+//                  — the aggregate signal behind the per-site conflict
+//                  EWMA. The verdict reports the first-half/second-half
+//                  split so a log reader sees the direction too.
+//   ebr_backlog    linear slope of the `ebr.pending` level series (per
+//                  second). A positive slope sustained across the window
+//                  means reclamation is not keeping up with retirement.
+//   stripe_skew    hottest / mean per-stripe commit rate over the
+//                  `stm.commit.stripe.<s>.committed` provider series. A
+//                  skewed spine serializes on one stripe's pipeline.
+//   home_hit_rate  first-half vs second-half home-slot hit rate; a drop
+//                  means reads are regressing onto the list-walk path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+
+namespace txf::obs {
+
+/// Detector thresholds (embedded in core::Config as `drift`). Defaults are
+/// deliberately loose — they mark "worth a human look", not SLO breaches —
+/// and every soak entry point (txf_server flags, tests) can tighten them.
+struct DriftConfig {
+  /// Frames per evaluation window (x interval_ms = wall window). Detectors
+  /// return unfired "insufficient data" verdicts until the timeline holds
+  /// this many frames.
+  std::uint32_t window_frames = 16;
+  /// site_churn: adaptive state transitions (promotions + demotions) per
+  /// second.
+  double churn_per_s = 50.0;
+  /// conflict_trend: chargeable-conflict share of window attempts.
+  double conflict_share = 0.25;
+  /// ebr_backlog: fitted growth of pending retirements, nodes per second.
+  double ebr_slope_per_s = 4000.0;
+  /// stripe_skew: hottest stripe commit rate over the mean stripe rate.
+  double stripe_skew = 4.0;
+  /// home_hit_rate: absolute hit-rate drop from first to second half.
+  double home_hit_drop = 0.20;
+};
+
+enum class DriftKind : std::uint8_t {
+  kSiteChurn = 0,
+  kConflictTrend,
+  kEbrBacklog,
+  kStripeSkew,
+  kHomeHitRate,
+  kCount,
+};
+
+const char* drift_kind_name(DriftKind k) noexcept;
+
+/// One detector's answer for one evaluation.
+struct DriftVerdict {
+  DriftKind kind = DriftKind::kCount;
+  bool fired = false;
+  bool enough_data = false;  // window full and volume floors met
+  double value = 0.0;        // the windowed statistic
+  double threshold = 0.0;    // the bar it was compared to
+  std::uint64_t first_seq = 0;  // window bounds (timeline frame seqs)
+  std::uint64_t last_seq = 0;
+  std::string detail;  // human-readable supporting numbers
+
+  std::string to_json() const;
+};
+
+class DriftMonitor {
+ public:
+  DriftMonitor(const DriftConfig& cfg, const MetricsTimeline& timeline);
+
+  DriftMonitor(const DriftMonitor&) = delete;
+  DriftMonitor& operator=(const DriftMonitor&) = delete;
+
+  /// Run every detector over the latest window. Edge-triggered accounting:
+  /// a detector that stays fired across consecutive evaluations counts one
+  /// trigger (and one trace instant) until it goes quiet again. Call from
+  /// one thread (the soak controller); read accessors are safe alongside.
+  std::vector<DriftVerdict> evaluate();
+
+  std::uint64_t evaluations() const noexcept {
+    return evaluations_metric_.value();
+  }
+  std::uint64_t triggers() const noexcept { return triggers_metric_.value(); }
+  /// Names of detectors fired in the most recent evaluation.
+  std::vector<std::string> fired_names() const;
+  /// Names of detectors that triggered at least once, in first-trigger
+  /// order (the run-level summary for reports).
+  std::vector<std::string> fired_ever_names() const;
+
+  /// {"verdicts": [latest per detector], "fired_history": [...]} — the
+  /// flight-recorder payload. History keeps the first verdict of each
+  /// trigger edge (bounded at kMaxHistory).
+  std::string verdicts_json() const;
+
+ private:
+  static constexpr std::size_t kMaxHistory = 256;
+
+  DriftVerdict detect_site_churn(const std::vector<TimelineFrame>& w) const;
+  DriftVerdict detect_conflict_trend(
+      const std::vector<TimelineFrame>& w) const;
+  DriftVerdict detect_ebr_backlog(const std::vector<TimelineFrame>& w) const;
+  DriftVerdict detect_stripe_skew(const std::vector<TimelineFrame>& w) const;
+  DriftVerdict detect_home_hit_rate(
+      const std::vector<TimelineFrame>& w) const;
+
+  DriftConfig cfg_;
+  const MetricsTimeline* timeline_;
+
+  mutable std::mutex mu_;
+  std::vector<DriftVerdict> latest_;   // one per DriftKind
+  std::vector<DriftVerdict> history_;  // trigger edges, in order
+  std::array<bool, static_cast<std::size_t>(DriftKind::kCount)> latched_{};
+
+  Counter evaluations_metric_;
+  Counter triggers_metric_;
+  std::array<Counter, static_cast<std::size_t>(DriftKind::kCount)>
+      per_detector_;
+  Registration reg_;
+};
+
+}  // namespace txf::obs

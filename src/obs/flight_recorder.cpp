@@ -1,0 +1,125 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/drift.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+
+namespace txf::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string sanitize(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      out.push_back(static_cast<char>(std::tolower(u)));
+    } else if (!out.empty() && out.back() != '-') {
+      out.push_back('-');
+    }
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out.empty() ? "manual" : out;
+}
+
+bool write_file(const fs::path& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string dir) : dir_(std::move(dir)) {
+  reg_.counter("obs.flight.dumps", dumps_metric_);
+}
+
+void FlightRecorder::note_status_line(const std::string& line) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  status_tail_.push_back(line);
+  while (status_tail_.size() > kStatusLines) status_tail_.pop_front();
+}
+
+std::string FlightRecorder::dump(const std::string& reason,
+                                 const MetricsTimeline* timeline,
+                                 const DriftMonitor* drift,
+                                 const std::string& config_json) {
+  if (!enabled()) return {};
+
+  // Drain the collectors before taking our own lock: drain_json and
+  // timeline_json take theirs, and nothing here depends on the tail ring.
+  const std::string metrics = MetricsRegistry::instance().snapshot_json();
+  const std::string trace = trace::drain_json();
+  const std::string timeline_body = timeline ? timeline->timeline_json() : "";
+  const std::string verdicts = drift ? drift->verdicts_json() : "";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string slug = sanitize(reason);
+  const fs::path bundle =
+      fs::path(dir_) / ("flight-" + std::to_string(next_seq_) + "-" + slug);
+  std::error_code ec;
+  fs::create_directories(bundle, ec);
+  if (ec) return {};
+  ++next_seq_;
+
+  std::vector<std::string> files;
+  auto emit = [&](const char* name, const std::string& body) {
+    if (write_file(bundle / name, body)) files.emplace_back(name);
+  };
+  emit("metrics.json", metrics);
+  emit("trace.json", trace);
+  if (timeline) emit("timeline.json", timeline_body);
+  if (drift) emit("verdicts.json", verdicts);
+  if (!config_json.empty()) emit("config.json", config_json);
+  {
+    std::ostringstream tail;
+    for (const std::string& line : status_tail_) tail << line << "\n";
+    emit("status_tail.txt", tail.str());
+  }
+
+  const auto wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::ostringstream manifest;
+  manifest << "{\"reason\": \"" << json_escape(reason) << "\", \"slug\": \""
+           << slug << "\", \"seq\": " << (next_seq_ - 1)
+           << ", \"wall_ms\": " << wall_ms << ", \"files\": [";
+  for (std::size_t i = 0; i < files.size(); ++i)
+    manifest << (i ? ", " : "") << "\"" << files[i] << "\"";
+  manifest << "]}\n";
+  if (!write_file(bundle / "manifest.json", manifest.str())) return {};
+
+  dumps_metric_.add();
+  bundles_.push_back(bundle.string());
+  return bundles_.back();
+}
+
+std::vector<std::string> FlightRecorder::bundle_paths() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_;
+}
+
+}  // namespace txf::obs

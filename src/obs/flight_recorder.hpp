@@ -1,0 +1,80 @@
+// Flight recorder: triggered postmortem bundles for long-running soaks.
+//
+// A soak that fails in hour three is only debuggable if the evidence was
+// being collected all along. The recorder itself holds almost nothing — a
+// ring of the last few status lines — because the expensive state already
+// lives in the always-on collectors: the trace rings (obs/trace.hpp), the
+// metrics timeline (obs/timeline.hpp) and the drift monitor's verdict
+// history (obs/drift.hpp). `dump()` is the moment of assembly: on a
+// watchdog trip, an SLO-breach streak, an end-of-soak invariant failure or
+// an explicit request, it drains them all into one self-contained directory
+//
+//   <dir>/flight-<seq>-<reason>/
+//     manifest.json     reason, wall time, file inventory
+//     metrics.json      MetricsRegistry::snapshot_json()
+//     trace.json        trace::drain_json() (Chrome trace_event format)
+//     timeline.json     MetricsTimeline::timeline_json()
+//     verdicts.json     DriftMonitor::verdicts_json()
+//     config.json       the effective engine config (caller-rendered)
+//     status_tail.txt   last kStatusLines periodic status lines
+//
+// that `scripts/check_trace.py --bundle` can validate and a human can read
+// cold (docs/OBSERVABILITY.md walks one). Disabled (empty dir) it costs a
+// branch per call.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace txf::obs {
+
+class DriftMonitor;
+class MetricsTimeline;
+
+class FlightRecorder {
+ public:
+  /// Status lines retained for status_tail.txt.
+  static constexpr std::size_t kStatusLines = 64;
+
+  /// `dir` is the bundle parent (created on first dump); empty = disabled.
+  explicit FlightRecorder(std::string dir);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const noexcept { return !dir_.empty(); }
+
+  /// Feed one periodic status line into the tail ring (cheap; call from the
+  /// controller tick whether or not a dump ever happens).
+  void note_status_line(const std::string& line);
+
+  /// Assemble one bundle. `reason` becomes part of the directory name
+  /// (sanitized to [a-z0-9_-]). `timeline` / `drift` may be null (the
+  /// corresponding files are skipped); `config_json` is the caller's
+  /// rendering of the effective config. Returns the bundle directory path,
+  /// or empty when disabled or on I/O failure. Serialized internally.
+  std::string dump(const std::string& reason, const MetricsTimeline* timeline,
+                   const DriftMonitor* drift, const std::string& config_json);
+
+  std::uint64_t dumps() const noexcept { return dumps_metric_.value(); }
+  /// Paths of every bundle written so far (for reports / tests).
+  std::vector<std::string> bundle_paths() const;
+
+ private:
+  std::string dir_;
+
+  mutable std::mutex mu_;
+  std::deque<std::string> status_tail_;
+  std::vector<std::string> bundles_;
+  std::uint64_t next_seq_ = 0;
+
+  Counter dumps_metric_;
+  Registration reg_;
+};
+
+}  // namespace txf::obs

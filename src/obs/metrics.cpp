@@ -106,6 +106,50 @@ std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   return total;
 }
 
+std::vector<SampledMetric> MetricsRegistry::snapshot_values() const {
+  const Impl* i = impl();
+  std::lock_guard<std::mutex> lock(i->mutex);
+  std::vector<SampledMetric> out;
+  out.reserve(i->by_name.size());
+  for (const auto& [name, entries] : i->by_name) {
+    if (entries.empty()) continue;
+    SampledMetric m;
+    m.name = name;
+    if (entries.front().kind == Kind::kHistogram) {
+      m.kind = SampledMetric::Kind::kHistogram;
+      std::uint64_t count = 0;
+      std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+      for (const auto& e : entries) {
+        const auto* h = static_cast<const Histogram*>(e.metric);
+        count += h->count();
+        m.sum += h->sum();
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+          buckets[b] += h->bucket_count(b);
+      }
+      m.value = static_cast<std::int64_t>(count);
+      auto count_of = [&](std::size_t b) { return buckets[b]; };
+      auto upper = [](std::size_t b) {
+        return Histogram::bucket_upper_bound(b);
+      };
+      m.p50 = quantile_from_buckets(Histogram::kBuckets, count, 0.50,
+                                    count_of, upper);
+      m.p99 = quantile_from_buckets(Histogram::kBuckets, count, 0.99,
+                                    count_of, upper);
+    } else if (entries.front().kind == Kind::kGauge) {
+      m.kind = SampledMetric::Kind::kGauge;
+      for (const auto& e : entries)
+        m.value += static_cast<const Gauge*>(e.metric)->load();
+    } else {
+      m.kind = SampledMetric::Kind::kCounter;
+      std::uint64_t total = 0;
+      for (const auto& e : entries) total += scalar_value(e);
+      m.value = static_cast<std::int64_t>(total);
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::snapshot_json() const {
   const Impl* i = impl();
   std::lock_guard<std::mutex> lock(i->mutex);

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/percentile.hpp"
 #include "util/cache_line.hpp"
 
 namespace txf::obs {
@@ -118,6 +119,19 @@ class Histogram {
   std::uint64_t sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Inclusive upper bound of bucket `i` under the power-of-two scheme.
+  static std::uint64_t bucket_upper_bound(std::size_t i) noexcept {
+    if (i == 0) return 1;
+    if (i >= kBuckets - 1) return ~std::uint64_t{0};
+    return std::uint64_t{1} << i;
+  }
+  /// Value at quantile q (bucket upper bound; shared scan in percentile.hpp
+  /// — the same walk util::LatencyHistogram::quantile uses).
+  std::uint64_t quantile(double q) const noexcept {
+    return quantile_from_buckets(
+        kBuckets, count(), q, [this](std::size_t i) { return bucket_count(i); },
+        [](std::size_t i) { return bucket_upper_bound(i); });
+  }
   std::uint64_t bucket_count(std::size_t i) const noexcept {
     return buckets_[i < kBuckets ? i : kBuckets - 1].load(
         std::memory_order_relaxed);
@@ -132,6 +146,20 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One metric's value at a sampling instant (MetricsRegistry
+/// ::snapshot_values — the structured sibling of snapshot_json, consumed by
+/// the metrics timeline). Counters and gauges fill `value`; histograms fill
+/// `value` with the sample count and carry sum + percentile cuts.
+struct SampledMetric {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;    // counter/gauge value; histogram count
+  std::uint64_t sum = 0;     // histograms only
+  std::uint64_t p50 = 0;     // histograms only (bucket upper bounds)
+  std::uint64_t p99 = 0;
 };
 
 /// Process-wide name -> metric registry. Registration/deregistration take a
@@ -155,6 +183,12 @@ class MetricsRegistry {
   /// {"count", "sum", "buckets": [...]}. Names sorted; instances with the
   /// same name summed.
   std::string snapshot_json() const;
+
+  /// Structured point-in-time cut of every registered metric, sorted by
+  /// name, same-name instances summed (histogram percentiles computed over
+  /// the merged buckets). One lock, one walk — the bounded per-sample cost
+  /// the metrics timeline (obs/timeline.hpp) relies on.
+  std::vector<SampledMetric> snapshot_values() const;
 
  private:
   MetricsRegistry() = default;

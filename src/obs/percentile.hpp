@@ -1,0 +1,40 @@
+// Shared bucketed-percentile extraction.
+//
+// Every histogram in the tree is "counts per bucket + a static mapping from
+// bucket index to an inclusive upper bound" — util::LatencyHistogram's
+// 32-per-octave log buckets, obs::Histogram's power-of-two buckets. The
+// quantile walk over such a shape is identical regardless of the bucket
+// mapping, so it lives here once and both histogram types (and the metrics
+// timeline's percentile cuts) call into it instead of each carrying its own
+// copy of the scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace txf::obs {
+
+/// Value at quantile `q` in [0, 1] over `n` buckets whose counts are read
+/// through `count_of(i)` and whose inclusive upper bounds come from
+/// `upper_bound(i)`. `total` is the number of recorded samples (the sum of
+/// all counts); returns 0 when it is 0. The result is the upper bound of
+/// the bucket containing the target rank — the same contract
+/// util::LatencyHistogram::quantile has always had.
+template <typename CountOf, typename UpperBound>
+std::uint64_t quantile_from_buckets(std::size_t n, std::uint64_t total,
+                                    double q, CountOf&& count_of,
+                                    UpperBound&& upper_bound) noexcept {
+  if (total == 0 || n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    seen += count_of(i);
+    if (seen >= target) return upper_bound(i);
+  }
+  return upper_bound(n - 1);
+}
+
+}  // namespace txf::obs

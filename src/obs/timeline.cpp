@@ -1,0 +1,203 @@
+#include "obs/timeline.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "util/timing.hpp"
+
+namespace txf::obs {
+
+MetricsTimeline::MetricsTimeline(TimelineConfig cfg) : cfg_(cfg) {
+  if (cfg_.interval_ms == 0) cfg_.interval_ms = 250;
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  ring_.reserve(cfg_.capacity);
+  reg_.counter("obs.timeline.frames", frames_metric_)
+      .counter("obs.timeline.dropped", dropped_metric_);
+}
+
+MetricsTimeline::~MetricsTimeline() { stop(); }
+
+void MetricsTimeline::add_provider(std::string name, SeriesKind kind,
+                                   std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  providers_.push_back(Provider{std::move(name), kind, std::move(fn)});
+}
+
+void MetricsTimeline::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  sampler_ = std::thread([this] {
+    const auto interval = std::chrono::milliseconds(cfg_.interval_ms);
+    while (running_.load(std::memory_order_acquire)) {
+      sample_now();
+      // Sleep in small slices so stop() is prompt even at long intervals.
+      const auto wake = std::chrono::steady_clock::now() + interval;
+      while (std::chrono::steady_clock::now() < wake &&
+             running_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+  });
+}
+
+void MetricsTimeline::stop() {
+  running_.store(false, std::memory_order_release);
+  if (sampler_.joinable()) sampler_.join();
+}
+
+std::size_t MetricsTimeline::series_slot(const std::string& name,
+                                         SeriesKind kind) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const std::size_t slot = series_.size();
+  series_.push_back(name);
+  series_kind_.push_back(kind);
+  index_.emplace(name, slot);
+  return slot;
+}
+
+void MetricsTimeline::record_value(TimelineFrame& frame, std::size_t slot,
+                                   double v) {
+  if (frame.values.size() <= slot)
+    frame.values.resize(slot + 1, std::numeric_limits<double>::quiet_NaN());
+  frame.values[slot] = v;
+}
+
+void MetricsTimeline::sample_now() {
+  // The registry walk happens outside our own mutex: snapshot_values takes
+  // the registry's, and provider callbacks may touch arbitrary components.
+  const std::vector<SampledMetric> cut =
+      MetricsRegistry::instance().snapshot_values();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  TimelineFrame frame;
+  frame.seq = next_seq_++;
+  frame.t_ns = util::now_ns();
+  frame.dt_ns = last_t_ns_ == 0 ? 0 : frame.t_ns - last_t_ns_;
+  last_t_ns_ = frame.t_ns;
+  frame.values.reserve(series_.size());
+
+  auto delta_of = [this](const std::string& name, double cumulative) {
+    auto [it, fresh] = prev_.try_emplace(name, cumulative);
+    // First observation: the series baseline, not a burst of activity —
+    // report no delta rather than the whole history as one frame's worth.
+    const double d = fresh ? 0.0 : cumulative - it->second;
+    it->second = cumulative;
+    return d;
+  };
+
+  for (const SampledMetric& m : cut) {
+    switch (m.kind) {
+      case SampledMetric::Kind::kCounter:
+        record_value(frame, series_slot(m.name, SeriesKind::kDelta),
+                     delta_of(m.name, static_cast<double>(m.value)));
+        break;
+      case SampledMetric::Kind::kGauge:
+        record_value(frame, series_slot(m.name, SeriesKind::kLevel),
+                     static_cast<double>(m.value));
+        break;
+      case SampledMetric::Kind::kHistogram: {
+        const std::string count_name = m.name + ".count";
+        record_value(frame, series_slot(count_name, SeriesKind::kDelta),
+                     delta_of(count_name, static_cast<double>(m.value)));
+        record_value(frame, series_slot(m.name + ".p50", SeriesKind::kLevel),
+                     static_cast<double>(m.p50));
+        record_value(frame, series_slot(m.name + ".p99", SeriesKind::kLevel),
+                     static_cast<double>(m.p99));
+        break;
+      }
+    }
+  }
+  for (const Provider& p : providers_) {
+    const double v = p.fn();
+    const std::size_t slot = series_slot(p.name, p.kind);
+    record_value(frame, slot,
+                 p.kind == SeriesKind::kDelta ? delta_of(p.name, v) : v);
+  }
+
+  if (ring_.size() < cfg_.capacity) {
+    ring_.push_back(std::move(frame));
+  } else {
+    ring_[frame.seq % cfg_.capacity] = std::move(frame);
+    dropped_metric_.add();
+  }
+  frames_metric_.add();
+}
+
+std::uint64_t MetricsTimeline::frame_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t MetricsTimeline::total_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t MetricsTimeline::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+}
+
+std::vector<std::string> MetricsTimeline::series_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
+int MetricsTimeline::series_index(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::vector<TimelineFrame> MetricsTimeline::last(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimelineFrame> out;
+  const std::size_t have = ring_.size();
+  const std::size_t take = n < have ? n : have;
+  out.reserve(take);
+  // Oldest retained seq first. The ring is positioned by seq % capacity.
+  const std::uint64_t first = next_seq_ - have + (have - take);
+  for (std::uint64_t s = first; s < next_seq_; ++s)
+    out.push_back(ring_[have < cfg_.capacity ? s : s % cfg_.capacity]);
+  return out;
+}
+
+std::string MetricsTimeline::timeline_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"interval_ms\": " << cfg_.interval_ms
+     << ", \"capacity\": " << cfg_.capacity << ", \"dropped\": "
+     << (next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0)
+     << ",\n \"series\": [";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    os << (i != 0 ? ", " : "") << "{\"name\": \"" << series_[i]
+       << "\", \"kind\": \""
+       << (series_kind_[i] == SeriesKind::kDelta ? "delta" : "level")
+       << "\"}";
+  }
+  os << "],\n \"frames\": [";
+  const std::size_t have = ring_.size();
+  const std::uint64_t first = next_seq_ - have;
+  for (std::uint64_t s = first; s < next_seq_; ++s) {
+    const TimelineFrame& f =
+        ring_[have < cfg_.capacity ? s : s % cfg_.capacity];
+    os << (s != first ? ",\n  " : "\n  ") << "{\"seq\": " << f.seq
+       << ", \"t_ns\": " << f.t_ns << ", \"dt_ns\": " << f.dt_ns
+       << ", \"values\": [";
+    for (std::size_t v = 0; v < f.values.size(); ++v) {
+      os << (v != 0 ? ", " : "");
+      if (std::isnan(f.values[v])) {
+        os << "null";
+      } else {
+        os << f.values[v];
+      }
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace txf::obs

@@ -1,0 +1,157 @@
+// MetricsTimeline: the time axis for the metrics registry.
+//
+// `MetricsRegistry::snapshot_json()` answers "where are the counters NOW";
+// long soaks need "how did they MOVE" — adaptive site-state churn,
+// conflict-share trends, EBR backlog pacing and per-stripe commit skew are
+// all statements about windows of time, not instants. The timeline takes a
+// periodic (default 250 ms) structured cut of the registry plus any
+// caller-registered providers and folds it into a fixed-capacity ring of
+// *delta frames*:
+//
+//   * counters  -> per-frame deltas (rates are delta / dt on demand)
+//   * gauges    -> instantaneous levels
+//   * histograms-> three series: `<name>.count` (delta), `<name>.p50` and
+//                  `<name>.p99` (cumulative percentile cuts via the shared
+//                  bucketed-quantile helper, obs/percentile.hpp)
+//
+// Per-sample cost is bounded: one registry walk under its mutex, one value
+// per live series, no per-event work — a sampler at 4 Hz is invisible next
+// to the traffic it observes (gated by scripts/bench_trace_overhead.sh).
+// The ring holds the last `capacity` frames; `seq` is monotone and
+// gap-free, so a drained timeline proves its own continuity (dropped
+// frames are only ever the oldest, and `dropped()` counts them).
+//
+// Consumers: the drift detectors (obs/drift.hpp) evaluate windows of
+// frames; the flight recorder (obs/flight_recorder.hpp) embeds
+// `timeline_json()` in postmortem bundles; `txf_server` starts one through
+// `Runtime` (`Config::timeline`, or `TXF_TIMELINE=1` in the environment
+// for any binary).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace txf::obs {
+
+/// Timeline knobs (embedded in core::Config as `timeline`).
+struct TimelineConfig {
+  /// Off by default: the timeline owns a sampling thread, and unit tests /
+  /// short benches should not each grow one. txf_server enables it
+  /// explicitly; TXF_TIMELINE=1 enables it for any Runtime.
+  bool enabled = false;
+  std::uint32_t interval_ms = 250;
+  /// Frames retained (ring). 480 x 250 ms = the last two minutes.
+  std::uint32_t capacity = 480;
+};
+
+/// How a series' per-frame value is produced from its source.
+enum class SeriesKind : std::uint8_t {
+  kDelta,  // cumulative source; frame carries the delta since prev frame
+  kLevel,  // instantaneous source; frame carries the value itself
+};
+
+/// One sampling instant. `values` is indexed by the timeline's series
+/// table; series discovered after this frame was taken simply have no slot
+/// (values.size() < series().size()) and read as NaN.
+struct TimelineFrame {
+  std::uint64_t seq = 0;    // monotone, gap-free
+  std::uint64_t t_ns = 0;   // util::now_ns() at the sample
+  std::uint64_t dt_ns = 0;  // since the previous frame (0 for the first)
+  std::vector<double> values;
+};
+
+class MetricsTimeline {
+ public:
+  explicit MetricsTimeline(TimelineConfig cfg);
+  ~MetricsTimeline();  // stops the sampler thread if running
+
+  MetricsTimeline(const MetricsTimeline&) = delete;
+  MetricsTimeline& operator=(const MetricsTimeline&) = delete;
+
+  /// Register an external scalar source sampled alongside the registry —
+  /// the hook for signals that are deliberately *not* registry metrics
+  /// (EBR pending count, per-stripe committed splits). kDelta providers
+  /// return a cumulative value; the frame stores its delta. Call before
+  /// start() or between samples; not thread-safe against a running
+  /// sampler's tick (take your own turn via sample_now() in tests).
+  void add_provider(std::string name, SeriesKind kind,
+                    std::function<double()> fn);
+
+  /// Spawn the periodic sampler thread (idempotent).
+  void start();
+  /// Stop and join the sampler (idempotent; also done by the destructor).
+  void stop();
+
+  /// Take one frame synchronously (the sampler's tick; public for tests
+  /// and for callers that pace sampling themselves).
+  void sample_now();
+
+  // ---- read side (all snapshot under the mutex) -----------------------
+
+  const TimelineConfig& config() const noexcept { return cfg_; }
+  std::uint64_t frame_count() const;  // frames currently retained
+  std::uint64_t total_frames() const; // frames ever sampled (== next seq)
+  std::uint64_t dropped() const;      // frames overwritten by the ring
+
+  /// Series table (append-only; index is stable for the timeline's life).
+  std::vector<std::string> series_names() const;
+  /// Index of `name` in the series table, or -1 if never seen.
+  int series_index(const std::string& name) const;
+  /// Last `n` frames, oldest first (fewer when the ring holds fewer).
+  std::vector<TimelineFrame> last(std::size_t n) const;
+
+  /// Value of series `idx` in `frame` (NaN when the frame predates the
+  /// series or idx is out of range).
+  static double value(const TimelineFrame& frame, int idx) noexcept {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= frame.values.size())
+      return std::numeric_limits<double>::quiet_NaN();
+    return frame.values[static_cast<std::size_t>(idx)];
+  }
+
+  /// The whole retained timeline as one JSON object:
+  /// {"interval_ms", "capacity", "dropped", "series": [{"name","kind"}...],
+  ///  "frames": [{"seq","t_ns","dt_ns","values":[...]}...]} — frames oldest
+  /// first, values aligned to `series` (null where a frame predates a
+  /// series). scripts/check_trace.py --bundle validates the shape.
+  std::string timeline_json() const;
+
+ private:
+  struct Provider {
+    std::string name;
+    SeriesKind kind;
+    std::function<double()> fn;
+  };
+
+  // Callers hold mu_.
+  std::size_t series_slot(const std::string& name, SeriesKind kind);
+  void record_value(TimelineFrame& frame, std::size_t slot, double v);
+
+  TimelineConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> series_;      // append-only
+  std::vector<SeriesKind> series_kind_;  // parallel to series_
+  std::map<std::string, std::size_t> index_;
+  std::map<std::string, double> prev_;   // last cumulative value per kDelta
+  std::vector<Provider> providers_;
+  std::vector<TimelineFrame> ring_;      // ring of cfg_.capacity frames
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_t_ns_ = 0;
+
+  std::thread sampler_;
+  std::atomic<bool> running_{false};
+
+  Counter frames_metric_;
+  Counter dropped_metric_;
+  Registration reg_;
+};
+
+}  // namespace txf::obs

@@ -53,6 +53,8 @@ enum class Ev : std::uint8_t {
   kSchedPark,          // instant: worker parked
   kAdaptiveDecide,     // instant: submit-site scheduling decision;
                        //   arg: 0 = parallel, 1 = inline, 2 = probe
+  kDriftTrigger,       // instant: a drift detector crossed its bar;
+                       //   arg = obs::DriftKind
   kTest,               // unit tests only
   kCount
 };
@@ -74,6 +76,7 @@ inline const char* ev_name(Ev e) noexcept {
     case Ev::kSchedSteal: return "sched.steal";
     case Ev::kSchedPark: return "sched.park";
     case Ev::kAdaptiveDecide: return "adaptive.decide";
+    case Ev::kDriftTrigger: return "drift.trigger";
     case Ev::kTest: return "test";
     default: return "none";
   }

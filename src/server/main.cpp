@@ -64,7 +64,23 @@ void usage() {
       "  --deadline-us N      per-transaction deadline (default 100000)\n"
       "  --watchdog-ms N      stall threshold (default 3000)\n"
       "  --status-interval S  status line period (0 = off, default 1)\n"
-      "  --quiet-status       alias for --status-interval 0\n",
+      "  --quiet-status       alias for --status-interval 0\n"
+      "  --timeline           enable the periodic metrics timeline + drift\n"
+      "                       detectors (see docs/OBSERVABILITY.md)\n"
+      "  --timeline-interval-ms N  timeline sample period (default 250)\n"
+      "  --timeline-capacity N     frames retained in the ring (default 480)\n"
+      "  --drift-window N     frames per drift-detector window (default 16)\n"
+      "  --drift-churn X      site-churn bar, transitions/s (default 50)\n"
+      "  --drift-conflict-share X  conflict share bar in [0,1] (default 0.25)\n"
+      "  --drift-ebr-slope X  EBR backlog growth bar, nodes/s (default 4000)\n"
+      "  --drift-stripe-skew X     hottest/mean stripe bar (default 4)\n"
+      "  --drift-home-drop X  home-slot hit-rate drop bar (default 0.2)\n"
+      "  --flight-dir DIR     write flight-recorder bundles under DIR\n"
+      "  --flight-dump        also dump one bundle at end of a passing run\n"
+      "  --slo-breach-windows N    consecutive overloaded ticks before a\n"
+      "                       flight dump (0 = off, default 20)\n"
+      "  --fail-invariant     inject a deterministic end-of-soak invariant\n"
+      "                       failure (tests the failure -> bundle path)\n",
       stderr);
 }
 
@@ -137,6 +153,35 @@ int main(int argc, char** argv) {
       cfg.status_interval_s = parse_double(next(), a);
     } else if (std::strcmp(a, "--quiet-status") == 0) {
       cfg.status_interval_s = 0.0;
+    } else if (std::strcmp(a, "--timeline") == 0) {
+      cfg.timeline.enabled = true;
+    } else if (std::strcmp(a, "--timeline-interval-ms") == 0) {
+      cfg.timeline.interval_ms =
+          static_cast<std::uint32_t>(parse_u64(next(), a));
+    } else if (std::strcmp(a, "--timeline-capacity") == 0) {
+      cfg.timeline.capacity = static_cast<std::uint32_t>(parse_u64(next(), a));
+    } else if (std::strcmp(a, "--drift-window") == 0) {
+      cfg.drift.window_frames =
+          static_cast<std::uint32_t>(parse_u64(next(), a));
+    } else if (std::strcmp(a, "--drift-churn") == 0) {
+      cfg.drift.churn_per_s = parse_double(next(), a);
+    } else if (std::strcmp(a, "--drift-conflict-share") == 0) {
+      cfg.drift.conflict_share = parse_double(next(), a);
+    } else if (std::strcmp(a, "--drift-ebr-slope") == 0) {
+      cfg.drift.ebr_slope_per_s = parse_double(next(), a);
+    } else if (std::strcmp(a, "--drift-stripe-skew") == 0) {
+      cfg.drift.stripe_skew = parse_double(next(), a);
+    } else if (std::strcmp(a, "--drift-home-drop") == 0) {
+      cfg.drift.home_hit_drop = parse_double(next(), a);
+    } else if (std::strcmp(a, "--flight-dir") == 0) {
+      cfg.flight_dir = next();
+    } else if (std::strcmp(a, "--flight-dump") == 0) {
+      cfg.flight_dump_at_end = true;
+    } else if (std::strcmp(a, "--slo-breach-windows") == 0) {
+      cfg.slo_breach_windows =
+          static_cast<std::uint32_t>(parse_u64(next(), a));
+    } else if (std::strcmp(a, "--fail-invariant") == 0) {
+      cfg.inject_invariant_failure = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage();
       return 0;

@@ -12,8 +12,12 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+
 #include "containers/tx_map.hpp"
 #include "core/api.hpp"
+#include "obs/drift.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "server/latency.hpp"
 #include "util/timing.hpp"
@@ -29,6 +33,13 @@ core::Config make_engine_config(const ServerConfig& cfg) {
   ec.pool_threads = cfg.pool_threads;
   ec.commit_stripes = cfg.commit_stripes;
   ec.tx_deadline_us = cfg.tx_deadline_us;
+  ec.timeline = cfg.timeline;
+  ec.drift = cfg.drift;
+  if (cfg.inject_invariant_failure) {
+    // Deterministic end-to-end proof of the failure -> flight-bundle path:
+    // the end-of-soak invariant block passes this site once and fails.
+    ec.chaos.add("server.soak.invariant", util::fp::Action::kFail, 1);
+  }
   if (cfg.chaos) {
     using util::fp::Action;
     // The soak chaos diet: rare hard failures on tree validation (forcing
@@ -66,6 +77,42 @@ std::uint64_t conflict_cause_total(const obs::AbortAccounting& acc) {
          acc.of(AbortCause::kTreeOrder).load() +
          acc.of(AbortCause::kSerialPreempt).load() +
          acc.of(AbortCause::kStalled).load();
+}
+
+/// The effective configuration as the flight bundle's config.json: the
+/// knobs an operator needs to reproduce or interpret the run.
+std::string effective_config_json(const ServerConfig& cfg) {
+  std::ostringstream os;
+  os << "{\"duration_s\": " << cfg.duration_s
+     << ", \"rate_hz\": " << cfg.load.rate_hz
+     << ", \"keyspace\": " << cfg.load.keyspace
+     << ", \"zipf_theta\": " << cfg.load.zipf_theta
+     << ", \"workers\": " << cfg.workers
+     << ", \"pool_threads\": " << cfg.pool_threads
+     << ", \"commit_stripes\": " << cfg.commit_stripes
+     << ", \"op_span\": " << cfg.op_span
+     << ", \"multi_span\": " << cfg.multi_span
+     << ", \"tx_deadline_us\": " << cfg.tx_deadline_us
+     << ", \"chaos\": " << (cfg.chaos ? "true" : "false")
+     << ", \"chaos_seed\": " << cfg.chaos_seed
+     << ", \"admission_enabled\": "
+     << (cfg.admission.enabled ? "true" : "false")
+     << ", \"slo_p99_ns\": " << cfg.admission.slo_p99_ns
+     << ", \"watchdog_stall_ms\": " << cfg.watchdog_stall_ms
+     << ", \"slo_breach_windows\": " << cfg.slo_breach_windows
+     << ", \"inject_invariant_failure\": "
+     << (cfg.inject_invariant_failure ? "true" : "false")
+     << ", \"timeline\": {\"enabled\": "
+     << (cfg.timeline.enabled ? "true" : "false")
+     << ", \"interval_ms\": " << cfg.timeline.interval_ms
+     << ", \"capacity\": " << cfg.timeline.capacity << "}"
+     << ", \"drift\": {\"window_frames\": " << cfg.drift.window_frames
+     << ", \"churn_per_s\": " << cfg.drift.churn_per_s
+     << ", \"conflict_share\": " << cfg.drift.conflict_share
+     << ", \"ebr_slope_per_s\": " << cfg.drift.ebr_slope_per_s
+     << ", \"stripe_skew\": " << cfg.drift.stripe_skew
+     << ", \"home_hit_drop\": " << cfg.drift.home_hit_drop << "}}\n";
+  return os.str();
 }
 
 }  // namespace
@@ -112,6 +159,14 @@ std::string Report::to_json() const {
      << ", \"max_version_list_trimmed\": " << max_version_list_trimmed
      << ", \"ebr_pending_final\": " << ebr_pending_final
      << ", \"chaos_fires\": " << chaos_fires;
+  os << ", \"drift_evaluations\": " << drift_evaluations
+     << ", \"drift_triggers\": " << drift_triggers << ", \"drift_fired\": [";
+  for (std::size_t i = 0; i < drift_fired.size(); ++i)
+    os << (i != 0 ? ", " : "") << "\"" << drift_fired[i] << "\"";
+  os << "], \"flight_bundles\": [";
+  for (std::size_t i = 0; i < flight_bundles.size(); ++i)
+    os << (i != 0 ? ", " : "") << "\"" << flight_bundles[i] << "\"";
+  os << "]";
   os << "}";
   return os.str();
 }
@@ -126,6 +181,22 @@ Report Server::run() {
   core::Runtime rt(make_engine_config(cfg_));
   obs::AbortAccounting& acc = rt.env().abort_accounting();
   containers::TxMap map(cfg_.load.keyspace);
+
+  // Drift observability: the Runtime owns the timeline sampler; the monitor
+  // and recorder live here because triggering policy (breach streaks,
+  // invariant failures) is the harness's business, not the engine's.
+  obs::FlightRecorder flight(cfg_.flight_dir);
+  std::optional<obs::DriftMonitor> drift;
+  if (rt.timeline() != nullptr) drift.emplace(cfg_.drift, *rt.timeline());
+  const std::string config_json = effective_config_json(cfg_);
+  auto flight_dump = [&](const std::string& reason) {
+    const std::string bundle = flight.dump(
+        reason, rt.timeline(), drift ? &*drift : nullptr, config_json);
+    if (!bundle.empty())
+      std::fprintf(stderr, "flight recorder: wrote %s (%s)\n",
+                   bundle.c_str(), reason.c_str());
+    return bundle;
+  };
 
   // Preload every key so steady-state traffic only reads/updates — the map
   // is a fixed-capacity heap (tx_map.hpp) and must never fill mid-run.
@@ -277,6 +348,8 @@ Report Server::run() {
     std::uint64_t prev_conflict = conflict_cause_total(acc);
     std::uint64_t prev_deadline =
         acc.of(obs::AbortCause::kDeadlineExceeded).load();
+    std::uint32_t slo_breach_streak = 0;
+    bool slo_breach_dumped = false;
     std::uint64_t last_tick_ns = util::now_ns();
     std::uint64_t last_status_ns = last_tick_ns;
     const auto interval =
@@ -328,6 +401,22 @@ Report Server::run() {
         rep.max_shed_level = std::max(rep.max_shed_level, gate.shed_level());
       }
 
+      if (drift) drift->evaluate();
+
+      // An overload tick is normal during a spike; a long unbroken streak
+      // of them is the service failing its SLO in slow motion — capture
+      // the evidence while the breach is still in the timeline window.
+      if (overloaded) {
+        ++slo_breach_streak;
+        if (cfg_.slo_breach_windows != 0 && !slo_breach_dumped &&
+            slo_breach_streak >= cfg_.slo_breach_windows) {
+          slo_breach_dumped = true;
+          flight_dump("slo-breach-streak");
+        }
+      } else {
+        slo_breach_streak = 0;
+      }
+
       if (cfg_.status_interval_s > 0.0 &&
           static_cast<double>(now - last_status_ns) / 1e9 >=
               cfg_.status_interval_s) {
@@ -343,31 +432,45 @@ Report Server::run() {
             fp_commits != 0 ? static_cast<double>(ad.footprint_width_sum()) /
                                   static_cast<double>(fp_commits)
                             : 0.0;
-        std::fprintf(
-            stderr,
-            "{\"server_status\": {\"t_s\": %.1f, \"admitted\": %llu, "
-            "\"shed\": %llu, \"completed\": %llu, \"backlog\": %llu, "
-            "\"window_p99_ms\": %.2f, \"rate_limit\": %.0f, "
-            "\"shed_level\": %u, \"overloaded\": %s, "
-            "\"footprint\": {\"commits\": %llu, \"mean_width\": %.2f, "
-            "\"single_stripe\": %llu, \"multi_stripe\": %llu, "
-            "\"width_hist\": [%llu, %llu, %llu, %llu, %llu, %llu]}}}\n",
-            static_cast<double>(now - start_ns) / 1e9,
-            static_cast<unsigned long long>(sm.admitted.load()),
-            static_cast<unsigned long long>(sm.shed.load()),
-            static_cast<unsigned long long>(sm.completed.load()),
-            static_cast<unsigned long long>(sig.backlog),
-            static_cast<double>(sig.window_p99_ns) / 1e6, gate.rate(),
-            gate.shed_level(), overloaded ? "true" : "false",
-            static_cast<unsigned long long>(fp_commits), fp_mean,
-            static_cast<unsigned long long>(ad.footprint_single()),
-            static_cast<unsigned long long>(ad.footprint_multi()),
-            static_cast<unsigned long long>(ad.footprint_width_bucket(0)),
-            static_cast<unsigned long long>(ad.footprint_width_bucket(1)),
-            static_cast<unsigned long long>(ad.footprint_width_bucket(2)),
-            static_cast<unsigned long long>(ad.footprint_width_bucket(3)),
-            static_cast<unsigned long long>(ad.footprint_width_bucket(4)),
-            static_cast<unsigned long long>(ad.footprint_width_bucket(5)));
+        // Built as a string (not fprintf'd piecemeal) because the line is
+        // also the flight recorder's status tail: the last N of these are
+        // the "what was the service saying" page of a postmortem bundle.
+        std::ostringstream line;
+        char t_buf[32], p99_buf[32], rate_buf[32], mean_buf[32];
+        std::snprintf(t_buf, sizeof t_buf, "%.1f",
+                      static_cast<double>(now - start_ns) / 1e9);
+        std::snprintf(p99_buf, sizeof p99_buf, "%.2f",
+                      static_cast<double>(sig.window_p99_ns) / 1e6);
+        std::snprintf(rate_buf, sizeof rate_buf, "%.0f", gate.rate());
+        std::snprintf(mean_buf, sizeof mean_buf, "%.2f", fp_mean);
+        line << "{\"server_status\": {\"t_s\": " << t_buf
+             << ", \"admitted\": " << sm.admitted.load()
+             << ", \"shed\": " << sm.shed.load()
+             << ", \"completed\": " << sm.completed.load()
+             << ", \"backlog\": " << sig.backlog
+             << ", \"window_p99_ms\": " << p99_buf
+             << ", \"rate_limit\": " << rate_buf
+             << ", \"shed_level\": " << gate.shed_level()
+             << ", \"overloaded\": " << (overloaded ? "true" : "false")
+             << ", \"footprint\": {\"commits\": " << fp_commits
+             << ", \"mean_width\": " << mean_buf
+             << ", \"single_stripe\": " << ad.footprint_single()
+             << ", \"multi_stripe\": " << ad.footprint_multi()
+             << ", \"width_hist\": [";
+        for (std::size_t b = 0; b < 6; ++b)
+          line << (b ? ", " : "") << ad.footprint_width_bucket(b);
+        line << "]}";
+        if (drift) {
+          line << ", \"drift\": {\"evaluations\": " << drift->evaluations()
+               << ", \"triggers\": " << drift->triggers() << ", \"fired\": [";
+          const std::vector<std::string> fired = drift->fired_names();
+          for (std::size_t f = 0; f < fired.size(); ++f)
+            line << (f ? ", " : "") << "\"" << fired[f] << "\"";
+          line << "]}";
+        }
+        line << "}}";
+        std::fprintf(stderr, "%s\n", line.str().c_str());
+        flight.note_status_line(line.str());
       }
     }
   };
@@ -403,6 +506,7 @@ Report Server::run() {
         std::fputs("\n", stderr);
         std::fputs(obs::trace::drain_json().c_str(), stderr);
         std::fputs("\n", stderr);
+        flight_dump("watchdog-stall");
         return;
       }
     }
@@ -558,6 +662,10 @@ Report Server::run() {
   if (rep.watchdog_stalls != 0) fail("watchdog stall");
   if (sh.exec_errors.load() != 0) fail("request execution threw");
   if (cfg_.check_invariants) {
+    // Armed only via ServerConfig::inject_invariant_failure: the
+    // deterministic trigger for the failure -> flight-bundle path.
+    if (TXF_FP_FIRES("server.soak.invariant"))
+      fail("injected invariant violation (failpoint)");
     // Per-stripe sequences are gap-free: every clock component equals the
     // number of committed writers that advanced it (single-stripe batches
     // plus multi-stripe commits touching the stripe). The component sum
@@ -583,6 +691,20 @@ Report Server::run() {
       fail("chaos armed but no failpoint ever fired");
   }
   rep.ok = rep.failure.empty();
+
+  if (drift) {
+    rep.drift_evaluations = drift->evaluations();
+    rep.drift_triggers = drift->triggers();
+    rep.drift_fired = drift->fired_ever_names();
+  }
+  // A failed soak always leaves a bundle (watchdog stalls leave two: the
+  // mid-flight capture from the watchdog thread plus this post-drain one).
+  if (!rep.ok) {
+    flight_dump(rep.failure);
+  } else if (cfg_.flight_dump_at_end) {
+    flight_dump("end-of-soak");
+  }
+  rep.flight_bundles = flight.bundle_paths();
   return rep;
 }
 

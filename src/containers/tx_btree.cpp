@@ -1,0 +1,765 @@
+// TxBTree implementation. The interesting protocols — leaf-centric write
+// buffering, attempt-log finalization, and leaf-local GC — are documented
+// in tx_btree.hpp and DESIGN.md §5g; comments here cover the invariants
+// each function maintains.
+
+#include "containers/tx_btree.hpp"
+
+#include <algorithm>
+
+#include "core/adaptive.hpp"
+#include "core/subtxn.hpp"
+#include "core/tx_tree.hpp"
+#include "core/runtime.hpp"
+#include "stm/transaction.hpp"
+#include "util/epoch.hpp"
+#include "util/timing.hpp"
+
+namespace txf::containers {
+
+namespace {
+
+/// Process-wide core.btree.* metrics. Shared across tree instances (the
+/// registry sums same-name registrations anyway) and constructed lazily so
+/// registration order is independent of static-init order.
+struct BtreeMetrics {
+  obs::Counter splits;
+  obs::Counter merges;
+  obs::Counter scans;
+  obs::Counter scan_splits;
+  obs::Counter leaf_trims;
+  obs::Counter box_gc;
+  obs::Histogram scan_fanout;
+  obs::Histogram leaf_flush;
+  std::atomic<std::uint64_t> nodes_live{0};
+  std::atomic<std::uint64_t> boxes_live{0};
+  obs::Registration reg;
+
+  BtreeMetrics() {
+    reg.counter("core.btree.splits", splits)
+        .counter("core.btree.merges", merges)
+        .counter("core.btree.scans", scans)
+        .counter("core.btree.scan.splits", scan_splits)
+        .counter("core.btree.leaf_local_trims", leaf_trims)
+        .counter("core.btree.box_gc", box_gc)
+        .histogram("core.btree.scan.fanout", scan_fanout)
+        .histogram("core.btree.leaf_flush.size", leaf_flush)
+        .atomic("core.btree.nodes_live", nodes_live)
+        .atomic("core.btree.boxes_live", boxes_live);
+  }
+};
+
+BtreeMetrics& metrics() {
+  static BtreeMetrics m;
+  return m;
+}
+
+}  // namespace
+
+/// Attempt-private allocation log: one per (TxTree, TxBTree), parked on the
+/// tree via ensure_attempt_state and reconciled once by finalize_log.
+/// Futures of one tree append concurrently (mu); finalization runs
+/// single-threaded after the tree drained its tasks.
+struct TxBTree::TxnLog {
+  TxBTree* owner;
+  core::Runtime* rt;
+  util::SpinLock mu;
+
+  struct NodeAlloc {
+    stm::VBoxImpl* box;  // the box this node was written into
+    NodeBase* node;
+  };
+  std::vector<NodeAlloc> nodes;
+  // New boxes, in creation order. No useful topological order exists
+  // between boxes and the inners referencing them (in-place buffer inserts
+  // and split-time child migration both cross creation order), so commit
+  // liveness runs as a reachability fixpoint (finalize_log pass 2).
+  std::vector<NodeBox*> boxes;
+  // Boxes this attempt unlinked from the structure (leaf merges): physically
+  // retired at commit, forgotten on abort.
+  std::vector<NodeBox*> removed;
+
+  void add_node(stm::VBoxImpl* box, NodeBase* node) {
+    std::scoped_lock lock(mu);
+    nodes.push_back(NodeAlloc{box, node});
+  }
+  void add_box(NodeBox* box) {
+    std::scoped_lock lock(mu);
+    boxes.push_back(box);
+  }
+  void add_removed(NodeBox* box) {
+    std::scoped_lock lock(mu);
+    removed.push_back(box);
+  }
+};
+
+// --- construction / destruction -----------------------------------------
+
+TxBTree::TxBTree() : root_(0) {
+  LeafNode* l = new LeafNode();
+  l->h.is_leaf = 1;
+  root_.unsafe_init(word_of(l));
+  root_.impl().set_value_reclaimer(&TxBTree::reclaim_node);
+  metrics().nodes_live.fetch_add(1, std::memory_order_relaxed);
+}
+
+TxBTree::~TxBTree() {
+  // Quiescence contract: every box destructor reclaims the node payloads
+  // its version list still owns (set_value_reclaimer in the box factory).
+  for (NodeBox* b : all_boxes_) {
+    delete b;
+    metrics().boxes_live.fetch_sub(1, std::memory_order_relaxed);
+  }
+  // root_ is destroyed as a member, reclaiming its payloads the same way.
+}
+
+void TxBTree::reclaim_node(void* p) {
+  NodeBase* n = static_cast<NodeBase*>(p);
+  metrics().nodes_live.fetch_sub(1, std::memory_order_relaxed);
+  if (n->h.is_leaf)
+    delete static_cast<LeafNode*>(n);
+  else
+    delete static_cast<InnerNode*>(n);
+}
+
+// --- small helpers -------------------------------------------------------
+
+TxBTree::NodeBase* TxBTree::read_node(core::TxCtx& ctx,
+                                      const NodeBox& box) const {
+  return node_of(box.get(ctx));
+}
+
+int TxBTree::child_index(const InnerNode* in, Key key) {
+  // First separator strictly greater than key names the child; count - 1
+  // separators guard count children.
+  const int nsep = in->h.count - 1;
+  const Key* end = in->seps + nsep;
+  return static_cast<int>(std::upper_bound(in->seps, end, key) - in->seps);
+}
+
+int TxBTree::leaf_lower_bound(const LeafNode* leaf, Key key) {
+  const Key* end = leaf->keys + leaf->h.count;
+  return static_cast<int>(std::lower_bound(leaf->keys, end, key) -
+                          leaf->keys);
+}
+
+TxBTree::TxnLog& TxBTree::log_for(core::TxCtx& ctx) {
+  void* state = ctx.tree().ensure_attempt_state(
+      this,
+      [](void* arg) -> void* {
+        return new TxnLog{static_cast<TxBTree*>(arg), nullptr, {}, {}, {}, {}};
+      },
+      this, &TxBTree::finalize_attempt);
+  TxnLog* log = static_cast<TxnLog*>(state);
+  log->rt = &ctx.runtime();
+  return *log;
+}
+
+void TxBTree::trim_local(core::TxCtx& ctx, NodeBox& box) const {
+  // Leaf-local GC: the structural operation already owns this box's cache
+  // lines, so retire its stale versions now instead of waiting for a global
+  // sweep. min_active per the box's own stripe; we are inside the
+  // attempt's EBR guard (core::atomically holds one).
+  stm::StmEnv& env = ctx.runtime().env();
+  const unsigned stripe = env.queue().stripe_of_box(&box.impl());
+  const stm::Version min =
+      env.registry().min_active(stripe, env.clock().current(stripe));
+  box.impl().trim(min, env.epochs());
+  metrics().leaf_trims.add();
+}
+
+// --- write buffering -----------------------------------------------------
+
+TxBTree::LeafNode* TxBTree::writable_leaf(core::TxCtx& ctx, TxnLog& log,
+                                          NodeBox& box, const LeafNode* cur) {
+  if (cur->h.owner_tree == ctx.tree().id() &&
+      cur->h.owner_node == ctx.node()->idx) {
+    // Leaf-centric buffering hit: this sub-transaction already owns the
+    // buffer; mutate in place, publish nothing new.
+    return const_cast<LeafNode*>(cur);
+  }
+  LeafNode* w = new LeafNode(*cur);
+  w->h.owner_tree = ctx.tree().id();
+  w->h.owner_node = ctx.node()->idx;
+  w->h.buffered = 0;
+  metrics().nodes_live.fetch_add(1, std::memory_order_relaxed);
+  log.add_node(&box.impl(), w);
+  TXF_FP_POINT("core.btree.leaf.publish");
+  box.put(ctx, word_of(w));
+  return w;
+}
+
+TxBTree::InnerNode* TxBTree::writable_inner(core::TxCtx& ctx, TxnLog& log,
+                                            NodeBox& box,
+                                            const InnerNode* cur) {
+  if (cur->h.owner_tree == ctx.tree().id() &&
+      cur->h.owner_node == ctx.node()->idx) {
+    return const_cast<InnerNode*>(cur);
+  }
+  InnerNode* w = new InnerNode(*cur);
+  w->h.owner_tree = ctx.tree().id();
+  w->h.owner_node = ctx.node()->idx;
+  metrics().nodes_live.fetch_add(1, std::memory_order_relaxed);
+  log.add_node(&box.impl(), w);
+  box.put(ctx, word_of(w));
+  return w;
+}
+
+// --- point operations ----------------------------------------------------
+
+bool TxBTree::get(core::TxCtx& ctx, Key key, Value& out) const {
+  const NodeBase* n = read_node(ctx, root_);
+  while (!n->h.is_leaf) {
+    const InnerNode* in = static_cast<const InnerNode*>(n);
+    n = read_node(ctx, *in->child[child_index(in, key)]);
+  }
+  const LeafNode* leaf = static_cast<const LeafNode*>(n);
+  const int pos = leaf_lower_bound(leaf, key);
+  if (pos >= leaf->h.count || leaf->keys[pos] != key) return false;
+  out = leaf->vals[pos];
+  return true;
+}
+
+void TxBTree::put(core::TxCtx& ctx, Key key, Value value) {
+  TxnLog& log = log_for(ctx);
+  std::vector<PathEnt> path;
+  NodeBox* box = &root_;
+  NodeBase* n = read_node(ctx, *box);
+  while (!n->h.is_leaf) {
+    InnerNode* in = static_cast<InnerNode*>(n);
+    const int ci = child_index(in, key);
+    path.push_back(PathEnt{box, in, ci});
+    box = in->child[ci];
+    n = read_node(ctx, *box);
+  }
+  LeafNode* leaf = static_cast<LeafNode*>(n);
+  const int pos = leaf_lower_bound(leaf, key);
+  if (pos < leaf->h.count && leaf->keys[pos] == key) {
+    LeafNode* w = writable_leaf(ctx, log, *box, leaf);
+    w->vals[pos] = value;
+    ++w->h.buffered;
+    return;
+  }
+  if (leaf->h.count < kLeafCap) {
+    LeafNode* w = writable_leaf(ctx, log, *box, leaf);
+    const int cnt = w->h.count;
+    std::memmove(w->keys + pos + 1, w->keys + pos,
+                 sizeof(Key) * static_cast<std::size_t>(cnt - pos));
+    std::memmove(w->vals + pos + 1, w->vals + pos,
+                 sizeof(Value) * static_cast<std::size_t>(cnt - pos));
+    w->keys[pos] = key;
+    w->vals[pos] = value;
+    ++w->h.count;
+    ++w->h.buffered;
+    return;
+  }
+  split_and_insert(ctx, log, path, box, leaf, key, value);
+}
+
+namespace {
+/// Box factory: every tree box carries the node reclaimer so version trims
+/// and box destruction free the payloads they own.
+txf::stm::VBox<txf::stm::Word>* make_node_box(txf::stm::Word initial,
+                                              void (*reclaimer)(void*)) {
+  auto* b = new txf::stm::VBox<txf::stm::Word>(initial);
+  b->impl().set_value_reclaimer(reclaimer);
+  return b;
+}
+}  // namespace
+
+void TxBTree::split_and_insert(core::TxCtx& ctx, TxnLog& log,
+                               std::vector<PathEnt>& path, NodeBox* box,
+                               const LeafNode* leaf, Key key, Value value) {
+  TXF_FP_POINT("core.btree.split");
+  metrics().splits.add();
+  // The split is about to supersede several versions of this box at once;
+  // trim its list while its lines are hot (leaf-local GC).
+  trim_local(ctx, *box);
+
+  // Build both halves fresh (owned by this sub-transaction), inserting the
+  // new key into the correct half.
+  LeafNode* left = new LeafNode();
+  LeafNode* right = new LeafNode();
+  for (LeafNode* h : {left, right}) {
+    h->h.is_leaf = 1;
+    h->h.owner_tree = ctx.tree().id();
+    h->h.owner_node = ctx.node()->idx;
+  }
+  const int mid = kLeafCap / 2;
+  left->h.count = mid;
+  std::memcpy(left->keys, leaf->keys, sizeof(Key) * mid);
+  std::memcpy(left->vals, leaf->vals, sizeof(Value) * mid);
+  right->h.count = kLeafCap - mid;
+  std::memcpy(right->keys, leaf->keys + mid, sizeof(Key) * (kLeafCap - mid));
+  std::memcpy(right->vals, leaf->vals + mid, sizeof(Value) * (kLeafCap - mid));
+  // When the split leaf is this attempt's own buffer its coalesced-op count
+  // has not been accounted yet — carry it into the halves so the
+  // leaf_flush.size histogram still sees every buffered operation.
+  // Published leaves' counts were recorded by the attempt that committed
+  // them and must not be double counted.
+  const std::uint32_t carried =
+      leaf->h.owner_tree == ctx.tree().id() ? leaf->h.buffered : 0;
+  left->h.buffered = carried * static_cast<std::uint32_t>(mid) / kLeafCap;
+  right->h.buffered = carried - left->h.buffered;
+  metrics().nodes_live.fetch_add(2, std::memory_order_relaxed);
+
+  LeafNode* target = key < right->keys[0] ? left : right;
+  const int pos = leaf_lower_bound(target, key);
+  const int cnt = target->h.count;
+  std::memmove(target->keys + pos + 1, target->keys + pos,
+               sizeof(Key) * static_cast<std::size_t>(cnt - pos));
+  std::memmove(target->vals + pos + 1, target->vals + pos,
+               sizeof(Value) * static_cast<std::size_t>(cnt - pos));
+  target->keys[pos] = key;
+  target->vals[pos] = value;
+  ++target->h.count;
+  ++target->h.buffered;
+
+  const Key sep = right->keys[0];
+  if (path.empty()) {
+    // Root leaf split: the root box becomes an inner over two new boxes.
+    NodeBox* lbox = make_node_box(word_of(left), &TxBTree::reclaim_node);
+    NodeBox* rbox = make_node_box(word_of(right), &TxBTree::reclaim_node);
+    log.add_node(&lbox->impl(), left);
+    log.add_node(&rbox->impl(), right);
+    log.add_box(lbox);
+    log.add_box(rbox);
+    InnerNode* root = new InnerNode();
+    root->h.owner_tree = ctx.tree().id();
+    root->h.owner_node = ctx.node()->idx;
+    root->h.count = 2;
+    root->seps[0] = sep;
+    root->child[0] = lbox;
+    root->child[1] = rbox;
+    metrics().nodes_live.fetch_add(1, std::memory_order_relaxed);
+    log.add_node(&root_.impl(), root);
+    root_.put(ctx, word_of(root));
+  } else {
+    // Left half replaces the split leaf in its existing box; the right half
+    // gets a fresh box linked into the parent.
+    log.add_node(&box->impl(), left);
+    box->put(ctx, word_of(left));
+    NodeBox* rbox = make_node_box(word_of(right), &TxBTree::reclaim_node);
+    log.add_node(&rbox->impl(), right);
+    log.add_box(rbox);
+    insert_child(ctx, log, path, static_cast<int>(path.size()) - 1, sep,
+                 rbox);
+  }
+  gc_retired_boxes(ctx.runtime().env());
+}
+
+void TxBTree::insert_child(core::TxCtx& ctx, TxnLog& log,
+                           std::vector<PathEnt>& path, int level, Key sep,
+                           NodeBox* rbox) {
+  PathEnt& pe = path[static_cast<std::size_t>(level)];
+  const InnerNode* in = pe.node;
+  if (in->h.count < kInnerCap) {
+    InnerNode* w = writable_inner(ctx, log, *pe.box, in);
+    const int ci = pe.child;
+    const int nch = w->h.count;
+    std::memmove(w->seps + ci + 1, w->seps + ci,
+                 sizeof(Key) * static_cast<std::size_t>(nch - 1 - ci));
+    std::memmove(w->child + ci + 2, w->child + ci + 1,
+                 sizeof(NodeBox*) * static_cast<std::size_t>(nch - 1 - ci));
+    w->seps[ci] = sep;
+    w->child[ci + 1] = rbox;
+    ++w->h.count;
+    return;
+  }
+
+  // Inner split: distribute children across two fresh inners, insert the
+  // new (sep, rbox) pair into the correct half, then push the middle
+  // separator up a level.
+  metrics().splits.add();
+  trim_local(ctx, *pe.box);
+  const int nch = in->h.count;           // == kInnerCap
+  const int lcnt = nch / 2;              // children kept left
+  InnerNode* left = new InnerNode();
+  InnerNode* right = new InnerNode();
+  for (InnerNode* h : {left, right}) {
+    h->h.owner_tree = ctx.tree().id();
+    h->h.owner_node = ctx.node()->idx;
+  }
+  left->h.count = static_cast<std::uint16_t>(lcnt);
+  std::memcpy(left->seps, in->seps, sizeof(Key) * (lcnt - 1));
+  std::memcpy(left->child, in->child, sizeof(NodeBox*) * lcnt);
+  right->h.count = static_cast<std::uint16_t>(nch - lcnt);
+  std::memcpy(right->seps, in->seps + lcnt, sizeof(Key) * (nch - lcnt - 1));
+  std::memcpy(right->child, in->child + lcnt, sizeof(NodeBox*) * (nch - lcnt));
+  const Key up_sep = in->seps[lcnt - 1];  // smallest key under right
+  metrics().nodes_live.fetch_add(2, std::memory_order_relaxed);
+
+  // Insert (sep, rbox) after child pe.child in whichever half holds it.
+  InnerNode* target = pe.child < lcnt ? left : right;
+  const int ci = pe.child < lcnt ? pe.child : pe.child - lcnt;
+  const int tch = target->h.count;
+  std::memmove(target->seps + ci + 1, target->seps + ci,
+               sizeof(Key) * static_cast<std::size_t>(tch - 1 - ci));
+  std::memmove(target->child + ci + 2, target->child + ci + 1,
+               sizeof(NodeBox*) * static_cast<std::size_t>(tch - 1 - ci));
+  target->seps[ci] = sep;
+  target->child[ci + 1] = rbox;
+  ++target->h.count;
+
+  if (level == 0) {
+    // Root inner split: root box becomes a 2-way inner over two new boxes.
+    NodeBox* lbox = make_node_box(word_of(left), &TxBTree::reclaim_node);
+    NodeBox* rrbox = make_node_box(word_of(right), &TxBTree::reclaim_node);
+    log.add_node(&lbox->impl(), left);
+    log.add_node(&rrbox->impl(), right);
+    log.add_box(lbox);
+    log.add_box(rrbox);
+    InnerNode* root = new InnerNode();
+    root->h.owner_tree = ctx.tree().id();
+    root->h.owner_node = ctx.node()->idx;
+    root->h.count = 2;
+    root->seps[0] = up_sep;
+    root->child[0] = lbox;
+    root->child[1] = rrbox;
+    metrics().nodes_live.fetch_add(1, std::memory_order_relaxed);
+    log.add_node(&root_.impl(), root);
+    root_.put(ctx, word_of(root));
+    return;
+  }
+  // Non-root: left half replaces the split inner in its box; right half
+  // gets a fresh box pushed into the parent level.
+  log.add_node(&pe.box->impl(), left);
+  pe.box->put(ctx, word_of(left));
+  NodeBox* rrbox = make_node_box(word_of(right), &TxBTree::reclaim_node);
+  log.add_node(&rrbox->impl(), right);
+  log.add_box(rrbox);
+  insert_child(ctx, log, path, level - 1, up_sep, rrbox);
+}
+
+bool TxBTree::erase(core::TxCtx& ctx, Key key) {
+  TxnLog& log = log_for(ctx);
+  std::vector<PathEnt> path;
+  NodeBox* box = &root_;
+  NodeBase* n = read_node(ctx, *box);
+  while (!n->h.is_leaf) {
+    InnerNode* in = static_cast<InnerNode*>(n);
+    const int ci = child_index(in, key);
+    path.push_back(PathEnt{box, in, ci});
+    box = in->child[ci];
+    n = read_node(ctx, *box);
+  }
+  LeafNode* leaf = static_cast<LeafNode*>(n);
+  const int pos = leaf_lower_bound(leaf, key);
+  if (pos >= leaf->h.count || leaf->keys[pos] != key) return false;
+
+  if (leaf->h.count > 1 || path.empty() ||
+      path.back().node->h.count < 2) {
+    // Plain removal (also the root-leaf and degenerate-parent cases: an
+    // empty leaf is a valid descent target and refills on the next put).
+    LeafNode* w = writable_leaf(ctx, log, *box, leaf);
+    const int cnt = w->h.count;
+    std::memmove(w->keys + pos, w->keys + pos + 1,
+                 sizeof(Key) * static_cast<std::size_t>(cnt - pos - 1));
+    std::memmove(w->vals + pos, w->vals + pos + 1,
+                 sizeof(Value) * static_cast<std::size_t>(cnt - pos - 1));
+    --w->h.count;
+    ++w->h.buffered;
+    return true;
+  }
+
+  // Last key of a non-root leaf whose parent keeps other children: unlink
+  // the leaf (merge) and retire its box once no snapshot can reach it.
+  TXF_FP_POINT("core.btree.merge");
+  metrics().merges.add();
+  trim_local(ctx, *box);
+  PathEnt& pe = path.back();
+  InnerNode* w = writable_inner(ctx, log, *pe.box, pe.node);
+  const int ci = pe.child;
+  const int nch = w->h.count;
+  // Dropping child ci removes separator ci (or ci-1 for the last child).
+  const int si = ci < nch - 1 ? ci : ci - 1;
+  std::memmove(w->seps + si, w->seps + si + 1,
+               sizeof(Key) * static_cast<std::size_t>(nch - 2 - si));
+  std::memmove(w->child + ci, w->child + ci + 1,
+               sizeof(NodeBox*) * static_cast<std::size_t>(nch - 1 - ci));
+  --w->h.count;
+  log.add_removed(box);
+  gc_retired_boxes(ctx.runtime().env());
+  return true;
+}
+
+// --- range scans ---------------------------------------------------------
+
+void TxBTree::collect(core::TxCtx& ctx, const NodeBox& box, Key lo, Key hi,
+                      std::vector<Entry>& out) const {
+  const NodeBase* n = read_node(ctx, box);
+  if (n->h.is_leaf) {
+    const LeafNode* leaf = static_cast<const LeafNode*>(n);
+    for (int i = leaf_lower_bound(leaf, lo);
+         i < leaf->h.count && leaf->keys[i] < hi; ++i) {
+      out.push_back(Entry{leaf->keys[i], leaf->vals[i]});
+    }
+    return;
+  }
+  const InnerNode* in = static_cast<const InnerNode*>(n);
+  const int a = child_index(in, lo);
+  const int b = child_index(in, hi - 1);
+  for (int ci = a; ci <= b; ++ci) collect(ctx, *in->child[ci], lo, hi, out);
+}
+
+bool TxBTree::ScanGate::choose_split() noexcept {
+  const std::uint64_t seq =
+      seq_ns_per_key_x16.load(std::memory_order_relaxed);
+  const std::uint64_t par =
+      split_ns_per_key_x16.load(std::memory_order_relaxed);
+  if (seq == 0) return false;  // sample the cheap, safe arm first
+  if (par == 0) return true;   // then the split arm once
+  const std::uint32_t t = tick.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Split must win by a 1/8 margin: preemption noise on a loaded host can
+  // hand the split arm a lucky sample, and flapping into fan-out costs far
+  // more than staying sequential a beat too long. Real multicore speedups
+  // clear the margin by construction.
+  const bool split_wins = par + par / 8 < seq;
+  return (t & 63u) == 0 ? !split_wins : split_wins;
+}
+
+void TxBTree::ScanGate::note(bool split, std::uint64_t ns,
+                             std::size_t keys) noexcept {
+  const std::uint64_t v = ns * 16 / (keys == 0 ? 1 : keys);
+  auto& ewma = split ? split_ns_per_key_x16 : seq_ns_per_key_x16;
+  const std::uint64_t prev = ewma.load(std::memory_order_relaxed);
+  ewma.store(prev == 0 ? v : (prev * 7 + v) / 8, std::memory_order_relaxed);
+}
+
+std::size_t TxBTree::scan_collect(core::TxCtx& ctx, Key lo, Key hi,
+                                  std::vector<Entry>& out,
+                                  const void* site) const {
+  metrics().scans.add();
+  if (lo >= hi) return 0;
+  const NodeBase* n = read_node(ctx, root_);
+  if (n->h.is_leaf) {
+    metrics().scan_fanout.record(1);
+    const LeafNode* leaf = static_cast<const LeafNode*>(n);
+    for (int i = leaf_lower_bound(leaf, lo);
+         i < leaf->h.count && leaf->keys[i] < hi; ++i) {
+      out.push_back(Entry{leaf->keys[i], leaf->vals[i]});
+    }
+    return out.size();
+  }
+  const InnerNode* in = static_cast<const InnerNode*>(n);
+  const int a = child_index(in, lo);
+  const int b = child_index(in, hi - 1);
+  metrics().scan_fanout.record(static_cast<std::uint64_t>(b - a + 1));
+  if (b == a) {
+    collect(ctx, *in->child[a], lo, hi, out);
+    return out.size();
+  }
+  // Two strategies for a multi-subtree range, decided in two layers: this
+  // gate picks split-vs-sequential by realized per-key cost (the price of
+  // the submit machinery itself), and when it splits, the core adaptive
+  // scheduler still prices each subtree body per site (eliding bodies too
+  // small to ship to a pool thread). Fixed modes pin the strategy:
+  // kAlwaysInline scans collect sequentially outright — the submits would
+  // all be elided anyway — while kAlwaysParallel/kAlwaysOrdered always
+  // split (the ablation benches need the unconditional fan-out).
+  const core::SchedulingMode mode = ctx.runtime().config().scheduling;
+  const bool adaptive = mode == core::SchedulingMode::kAdaptive;
+  const bool split =
+      mode == core::SchedulingMode::kAlwaysParallel ||
+      mode == core::SchedulingMode::kAlwaysOrdered ||
+      (adaptive && scan_gate_.choose_split());
+  const std::uint64_t t0 = adaptive ? util::now_ns() : 0;
+  if (!split) {
+    for (int ci = a; ci <= b; ++ci) collect(ctx, *in->child[ci], lo, hi, out);
+    if (adaptive) scan_gate_.note(false, util::now_ns() - t0, out.size());
+    return out.size();
+  }
+  metrics().scan_splits.add();
+  // Fanout: one future per covered subtree except the last, which the
+  // continuation collects itself; join preserves submission (= key) order,
+  // so fn observes exactly the sequential execution. The adaptive
+  // scheduler may elide any or all of these inline — semantics identical.
+  if (site == nullptr) site = TXF_SUBMIT_SITE;
+  std::vector<core::TxFuture<std::vector<Entry>>> parts;
+  parts.reserve(static_cast<std::size_t>(b - a));
+  for (int ci = a; ci < b; ++ci) {
+    NodeBox* cb = in->child[ci];
+    parts.push_back(ctx.submit_at(site, [this, cb, lo, hi](core::TxCtx& c) {
+      TXF_FP_POINT("core.btree.scan.subtree");
+      std::vector<Entry> part;
+      collect(c, *cb, lo, hi, part);
+      return part;
+    }));
+  }
+  std::vector<Entry> tail;
+  collect(ctx, *in->child[b], lo, hi, tail);
+  for (core::TxFuture<std::vector<Entry>>& f : parts) {
+    std::vector<Entry> part = f.get(ctx);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  out.insert(out.end(), tail.begin(), tail.end());
+  if (adaptive) scan_gate_.note(true, util::now_ns() - t0, out.size());
+  return out.size();
+}
+
+// --- attempt finalization ------------------------------------------------
+
+void TxBTree::finalize_attempt(void* state, bool committed) {
+  TxnLog* log = static_cast<TxnLog*>(state);
+  log->owner->finalize_log(*log, committed);
+  delete log;
+}
+
+namespace {
+/// Does this box's permanent list hold `word` as a value? Caller must hold
+/// an EBR guard (chains may be concurrently trimmed) unless the box is
+/// attempt-private.
+bool chain_holds(const txf::stm::VBoxImpl& box, txf::stm::Word word) {
+  const txf::stm::PermanentVersion* p = box.permanent_head();
+  while (p != nullptr && p != txf::stm::trimmed_tail()) {
+    if (p->value == word) return true;
+    p = p->next.load(std::memory_order_acquire);
+  }
+  return false;
+}
+}  // namespace
+
+void TxBTree::finalize_log(TxnLog& log, bool committed) {
+  BtreeMetrics& m = metrics();
+  auto logged_box_index = [&](const stm::VBoxImpl* impl) -> int {
+    for (std::size_t i = 0; i < log.boxes.size(); ++i)
+      if (&log.boxes[i]->impl() == impl) return static_cast<int>(i);
+    return -1;
+  };
+
+  if (!committed) {
+    // Nothing was published: every allocation is attempt-private garbage.
+    // A node parked as a logged box's initial version is freed by that
+    // box's destructor (value reclaimer); everything else is freed here.
+    for (const TxnLog::NodeAlloc& na : log.nodes) {
+      if (logged_box_index(na.box) >= 0 &&
+          chain_holds(*na.box, word_of(na.node))) {
+        continue;
+      }
+      reclaim_node(na.node);
+    }
+    for (NodeBox* b : log.boxes) delete b;
+    return;
+  }
+
+  // Committed: our registry snapshot is still published (TxTree runs
+  // finalizers before release_registry), so the versions this attempt just
+  // committed cannot be trimmed out from under these walks.
+  stm::StmEnv& env = log.rt->env();
+  util::EpochDomain::Guard guard(env.epochs());
+
+  // Pass 1: which logged allocations were actually published? A node is
+  // published iff its box's permanent list holds it (dead incarnations and
+  // superseded in-attempt buffers are not).
+  std::vector<char> node_published(log.nodes.size(), 0);
+  for (std::size_t i = 0; i < log.nodes.size(); ++i) {
+    node_published[i] =
+        chain_holds(*log.nodes[i].box, word_of(log.nodes[i].node)) ? 1 : 0;
+  }
+
+  // Pass 2: box liveness as a reachability fixpoint. A new box is live iff
+  // a published inner residing in a pre-existing or live box references
+  // it. No single visiting order works here — an inner buffer logged early
+  // can absorb (in place) a child box logged after it, and a split can
+  // migrate early children into late boxes — so iterate to fixpoint
+  // (bounded by the log size; attempt logs are small).
+  std::vector<char> box_live(log.boxes.size(), 0);
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t ni = 0; ni < log.nodes.size(); ++ni) {
+      if (!node_published[ni]) continue;
+      const NodeBase* n = log.nodes[ni].node;
+      if (n->h.is_leaf) continue;
+      const int owner = logged_box_index(log.nodes[ni].box);
+      if (owner >= 0 && !box_live[static_cast<std::size_t>(owner)]) continue;
+      const InnerNode* in = static_cast<const InnerNode*>(n);
+      for (int c = 0; c < in->h.count; ++c) {
+        const int ci = logged_box_index(&in->child[c]->impl());
+        if (ci >= 0 && !box_live[static_cast<std::size_t>(ci)]) {
+          box_live[static_cast<std::size_t>(ci)] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Pass 3: free unpublished nodes; account published leaf buffers.
+  for (std::size_t i = 0; i < log.nodes.size(); ++i) {
+    const TxnLog::NodeAlloc& na = log.nodes[i];
+    if (node_published[i]) {
+      if (na.node->h.is_leaf && na.node->h.buffered > 0)
+        m.leaf_flush.record(na.node->h.buffered);
+      continue;  // owned by the version list (trim / box dtor reclaims)
+    }
+    if (logged_box_index(na.box) >= 0 &&
+        chain_holds(*na.box, word_of(na.node))) {
+      continue;  // a garbage box's initial version: freed with the box
+    }
+    reclaim_node(na.node);
+  }
+
+  // Pass 4: live boxes join the structure; garbage boxes are destroyed
+  // (their destructors reclaim the versions they still own).
+  for (std::size_t i = 0; i < log.boxes.size(); ++i) {
+    if (box_live[i]) {
+      std::scoped_lock lock(boxes_mu_);
+      all_boxes_.push_back(log.boxes[i]);
+      m.boxes_live.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      delete log.boxes[i];
+    }
+  }
+
+  // Pass 5: boxes this attempt unlinked from the structure retire behind a
+  // per-stripe clock fence; gc_retired_boxes frees them once every live
+  // snapshot is past it. Same-attempt creations were decided in pass 4.
+  for (NodeBox* rb : log.removed) {
+    if (logged_box_index(&rb->impl()) >= 0) continue;
+    RetiredBox r;
+    r.box = rb;
+    r.fence.resize(env.stripes());
+    for (unsigned s = 0; s < env.stripes(); ++s)
+      r.fence[s] = env.clock().current(s);
+    std::scoped_lock lock(boxes_mu_);
+    retired_.push_back(std::move(r));
+  }
+}
+
+void TxBTree::gc_retired_boxes(stm::StmEnv& env) {
+  std::vector<NodeBox*> reclaim;
+  {
+    std::scoped_lock lock(boxes_mu_);
+    if (retired_.empty()) return;
+    for (std::size_t i = 0; i < retired_.size();) {
+      bool safe = true;
+      for (unsigned s = 0; s < env.stripes() && safe; ++s) {
+        if (env.registry().min_active(s, env.clock().current(s)) <
+            retired_[i].fence[s]) {
+          safe = false;
+        }
+      }
+      if (!safe) {
+        ++i;
+        continue;
+      }
+      NodeBox* b = retired_[i].box;
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      auto it = std::find(all_boxes_.begin(), all_boxes_.end(), b);
+      if (it != all_boxes_.end()) {
+        *it = all_boxes_.back();
+        all_boxes_.pop_back();
+      }
+      reclaim.push_back(b);
+    }
+  }
+  for (NodeBox* b : reclaim) {
+    // EBR, not direct delete: a reader pinned before the fence passed may
+    // still be traversing the box's version list.
+    metrics().boxes_live.fetch_sub(1, std::memory_order_relaxed);
+    metrics().box_gc.add();
+    env.epochs().retire(b);
+  }
+}
+
+}  // namespace txf::containers

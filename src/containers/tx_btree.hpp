@@ -1,0 +1,246 @@
+// TxBTree: a transactional B+-tree with leaf-centric write buffering and
+// future-parallelized range scans (DESIGN.md §5g, ROADMAP item 1).
+//
+// Layout. Every tree position is a VBox whose Word is a pointer to an
+// immutable-once-published node (LeafNode or InnerNode, vbpt-style
+// copy-on-write). Inner nodes hold *box* pointers to their children, so a
+// leaf update rewrites exactly one box — the leaf's — and never touches the
+// path to the root. Adjacent keys share a leaf, so a transaction that puts
+// k clustered keys publishes ONE versioned leaf buffer instead of k
+// independent boxes: its commit footprint is a single box, which hashes to
+// a single stripe of the sharded commit spine (DESIGN.md §5f) and takes the
+// zero-coordination single-stripe path.
+//
+// Leaf-centric write buffering. The first put into a leaf copies the
+// visible node into an attempt-private buffer, stamps it with an ownership
+// token (TxTree::id(), SubTxn idx), and issues one STM write of the buffer
+// pointer. Further puts by the SAME sub-transaction mutate the buffer in
+// place — no extra STM writes, no extra allocations. The token makes this
+// safe against every replay mechanism in the engine: a different node of
+// the same tree (a future vs its continuation), a reincarnated node, or a
+// later tree reusing this tree's address all fail the exact (tree id, node
+// idx) match and fall back to copy-on-write, so a buffer is only ever
+// mutated by the sub-transaction that created it, while it is running, on
+// its own thread. Everyone else sees it — if at all — only after that
+// node's commit, through the engine's release/acquire publication.
+//
+// Version GC is leaf-local: each box carries a value reclaimer
+// (stm::VBoxImpl::set_value_reclaimer), so trimming a box's version list
+// also retires the node payloads those versions own, and structural
+// operations (split/merge) trim the box they are touching right there —
+// the versions most likely to be stale are the ones whose cache lines the
+// split just pulled in. Boxes merged out of the structure are parked on a
+// retired list with a per-stripe clock fence and physically reclaimed by
+// later structural operations once no live snapshot can reach them.
+//
+// Attempt-private allocations (buffers, split nodes, new boxes) are logged
+// per (tree, container) via TxTree::ensure_attempt_state and reconciled
+// exactly once when the attempt's fate is known: on abort everything
+// unpublished is freed; on commit, reachability against the just-committed
+// version lists decides ownership (see finalize_log in tx_btree.cpp).
+//
+// Scans: scan(lo, hi, fn) splits the key range at the root's fanout
+// boundaries and submits one future per covered subtree through
+// TxCtx::submit_at, so the adaptive scheduler (core/adaptive.hpp) decides
+// parallel-vs-inline per scan site; results join in key order before `fn`
+// runs, and strong ordering semantics makes the parallel and sequential
+// executions indistinguishable (DESIGN.md §5g has the serializability
+// argument).
+//
+// Concurrency contract: all transactional methods require a core::TxCtx
+// (the tree driver holds the EBR guard node dereferences rely on, and scan
+// needs TxCtx::submit). Construction, destruction, and for_each_box follow
+// the usual container rules (quiescence; see TxMap).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/api.hpp"
+#include "obs/metrics.hpp"
+#include "stm/vbox.hpp"
+#include "util/failpoint.hpp"
+#include "util/spin_lock.hpp"
+
+namespace txf::containers {
+
+class TxBTree {
+ public:
+  using Key = std::uint64_t;
+  using Value = stm::Word;
+
+  /// Fanout. Leaves are deliberately wide: one leaf read covers up to
+  /// kLeafCap entries with a single read-set entry, and one leaf buffer
+  /// coalesces up to kLeafCap puts into a single write-set entry.
+  static constexpr int kLeafCap = 32;
+  static constexpr int kInnerCap = 16;
+
+  TxBTree();
+  /// Destruction requires quiescence. Frees every node version still
+  /// reachable from any box, then the boxes themselves.
+  ~TxBTree();
+
+  TxBTree(const TxBTree&) = delete;
+  TxBTree& operator=(const TxBTree&) = delete;
+
+  /// Point lookup; false if absent.
+  bool get(core::TxCtx& ctx, Key key, Value& out) const;
+  bool contains(core::TxCtx& ctx, Key key) const {
+    Value v;
+    return get(ctx, key, v);
+  }
+
+  /// Insert or overwrite.
+  void put(core::TxCtx& ctx, Key key, Value value);
+
+  /// Remove; false if absent. Emptying a leaf removes it from its parent
+  /// (when the parent keeps >= 1 other child) and retires its box.
+  bool erase(core::TxCtx& ctx, Key key);
+
+  /// Ordered range scan over [lo, hi): applies fn(key, value) in ascending
+  /// key order and returns the number of entries visited. When the range
+  /// spans several root-level subtrees the per-subtree collections run as
+  /// transactional futures (parallel or inline per the adaptive
+  /// scheduler); `site`, when non-null, keys the scheduler's per-site
+  /// statistics (pass TXF_SUBMIT_SITE at the call site) — distinct call
+  /// sites then learn independent parallel-vs-inline decisions.
+  template <typename Fn>
+  std::size_t scan(core::TxCtx& ctx, Key lo, Key hi, Fn&& fn,
+                   const void* site = nullptr) const {
+    std::vector<Entry> out;
+    scan_collect(ctx, lo, hi, out, site);
+    for (const Entry& e : out) fn(e.key, e.value);
+    return out.size();
+  }
+
+  /// Non-transactional diagnostics walk over every box of the tree (root
+  /// included). Same contract as TxMap::for_each_box: concurrent use is
+  /// racy-by-nature; call quiescent for exact answers.
+  template <typename Fn>
+  void for_each_box(Fn&& fn) const {
+    fn(root_.impl());
+    std::scoped_lock lock(boxes_mu_);
+    for (stm::VBox<stm::Word>* b : all_boxes_) fn(b->impl());
+  }
+
+  /// Number of boxes currently backing the tree (diagnostics).
+  std::size_t box_count() const {
+    std::scoped_lock lock(boxes_mu_);
+    return all_boxes_.size() + 1;
+  }
+
+  /// Reclaim retired (merged-away) boxes whose clock fence has passed.
+  /// Called opportunistically by structural operations; exposed for tests
+  /// and shutdown paths.
+  void gc_retired_boxes(stm::StmEnv& env);
+
+ private:
+  using NodeBox = stm::VBox<stm::Word>;
+
+  struct NodeHeader {
+    // Ownership token for in-place buffer mutation: the (TxTree::id(),
+    // SubTxn idx) pair that created this node. Stale after publication by
+    // design — tree ids are never reused, so a stale token can never match
+    // a live attempt.
+    std::uint64_t owner_tree = 0;
+    std::uint32_t owner_node = 0xffffffffu;
+    std::uint16_t is_leaf = 0;
+    std::uint16_t count = 0;
+    // Buffered operations (puts/erases) coalesced into this buffer; feeds
+    // the core.btree.leaf_flush.size histogram at commit.
+    std::uint32_t buffered = 0;
+  };
+
+  struct NodeBase {
+    NodeHeader h;
+  };
+  struct LeafNode : NodeBase {
+    Key keys[kLeafCap];
+    Value vals[kLeafCap];
+  };
+  struct InnerNode : NodeBase {
+    // child[i] covers [seps[i-1], seps[i]); seps has h.count - 1 entries.
+    Key seps[kInnerCap - 1];
+    NodeBox* child[kInnerCap];
+  };
+
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  struct PathEnt {
+    NodeBox* box;
+    InnerNode* node;
+    int child;
+  };
+
+  struct TxnLog;  // attempt-private allocation log (tx_btree.cpp)
+
+  /// Split-vs-sequential scan controller, one per tree. The core adaptive
+  /// scheduler prices each *subtree body* (elide small ones inline); this
+  /// gate prices the *submit machinery itself*: EWMAs of realized
+  /// nanoseconds per collected key for split (future-per-subtree) and
+  /// sequential executions, x16 fixed point, winner takes the next scan,
+  /// loser is re-probed 1-in-64 so a hardware or load change can flip the
+  /// verdict. On a single-core host every probe re-proves that splitting
+  /// only adds overhead and scans stay sequential; with real cores the
+  /// split arm's cost drops below sequential and wins. Only consulted
+  /// under SchedulingMode::kAdaptive — fixed modes force their strategy.
+  struct ScanGate {
+    std::atomic<std::uint64_t> seq_ns_per_key_x16{0};
+    std::atomic<std::uint64_t> split_ns_per_key_x16{0};
+    std::atomic<std::uint32_t> tick{0};
+
+    bool choose_split() noexcept;
+    void note(bool split, std::uint64_t ns, std::size_t keys) noexcept;
+  };
+
+  // Data path helpers (tx_btree.cpp).
+  NodeBase* read_node(core::TxCtx& ctx, const NodeBox& box) const;
+  static int child_index(const InnerNode* in, Key key);
+  static int leaf_lower_bound(const LeafNode* leaf, Key key);
+  TxnLog& log_for(core::TxCtx& ctx);
+  LeafNode* writable_leaf(core::TxCtx& ctx, TxnLog& log, NodeBox& box,
+                          const LeafNode* cur);
+  InnerNode* writable_inner(core::TxCtx& ctx, TxnLog& log, NodeBox& box,
+                            const InnerNode* cur);
+  void split_and_insert(core::TxCtx& ctx, TxnLog& log,
+                        std::vector<PathEnt>& path, NodeBox* box,
+                        const LeafNode* leaf, Key key, Value value);
+  void insert_child(core::TxCtx& ctx, TxnLog& log, std::vector<PathEnt>& path,
+                    int level, Key sep, NodeBox* rbox);
+  void collect(core::TxCtx& ctx, const NodeBox& box, Key lo, Key hi,
+               std::vector<Entry>& out) const;
+  std::size_t scan_collect(core::TxCtx& ctx, Key lo, Key hi,
+                           std::vector<Entry>& out, const void* site) const;
+  void trim_local(core::TxCtx& ctx, NodeBox& box) const;
+
+  // Attempt finalization (tx_btree.cpp).
+  static void finalize_attempt(void* state, bool committed);
+  void finalize_log(TxnLog& log, bool committed);
+  static void reclaim_node(void* p);
+  static NodeBase* node_of(stm::Word w) {
+    return reinterpret_cast<NodeBase*>(w);
+  }
+  static stm::Word word_of(const NodeBase* n) {
+    return reinterpret_cast<stm::Word>(n);
+  }
+
+  // Tree-structure bookkeeping. Mutated only at commit finalization and by
+  // gc/destruction, under boxes_mu_.
+  struct RetiredBox {
+    NodeBox* box;
+    std::vector<stm::Version> fence;  // per-stripe clock at retirement
+  };
+
+  mutable NodeBox root_;
+  mutable ScanGate scan_gate_;
+  mutable util::SpinLock boxes_mu_;
+  std::vector<NodeBox*> all_boxes_;
+  std::vector<RetiredBox> retired_;
+};
+
+}  // namespace txf::containers

@@ -27,11 +27,15 @@ bool tree_inactive(const Orec& orec) noexcept {
 /// thread (partial-rollback mode only).
 thread_local Fiber* t_current_fiber = nullptr;
 
+/// Attempt ids handed to TxTree::id(); 0 is reserved as "no owner".
+std::atomic<std::uint64_t> g_next_tree_id{1};
+
 }  // namespace
 
 TxTree::TxTree(Runtime& runtime, bool fallback)
     : runtime_(runtime),
       env_(runtime.env()),
+      id_(g_next_tree_id.fetch_add(1, std::memory_order_relaxed)),
       nstripes_(runtime.env().stripes()),
       stripe_mask_(runtime.env().stripes() - 1) {
   fallback_.store(fallback || runtime.config().write_mode == WriteMode::kLazy,
@@ -65,11 +69,46 @@ TxTree::TxTree(Runtime& runtime, bool fallback)
 }
 
 TxTree::~TxTree() {
+  // Safety net for trees torn down without reaching do_top_commit or
+  // abort_tree (cannot have published anything, so the abort flavour is
+  // the correct one). Normally a no-op: both paths finalize first.
+  run_attempt_finalizers(false);
   release_registry();
   // Residual read-path tallies from nodes that never reached a commit or
   // abort flush (e.g. a whole-tree failure skips per-node aborts). The tree
   // is quiescent by now (destroyed after the EBR grace period).
   for (SubTxn& s : subs_) s.read_path.flush_into(env_.read_stats());
+}
+
+void* TxTree::attempt_state(const void* key) noexcept {
+  std::scoped_lock lock(attempt_states_lock_);
+  for (const AttemptState& a : attempt_states_)
+    if (a.key == key) return a.state;
+  return nullptr;
+}
+
+void* TxTree::ensure_attempt_state(const void* key, void* (*create)(void*),
+                                   void* create_arg, AttemptFinalizer fin) {
+  std::scoped_lock lock(attempt_states_lock_);
+  for (const AttemptState& a : attempt_states_)
+    if (a.key == key) return a.state;
+  void* state = create(create_arg);
+  attempt_states_.push_back(AttemptState{key, state, fin});
+  return state;
+}
+
+void TxTree::run_attempt_finalizers(bool committed) {
+  if (finalized_.exchange(true, std::memory_order_acq_rel)) return;
+  // No lock needed for the iteration itself: parking happens only from the
+  // attempt's own (now drained) transactional code, and the finalized_ flag
+  // makes this body run once. The lock guards against a stale reader racing
+  // the vector growth, which cannot happen past drain_tasks().
+  std::vector<AttemptState> states;
+  {
+    std::scoped_lock lock(attempt_states_lock_);
+    states.swap(attempt_states_);
+  }
+  for (const AttemptState& a : states) a.fin(a.state, committed);
 }
 
 void TxTree::release_registry() {
@@ -1165,8 +1204,14 @@ void TxTree::do_top_commit() {
   status_.store(ok ? TreeStatus::kCommitted : TreeStatus::kAborted,
                 std::memory_order_release);
   release_boxes();
-  release_registry();
+  // Attempt finalizers need (a) no task of this tree still running — so
+  // after drain_tasks() — and (b) on the commit path, this tree's registry
+  // snapshot still published, so the versions it just committed cannot be
+  // trimmed out from under the finalizers' version-list walks — so before
+  // release_registry().
   drain_tasks();
+  run_attempt_finalizers(ok);
+  release_registry();
   if (!ok) {
     runtime_.stats().top_aborts.fetch_add(1, std::memory_order_relaxed);
     {
@@ -1229,6 +1274,7 @@ void TxTree::abort_tree(TreeFailed::Reason reason) {
   }
   drain_tasks();
   release_boxes();
+  run_attempt_finalizers(false);
   status_.store(TreeStatus::kAborted, std::memory_order_release);
   release_registry();
 }

@@ -130,6 +130,36 @@ class TxTree {
     return fallback_.load(std::memory_order_acquire);
   }
 
+  /// Process-unique, never-reused attempt id (a global monotone counter;
+  /// 0 is reserved as "no owner"). Containers use (tree id, node idx) as
+  /// an ownership token for attempt-private structures — pointer identity
+  /// alone is unsafe because a later tree can reuse this tree's address.
+  std::uint64_t id() const noexcept { return id_; }
+
+  // --- per-attempt container state (containers/tx_btree.hpp) ---
+  //
+  // A container may park one opaque object per (tree, container) pair and
+  // have it finalized exactly once when the attempt's fate is known. The
+  // finalizer runs with `committed` telling it whether the tree's final
+  // write set was published; it runs after drain_tasks() (no task of this
+  // tree can still touch attempt-private memory) and — on the commit path —
+  // before release_registry(), so the tree's own snapshot still pins its
+  // freshly committed versions against concurrent trims while the finalizer
+  // walks version lists.
+
+  /// Deleter/finalizer for a parked attempt state.
+  using AttemptFinalizer = void (*)(void* state, bool committed);
+
+  /// The state parked under `key`, or nullptr.
+  void* attempt_state(const void* key) noexcept;
+
+  /// Get-or-create: returns the state parked under `key` (a container
+  /// instance address), calling `create(create_arg)` to build it on first
+  /// use. Atomic against concurrent futures of this tree racing the first
+  /// touch; `fin` is remembered from the creating call.
+  void* ensure_attempt_state(const void* key, void* (*create)(void* arg),
+                             void* create_arg, AttemptFinalizer fin);
+
   // --- data path (called via TxCtx) ---
 
   stm::Word read(SubTxn& t, stm::VBoxImpl& box);
@@ -346,9 +376,11 @@ class TxTree {
   void release_boxes();  // clear tentative heads owned by this tree
   void drain_tasks();    // wait until no future task references the tree
   void release_registry();  // idempotent snapshot-slot release
+  void run_attempt_finalizers(bool committed);  // idempotent, post-drain
 
   Runtime& runtime_;
   stm::StmEnv& env_;
+  std::uint64_t id_;
 
   // Transaction-wide snapshot state (same role as a flat Transaction's).
   std::size_t registry_slot_;
@@ -389,6 +421,16 @@ class TxTree {
   std::deque<std::unique_ptr<Fiber>> fibers_;
   // Future states adopted from inline-elided submits (see adopt_state).
   std::vector<std::shared_ptr<TxFutureStateBase>> adopted_states_;
+
+  // Parked per-attempt container states (attempt_state / set_attempt_state).
+  struct AttemptState {
+    const void* key;
+    void* state;
+    AttemptFinalizer fin;
+  };
+  mutable util::SpinLock attempt_states_lock_;
+  std::vector<AttemptState> attempt_states_;
+  std::atomic<bool> finalized_{false};
 
   // Aggregated at node commits (under mutex_).
   std::vector<stm::VBoxImpl*> merged_permanent_reads_;

@@ -6,11 +6,12 @@ namespace txf::server {
 
 RequestClass LoadGenerator::pick_class() {
   const std::uint64_t roll = rng_.next_bounded(100);
-  if (roll < cfg_.mix_read) return RequestClass::kRead;
-  if (roll < cfg_.mix_read + cfg_.mix_write) return RequestClass::kWrite;
-  if (roll < cfg_.mix_read + cfg_.mix_write + cfg_.mix_rmw)
-    return RequestClass::kRmw;
-  return RequestClass::kMulti;
+  std::uint64_t edge = cfg_.mix_read;
+  if (roll < edge) return RequestClass::kRead;
+  if (roll < (edge += cfg_.mix_write)) return RequestClass::kWrite;
+  if (roll < (edge += cfg_.mix_rmw)) return RequestClass::kRmw;
+  if (roll < (edge += cfg_.mix_multi)) return RequestClass::kMulti;
+  return RequestClass::kScan;
 }
 
 Request LoadGenerator::next(std::uint64_t start_ns) {
@@ -27,7 +28,9 @@ Request LoadGenerator::next(std::uint64_t start_ns) {
   req.scheduled_ns = next_arrival_ns_;
   req.cls = pick_class();
   req.key = zipf_.next(rng_);
-  req.aux = rng_.next();
+  req.aux = req.cls == RequestClass::kScan
+                ? 1 + rng_.next_bounded(2 * cfg_.scan_span)
+                : rng_.next();
   return req;
 }
 

@@ -28,6 +28,8 @@ struct LoadGenConfig {
   std::uint32_t mix_write = 20;
   std::uint32_t mix_rmw = 15;
   std::uint32_t mix_multi = 5;
+  std::uint32_t mix_scan = 0;   // range scans over the B+-tree index
+  std::uint64_t scan_span = 256;  // mean scan width in keys
   std::uint64_t seed = 0x5eedul;
 };
 

@@ -50,7 +50,9 @@ void usage() {
       "  --spike-end S        spike window end\n"
       "  --keyspace N         number of preloaded keys (default 16384)\n"
       "  --theta T            Zipf skew (default 0.9)\n"
-      "  --mix R,W,M,X        class mix percent read,write,rmw,multi\n"
+      "  --mix R,W,M,X[,S]    class mix percent read,write,rmw,multi\n"
+      "                       (optional 5th: range scans; sum 100)\n"
+      "  --scan-span N        mean scan width in keys (default 256)\n"
       "  --op-span N          keys touched per point request (default 1)\n"
       "  --multi-span N       keys per multi-key transaction (default 4)\n"
       "  --workers N          executor threads (default 2)\n"
@@ -115,16 +117,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--theta") == 0) {
       cfg.load.zipf_theta = parse_double(next(), a);
     } else if (std::strcmp(a, "--mix") == 0) {
-      unsigned r, w, m, x;
-      if (std::sscanf(next(), "%u,%u,%u,%u", &r, &w, &m, &x) != 4 ||
-          r + w + m + x != 100) {
-        std::fprintf(stderr, "txf_server: --mix wants R,W,M,X summing 100\n");
+      unsigned r, w, m, x, s = 0;
+      const int got = std::sscanf(next(), "%u,%u,%u,%u,%u", &r, &w, &m, &x, &s);
+      if ((got != 4 && got != 5) || r + w + m + x + s != 100) {
+        std::fprintf(stderr,
+                     "txf_server: --mix wants R,W,M,X[,S] summing 100\n");
         return 2;
       }
       cfg.load.mix_read = r;
       cfg.load.mix_write = w;
       cfg.load.mix_rmw = m;
       cfg.load.mix_multi = x;
+      cfg.load.mix_scan = s;
+    } else if (std::strcmp(a, "--scan-span") == 0) {
+      cfg.load.scan_span = parse_u64(next(), a);
     } else if (std::strcmp(a, "--op-span") == 0) {
       cfg.op_span = static_cast<std::uint32_t>(parse_u64(next(), a));
     } else if (std::strcmp(a, "--multi-span") == 0) {

@@ -1,10 +1,11 @@
 // Request model of the long-lived KV/OLTP service harness (src/server/).
 //
-// The server fronts one Runtime + TxMap keyspace with four request classes
-// of increasing weight. Classes double as *shedding priorities*: under
-// overload the admission controller sheds the heaviest/least-critical
-// class first (kMulti), then kRmw, then kWrite; point reads are the last
-// traffic standing. See admission.hpp for the policy.
+// The server fronts one Runtime + TxMap keyspace (plus an ordered TxBTree
+// index for range scans) with five request classes of increasing weight.
+// Classes double as *shedding priorities*: under overload the admission
+// controller sheds the heaviest/least-critical class first (kScan), then
+// kMulti, then kRmw, then kWrite; point reads are the last traffic
+// standing. See admission.hpp for the policy.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +19,7 @@ enum class RequestClass : std::uint8_t {
   kWrite,      // blind point write
   kRmw,        // read-modify-write of one key
   kMulti,      // multi-key transaction using transactional futures
+  kScan,       // ordered range scan over the B+-tree index (heaviest)
   kCount
 };
 
@@ -30,6 +32,7 @@ inline const char* request_class_name(RequestClass c) noexcept {
     case RequestClass::kWrite: return "write";
     case RequestClass::kRmw: return "rmw";
     case RequestClass::kMulti: return "multi";
+    case RequestClass::kScan: return "scan";
     case RequestClass::kCount: break;
   }
   return "unknown";
@@ -43,7 +46,8 @@ inline const char* request_class_name(RequestClass c) noexcept {
 struct Request {
   std::uint64_t scheduled_ns = 0;
   std::uint64_t key = 0;
-  std::uint64_t aux = 0;  // second key base for kMulti; value salt otherwise
+  std::uint64_t aux = 0;  // kMulti: second key base; kScan: scan width;
+                          // value salt otherwise
   RequestClass cls = RequestClass::kRead;
 };
 

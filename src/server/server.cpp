@@ -14,6 +14,7 @@
 
 #include <optional>
 
+#include "containers/tx_btree.hpp"
 #include "containers/tx_map.hpp"
 #include "core/api.hpp"
 #include "obs/drift.hpp"
@@ -181,6 +182,9 @@ Report Server::run() {
   core::Runtime rt(make_engine_config(cfg_));
   obs::AbortAccounting& acc = rt.env().abort_accounting();
   containers::TxMap map(cfg_.load.keyspace);
+  // Ordered index over the same keyspace: the kScan class range-scans it
+  // (and occasionally refreshes a key, so scans conflict with writers).
+  containers::TxBTree index;
 
   // Drift observability: the Runtime owns the timeline sampler; the monitor
   // and recorder live here because triggering policy (breach streaks,
@@ -204,7 +208,10 @@ Report Server::run() {
     const std::uint64_t hi = std::min<std::uint64_t>(base + 512,
                                                      cfg_.load.keyspace);
     core::atomically(rt, [&](core::TxCtx& ctx) {
-      for (std::uint64_t k = base; k < hi; ++k) map.put(ctx, k, k + 1);
+      for (std::uint64_t k = base; k < hi; ++k) {
+        map.put(ctx, k, k + 1);
+        index.put(ctx, k, k + 1);
+      }
     });
   }
 
@@ -273,6 +280,30 @@ Report Server::run() {
           return sum;
         });
         break;
+      case RequestClass::kScan: {
+        // Ordered range scan over the B+-tree index; the width rides in
+        // req.aux (load_gen draws it around scan_span). The per-call-site
+        // submit tag lets the adaptive scheduler learn one decision for
+        // this scan site. Every scan_writeback_every-th scan refreshes its
+        // first key so the class is not invisible to conflict detection.
+        const std::uint64_t width = std::max<std::uint64_t>(req.aux, 1);
+        const bool writeback =
+            cfg_.scan_writeback_every != 0 &&
+            req.key % cfg_.scan_writeback_every == 0;
+        core::atomically(rt, [&](core::TxCtx& ctx) {
+          stm::Word sum = 0;
+          const std::uint64_t lo = req.key % keyspace;
+          const std::uint64_t hi =
+              std::min<std::uint64_t>(lo + width, keyspace);
+          index.scan(
+              ctx, lo, hi,
+              [&](std::uint64_t, std::uint64_t v) { sum += v; },
+              TXF_SUBMIT_SITE);
+          if (writeback) index.put(ctx, lo, (sum | 1) & kValueMask);
+          return sum;
+        });
+        break;
+      }
       case RequestClass::kCount:
         break;
     }
@@ -629,27 +660,36 @@ Report Server::run() {
   rep.attempt_aborts = acc.attempt_aborts.load();
   {
     util::EpochDomain::Guard guard(env.epochs());
-    map.for_each_box([&](stm::VBoxImpl& b) {
+    auto note_len = [&](stm::VBoxImpl& b) {
       rep.max_version_list =
           std::max<std::uint64_t>(rep.max_version_list, b.permanent_length());
-    });
+    };
+    map.for_each_box(note_len);
+    index.for_each_box(note_len);
   }
   // Quiescent trim: all traffic has stopped, so min_active == clock per
   // stripe and every box must compress to a single permanent version.
   // Versions are stripe-local, so each box trims against its own stripe's
-  // bound.
+  // bound. The B+-tree index trims the same way (its boxes carry a value
+  // reclaimer, so trimming also frees superseded tree nodes), and its
+  // merged-away boxes are reclaimable now that no snapshot is live.
   std::array<stm::Version, stm::kMaxStripes> min_snapshot;
   for (unsigned s = 0; s < env.stripes(); ++s)
     min_snapshot[s] = env.registry().min_active(s, env.clock().current(s));
-  map.for_each_box([&](stm::VBoxImpl& b) {
+  auto trim_box = [&](stm::VBoxImpl& b) {
     b.trim(min_snapshot[env.queue().stripe_of_box(&b)], env.epochs());
-  });
+  };
+  map.for_each_box(trim_box);
+  index.for_each_box(trim_box);
+  index.gc_retired_boxes(env);
   {
     util::EpochDomain::Guard guard(env.epochs());
-    map.for_each_box([&](stm::VBoxImpl& b) {
+    auto note_trimmed = [&](stm::VBoxImpl& b) {
       rep.max_version_list_trimmed = std::max<std::uint64_t>(
           rep.max_version_list_trimmed, b.permanent_length());
-    });
+    };
+    map.for_each_box(note_trimmed);
+    index.for_each_box(note_trimmed);
   }
   env.epochs().drain_for_shutdown();
   rep.ebr_pending_final = env.epochs().pending_count();

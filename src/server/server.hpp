@@ -1,7 +1,8 @@
 // Long-lived KV/OLTP service harness (ROADMAP item: robustness under
 // sustained load).
 //
-// One Server fronts a TxMap keyspace on one Runtime and is driven by an
+// One Server fronts a TxMap keyspace (plus a TxBTree ordered index for the
+// kScan class) on one Runtime and is driven by an
 // open-loop Poisson/Zipf load (load_gen.hpp) through a token-bucket
 // admission gate adapted by the abort-taxonomy-driven overload controller
 // (admission.hpp). The harness exists to answer the operational question
@@ -49,6 +50,9 @@ struct ServerConfig {
   std::uint32_t pool_threads = 2;  // Runtime future-execution pool
   /// Multi-key transactions touch this many keys via futures.
   std::uint32_t multi_span = 4;
+  /// Every kScan-th completed scan writes back one refreshed key, so scans
+  /// are not pure readers and conflict realistically with writers.
+  std::uint32_t scan_writeback_every = 8;
   /// Point requests (read/write/rmw) touch this many consecutive keys —
   /// the per-request work knob that sizes the workload to the machine
   /// (real OLTP requests touch rows, not words).
@@ -196,6 +200,8 @@ struct ServerMetrics {
                  shed_by_class[static_cast<std::size_t>(RequestClass::kRmw)])
         .counter("server.shed.multi",
                  shed_by_class[static_cast<std::size_t>(RequestClass::kMulti)])
+        .counter("server.shed.scan",
+                 shed_by_class[static_cast<std::size_t>(RequestClass::kScan)])
         .histogram("server.latency.read",
                    latency[static_cast<std::size_t>(RequestClass::kRead)])
         .histogram("server.latency.write",
@@ -203,7 +209,9 @@ struct ServerMetrics {
         .histogram("server.latency.rmw",
                    latency[static_cast<std::size_t>(RequestClass::kRmw)])
         .histogram("server.latency.multi",
-                   latency[static_cast<std::size_t>(RequestClass::kMulti)]);
+                   latency[static_cast<std::size_t>(RequestClass::kMulti)])
+        .histogram("server.latency.scan",
+                   latency[static_cast<std::size_t>(RequestClass::kScan)]);
   }
 };
 

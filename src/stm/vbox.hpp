@@ -38,6 +38,10 @@ namespace txf::stm {
 // can never observe a staler pair as stable.
 class VBoxImpl {
  public:
+  /// Deleter for the heap object a Word points at, installed with
+  /// set_value_reclaimer(). Receives the Word reinterpreted as a pointer.
+  using ValueReclaimer = void (*)(void*);
+
   /// The initial value is committed at version 0, so it is visible to every
   /// transaction from the start.
   explicit VBoxImpl(Word initial)
@@ -45,10 +49,14 @@ class VBoxImpl {
         permanent_(new PermanentVersion(initial, 0, nullptr)) {}
 
   /// Destruction requires quiescence (no transaction may touch this box).
+  /// With a value reclaimer installed, every value still reachable from the
+  /// permanent list is reclaimed along with its version node.
   ~VBoxImpl() {
     PermanentVersion* p = permanent_.load(std::memory_order_relaxed);
     while (p != nullptr && p != trimmed_tail()) {
       PermanentVersion* next = p->next.load(std::memory_order_relaxed);
+      if (value_reclaimer_ != nullptr && p->value != 0)
+        value_reclaimer_(reinterpret_cast<void*>(p->value));
       delete p;
       p = next;
     }
@@ -199,10 +207,26 @@ class VBoxImpl {
     trimming_.store(false, std::memory_order_release);
     while (old != nullptr && old != trimmed_tail()) {
       PermanentVersion* next = old->next.load(std::memory_order_relaxed);
+      // Leaf-version publication contract (containers/tx_btree.hpp): when a
+      // box stores an owning pointer, retiring the version node also retires
+      // the heap object it points at — through the same grace period, so a
+      // reader that resolved this version inside its EBR guard can still
+      // dereference the payload.
+      if (value_reclaimer_ != nullptr && old->value != 0)
+        domain.retire(reinterpret_cast<void*>(old->value), value_reclaimer_);
       retire_node(old, domain);
       old = next;
     }
   }
+
+  /// Install an owning-pointer deleter for this box's Words. Must be called
+  /// while the box is still private to the constructing thread (same window
+  /// as VBox::unsafe_init): trimmers read the pointer unsynchronized.
+  /// Once installed, committed values are owned by the version list — trim
+  /// and the destructor reclaim superseded values; writers must never
+  /// publish the same pointer twice.
+  void set_value_reclaimer(ValueReclaimer r) noexcept { value_reclaimer_ = r; }
+  ValueReclaimer value_reclaimer() const noexcept { return value_reclaimer_; }
 
   /// Retire a version node through `domain`, recycling it into the
   /// commit-path node pool once the grace period expires (defined in
@@ -242,6 +266,8 @@ class VBoxImpl {
   std::atomic<PermanentVersion*> permanent_;
   std::atomic<core::TentativeVersion*> tentative_{nullptr};
   std::atomic<bool> trimming_{false};
+  // Plain pointer by design: written once pre-publication (see setter).
+  ValueReclaimer value_reclaimer_ = nullptr;
 };
 
 // --- typed wrapper -------------------------------------------------------

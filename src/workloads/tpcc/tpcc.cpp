@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/adaptive.hpp"
+
 namespace txf::workloads::tpcc {
 
-TpccDB::TpccDB(const TpccParams& p)
-    : params_(p), orders_(p.max_orders), new_orders_(p.max_orders) {
+TpccDB::TpccDB(const TpccParams& p) : params_(p) {
   const int w = params_.warehouses;
   for (int i = 0; i < w; ++i) warehouses_.emplace_back();
   for (int i = 0; i < w * params_.districts; ++i) districts_.emplace_back();
@@ -72,12 +73,8 @@ void TpccDB::new_order(core::Runtime& rt, util::Xoshiro256& rng) {
     }
     order->total.put(ctx, total);
     const std::uint64_t key = order_key(w, d, o_id);
-    orders_.put(ctx, key,
-                static_cast<containers::TxMap::Value>(
-                    reinterpret_cast<uintptr_t>(order)));
-    new_orders_.put(ctx, key,
-                    static_cast<containers::TxMap::Value>(
-                        reinterpret_cast<uintptr_t>(order)));
+    orders_.put(ctx, key, reinterpret_cast<uintptr_t>(order));
+    new_orders_.put(ctx, key, reinterpret_cast<uintptr_t>(order));
     CustomerTRow& cust = customers_[c_index(w, d, c)];
     cust.balance.put(ctx, cust.balance.get(ctx) - total);
   });
@@ -111,9 +108,9 @@ long TpccDB::order_status(core::Runtime& rt, util::Xoshiro256& rng) {
     const int next = dist.next_o_id.get(ctx);
     if (next <= 1) return 0L;
     const int o_id = next - 1;  // most recent order of the district
-    const auto v = orders_.get(ctx, order_key(w, d, o_id));
-    if (!v) return 0L;
-    auto* order = reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(*v));
+    std::uint64_t v = 0;
+    if (!orders_.get(ctx, order_key(w, d, o_id), v)) return 0L;
+    auto* order = reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(v));
     return order->total.get(ctx);
   });
 }
@@ -123,57 +120,93 @@ void TpccDB::delivery(core::Runtime& rt, util::Xoshiro256& rng) {
   const int carrier = 1 + static_cast<int>(rng.next_bounded(10));
 
   core::atomically(rt, [&](core::TxCtx& ctx) {
-    // Deliver the oldest undelivered order of each district.
+    // Deliver the oldest undelivered order of each district: the district
+    // is a contiguous key range of the new-order tree, so "oldest
+    // undelivered" is the first key of a bounded range scan.
     for (int d = 0; d < params_.districts; ++d) {
       DistrictRow& dist = districts_[d_index(w, d)];
       const int next = dist.next_o_id.get(ctx);
-      for (int o_id = std::max(1, next - 20); o_id < next; ++o_id) {
-        const std::uint64_t key = order_key(w, d, o_id);
-        const auto v = new_orders_.get(ctx, key);
-        if (!v) continue;
-        auto* order =
-            reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(*v));
-        new_orders_.erase(ctx, key);
-        order->carrier_id.put(ctx, carrier);
-        CustomerTRow& cust = customers_[c_index(w, d, order->c_id)];
-        cust.balance.put(ctx, cust.balance.get(ctx) + order->total.get(ctx));
-        cust.delivery_cnt.put(ctx, cust.delivery_cnt.get(ctx) + 1);
-        break;  // one order per district, per the spec
-      }
+      if (next <= 1) continue;
+      std::uint64_t key = 0;
+      std::uint64_t v = 0;
+      bool found = false;
+      new_orders_.scan(ctx, order_key(w, d, std::max(1, next - 20)),
+                       order_key(w, d, next),
+                       [&](std::uint64_t k, std::uint64_t val) {
+                         if (found) return;
+                         found = true;
+                         key = k;
+                         v = val;
+                       });
+      if (!found) continue;
+      auto* order = reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(v));
+      new_orders_.erase(ctx, key);
+      order->carrier_id.put(ctx, carrier);
+      CustomerTRow& cust = customers_[c_index(w, d, order->c_id)];
+      cust.balance.put(ctx, cust.balance.get(ctx) + order->total.get(ctx));
+      cust.delivery_cnt.put(ctx, cust.delivery_cnt.get(ctx) + 1);
     }
   });
 }
 
 long TpccDB::stock_level(core::Runtime& rt, util::Xoshiro256& rng) {
   const int w = static_cast<int>(rng.next_bounded(params_.warehouses));
+  const int d = static_cast<int>(rng.next_bounded(params_.districts));
   const int threshold = 10 + static_cast<int>(rng.next_bounded(11));
-  const std::size_t jobs = params_.jobs == 0 ? 1 : params_.jobs;
+  return stock_level_at(rt, w, d, threshold);
+}
 
+long TpccDB::stock_level_at(core::Runtime& rt, int w, int d, int threshold) {
   return core::atomically(rt, [&](core::TxCtx& ctx) {
-    // Count stock entries of the warehouse below the threshold; the scan
-    // splits across futures.
-    auto count_range = [this, w, threshold](core::TxCtx& c, int lo, int hi) {
-      long n = 0;
-      for (int i = lo; i < hi; ++i) {
-        if (stock_[s_index(w, i)].quantity.get(c) < threshold) ++n;
-      }
-      return n;
-    };
-    if (jobs <= 1) return count_range(ctx, 0, params_.items);
-    const int slice = (params_.items + static_cast<int>(jobs) - 1) /
-                      static_cast<int>(jobs);
-    std::vector<core::TxFuture<long>> futs;
-    for (std::size_t j = 0; j + 1 < jobs; ++j) {
-      const int lo = std::min(static_cast<int>(j) * slice, params_.items);
-      const int hi = std::min(lo + slice, params_.items);
-      futs.push_back(ctx.submit(
-          [count_range, lo, hi](core::TxCtx& c) { return count_range(c, lo, hi); }));
+    // The TPC-C StockLevel join: the district's last 20 orders, the
+    // distinct items on their order lines, and how many of those items are
+    // below the stock threshold. The order window is one contiguous range
+    // of the order B+-tree.
+    DistrictRow& dist = districts_[d_index(w, d)];
+    const int next = dist.next_o_id.get(ctx);
+    if (next <= 1) return 0L;
+    std::vector<char> seen(static_cast<std::size_t>(params_.items), 0);
+    orders_.scan(
+        ctx, order_key(w, d, std::max(1, next - 20)), order_key(w, d, next),
+        [&](std::uint64_t, std::uint64_t v) {
+          auto* order = reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(v));
+          for (int i = 0; i < order->n_lines; ++i)
+            seen[static_cast<std::size_t>(order->line_item[i])] = 1;
+        },
+        TXF_SUBMIT_SITE);
+    long n = 0;
+    for (int i = 0; i < params_.items; ++i) {
+      if (seen[static_cast<std::size_t>(i)] &&
+          stock_[s_index(w, i)].quantity.get(ctx) < threshold)
+        ++n;
     }
-    long total = count_range(
-        ctx, std::min(static_cast<int>(jobs - 1) * slice, params_.items),
-        params_.items);
-    for (auto& f : futs) total += f.get(ctx);
-    return total;
+    return n;
+  });
+}
+
+long TpccDB::stock_level_reference(core::Runtime& rt, int w, int d,
+                                   int threshold) {
+  return core::atomically(rt, [&](core::TxCtx& ctx) {
+    // Oracle: identical semantics via point-gets on the order ids — no
+    // range scan, no futures.
+    DistrictRow& dist = districts_[d_index(w, d)];
+    const int next = dist.next_o_id.get(ctx);
+    if (next <= 1) return 0L;
+    std::vector<char> seen(static_cast<std::size_t>(params_.items), 0);
+    for (int o_id = std::max(1, next - 20); o_id < next; ++o_id) {
+      std::uint64_t v = 0;
+      if (!orders_.get(ctx, order_key(w, d, o_id), v)) continue;
+      auto* order = reinterpret_cast<OrderRow*>(static_cast<uintptr_t>(v));
+      for (int i = 0; i < order->n_lines; ++i)
+        seen[static_cast<std::size_t>(order->line_item[i])] = 1;
+    }
+    long n = 0;
+    for (int i = 0; i < params_.items; ++i) {
+      if (seen[static_cast<std::size_t>(i)] &&
+          stock_[s_index(w, i)].quantity.get(ctx) < threshold)
+        ++n;
+    }
+    return n;
   });
 }
 
@@ -253,12 +286,17 @@ bool TpccDB::audit(core::Runtime& rt) {
       if (warehouses_[static_cast<std::size_t>(w)].ytd.get(ctx) !=
           district_sum)
         ok = false;
-      // Every order id below next_o_id must exist in the order table.
+      // Every order id below next_o_id must exist in the order table: the
+      // district's key range must contain exactly the dense id sequence.
       for (int d = 0; d < params_.districts; ++d) {
         const int next = districts_[d_index(w, d)].next_o_id.get(ctx);
-        for (int o = 1; o < next; ++o) {
-          if (!orders_.contains(ctx, order_key(w, d, o))) ok = false;
-        }
+        int expect = 1;
+        orders_.scan(ctx, order_key(w, d, 1), order_key(w, d, next),
+                     [&](std::uint64_t k, std::uint64_t) {
+                       if (k != order_key(w, d, expect)) ok = false;
+                       ++expect;
+                     });
+        if (expect != std::max(1, next)) ok = false;
       }
     }
     return ok;

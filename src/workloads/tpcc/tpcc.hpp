@@ -18,8 +18,8 @@
 #include <deque>
 #include <mutex>
 
+#include "containers/tx_btree.hpp"
 #include "containers/tx_counter.hpp"
-#include "containers/tx_map.hpp"
 #include "core/api.hpp"
 #include "util/zipf.hpp"
 
@@ -87,6 +87,16 @@ class TpccDB {
   void delivery(core::Runtime& rt, util::Xoshiro256& rng);
   long stock_level(core::Runtime& rt, util::Xoshiro256& rng);
 
+  /// StockLevel at a fixed (warehouse, district, threshold): the ordered
+  /// district/stock join — scan the district's last 20 orders in the order
+  /// B+-tree, collect their distinct item ids, count items whose stock is
+  /// below the threshold. This is the TxBTree::scan path run_mix exercises.
+  long stock_level_at(core::Runtime& rt, int w, int d, int threshold);
+
+  /// Sequential oracle for stock_level_at: point-gets per order id, no
+  /// range scan, no futures. Tests assert result-set equivalence.
+  long stock_level_reference(core::Runtime& rt, int w, int d, int threshold);
+
   /// The paper's long transaction: total money raised by a warehouse
   /// (district YTDs + customer balances + payments), with the customer scan
   /// split across `params.jobs` ways via transactional futures.
@@ -125,8 +135,13 @@ class TpccDB {
   std::deque<CustomerTRow> customers_;
   std::deque<ItemRow> items_;
   std::deque<StockRow> stock_;
-  containers::TxMap orders_;
-  containers::TxMap new_orders_;  // undelivered orders (key -> order ptr)
+  // Order tables live in transactional B+-trees: order ids are dense and
+  // ordered per district, so order_key() makes every district a contiguous
+  // key range — StockLevel's last-20-orders join and Delivery's
+  // oldest-undelivered lookup become range scans, and NewOrder's
+  // insert-next-id pattern hits one leaf buffer per district.
+  containers::TxBTree orders_;
+  containers::TxBTree new_orders_;  // undelivered orders (key -> order ptr)
 
   std::mutex arena_mutex_;
   std::deque<OrderRow> order_arena_;

@@ -21,7 +21,7 @@ TEST(AdmissionGate, DisabledGateAdmitsEverything) {
   AdmissionConfig cfg;
   cfg.enabled = false;
   AdmissionGate gate(cfg);
-  gate.set_shed_level(4);  // even a full shed mask is ignored when disabled
+  gate.set_shed_level(5);  // even a full shed mask is ignored when disabled
   for (int i = 0; i < 1000; ++i) {
     EXPECT_TRUE(gate.admit(RequestClass::kMulti, 1));
   }
@@ -63,22 +63,25 @@ TEST(AdmissionGate, BurstIsCapped) {
 }
 
 TEST(AdmissionGate, ShedOrderDropsLowestPriorityClassFirst) {
-  // Level L sheds the L highest-numbered classes: multi first, reads last.
-  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kMulti, 0));
-  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kMulti, 1));
-  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kRmw, 1));
-  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kRmw, 2));
-  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kWrite, 2));
-  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kWrite, 3));
-  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kRead, 3));
-  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kRead, 4));
+  // Level L sheds the L highest-numbered classes: scans first, reads last.
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kScan, 0));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kScan, 1));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kMulti, 1));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kMulti, 2));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kRmw, 2));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kRmw, 3));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kWrite, 3));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kWrite, 4));
+  EXPECT_FALSE(AdmissionGate::class_shed_at(RequestClass::kRead, 4));
+  EXPECT_TRUE(AdmissionGate::class_shed_at(RequestClass::kRead, 5));
 }
 
 TEST(AdmissionGate, ShedClassRejectedEvenWithTokens) {
   AdmissionConfig cfg;
   cfg.initial_rate = 1e6;
   AdmissionGate gate(cfg);
-  gate.set_shed_level(1);
+  gate.set_shed_level(2);
+  EXPECT_FALSE(gate.admit(RequestClass::kScan, 1));
   EXPECT_FALSE(gate.admit(RequestClass::kMulti, 1));
   EXPECT_TRUE(gate.admit(RequestClass::kRmw, 1));
   EXPECT_TRUE(gate.admit(RequestClass::kRead, 2001));  // 2 us = 2 tokens

@@ -218,9 +218,39 @@ TEST(Tpcc, StockLevelRunsWithFutures) {
   tpcc::TpccDB db(p);
   Xoshiro256 rng(6);
   db.populate(rt, rng);
+  for (int i = 0; i < 30; ++i) db.new_order(rt, rng);
   const long low = db.stock_level(rt, rng);
   EXPECT_GE(low, 0);
   EXPECT_LE(low, 200);
+}
+
+TEST(Tpcc, StockLevelScanMatchesSequentialReference) {
+  // The B+-tree ordered district/stock join must produce exactly the
+  // result of the point-get oracle, for every district and under both
+  // scheduling extremes.
+  for (txf::core::SchedulingMode mode :
+       {txf::core::SchedulingMode::kAlwaysInline,
+        txf::core::SchedulingMode::kAlwaysParallel}) {
+    Config cfg;
+    cfg.pool_threads = 2;
+    cfg.scheduling = mode;
+    Runtime rt(cfg);
+    tpcc::TpccParams p;
+    p.customers_per_district = 16;
+    p.items = 200;
+    tpcc::TpccDB db(p);
+    Xoshiro256 rng(7);
+    db.populate(rt, rng);
+    for (int i = 0; i < 120; ++i) db.new_order(rt, rng);
+    for (int i = 0; i < 10; ++i) db.delivery(rt, rng);
+    for (int d = 0; d < p.districts; ++d) {
+      for (int threshold : {5, 12, 20, 100}) {
+        EXPECT_EQ(db.stock_level_at(rt, 0, d, threshold),
+                  db.stock_level_reference(rt, 0, d, threshold))
+            << "district " << d << " threshold " << threshold;
+      }
+    }
+  }
 }
 
 TEST(Driver, ArgsParsing) {
